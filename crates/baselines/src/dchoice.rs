@@ -1,0 +1,145 @@
+//! Greedy[d]: the standard d-choice process of Azar et al.
+
+use kdchoice_core::{BallsIntoBins, ConfigError, LoadVector, RoundStats};
+use rand::{Rng, RngCore};
+
+/// The d-choice (Greedy\[d\]) process of Azar, Broder, Karlin & Upfal: each
+/// ball samples `d` bins i.u.r. with replacement and joins the least loaded,
+/// ties broken randomly. Maximum load `lnln n/ln d + Θ(1)` w.h.p.
+///
+/// Within the paper this plays two roles: the `k = 1` member of the
+/// (k,d)-choice family, and the coupling target `A(1, d−k+1) ≤mj A(k,d)` of
+/// the lower-bound analysis (§5).
+///
+/// ```
+/// use kdchoice_baselines::DChoice;
+/// use kdchoice_core::{run_once, RunConfig};
+///
+/// # fn main() -> Result<(), kdchoice_core::ConfigError> {
+/// let mut p = DChoice::new(2)?;
+/// let r = run_once(&mut p, &RunConfig::new(1 << 12, 1));
+/// assert!(r.max_load <= 6); // two-choice: lnln n / ln 2 + O(1)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DChoice {
+    d: usize,
+    samples: Vec<usize>,
+}
+
+impl DChoice {
+    /// Creates a d-choice process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `d == 0`.
+    pub fn new(d: usize) -> Result<Self, ConfigError> {
+        if d == 0 {
+            return Err(ConfigError::ZeroParameter("d"));
+        }
+        Ok(Self {
+            d,
+            samples: Vec::with_capacity(d),
+        })
+    }
+
+    /// The number of choices per ball.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+}
+
+impl BallsIntoBins for DChoice {
+    fn name(&self) -> String {
+        format!("greedy[{}]", self.d)
+    }
+
+    fn run_round(
+        &mut self,
+        state: &mut LoadVector,
+        rng: &mut dyn RngCore,
+        heights_out: &mut Vec<u32>,
+        _balls_remaining: u64,
+    ) -> RoundStats {
+        let n = state.n();
+        self.samples.clear();
+        for _ in 0..self.d {
+            self.samples.push(rng.gen_range(0..n));
+        }
+        let idx = kdchoice_prng::sample::random_argmin(rng, &self.samples, |&b| state.load(b))
+            .expect("d >= 1");
+        let h = state.add_ball(self.samples[idx]);
+        heights_out.push(h);
+        RoundStats {
+            thrown: 1,
+            placed: 1,
+            probes: self.d as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_core::{run_once, run_trials, RunConfig};
+
+    #[test]
+    fn rejects_zero_d() {
+        assert!(DChoice::new(0).is_err());
+    }
+
+    #[test]
+    fn d_one_is_single_choice_shaped() {
+        let set = run_trials(
+            |_| Box::new(DChoice::new(1).unwrap()),
+            &RunConfig::new(1 << 12, 5),
+            8,
+        );
+        assert!(set.mean_max_load() >= 5.0, "{}", set.mean_max_load());
+    }
+
+    #[test]
+    fn message_cost_is_d_per_ball() {
+        let mut p = DChoice::new(5).unwrap();
+        let r = run_once(&mut p, &RunConfig::new(512, 6));
+        assert_eq!(r.messages, 512 * 5);
+    }
+
+    #[test]
+    fn two_choice_beats_single_choice() {
+        let n = 1 << 13;
+        let one = run_trials(
+            |_| Box::new(DChoice::new(1).unwrap()),
+            &RunConfig::new(n, 7),
+            8,
+        );
+        let two = run_trials(
+            |_| Box::new(DChoice::new(2).unwrap()),
+            &RunConfig::new(n, 8),
+            8,
+        );
+        assert!(
+            two.mean_max_load() + 1.5 < one.mean_max_load(),
+            "two-choice {} vs single {}",
+            two.mean_max_load(),
+            one.mean_max_load()
+        );
+    }
+
+    #[test]
+    fn larger_d_does_not_hurt() {
+        let n = 1 << 12;
+        let d2 = run_trials(
+            |_| Box::new(DChoice::new(2).unwrap()),
+            &RunConfig::new(n, 9),
+            8,
+        );
+        let d8 = run_trials(
+            |_| Box::new(DChoice::new(8).unwrap()),
+            &RunConfig::new(n, 10),
+            8,
+        );
+        assert!(d8.mean_max_load() <= d2.mean_max_load() + 0.5);
+    }
+}

@@ -1,0 +1,212 @@
+//! A synchronous batched-parallel allocation (Stemann-style collision
+//! protocol).
+
+use kdchoice_core::{BallsIntoBins, ConfigError, LoadVector, RoundStats};
+use rand::{Rng, RngCore};
+
+/// A synchronous parallel allocation in the spirit of Stemann's collision
+/// protocol and the parallel multi-choice family the paper cites in §1
+/// (references \[1, 16\]): in phase `r`, every unplaced ball samples `d`
+/// bins, requests the least loaded one, and each bin accepts requesters up
+/// to the phase threshold `r + 1`; losers retry in the next phase. After
+/// `max_phases`, stragglers fall back to sequential d-choice.
+///
+/// This is the "each ball probes independently" contrast case for
+/// (k,d)-choice, where the k balls of a round *share* their `d` probes
+/// (§1: "a group of k balls shares information on bin state").
+///
+/// The whole protocol runs inside a single driver round — the driver sees
+/// one `run_round` call that throws every remaining ball.
+///
+/// ```
+/// use kdchoice_baselines::BatchedParallel;
+/// use kdchoice_core::{run_once, RunConfig};
+///
+/// # fn main() -> Result<(), kdchoice_core::ConfigError> {
+/// let mut p = BatchedParallel::new(2, 4)?;
+/// let r = run_once(&mut p, &RunConfig::new(1 << 12, 1));
+/// assert_eq!(r.balls_placed, 1 << 12);
+/// assert_eq!(r.rounds, 1); // one synchronous protocol execution
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedParallel {
+    d: usize,
+    max_phases: usize,
+}
+
+impl BatchedParallel {
+    /// Creates the protocol with `d` choices per ball per phase and
+    /// `max_phases` synchronous phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `d == 0` or `max_phases == 0`.
+    pub fn new(d: usize, max_phases: usize) -> Result<Self, ConfigError> {
+        if d == 0 {
+            return Err(ConfigError::ZeroParameter("d"));
+        }
+        if max_phases == 0 {
+            return Err(ConfigError::ZeroParameter("max_phases"));
+        }
+        Ok(Self { d, max_phases })
+    }
+
+    /// Choices per ball per phase.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Maximum number of synchronous phases before the sequential fallback.
+    pub fn max_phases(&self) -> usize {
+        self.max_phases
+    }
+}
+
+impl BallsIntoBins for BatchedParallel {
+    fn name(&self) -> String {
+        format!("parallel[d={},phases={}]", self.d, self.max_phases)
+    }
+
+    fn run_round(
+        &mut self,
+        state: &mut LoadVector,
+        rng: &mut dyn RngCore,
+        heights_out: &mut Vec<u32>,
+        balls_remaining: u64,
+    ) -> RoundStats {
+        let n = state.n();
+        let total =
+            usize::try_from(balls_remaining.min(u64::from(u32::MAX))).expect("fits usize");
+        let mut probes = 0u64;
+        let mut unplaced: u64 = total as u64;
+        // requests[bin] holds the count of requesters this phase; winners
+        // are chosen implicitly: with i.u.r. requesters, accepting "the
+        // first c" of an unordered count is exchangeable with a random
+        // subset, so only counts are needed.
+        let mut requests: Vec<u32> = vec![0; n];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut samples: Vec<usize> = Vec::with_capacity(self.d);
+        for phase in 0..self.max_phases {
+            if unplaced == 0 {
+                break;
+            }
+            let threshold = (phase + 1) as u32;
+            // Request phase.
+            for _ in 0..unplaced {
+                samples.clear();
+                for _ in 0..self.d {
+                    samples.push(rng.gen_range(0..n));
+                }
+                probes += self.d as u64;
+                let idx =
+                    kdchoice_prng::sample::random_argmin(rng, &samples, |&b| state.load(b))
+                        .expect("d >= 1");
+                let bin = samples[idx];
+                if requests[bin] == 0 {
+                    touched.push(bin);
+                }
+                requests[bin] += 1;
+            }
+            // Accept phase.
+            let mut accepted = 0u64;
+            for &bin in &touched {
+                let capacity = threshold.saturating_sub(state.load(bin));
+                let take = requests[bin].min(capacity);
+                for _ in 0..take {
+                    let h = state.add_ball(bin);
+                    heights_out.push(h);
+                }
+                accepted += u64::from(take);
+                requests[bin] = 0;
+            }
+            touched.clear();
+            unplaced -= accepted;
+        }
+        // Sequential d-choice fallback for stragglers.
+        for _ in 0..unplaced {
+            samples.clear();
+            for _ in 0..self.d {
+                samples.push(rng.gen_range(0..n));
+            }
+            probes += self.d as u64;
+            let idx = kdchoice_prng::sample::random_argmin(rng, &samples, |&b| state.load(b))
+                .expect("d >= 1");
+            let h = state.add_ball(samples[idx]);
+            heights_out.push(h);
+        }
+        RoundStats {
+            thrown: total as u32,
+            placed: total as u32,
+            probes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_core::{run_once, run_trials, RunConfig};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(BatchedParallel::new(0, 3).is_err());
+        assert!(BatchedParallel::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn places_all_balls_in_one_driver_round() {
+        let mut p = BatchedParallel::new(2, 3).unwrap();
+        let r = run_once(&mut p, &RunConfig::new(1 << 10, 2));
+        assert_eq!(r.balls_placed, 1 << 10);
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn max_load_is_competitive_with_sequential_d_choice() {
+        let n = 1 << 13;
+        let set = run_trials(
+            |_| Box::new(BatchedParallel::new(2, 6).unwrap()),
+            &RunConfig::new(n, 3),
+            8,
+        );
+        // Collision protocols land within a small factor of greedy[2].
+        assert!(set.mean_max_load() <= 8.0, "{}", set.mean_max_load());
+        assert!(set.mean_max_load() >= 2.0);
+    }
+
+    #[test]
+    fn more_phases_cost_more_messages_but_do_not_hurt_load() {
+        let n = 1 << 12;
+        let one = {
+            let mut p = BatchedParallel::new(2, 1).unwrap();
+            run_once(&mut p, &RunConfig::new(n, 4))
+        };
+        let many = {
+            let mut p = BatchedParallel::new(2, 8).unwrap();
+            run_once(&mut p, &RunConfig::new(n, 4))
+        };
+        assert!(many.messages >= one.messages);
+        assert!(many.max_load <= one.max_load + 1);
+    }
+
+    #[test]
+    fn phase_thresholds_bound_early_loads() {
+        // With a single phase and threshold 1, every bin ends with load <= 1
+        // from the phase itself; the fallback then adds the collided balls.
+        let n = 1 << 10;
+        let mut p = BatchedParallel::new(4, 1).unwrap();
+        let r = run_once(&mut p, &RunConfig::new(n, 5));
+        assert_eq!(r.balls_placed, n as u64);
+        assert!(r.max_load <= 4, "max load {}", r.max_load);
+    }
+
+    #[test]
+    fn heavy_case_works() {
+        let n = 512;
+        let mut p = BatchedParallel::new(2, 4).unwrap();
+        let r = run_once(&mut p, &RunConfig::new(n, 6).with_balls(4 * n as u64));
+        assert_eq!(r.balls_placed, 4 * n as u64);
+    }
+}

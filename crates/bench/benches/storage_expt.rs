@@ -1,0 +1,114 @@
+//! Regenerates the §1.3 **distributed storage** claims:
+//!
+//! * (k,d)-choice stores k replicas/chunks on the k least loaded of d
+//!   sampled servers — balance close to per-chunk two-choice;
+//! * with `d = k+1` the placement costs about **half** the messages of
+//!   per-chunk two-choice, and file retrieval costs `k+1` vs `2k`;
+//! * failure recovery re-replicates onto lightly loaded servers, keeping
+//!   imbalance bounded.
+
+use kdchoice_bench::table::Table;
+use kdchoice_bench::{fast_mode, print_header};
+use kdchoice_storage::{run_workload, PlacementPolicy, WorkloadConfig};
+
+fn main() {
+    let (servers, files_per_server) = if fast_mode() { (100, 10) } else { (1000, 40) };
+    let k = 4usize;
+    print_header(
+        "§1.3 storage: placement balance, message cost, failure recovery",
+        &format!("servers = {servers}, k = {k} chunks/file, files = {}", servers * files_per_server),
+    );
+
+    let policies = [
+        PlacementPolicy::Random,
+        PlacementPolicy::PerChunkTwoChoice,
+        PlacementPolicy::KdChoice { d: k + 1 },
+        PlacementPolicy::KdChoice { d: 2 * k },
+    ];
+    let mut t = Table::new(vec![
+        "policy".into(),
+        "max load".into(),
+        "mean load".into(),
+        "imbalance".into(),
+        "p99 load".into(),
+        "probes/file".into(),
+        "read msgs/op".into(),
+    ]);
+    let mut reports = Vec::new();
+    for policy in policies {
+        let mut cfg = WorkloadConfig::new(servers, k, policy).with_seed(77);
+        cfg.files = servers * files_per_server;
+        cfg.reads = servers * 20;
+        let r = run_workload(&cfg);
+        t.row(vec![
+            r.policy.clone(),
+            r.stats.max_load.to_string(),
+            format!("{:.1}", r.stats.mean_load),
+            format!("{:.3}", r.stats.imbalance),
+            format!("{:.0}", r.load_percentiles[2]),
+            format!("{:.1}", r.create_cost_per_file),
+            format!("{:.1}", r.read_cost_per_op),
+        ]);
+        reports.push(r);
+    }
+    println!("\nPlacement balance (no failures):\n");
+    t.print();
+
+    let random = &reports[0];
+    let two = &reports[1];
+    let kd_small = &reports[2];
+    let kd_big = &reports[3];
+    assert!(
+        kd_small.stats.max_load <= random.stats.max_load,
+        "(k,k+1) must not lose to random"
+    );
+    assert!(
+        kd_big.stats.max_load <= two.stats.max_load + 1,
+        "(k,2k) should be competitive with per-chunk two-choice"
+    );
+    // §1.3 message claims: placement k+1 vs 2k probes, reads k+1 vs 2k.
+    assert!((kd_small.create_cost_per_file - (k + 1) as f64).abs() < 1e-9);
+    assert!((two.create_cost_per_file - (2 * k) as f64).abs() < 1e-9);
+    assert!((kd_small.read_cost_per_op - (k + 1) as f64).abs() < 1e-9);
+    assert!((two.read_cost_per_op - (2 * k) as f64).abs() < 1e-9);
+
+    // Failure recovery.
+    let failures = servers / 10;
+    let mut t = Table::new(vec![
+        "policy".into(),
+        "alive".into(),
+        "max load".into(),
+        "imbalance".into(),
+        "recovered chunks".into(),
+        "recovery msgs".into(),
+    ]);
+    println!("\nFailure recovery ({failures} failures mid-workload):\n");
+    for policy in [
+        PlacementPolicy::Random,
+        PlacementPolicy::KdChoice { d: 2 * k },
+    ] {
+        let mut cfg = WorkloadConfig::new(servers, k, policy)
+            .with_seed(78)
+            .with_failures(failures);
+        cfg.files = servers * files_per_server;
+        cfg.reads = 0;
+        let r = run_workload(&cfg);
+        t.row(vec![
+            r.policy.clone(),
+            r.stats.alive_servers.to_string(),
+            r.stats.max_load.to_string(),
+            format!("{:.3}", r.stats.imbalance),
+            r.stats.recovered_chunks.to_string(),
+            r.stats.recovery_messages.to_string(),
+        ]);
+        if let PlacementPolicy::KdChoice { .. } = policy {
+            assert!(
+                r.stats.imbalance < 1.5,
+                "kd recovery should keep imbalance tight, got {}",
+                r.stats.imbalance
+            );
+        }
+    }
+    t.print();
+    println!("\nstorage claims confirmed");
+}

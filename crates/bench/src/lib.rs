@@ -1,0 +1,51 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! Every table and figure of the paper has a `harness = false` bench target
+//! in `benches/` that regenerates it (run them all with `cargo bench`, or a
+//! single one with `cargo bench --bench table1`). This library hosts what
+//! they share: the paper's Table 1 grid definition with the published
+//! values, a fixed-width table renderer, an ASCII plotter for the figures,
+//! and the `KD_FAST` switch that shrinks workloads for CI.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod plot;
+pub mod table;
+pub mod table1_data;
+
+/// Whether the harness should run in fast/CI mode (`KD_FAST=1`).
+///
+/// Fast mode shrinks `n` and the trial counts so that the full bench suite
+/// finishes in seconds; the printed tables note the substitution.
+pub fn fast_mode() -> bool {
+    std::env::var("KD_FAST").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// The paper's Table 1 bin count, `n = 3·2¹⁶ = 196608`.
+pub const TABLE1_N: usize = 3 * (1 << 16);
+
+/// The paper's Table 1 trial count per cell.
+pub const TABLE1_TRIALS: usize = 10;
+
+/// Prints the standard experiment header (name, mode, parameters line).
+pub fn print_header(name: &str, params: &str) {
+    println!("================================================================");
+    println!("{name}");
+    if fast_mode() {
+        println!("mode: FAST (KD_FAST=1) — reduced n/trials, shapes only");
+    } else {
+        println!("mode: full");
+    }
+    println!("{params}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fast_mode_reads_env() {
+        // Cannot mutate env safely in parallel tests; just check it returns.
+        let _ = super::fast_mode();
+    }
+}

@@ -1,0 +1,100 @@
+//! ASCII plotting for the figure benches.
+//!
+//! Figures 1 and 2 of the paper are schematics of the *sorted bin load
+//! vector* with analysis markers (β₀, γ*, γ₀). The figure benches draw the
+//! measured sorted load vector the same way: load level on the y-axis, bin
+//! rank (log-compressed) on the x-axis, with vertical markers at the
+//! theory-determined ranks.
+
+/// Renders a sorted (descending) load vector as an ASCII step plot.
+///
+/// `markers` are `(rank, label)` pairs drawn as vertical annotations. The
+/// x-axis is sampled at `width` geometrically spaced ranks so that the
+/// heavy head (bins 1, 2, …) and the long tail are both visible.
+///
+/// ```
+/// use kdchoice_bench::plot::sorted_load_plot;
+///
+/// let mut loads: Vec<u32> = vec![5, 3, 3, 2, 2, 2, 1, 1, 0, 0];
+/// let s = sorted_load_plot(&loads, &[(4, "beta0".to_string())], 40);
+/// assert!(s.contains("beta0"));
+/// assert!(s.contains('#'));
+/// ```
+pub fn sorted_load_plot(sorted_desc: &[u32], markers: &[(usize, String)], width: usize) -> String {
+    assert!(!sorted_desc.is_empty(), "empty load vector");
+    let n = sorted_desc.len();
+    let width = width.clamp(10, 160);
+    // Geometric rank grid: rank(col) = n^(col/width), deduplicated.
+    let mut ranks: Vec<usize> = (0..width)
+        .map(|c| {
+            let f = (n as f64).powf(c as f64 / (width - 1).max(1) as f64);
+            (f.round() as usize).clamp(1, n)
+        })
+        .collect();
+    ranks.dedup();
+    let max_load = sorted_desc[0];
+    let mut out = String::new();
+    // Rows from max load down to 0.
+    for level in (0..=max_load).rev() {
+        out.push_str(&format!("{level:>4} |"));
+        for &r in &ranks {
+            let load = sorted_desc[r - 1];
+            out.push(if load >= level && level > 0 {
+                '#'
+            } else if level == 0 {
+                '-'
+            } else {
+                ' '
+            });
+        }
+        out.push('\n');
+    }
+    // Marker lines.
+    for (rank, label) in markers {
+        let rank = (*rank).clamp(1, n);
+        // Column of the closest grid rank.
+        let col = ranks
+            .iter()
+            .position(|&r| r >= rank)
+            .unwrap_or(ranks.len() - 1);
+        out.push_str(&format!("     |{}^ {label} (bin {rank})\n", " ".repeat(col)));
+    }
+    out.push_str(&format!(
+        "     +{} bin rank 1..{n} (geometric axis)\n",
+        "-".repeat(ranks.len())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_has_one_row_per_level_plus_markers() {
+        let loads = vec![3, 2, 1, 1, 0, 0, 0, 0];
+        let s = sorted_load_plot(&loads, &[(2, "m".into())], 20);
+        // Levels 3..=0 -> 4 rows, one marker row, one axis row.
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    fn markers_are_clamped() {
+        let loads = vec![1, 0];
+        let s = sorted_load_plot(&loads, &[(999, "far".into())], 20);
+        assert!(s.contains("far (bin 2)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_vector_rejected() {
+        let _ = sorted_load_plot(&[], &[], 20);
+    }
+
+    #[test]
+    fn all_zero_loads_render() {
+        let loads = vec![0, 0, 0];
+        let s = sorted_load_plot(&loads, &[], 10);
+        assert!(s.contains('-'));
+    }
+}

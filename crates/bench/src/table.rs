@@ -1,0 +1,129 @@
+//! A minimal fixed-width ASCII table renderer for the bench outputs.
+
+/// A fixed-width text table: headers plus string rows, auto-sized columns.
+///
+/// ```
+/// use kdchoice_bench::table::Table;
+///
+/// let mut t = Table::new(vec!["k".into(), "d".into(), "max".into()]);
+/// t.row(vec!["1".into(), "2".into(), "3, 4".into()]);
+/// let s = t.render();
+/// assert!(s.contains("k"));
+/// assert!(s.contains("3, 4"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// extend the column count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let consider = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        consider(&mut widths, &self.headers);
+        for r in &self.rows {
+            consider(&mut widths, r);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut out = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!("{cell:>w$}", w = w));
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+            out
+        };
+        let mut out = fmt_row(&self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "bb".into()]);
+        t.row(vec!["100".into(), "2".into()]);
+        t.row(vec!["1".into(), "22222".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, separator, 2 rows
+        // All lines the same width.
+        let w = lines[0].chars().count();
+        for l in &lines[1..] {
+            assert_eq!(l.chars().count(), w, "misaligned: {l:?}");
+        }
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new(vec!["x".into()]);
+        t.row(vec!["1".into(), "extra".into()]);
+        t.row(vec![]);
+        let s = t.render();
+        assert!(s.contains("extra"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["only".into()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

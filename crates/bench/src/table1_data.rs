@@ -1,0 +1,156 @@
+//! The paper's Table 1: grid definition and published values.
+//!
+//! "The maximum bin load for (k,d)-choice with n = 3·2¹⁶ and varying k and d
+//! values", 10 runs per cell, cells list the set of observed maxima.
+
+/// The `k` values of Table 1's rows.
+pub const K_VALUES: [usize; 15] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192];
+
+/// The `d` values of Table 1's columns.
+pub const D_VALUES: [usize; 10] = [1, 2, 3, 5, 9, 17, 25, 49, 65, 193];
+
+/// The values printed in the paper's Table 1, as `(k, d, "observed set")`.
+/// A cell exists iff `k < d`, except `(1,1)` (the single-choice column).
+pub const PAPER_CELLS: [(usize, usize, &str); 61] = [
+    (1, 1, "7, 8, 9"),
+    (1, 2, "3, 4"),
+    (1, 3, "3"),
+    (1, 5, "2"),
+    (1, 9, "2"),
+    (1, 17, "2"),
+    (1, 25, "2"),
+    (1, 49, "2"),
+    (1, 65, "2"),
+    (1, 193, "2"),
+    (2, 3, "4"),
+    (2, 5, "3"),
+    (2, 9, "2"),
+    (2, 17, "2"),
+    (2, 25, "2"),
+    (2, 49, "2"),
+    (2, 65, "2"),
+    (2, 193, "2"),
+    (3, 5, "3"),
+    (3, 9, "2"),
+    (3, 17, "2"),
+    (3, 25, "2"),
+    (3, 49, "2"),
+    (3, 65, "2"),
+    (3, 193, "2"),
+    (4, 5, "4"),
+    (4, 9, "3"),
+    (4, 17, "2"),
+    (4, 25, "2"),
+    (4, 49, "2"),
+    (4, 65, "2"),
+    (4, 193, "2"),
+    (6, 9, "3"),
+    (6, 17, "2"),
+    (6, 25, "2"),
+    (6, 49, "2"),
+    (6, 65, "2"),
+    (6, 193, "2"),
+    (8, 9, "4"),
+    (8, 17, "2, 3"),
+    (8, 25, "2"),
+    (8, 49, "2"),
+    (8, 65, "2"),
+    (8, 193, "2"),
+    (12, 17, "3"),
+    (12, 25, "2"),
+    (12, 49, "2"),
+    (12, 65, "2"),
+    (12, 193, "2"),
+    (16, 17, "4, 5"),
+    (16, 25, "3"),
+    (16, 49, "2"),
+    (16, 65, "2"),
+    (16, 193, "2"),
+    (24, 25, "5"),
+    (24, 49, "2"),
+    (24, 65, "2"),
+    (24, 193, "2"),
+    (32, 49, "3"),
+    (32, 65, "2"),
+    (32, 193, "2"),
+];
+
+/// The remaining Table 1 cells (rows k ≥ 48), kept separate only because
+/// Rust const arrays need explicit lengths.
+pub const PAPER_CELLS_TAIL: [(usize, usize, &str); 8] = [
+    (48, 49, "5"),
+    (48, 65, "3"),
+    (48, 193, "2"),
+    (64, 65, "5"),
+    (64, 193, "2"),
+    (96, 193, "2"),
+    (128, 193, "2"),
+    (192, 193, "5, 6"),
+];
+
+/// Iterates over every `(k, d, paper_value)` cell of Table 1.
+pub fn paper_cells() -> impl Iterator<Item = (usize, usize, &'static str)> {
+    PAPER_CELLS.iter().chain(PAPER_CELLS_TAIL.iter()).copied()
+}
+
+/// Looks up the paper's published value for a cell.
+pub fn paper_value(k: usize, d: usize) -> Option<&'static str> {
+    paper_cells().find(|&(pk, pd, _)| pk == k && pd == d).map(|(_, _, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cells_satisfy_grid_rule() {
+        for (k, d, _) in paper_cells() {
+            assert!(
+                k < d || (k == 1 && d == 1),
+                "({k},{d}) violates the k<d rule"
+            );
+            assert!(K_VALUES.contains(&k), "unknown k={k}");
+            assert!(D_VALUES.contains(&d), "unknown d={d}");
+        }
+    }
+
+    #[test]
+    fn cell_count_matches_paper() {
+        // Count cells implied by the grid rule.
+        let mut expected = 0;
+        for &k in &K_VALUES {
+            for &d in &D_VALUES {
+                if k < d || (k == 1 && d == 1) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(paper_cells().count(), expected);
+    }
+
+    #[test]
+    fn no_duplicate_cells() {
+        let mut seen = std::collections::HashSet::new();
+        for (k, d, _) in paper_cells() {
+            assert!(seen.insert((k, d)), "duplicate cell ({k},{d})");
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        assert_eq!(paper_value(1, 2), Some("3, 4"));
+        assert_eq!(paper_value(192, 193), Some("5, 6"));
+        assert_eq!(paper_value(2, 2), None);
+    }
+
+    #[test]
+    fn k_divides_table1_n() {
+        for &k in &K_VALUES {
+            assert_eq!(
+                crate::TABLE1_N % k,
+                0,
+                "paper chose k values dividing n; k={k} does not"
+            );
+        }
+    }
+}

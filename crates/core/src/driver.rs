@@ -1,0 +1,432 @@
+//! Deterministic run drivers: single runs, and parallel multi-trial sets.
+
+use std::collections::BTreeMap;
+
+use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
+
+use crate::process::BallsIntoBins;
+use crate::state::LoadVector;
+
+/// Configuration of one simulation run.
+///
+/// ```
+/// use kdchoice_core::RunConfig;
+///
+/// // n balls into n bins (the paper's standard case)...
+/// let cfg = RunConfig::new(1024, 42);
+/// assert_eq!(cfg.balls, 1024);
+/// // ...or the heavily loaded case m > n (Theorem 2).
+/// let heavy = RunConfig::new(1024, 42).with_balls(8 * 1024);
+/// assert_eq!(heavy.balls, 8192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunConfig {
+    /// Number of bins `n`.
+    pub n: usize,
+    /// Number of balls to throw (defaults to `n`).
+    pub balls: u64,
+    /// Master seed; every run is a pure function of `(process, config)`.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// `n` balls into `n` bins with the given seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self {
+            n,
+            balls: n as u64,
+            seed,
+        }
+    }
+
+    /// Overrides the number of balls (the heavily loaded case when
+    /// `balls > n`).
+    #[must_use]
+    pub fn with_balls(mut self, balls: u64) -> Self {
+        self.balls = balls;
+        self
+    }
+}
+
+/// The outcome of one run: the paper's observables plus accounting.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunResult {
+    /// The process's self-reported name.
+    pub name: String,
+    /// Number of bins.
+    pub n: usize,
+    /// Balls thrown (= `config.balls`).
+    pub balls_thrown: u64,
+    /// Balls actually placed (smaller only for discarding processes).
+    pub balls_placed: u64,
+    /// The maximum bin load `M`.
+    pub max_load: u32,
+    /// `max_load − balls_placed/n`, the heavily-loaded-case gap.
+    pub gap: f64,
+    /// Total probe messages (footnote 1 of the paper).
+    pub messages: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// `load_histogram[l]` = number of bins that ended with exactly `l`
+    /// balls; suffix sums give ν_y.
+    pub load_histogram: Vec<u64>,
+    /// `height_histogram[h]` = number of placed balls with height `h`;
+    /// suffix sums give µ_y.
+    pub height_histogram: Vec<u64>,
+    /// The seed this run used.
+    pub seed: u64,
+}
+
+impl RunResult {
+    /// `ν_y`: bins that ended with at least `y` balls.
+    pub fn nu(&self, y: u32) -> u64 {
+        let from = (y as usize).min(self.load_histogram.len());
+        self.load_histogram[from..].iter().sum()
+    }
+
+    /// `µ_y`: placed balls with height at least `y`.
+    pub fn mu(&self, y: u32) -> u64 {
+        let from = (y as usize).min(self.height_histogram.len());
+        self.height_histogram[from..].iter().sum()
+    }
+
+    /// Messages per placed ball.
+    pub fn messages_per_ball(&self) -> f64 {
+        if self.balls_placed == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.balls_placed as f64
+        }
+    }
+}
+
+/// Runs `process` until `config.balls` balls have been thrown, returning the
+/// result. See [`run_once_with_state`] to also keep the final bin state.
+pub fn run_once<P: BallsIntoBins + ?Sized>(process: &mut P, config: &RunConfig) -> RunResult {
+    run_once_with_state(process, config).0
+}
+
+/// Like [`run_once`], additionally returning the final [`LoadVector`]
+/// (needed by the figure benches, which plot the full sorted load vector).
+///
+/// # Panics
+///
+/// Panics if the process reports a round with zero thrown balls (no
+/// progress), or throws more balls than requested.
+pub fn run_once_with_state<P: BallsIntoBins + ?Sized>(
+    process: &mut P,
+    config: &RunConfig,
+) -> (RunResult, LoadVector) {
+    process.reset();
+    let mut state = LoadVector::new(config.n);
+    let mut rng = Xoshiro256PlusPlus::from_u64(config.seed);
+    let mut heights: Vec<u32> = Vec::new();
+    let mut height_histogram: Vec<u64> = Vec::new();
+    let mut thrown = 0u64;
+    let mut placed = 0u64;
+    let mut messages = 0u64;
+    let mut rounds = 0u64;
+    while thrown < config.balls {
+        heights.clear();
+        let stats = process.run_round(&mut state, &mut rng, &mut heights, config.balls - thrown);
+        assert!(stats.thrown > 0, "process made no progress in a round");
+        thrown += u64::from(stats.thrown);
+        assert!(thrown <= config.balls, "process overshot the ball budget");
+        placed += u64::from(stats.placed);
+        messages += stats.probes;
+        rounds += 1;
+        debug_assert_eq!(heights.len(), stats.placed as usize);
+        for &h in &heights {
+            let idx = h as usize;
+            if idx >= height_histogram.len() {
+                height_histogram.resize(idx + 1, 0);
+            }
+            height_histogram[idx] += 1;
+        }
+    }
+    debug_assert!(state.check_invariants());
+    debug_assert_eq!(state.total_balls(), placed);
+    let result = RunResult {
+        name: process.name(),
+        n: config.n,
+        balls_thrown: thrown,
+        balls_placed: placed,
+        max_load: state.max_load(),
+        gap: state.max_load() as f64 - placed as f64 / config.n as f64,
+        messages,
+        rounds,
+        load_histogram: state.load_histogram().to_vec(),
+        height_histogram,
+        seed: config.seed,
+    };
+    (result, state)
+}
+
+/// A collection of independent trials of the same process configuration.
+#[derive(Debug, Clone)]
+pub struct TrialSet {
+    /// Per-trial results, ordered by trial index.
+    pub results: Vec<RunResult>,
+}
+
+impl TrialSet {
+    /// Frequency map of observed maximum loads, e.g. `{3: 7, 4: 3}` for
+    /// Table 1's "3, 4" cells.
+    pub fn max_load_counts(&self) -> BTreeMap<u32, usize> {
+        let mut map = BTreeMap::new();
+        for r in &self.results {
+            *map.entry(r.max_load).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// The distinct observed maximum loads formatted the way the paper's
+    /// Table 1 reports them: `"3, 4"`.
+    pub fn max_load_set_string(&self) -> String {
+        self.max_load_counts()
+            .keys()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Observed max loads as f64 samples (for the statistical tests).
+    pub fn max_loads_f64(&self) -> Vec<f64> {
+        self.results.iter().map(|r| f64::from(r.max_load)).collect()
+    }
+
+    /// Mean of the per-trial maximum loads.
+    pub fn mean_max_load(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().map(|r| f64::from(r.max_load)).sum::<f64>() / self.results.len() as f64
+    }
+
+    /// Mean of the per-trial gaps (heavy-case observable).
+    pub fn mean_gap(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().map(|r| r.gap).sum::<f64>() / self.results.len() as f64
+    }
+
+    /// The final sorted load vectors of every trial (descending), for the
+    /// majorization experiments.
+    pub fn sorted_load_vectors(&self) -> Vec<Vec<u32>> {
+        self.results
+            .iter()
+            .map(|r| {
+                let mut v = Vec::with_capacity(r.n);
+                for (load, &count) in r.load_histogram.iter().enumerate() {
+                    for _ in 0..count {
+                        v.push(load as u32);
+                    }
+                }
+                v.sort_unstable_by(|a, b| b.cmp(a));
+                v
+            })
+            .collect()
+    }
+}
+
+/// Runs `trials` independent trials in parallel threads.
+///
+/// Trial `i` uses the derived seed `derive_seed(config.seed, i)`, so the
+/// result set is deterministic regardless of thread count, and
+/// `factory(i)` builds a fresh process per trial.
+///
+/// ```
+/// use kdchoice_core::{run_trials, KdChoice, RunConfig};
+///
+/// let set = run_trials(
+///     |_| Box::new(KdChoice::new(2, 3).expect("valid")),
+///     &RunConfig::new(1 << 10, 99),
+///     10,
+/// );
+/// assert_eq!(set.results.len(), 10);
+/// // Deterministic: same seed, same outcome set.
+/// let again = run_trials(
+///     |_| Box::new(KdChoice::new(2, 3).expect("valid")),
+///     &RunConfig::new(1 << 10, 99),
+///     10,
+/// );
+/// assert_eq!(set.max_load_counts(), again.max_load_counts());
+/// ```
+pub fn run_trials<F>(factory: F, config: &RunConfig, trials: usize) -> TrialSet
+where
+    F: Fn(usize) -> Box<dyn BallsIntoBins> + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(trials.max(1));
+    let mut results: Vec<Option<RunResult>> = vec![None; trials];
+    let chunk = trials.div_ceil(threads.max(1));
+    std::thread::scope(|scope| {
+        for (t, slot_chunk) in results.chunks_mut(chunk.max(1)).enumerate() {
+            let factory = &factory;
+            let base = t * chunk.max(1);
+            scope.spawn(move || {
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    let trial = base + off;
+                    let mut process = factory(trial);
+                    let cfg = RunConfig {
+                        seed: derive_seed(config.seed, trial as u64),
+                        ..*config
+                    };
+                    *slot = Some(run_once(&mut *process, &cfg));
+                }
+            });
+        }
+    });
+    TrialSet {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("all trials completed"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kd::KdChoice;
+    use crate::process::RoundStats;
+    use rand::RngCore;
+
+    #[test]
+    fn run_once_conserves_balls_and_messages() {
+        let mut p = KdChoice::new(2, 3).unwrap();
+        let cfg = RunConfig::new(1 << 12, 11);
+        let r = run_once(&mut p, &cfg);
+        assert_eq!(r.balls_thrown, 1 << 12);
+        assert_eq!(r.balls_placed, 1 << 12);
+        assert_eq!(r.rounds, (1 << 12) / 2);
+        assert_eq!(r.messages, r.rounds * 3);
+        assert_eq!(r.nu(0), 1 << 12);
+        assert_eq!(r.mu(1), r.balls_placed);
+        assert_eq!(r.mu(0), r.balls_placed); // no ball has height 0
+        assert!((r.messages_per_ball() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histograms_are_consistent_with_max_load() {
+        let mut p = KdChoice::new(1, 2).unwrap();
+        let cfg = RunConfig::new(1 << 12, 3);
+        let r = run_once(&mut p, &cfg);
+        assert_eq!(r.nu(r.max_load), r.load_histogram[r.max_load as usize]);
+        assert_eq!(r.nu(r.max_load + 1), 0);
+        // Ball heights cannot exceed max load.
+        assert_eq!(r.mu(r.max_load + 1), 0);
+        assert!(r.mu(r.max_load) >= 1);
+        // Sum of load histogram = n; weighted sum = balls.
+        let bins: u64 = r.load_histogram.iter().sum();
+        assert_eq!(bins, r.n as u64);
+        let balls: u64 = r
+            .load_histogram
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| l as u64 * c)
+            .sum();
+        assert_eq!(balls, r.balls_placed);
+    }
+
+    #[test]
+    fn mu_equals_nu_relationship() {
+        // For any y: ν_y ≤ µ_y (each bin with ≥ y balls contributes at least
+        // one ball of height ≥ y) — the inequality used in Theorem 3.
+        let mut p = KdChoice::new(4, 6).unwrap();
+        let cfg = RunConfig::new(1 << 12, 17);
+        let r = run_once(&mut p, &cfg);
+        for y in 0..=r.max_load {
+            assert!(r.nu(y) <= r.mu(y), "nu > mu at y={y}");
+        }
+    }
+
+    #[test]
+    fn heavy_case_runs_m_over_k_rounds() {
+        let mut p = KdChoice::new(2, 4).unwrap();
+        let cfg = RunConfig::new(256, 5).with_balls(4 * 256);
+        let r = run_once(&mut p, &cfg);
+        assert_eq!(r.balls_placed, 1024);
+        assert_eq!(r.rounds, 512);
+        assert!(r.gap >= 0.0);
+        assert!((r.gap - (r.max_load as f64 - 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_with_state_returns_matching_state() {
+        let mut p = KdChoice::new(2, 3).unwrap();
+        let cfg = RunConfig::new(512, 8);
+        let (r, state) = run_once_with_state(&mut p, &cfg);
+        assert_eq!(state.max_load(), r.max_load);
+        assert_eq!(state.total_balls(), r.balls_placed);
+        assert_eq!(state.load_histogram(), &r.load_histogram[..]);
+    }
+
+    #[test]
+    fn trials_are_deterministic_and_ordered() {
+        let cfg = RunConfig::new(512, 100);
+        let a = run_trials(|_| Box::new(KdChoice::new(2, 3).unwrap()), &cfg, 8);
+        let b = run_trials(|_| Box::new(KdChoice::new(2, 3).unwrap()), &cfg, 8);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.max_load, y.max_load);
+            assert_eq!(x.seed, y.seed);
+        }
+        // Different trials use different seeds.
+        assert_ne!(a.results[0].seed, a.results[1].seed);
+    }
+
+    #[test]
+    fn trial_set_aggregations() {
+        let cfg = RunConfig::new(1 << 12, 7);
+        let set = run_trials(|_| Box::new(KdChoice::new(1, 2).unwrap()), &cfg, 10);
+        let counts = set.max_load_counts();
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 10);
+        assert!(!set.max_load_set_string().is_empty());
+        assert!(set.mean_max_load() >= 2.0);
+        assert!(set.mean_gap() > 0.0);
+        assert_eq!(set.max_loads_f64().len(), 10);
+        // Two-choice at n=4096: max load should be small.
+        assert!(set.mean_max_load() <= 6.0);
+    }
+
+    #[test]
+    fn sorted_load_vectors_reconstruct_n_entries() {
+        let cfg = RunConfig::new(256, 9);
+        let set = run_trials(|_| Box::new(KdChoice::new(2, 3).unwrap()), &cfg, 3);
+        for v in set.sorted_load_vectors() {
+            assert_eq!(v.len(), 256);
+            assert!(v.windows(2).all(|w| w[0] >= w[1]), "must be descending");
+            assert_eq!(v.iter().map(|&x| u64::from(x)).sum::<u64>(), 256);
+        }
+    }
+
+    /// A process that lies about progress must be caught.
+    struct Stuck;
+    impl BallsIntoBins for Stuck {
+        fn name(&self) -> String {
+            "stuck".into()
+        }
+        fn run_round(
+            &mut self,
+            _state: &mut LoadVector,
+            _rng: &mut dyn RngCore,
+            _heights_out: &mut Vec<u32>,
+            _balls_remaining: u64,
+        ) -> RoundStats {
+            RoundStats::default()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no progress")]
+    fn stuck_process_panics() {
+        let mut p = Stuck;
+        let _ = run_once(&mut p, &RunConfig::new(4, 1));
+    }
+}

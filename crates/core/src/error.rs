@@ -1,0 +1,64 @@
+//! Configuration errors for process construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an allocation process is constructed with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `k` must satisfy `1 ≤ k`.
+    ZeroK,
+    /// `d` must satisfy `k ≤ d`.
+    KExceedsD {
+        /// The offending `k`.
+        k: usize,
+        /// The offending `d`.
+        d: usize,
+    },
+    /// A parameter that must be positive was zero.
+    ZeroParameter(&'static str),
+    /// A probability parameter was outside `[0, 1]`.
+    BadProbability(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroK => write!(f, "k must be at least 1"),
+            ConfigError::KExceedsD { k, d } => {
+                write!(f, "k must not exceed d (got k={k}, d={d})")
+            }
+            ConfigError::ZeroParameter(name) => write!(f, "{name} must be positive"),
+            ConfigError::BadProbability(name) => {
+                write!(f, "{name} must lie in [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        assert_eq!(ConfigError::ZeroK.to_string(), "k must be at least 1");
+        let e = ConfigError::KExceedsD { k: 5, d: 3 };
+        assert!(e.to_string().contains("k=5"));
+        assert!(e.to_string().contains("d=3"));
+        assert!(ConfigError::ZeroParameter("beta").to_string().contains("beta"));
+        assert!(ConfigError::BadProbability("beta")
+            .to_string()
+            .contains("[0, 1]"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigError>();
+    }
+}

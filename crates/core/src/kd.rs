@@ -1,0 +1,546 @@
+//! The (k,d)-choice process.
+
+use rand::{Rng, RngCore};
+
+use crate::error::ConfigError;
+use crate::policy::RoundPolicy;
+use crate::process::{BallsIntoBins, RoundStats};
+use crate::state::LoadVector;
+
+/// One tentative ball: the height it would have, a random tie-breaking key
+/// (the paper's "ties broken randomly"), and the bin it would land in.
+#[derive(Debug, Clone, Copy)]
+struct Tentative {
+    height: u32,
+    key: u64,
+    bin: u32,
+}
+
+/// A candidate bin for the water-filling (unrestricted) policy.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    bin: u32,
+    load: u32,
+}
+
+/// The (k,d)-choice allocation process (§1.1 of the paper).
+///
+/// In each round, `d` bins are sampled i.u.r. **with replacement** and `k`
+/// balls are placed into the `k` least loaded of them, a bin sampled `m`
+/// times receiving at most `m` balls ([`RoundPolicy::Multiplicity`]); the
+/// [`RoundPolicy::Unrestricted`] variant instead water-fills the distinct
+/// sampled bins (§7 future work).
+///
+/// `k = d` is allowed and degenerates to the classical single-choice process
+/// SA(k,k): every sampled slot keeps its ball. `k = d = 1` is plain single
+/// choice, matching the paper's Table 1 column `d = 1`.
+///
+/// ```
+/// use kdchoice_core::{KdChoice, RunConfig, run_once};
+///
+/// # fn main() -> Result<(), kdchoice_core::ConfigError> {
+/// let mut p = KdChoice::new(3, 5)?;
+/// assert_eq!(p.k(), 3);
+/// assert_eq!(p.d(), 5);
+/// let r = run_once(&mut p, &RunConfig::new(3 * (1 << 10), 1));
+/// assert_eq!(r.messages, (3 * (1 << 10) / 3) * 5); // d probes per round
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdChoice {
+    k: usize,
+    d: usize,
+    policy: RoundPolicy,
+    // Reusable scratch buffers (hot path: billions of rounds in benches).
+    samples: Vec<usize>,
+    tentative: Vec<Tentative>,
+    candidates: Vec<Candidate>,
+}
+
+impl KdChoice {
+    /// Creates a (k,d)-choice process with the paper's multiplicity policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] unless `1 ≤ k ≤ d`.
+    pub fn new(k: usize, d: usize) -> Result<Self, ConfigError> {
+        if k == 0 {
+            return Err(ConfigError::ZeroK);
+        }
+        if k > d {
+            return Err(ConfigError::KExceedsD { k, d });
+        }
+        Ok(Self {
+            k,
+            d,
+            policy: RoundPolicy::Multiplicity,
+            samples: Vec::with_capacity(d),
+            tentative: Vec::with_capacity(d),
+            candidates: Vec::with_capacity(d),
+        })
+    }
+
+    /// Switches the allocation policy (builder style).
+    ///
+    /// ```
+    /// use kdchoice_core::{KdChoice, RoundPolicy};
+    /// # fn main() -> Result<(), kdchoice_core::ConfigError> {
+    /// let p = KdChoice::new(2, 3)?.with_policy(RoundPolicy::Unrestricted);
+    /// assert_eq!(p.policy(), RoundPolicy::Unrestricted);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn with_policy(mut self, policy: RoundPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The number of balls per round, `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The number of sampled bins per round, `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The active round policy.
+    pub fn policy(&self) -> RoundPolicy {
+        self.policy
+    }
+
+    /// Runs one round with **externally chosen** samples instead of drawing
+    /// them from the RNG. `balls` balls are placed (`balls ≤ samples.len()`).
+    ///
+    /// This is the coupling hook: the majorization experiments for
+    /// Properties (ii)–(v) and the paper's scenario walk-throughs feed both
+    /// processes the same sample sets. The RNG is still used for random
+    /// tie-breaking.
+    ///
+    /// Returns the heights of the placed balls via `heights_out` (appended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `balls > samples.len()`, or if any sample is out of range.
+    pub fn place_round_with_samples(
+        &mut self,
+        state: &mut LoadVector,
+        samples: &[usize],
+        balls: usize,
+        rng: &mut dyn RngCore,
+        heights_out: &mut Vec<u32>,
+    ) {
+        assert!(
+            balls <= samples.len(),
+            "cannot place {balls} balls from {} samples",
+            samples.len()
+        );
+        self.samples.clear();
+        self.samples.extend_from_slice(samples);
+        match self.policy {
+            RoundPolicy::Multiplicity => {
+                self.commit_multiplicity(state, balls, rng, heights_out)
+            }
+            RoundPolicy::Unrestricted => {
+                self.commit_unrestricted(state, balls, rng, heights_out)
+            }
+        }
+    }
+
+    /// The paper's policy: place `d` tentative balls (a bin of load `L`
+    /// sampled `c` times holds tentative heights `L+1..=L+c`), then keep the
+    /// `balls` tentative balls of *smallest* height — identical to removing
+    /// the `d − k` of maximal height.
+    fn commit_multiplicity(
+        &mut self,
+        state: &mut LoadVector,
+        balls: usize,
+        rng: &mut dyn RngCore,
+        heights_out: &mut Vec<u32>,
+    ) {
+        // Group identical bins to assign tentative heights L+1..L+c.
+        self.samples.sort_unstable();
+        self.tentative.clear();
+        let mut i = 0;
+        while i < self.samples.len() {
+            let bin = self.samples[i];
+            let base = state.load(bin);
+            let mut occ = 0u32;
+            while i < self.samples.len() && self.samples[i] == bin {
+                occ += 1;
+                self.tentative.push(Tentative {
+                    height: base + occ,
+                    key: rng.next_u64(),
+                    bin: bin as u32,
+                });
+                i += 1;
+            }
+        }
+        // Keep the `balls` smallest (height, key). Keeping the smallest
+        // heights is downward-closed within a bin (its heights are distinct
+        // and ascending), so the per-bin multiplicity cap is automatic.
+        if balls < self.tentative.len() {
+            self.tentative
+                .select_nth_unstable_by(balls - 1, |a, b| {
+                    (a.height, a.key).cmp(&(b.height, b.key))
+                });
+        }
+        let kept = &mut self.tentative[..balls];
+        // Commit in (bin, height) order so add_ball's returned heights match
+        // the tentative heights exactly.
+        kept.sort_unstable_by(|a, b| (a.bin, a.height).cmp(&(b.bin, b.height)));
+        for t in kept.iter() {
+            let h = state.add_ball(t.bin as usize);
+            debug_assert_eq!(h, t.height, "tentative height mismatch");
+            heights_out.push(h);
+        }
+    }
+
+    /// The §7 relaxation: water-fill the distinct sampled bins.
+    fn commit_unrestricted(
+        &mut self,
+        state: &mut LoadVector,
+        balls: usize,
+        rng: &mut dyn RngCore,
+        heights_out: &mut Vec<u32>,
+    ) {
+        self.samples.sort_unstable();
+        self.samples.dedup();
+        self.candidates.clear();
+        for &bin in self.samples.iter() {
+            self.candidates.push(Candidate {
+                bin: bin as u32,
+                load: state.load(bin),
+            });
+        }
+        for _ in 0..balls {
+            let idx = kdchoice_prng::sample::random_argmin(rng, &self.candidates, |c| c.load)
+                .expect("candidates non-empty");
+            let bin = self.candidates[idx].bin as usize;
+            let h = state.add_ball(bin);
+            self.candidates[idx].load = h;
+            heights_out.push(h);
+        }
+    }
+}
+
+impl BallsIntoBins for KdChoice {
+    fn name(&self) -> String {
+        match self.policy {
+            RoundPolicy::Multiplicity => format!("({},{})-choice", self.k, self.d),
+            RoundPolicy::Unrestricted => {
+                format!("({},{})-choice[unrestricted]", self.k, self.d)
+            }
+        }
+    }
+
+    fn run_round(
+        &mut self,
+        state: &mut LoadVector,
+        rng: &mut dyn RngCore,
+        heights_out: &mut Vec<u32>,
+        balls_remaining: u64,
+    ) -> RoundStats {
+        // Truncate the final round if fewer than k balls remain (the paper
+        // assumes k | n; this keeps the driver total-ball-exact anyway).
+        let balls = (self.k as u64).min(balls_remaining.max(1)) as usize;
+        let n = state.n();
+        self.samples.clear();
+        for _ in 0..self.d {
+            self.samples.push(rng.gen_range(0..n));
+        }
+        match self.policy {
+            RoundPolicy::Multiplicity => {
+                self.commit_multiplicity(state, balls, rng, heights_out)
+            }
+            RoundPolicy::Unrestricted => {
+                self.commit_unrestricted(state, balls, rng, heights_out)
+            }
+        }
+        RoundStats {
+            thrown: balls as u32,
+            placed: balls as u32,
+            probes: self.d as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+
+    fn state_with_loads(loads: &[u32]) -> LoadVector {
+        let mut s = LoadVector::new(loads.len());
+        for (bin, &l) in loads.iter().enumerate() {
+            for _ in 0..l {
+                s.add_ball(bin);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert_eq!(KdChoice::new(0, 3).unwrap_err(), ConfigError::ZeroK);
+        assert_eq!(
+            KdChoice::new(4, 3).unwrap_err(),
+            ConfigError::KExceedsD { k: 4, d: 3 }
+        );
+        assert!(KdChoice::new(3, 3).is_ok(), "k = d is the SA(k,k) degenerate");
+        assert!(KdChoice::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn name_reflects_parameters_and_policy() {
+        let p = KdChoice::new(2, 3).unwrap();
+        assert_eq!(p.name(), "(2,3)-choice");
+        let p = p.with_policy(RoundPolicy::Unrestricted);
+        assert_eq!(p.name(), "(2,3)-choice[unrestricted]");
+    }
+
+    /// Paper §1, scenario (a): (3,4)-choice, bins with loads (3,2,1,0), each
+    /// sampled once. Each of bin2, bin3, bin4 receives a ball.
+    #[test]
+    fn paper_scenario_a() {
+        let mut p = KdChoice::new(3, 4).unwrap();
+        let mut state = state_with_loads(&[3, 2, 1, 0]);
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        let mut heights = Vec::new();
+        p.place_round_with_samples(&mut state, &[0, 1, 2, 3], 3, &mut rng, &mut heights);
+        assert_eq!(state.loads(), &[3, 3, 2, 1]);
+        let mut h = heights.clone();
+        h.sort_unstable();
+        assert_eq!(h, vec![1, 2, 3]);
+    }
+
+    /// Paper §1, scenario (b): bin2 and bin3 sampled once, bin4 twice.
+    /// "bin3 receives a ball and bin4 receives two balls".
+    #[test]
+    fn paper_scenario_b() {
+        let mut p = KdChoice::new(3, 4).unwrap();
+        let mut state = state_with_loads(&[3, 2, 1, 0]);
+        let mut rng = Xoshiro256PlusPlus::from_u64(2);
+        let mut heights = Vec::new();
+        p.place_round_with_samples(&mut state, &[1, 2, 3, 3], 3, &mut rng, &mut heights);
+        assert_eq!(state.loads(), &[3, 2, 2, 2]);
+    }
+
+    /// Paper §1, scenario (c): bin1 sampled twice, bin4 sampled twice.
+    /// "bin1 receives one ball and bin4 receives two".
+    #[test]
+    fn paper_scenario_c() {
+        let mut p = KdChoice::new(3, 4).unwrap();
+        let mut state = state_with_loads(&[3, 2, 1, 0]);
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        let mut heights = Vec::new();
+        p.place_round_with_samples(&mut state, &[0, 0, 3, 3], 3, &mut rng, &mut heights);
+        assert_eq!(state.loads(), &[4, 2, 1, 2]);
+    }
+
+    /// §7: under the unrestricted policy in (2,3)-choice with loads
+    /// (0, 2, 3), both balls go into the empty bin.
+    #[test]
+    fn paper_section7_unrestricted_example() {
+        let mut p = KdChoice::new(2, 3)
+            .unwrap()
+            .with_policy(RoundPolicy::Unrestricted);
+        let mut state = state_with_loads(&[0, 2, 3]);
+        let mut rng = Xoshiro256PlusPlus::from_u64(4);
+        let mut heights = Vec::new();
+        p.place_round_with_samples(&mut state, &[0, 1, 2], 2, &mut rng, &mut heights);
+        assert_eq!(state.loads(), &[2, 2, 3]);
+        assert_eq!(heights, vec![1, 2]);
+    }
+
+    /// Under the multiplicity policy the same configuration splits the
+    /// balls: one to the empty bin, one to the load-2 bin.
+    #[test]
+    fn multiplicity_policy_on_section7_example() {
+        let mut p = KdChoice::new(2, 3).unwrap();
+        let mut state = state_with_loads(&[0, 2, 3]);
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        let mut heights = Vec::new();
+        p.place_round_with_samples(&mut state, &[0, 1, 2], 2, &mut rng, &mut heights);
+        assert_eq!(state.loads(), &[1, 3, 3]);
+    }
+
+    /// Reference implementation of the paper's removal formulation: place
+    /// one ball per sampled slot sequentially, then remove the d−k balls of
+    /// maximal height. Checked equivalent to `commit_multiplicity` on random
+    /// instances.
+    fn removal_reference(loads: &[u32], samples: &[usize], k: usize) -> Vec<u32> {
+        let mut loads = loads.to_vec();
+        let mut placed: Vec<(u32, usize)> = Vec::new(); // (height, bin)
+        for &s in samples {
+            loads[s] += 1;
+            placed.push((loads[s], s));
+        }
+        // Remove the d-k of maximal height.
+        placed.sort_unstable(); // ascending by height
+        for &(_, bin) in placed.iter().skip(k) {
+            loads[bin] -= 1;
+        }
+        loads
+    }
+
+    #[test]
+    fn multiplicity_matches_removal_formulation_on_random_instances() {
+        use rand::Rng;
+        let mut rng = Xoshiro256PlusPlus::from_u64(6);
+        for trial in 0..500 {
+            let n = rng.gen_range(2..12);
+            let d = rng.gen_range(1..=8usize);
+            let k = rng.gen_range(1..=d);
+            let loads: Vec<u32> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+            let samples: Vec<usize> = (0..d).map(|_| rng.gen_range(0..n)).collect();
+
+            let mut p = KdChoice::new(k, d).unwrap();
+            let mut state = state_with_loads(&loads);
+            let mut heights = Vec::new();
+            p.place_round_with_samples(&mut state, &samples, k, &mut rng, &mut heights);
+
+            let mut got: Vec<u32> = state.loads().to_vec();
+            let mut want = removal_reference(&loads, &samples, k);
+            // Compare as multisets of loads: tie-breaking may route a ball
+            // to a different bin of equal height, but the sorted load vector
+            // must be identical (this is the paper's state space).
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "trial {trial}: k={k} d={d} samples {samples:?}");
+        }
+    }
+
+    #[test]
+    fn multiplicity_cap_is_respected() {
+        use rand::Rng;
+        let mut rng = Xoshiro256PlusPlus::from_u64(7);
+        for _ in 0..300 {
+            let n = 6;
+            let d = rng.gen_range(2..=10usize);
+            let k = rng.gen_range(1..=d);
+            let loads: Vec<u32> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            let samples: Vec<usize> = (0..d).map(|_| rng.gen_range(0..n)).collect();
+            let mut occurrences = vec![0u32; n];
+            for &s in &samples {
+                occurrences[s] += 1;
+            }
+            let mut p = KdChoice::new(k, d).unwrap();
+            let mut state = state_with_loads(&loads);
+            let mut heights = Vec::new();
+            p.place_round_with_samples(&mut state, &samples, k, &mut rng, &mut heights);
+            for bin in 0..n {
+                let gained = state.load(bin) - loads[bin];
+                assert!(
+                    gained <= occurrences[bin],
+                    "bin {bin} sampled {} times but gained {gained}",
+                    occurrences[bin]
+                );
+            }
+            assert_eq!(state.total_balls() as usize, loads.iter().sum::<u32>() as usize + k);
+        }
+    }
+
+    #[test]
+    fn k_equals_d_places_every_sample() {
+        let mut p = KdChoice::new(4, 4).unwrap();
+        let mut state = state_with_loads(&[9, 0, 0, 0]);
+        let mut rng = Xoshiro256PlusPlus::from_u64(8);
+        let mut heights = Vec::new();
+        // All four samples on the most loaded bin: all four balls stay.
+        p.place_round_with_samples(&mut state, &[0, 0, 0, 0], 4, &mut rng, &mut heights);
+        assert_eq!(state.load(0), 13);
+        assert_eq!(heights, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn run_round_throws_k_and_probes_d() {
+        let mut p = KdChoice::new(3, 7).unwrap();
+        let mut state = LoadVector::new(100);
+        let mut rng = Xoshiro256PlusPlus::from_u64(9);
+        let mut heights = Vec::new();
+        let stats = p.run_round(&mut state, &mut rng, &mut heights, 1000);
+        assert_eq!(stats.thrown, 3);
+        assert_eq!(stats.placed, 3);
+        assert_eq!(stats.probes, 7);
+        assert_eq!(heights.len(), 3);
+        assert_eq!(state.total_balls(), 3);
+    }
+
+    #[test]
+    fn final_round_truncates_to_remaining() {
+        let mut p = KdChoice::new(4, 6).unwrap();
+        let mut state = LoadVector::new(50);
+        let mut rng = Xoshiro256PlusPlus::from_u64(10);
+        let mut heights = Vec::new();
+        let stats = p.run_round(&mut state, &mut rng, &mut heights, 2);
+        assert_eq!(stats.thrown, 2);
+        assert_eq!(state.total_balls(), 2);
+    }
+
+    #[test]
+    fn unrestricted_places_all_balls_even_with_one_distinct_candidate() {
+        let mut p = KdChoice::new(3, 4)
+            .unwrap()
+            .with_policy(RoundPolicy::Unrestricted);
+        let mut state = LoadVector::new(5);
+        let mut rng = Xoshiro256PlusPlus::from_u64(11);
+        let mut heights = Vec::new();
+        p.place_round_with_samples(&mut state, &[2, 2, 2, 2], 3, &mut rng, &mut heights);
+        assert_eq!(state.load(2), 3);
+        assert_eq!(heights, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unrestricted_prefers_least_loaded() {
+        let mut p = KdChoice::new(2, 4)
+            .unwrap()
+            .with_policy(RoundPolicy::Unrestricted);
+        let mut state = state_with_loads(&[5, 0, 5, 5]);
+        let mut rng = Xoshiro256PlusPlus::from_u64(12);
+        let mut heights = Vec::new();
+        p.place_round_with_samples(&mut state, &[0, 1, 2, 3], 2, &mut rng, &mut heights);
+        // Both balls water-fill bin 1 (loads 1 then 2 < 5).
+        assert_eq!(state.load(1), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut p = KdChoice::new(2, 5).unwrap();
+            let mut state = LoadVector::new(64);
+            let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+            let mut heights = Vec::new();
+            for _ in 0..32 {
+                p.run_round(&mut state, &mut rng, &mut heights, u64::MAX);
+            }
+            (state.sorted_descending(), heights)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, run(43).1);
+    }
+
+    #[test]
+    fn ties_between_bins_are_randomized() {
+        // (1,2)-choice, two empty bins sampled: the ball should land on
+        // either bin with roughly equal probability.
+        let mut counts = [0u32; 2];
+        let mut rng = Xoshiro256PlusPlus::from_u64(13);
+        for _ in 0..4000 {
+            let mut p = KdChoice::new(1, 2).unwrap();
+            let mut state = LoadVector::new(2);
+            let mut heights = Vec::new();
+            p.place_round_with_samples(&mut state, &[0, 1], 1, &mut rng, &mut heights);
+            if state.load(0) == 1 {
+                counts[0] += 1;
+            } else {
+                counts[1] += 1;
+            }
+        }
+        let f = counts[0] as f64 / 4000.0;
+        assert!((f - 0.5).abs() < 0.05, "tie frequency {f}");
+    }
+}

@@ -1,0 +1,65 @@
+//! The (k,d)-choice balls-into-bins process — core library.
+//!
+//! This crate implements the primary contribution of *"A Generalization of
+//! Multiple Choice Balls-into-Bins: Tight Bounds"* (Park, PODC 2011 /
+//! arXiv:1201.3310):
+//!
+//! > **The (k,d)-choice process.** In each round, `k ≤ d` balls are placed
+//! > into the `k` least loaded (ties broken randomly) out of `d` bins chosen
+//! > independently and uniformly at random **with replacement**, such that a
+//! > bin sampled `m ≥ 1` times receives at most `m` balls.
+//!
+//! The multiplicity rule is realized through the paper's equivalent
+//! formulation: place one tentative ball in each of the `d` sampled slots
+//! (heights `L+1, …, L+c` for a bin of load `L` sampled `c` times), then
+//! discard the `d − k` tentative balls of maximal height.
+//!
+//! ## Entry points
+//!
+//! * [`KdChoice`] — the round-based process, with the paper's
+//!   [`RoundPolicy::Multiplicity`] rule or the §7 future-work
+//!   [`RoundPolicy::Unrestricted`] relaxation.
+//! * [`SerializedKdChoice`] — the serialization Aσ of Definition 1, used to
+//!   validate Property (i) (`Aσ ≡ A` in distribution).
+//! * [`LoadVector`] — the bin-state substrate with O(1) max-load and ν_y
+//!   queries.
+//! * [`run_once`] / [`run_trials`] — deterministic, seedable drivers; trials
+//!   run in parallel threads with per-trial derived seeds.
+//! * [`BallsIntoBins`] — the process trait shared with the
+//!   `kdchoice-baselines` crate so that every scheme plugs into the same
+//!   drivers and experiments.
+//!
+//! ```
+//! use kdchoice_core::{KdChoice, RunConfig, run_once};
+//!
+//! # fn main() -> Result<(), kdchoice_core::ConfigError> {
+//! let mut process = KdChoice::new(2, 3)?;
+//! let result = run_once(&mut process, &RunConfig::new(1 << 14, 7));
+//! assert_eq!(result.balls_placed, 1 << 14);
+//! assert!(result.max_load >= 2 && result.max_load <= 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod driver;
+mod dynamic;
+mod error;
+mod kd;
+mod policy;
+mod process;
+mod serialized;
+mod state;
+mod trace;
+
+pub use driver::{run_once, run_once_with_state, run_trials, RunConfig, RunResult, TrialSet};
+pub use dynamic::DynamicKChoice;
+pub use error::ConfigError;
+pub use kd::KdChoice;
+pub use policy::RoundPolicy;
+pub use process::{BallsIntoBins, RoundStats};
+pub use serialized::{SerializedKdChoice, SigmaSchedule};
+pub use state::LoadVector;
+pub use trace::{run_with_trace, TracePoint};

@@ -1,0 +1,110 @@
+//! The process trait shared by (k,d)-choice and every baseline.
+
+use rand::RngCore;
+
+use crate::state::LoadVector;
+
+/// Statistics reported by one round of an allocation process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Balls *thrown* this round (drives termination: a run ends when the
+    /// configured number of balls has been thrown).
+    pub thrown: u32,
+    /// Balls actually *placed* this round. Less than `thrown` only for
+    /// discarding processes such as SA_{x0} (Definition 3).
+    pub placed: u32,
+    /// Bins probed this round — the paper's message cost (footnote 1).
+    pub probes: u64,
+}
+
+/// A sequential-round balls-into-bins allocation process.
+///
+/// Implementations mutate the shared [`LoadVector`] one round at a time;
+/// the driver in [`crate::run_once`] owns the loop, the RNG, and the
+/// metric accumulation, so that *every* process — (k,d)-choice, the
+/// baselines, the serialized variant — is measured identically.
+///
+/// The trait is object-safe: experiment harnesses store
+/// `Box<dyn BallsIntoBins>`.
+pub trait BallsIntoBins {
+    /// A short human-readable name, e.g. `"(2,3)-choice"` or `"greedy[2]"`.
+    fn name(&self) -> String;
+
+    /// Runs one round: samples bins using `rng`, commits balls into `state`,
+    /// and pushes the height of every placed ball onto `heights_out`
+    /// (heights feed the µ_y histogram, §2.1).
+    ///
+    /// `heights_out` is cleared by the caller before each round. A process
+    /// must throw at least one ball per round (`RoundStats::thrown ≥ 1`),
+    /// but may throw fewer than usual on the final partial round.
+    ///
+    /// `balls_remaining` is the number of balls the driver still wants
+    /// thrown; processes with fixed round sizes may use it to truncate the
+    /// final round.
+    fn run_round(
+        &mut self,
+        state: &mut LoadVector,
+        rng: &mut dyn RngCore,
+        heights_out: &mut Vec<u32>,
+        balls_remaining: u64,
+    ) -> RoundStats;
+
+    /// Resets any per-run internal state (scratch buffers may be kept).
+    /// The default implementation does nothing.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal process used to pin down trait object-safety and the
+    /// driver contract.
+    struct OneByOne;
+
+    impl BallsIntoBins for OneByOne {
+        fn name(&self) -> String {
+            "one-by-one".to_string()
+        }
+
+        fn run_round(
+            &mut self,
+            state: &mut LoadVector,
+            rng: &mut dyn RngCore,
+            heights_out: &mut Vec<u32>,
+            _balls_remaining: u64,
+        ) -> RoundStats {
+            use rand::Rng;
+            let bin = rng.gen_range(0..state.n());
+            let h = state.add_ball(bin);
+            heights_out.push(h);
+            RoundStats {
+                thrown: 1,
+                placed: 1,
+                probes: 1,
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn BallsIntoBins> = Box::new(OneByOne);
+        assert_eq!(boxed.name(), "one-by-one");
+        let mut state = LoadVector::new(4);
+        let mut rng = kdchoice_prng::Xoshiro256PlusPlus::from_u64(1);
+        let mut heights = Vec::new();
+        let stats = boxed.run_round(&mut state, &mut rng, &mut heights, 10);
+        assert_eq!(stats.thrown, 1);
+        assert_eq!(stats.placed, 1);
+        assert_eq!(heights.len(), 1);
+        assert_eq!(state.total_balls(), 1);
+    }
+
+    #[test]
+    fn round_stats_default_is_zero() {
+        let s = RoundStats::default();
+        assert_eq!(s.thrown, 0);
+        assert_eq!(s.placed, 0);
+        assert_eq!(s.probes, 0);
+    }
+}

@@ -1,0 +1,307 @@
+//! The bin-state substrate: load vector with histogram-backed queries.
+
+use rand::{Rng, RngCore};
+
+/// The state of `n` bins: per-bin loads plus a count-by-load histogram that
+/// makes the paper's observables cheap:
+///
+/// * maximum load — O(1);
+/// * `ν_y` (number of bins with load ≥ y, the quantity driven through the
+///   layered induction of Theorems 4 and 7) — O(max load);
+/// * the *rank* of a bin in the sorted order with random tie-breaking —
+///   O(max load), needed by the SA_{x0} process of Definition 3.
+///
+/// The sorted order itself ("bin x = x-th most loaded") is never maintained
+/// explicitly; every query that the paper phrases on the sorted vector is
+/// answered from the histogram.
+///
+/// ```
+/// use kdchoice_core::LoadVector;
+///
+/// let mut state = LoadVector::new(4);
+/// assert_eq!(state.add_ball(2), 1); // returns the ball's height
+/// assert_eq!(state.add_ball(2), 2);
+/// assert_eq!(state.max_load(), 2);
+/// assert_eq!(state.nu(1), 1); // one bin with >= 1 ball... (bin 2 has 2)
+/// assert_eq!(state.nu(2), 1);
+/// assert_eq!(state.nu(3), 0);
+/// assert_eq!(state.total_balls(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadVector {
+    loads: Vec<u32>,
+    /// `count_by_load[l]` = number of bins with load exactly `l`.
+    count_by_load: Vec<u64>,
+    max_load: u32,
+    total_balls: u64,
+}
+
+impl LoadVector {
+    /// Creates `n` empty bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one bin");
+        Self {
+            loads: vec![0; n],
+            count_by_load: vec![n as u64],
+            max_load: 0,
+            total_balls: 0,
+        }
+    }
+
+    /// The number of bins.
+    pub fn n(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The load of bin `bin` (0-based *index*, not rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n`.
+    #[inline]
+    pub fn load(&self, bin: usize) -> u32 {
+        self.loads[bin]
+    }
+
+    /// Places one ball into bin `bin` and returns the ball's **height**
+    /// (the bin's load immediately after placement, as in §2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n`.
+    #[inline]
+    pub fn add_ball(&mut self, bin: usize) -> u32 {
+        let old = self.loads[bin];
+        let new = old + 1;
+        self.loads[bin] = new;
+        self.count_by_load[old as usize] -= 1;
+        if new as usize >= self.count_by_load.len() {
+            self.count_by_load.push(0);
+        }
+        self.count_by_load[new as usize] += 1;
+        if new > self.max_load {
+            self.max_load = new;
+        }
+        self.total_balls += 1;
+        new
+    }
+
+    /// The current maximum load.
+    pub fn max_load(&self) -> u32 {
+        self.max_load
+    }
+
+    /// The total number of balls placed so far.
+    pub fn total_balls(&self) -> u64 {
+        self.total_balls
+    }
+
+    /// The average load `total_balls / n`.
+    pub fn average_load(&self) -> f64 {
+        self.total_balls as f64 / self.n() as f64
+    }
+
+    /// The gap `max load − average load`, the quantity bounded by the
+    /// heavily-loaded-case results (Theorem 2).
+    pub fn gap(&self) -> f64 {
+        self.max_load as f64 - self.average_load()
+    }
+
+    /// `ν_y`: the number of bins with load at least `y`.
+    pub fn nu(&self, y: u32) -> u64 {
+        let from = (y as usize).min(self.count_by_load.len());
+        self.count_by_load[from..].iter().sum()
+    }
+
+    /// The count-by-load histogram, indexed by load value. Entry `l` is the
+    /// number of bins holding exactly `l` balls. Trailing entries may be 0.
+    pub fn load_histogram(&self) -> &[u64] {
+        &self.count_by_load
+    }
+
+    /// A borrowed view of per-bin loads (by bin index).
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// The loads sorted in descending order — the paper's sorted load vector
+    /// `(B₁, B₂, …, Bₙ)` with `B₁` the most loaded.
+    pub fn sorted_descending(&self) -> Vec<u32> {
+        let mut v = self.loads.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// The **rank** of `bin` in the descending sorted order (1-based: the
+    /// most loaded bin has rank 1), with ties broken uniformly at random —
+    /// exactly the "bin x" convention of §2.1. Needed by the SA_{x0} process
+    /// (Definition 3), which discards balls landing in the top `x₀` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n`.
+    pub fn rank_of<R: RngCore + ?Sized>(&self, bin: usize, rng: &mut R) -> usize {
+        let l = self.loads[bin];
+        // Bins with a strictly greater load all rank above `bin`.
+        let greater: u64 = self.count_by_load[(l as usize + 1)..].iter().sum();
+        let ties = self.count_by_load[l as usize];
+        debug_assert!(ties >= 1);
+        let offset = if ties == 1 {
+            0
+        } else {
+            rng.gen_range(0..ties)
+        };
+        greater as usize + 1 + offset as usize
+    }
+
+    /// Verifies the internal invariants (histogram consistency, max load,
+    /// ball conservation). Intended for tests and debug assertions; O(n).
+    pub fn check_invariants(&self) -> bool {
+        let n = self.loads.len();
+        let mut hist = vec![0u64; self.count_by_load.len()];
+        let mut total = 0u64;
+        let mut max = 0u32;
+        for &l in &self.loads {
+            if (l as usize) >= hist.len() {
+                return false;
+            }
+            hist[l as usize] += 1;
+            total += u64::from(l);
+            max = max.max(l);
+        }
+        hist == self.count_by_load
+            && total == self.total_balls
+            && max == self.max_load
+            && self.count_by_load.iter().sum::<u64>() == n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn new_state_is_empty() {
+        let s = LoadVector::new(5);
+        assert_eq!(s.n(), 5);
+        assert_eq!(s.max_load(), 0);
+        assert_eq!(s.total_balls(), 0);
+        assert_eq!(s.nu(0), 5);
+        assert_eq!(s.nu(1), 0);
+        assert_eq!(s.gap(), 0.0);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = LoadVector::new(0);
+    }
+
+    #[test]
+    fn add_ball_returns_heights_in_order() {
+        let mut s = LoadVector::new(3);
+        assert_eq!(s.add_ball(0), 1);
+        assert_eq!(s.add_ball(0), 2);
+        assert_eq!(s.add_ball(0), 3);
+        assert_eq!(s.add_ball(1), 1);
+        assert_eq!(s.max_load(), 3);
+        assert_eq!(s.total_balls(), 4);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn nu_suffix_counts() {
+        let mut s = LoadVector::new(4);
+        // loads: [2, 1, 0, 0]
+        s.add_ball(0);
+        s.add_ball(0);
+        s.add_ball(1);
+        assert_eq!(s.nu(0), 4);
+        assert_eq!(s.nu(1), 2);
+        assert_eq!(s.nu(2), 1);
+        assert_eq!(s.nu(3), 0);
+        assert_eq!(s.nu(100), 0);
+    }
+
+    #[test]
+    fn sorted_descending_matches() {
+        let mut s = LoadVector::new(4);
+        s.add_ball(3);
+        s.add_ball(3);
+        s.add_ball(1);
+        assert_eq!(s.sorted_descending(), vec![2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn gap_tracks_average() {
+        let mut s = LoadVector::new(2);
+        s.add_ball(0);
+        s.add_ball(0);
+        // loads [2,0]: avg 1, max 2, gap 1.
+        assert_eq!(s.gap(), 1.0);
+        assert_eq!(s.average_load(), 1.0);
+    }
+
+    #[test]
+    fn rank_of_unique_loads() {
+        let mut s = LoadVector::new(3);
+        s.add_ball(1); // loads [0,1,0]
+        s.add_ball(1); // loads [0,2,0]
+        s.add_ball(2); // loads [0,2,1]
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        assert_eq!(s.rank_of(1, &mut rng), 1);
+        assert_eq!(s.rank_of(2, &mut rng), 2);
+        assert_eq!(s.rank_of(0, &mut rng), 3);
+    }
+
+    #[test]
+    fn rank_of_ties_is_uniform_over_tie_range() {
+        // loads [1,1,0]: bins 0 and 1 tie for ranks {1,2}; bin 2 has rank 3.
+        let mut s = LoadVector::new(3);
+        s.add_ball(0);
+        s.add_ball(1);
+        let mut rng = Xoshiro256PlusPlus::from_u64(2);
+        let mut counts = [0u32; 4];
+        let trials = 8000;
+        for _ in 0..trials {
+            counts[s.rank_of(0, &mut rng)] += 1;
+        }
+        assert_eq!(counts[3], 0);
+        let f1 = counts[1] as f64 / trials as f64;
+        let f2 = counts[2] as f64 / trials as f64;
+        assert!((f1 - 0.5).abs() < 0.05, "rank-1 frequency {f1}");
+        assert!((f2 - 0.5).abs() < 0.05, "rank-2 frequency {f2}");
+        assert_eq!(s.rank_of(2, &mut rng), 3);
+    }
+
+    #[test]
+    fn histogram_grows_with_load() {
+        let mut s = LoadVector::new(1);
+        for i in 1..=10 {
+            assert_eq!(s.add_ball(0), i);
+        }
+        assert_eq!(s.load_histogram()[10], 1);
+        assert_eq!(s.nu(10), 1);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn invariants_catch_no_corruption_after_many_ops() {
+        let mut s = LoadVector::new(64);
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        use rand::Rng;
+        for _ in 0..10_000 {
+            let b = rng.gen_range(0..64);
+            s.add_ball(b);
+        }
+        assert!(s.check_invariants());
+        assert_eq!(s.total_balls(), 10_000);
+        assert_eq!(s.nu(0), 64);
+    }
+}

@@ -1,0 +1,294 @@
+//! Sampling primitives used by the allocation processes.
+//!
+//! The (k,d)-choice process samples `d` bins **independently and uniformly at
+//! random with replacement** each round; the serialized process additionally
+//! needs random permutations (the σᵣ of Definition 1); Vöcking's always-go-left
+//! baseline needs one uniform choice per group; and Floyd's algorithm is
+//! provided for the (rare) places that need distinct samples.
+
+use rand::{Rng, RngCore};
+
+/// Fills `out` with `count` indices drawn uniformly at random **with
+/// replacement** from `0..n`.
+///
+/// `out` is cleared first; its capacity is reused across calls, which is the
+/// hot path of every allocation round in this workspace.
+///
+/// # Panics
+///
+/// Panics if `n == 0` and `count > 0`.
+///
+/// ```
+/// use kdchoice_prng::{sample::fill_with_replacement, Xoshiro256PlusPlus};
+///
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// let mut out = Vec::new();
+/// fill_with_replacement(&mut rng, 10, 5, &mut out);
+/// assert_eq!(out.len(), 5);
+/// assert!(out.iter().all(|&b| b < 10));
+/// ```
+pub fn fill_with_replacement<R: RngCore + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    count: usize,
+    out: &mut Vec<usize>,
+) {
+    assert!(n > 0 || count == 0, "cannot sample from an empty range");
+    out.clear();
+    out.reserve(count);
+    for _ in 0..count {
+        out.push(rng.gen_range(0..n));
+    }
+}
+
+/// Draws `count` **distinct** indices uniformly at random from `0..n` using
+/// Robert Floyd's algorithm (Communications of the ACM, 1987).
+///
+/// Runs in `O(count²)` membership checks, which is optimal in allocations for
+/// the small `count` values (≤ a few hundred) used here, and draws exactly
+/// `count` random values.
+///
+/// # Panics
+///
+/// Panics if `count > n`.
+///
+/// ```
+/// use kdchoice_prng::{sample::sample_distinct, Xoshiro256PlusPlus};
+///
+/// let mut rng = Xoshiro256PlusPlus::from_u64(2);
+/// let s = sample_distinct(&mut rng, 100, 10);
+/// let mut dedup = s.clone();
+/// dedup.sort_unstable();
+/// dedup.dedup();
+/// assert_eq!(dedup.len(), 10);
+/// ```
+pub fn sample_distinct<R: RngCore + ?Sized>(rng: &mut R, n: usize, count: usize) -> Vec<usize> {
+    assert!(count <= n, "cannot draw {count} distinct values from 0..{n}");
+    let mut chosen: Vec<usize> = Vec::with_capacity(count);
+    for j in (n - count)..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+/// Shuffles `slice` in place with the Fisher–Yates algorithm.
+///
+/// ```
+/// use kdchoice_prng::{sample::shuffle, Xoshiro256PlusPlus};
+///
+/// let mut rng = Xoshiro256PlusPlus::from_u64(3);
+/// let mut v: Vec<u32> = (0..8).collect();
+/// shuffle(&mut rng, &mut v);
+/// let mut sorted = v.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..8).collect::<Vec<u32>>());
+/// ```
+pub fn shuffle<R: RngCore + ?Sized, T>(rng: &mut R, slice: &mut [T]) {
+    for i in (1..slice.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        slice.swap(i, j);
+    }
+}
+
+/// Returns a uniformly random permutation of `0..k`.
+///
+/// Used to draw the per-round permutations σᵣ of the serialized (k,d)-choice
+/// process (Definition 1 in the paper).
+///
+/// ```
+/// use kdchoice_prng::{sample::random_permutation, Xoshiro256PlusPlus};
+///
+/// let mut rng = Xoshiro256PlusPlus::from_u64(4);
+/// let p = random_permutation(&mut rng, 6);
+/// let mut sorted = p.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+/// ```
+pub fn random_permutation<R: RngCore + ?Sized>(rng: &mut R, k: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..k).collect();
+    shuffle(rng, &mut p);
+    p
+}
+
+/// Picks a uniformly random element index among the minimal elements of
+/// `items` under the key function, i.e. an argmin with ties broken uniformly
+/// at random (single pass, reservoir style).
+///
+/// Returns `None` on an empty slice. This is the primitive behind every
+/// "least loaded bin, ties broken randomly" step in the workspace.
+///
+/// ```
+/// use kdchoice_prng::{sample::random_argmin, Xoshiro256PlusPlus};
+///
+/// let mut rng = Xoshiro256PlusPlus::from_u64(5);
+/// let loads = [3u32, 1, 1, 2];
+/// let i = random_argmin(&mut rng, &loads, |&l| l).unwrap();
+/// assert!(i == 1 || i == 2);
+/// ```
+pub fn random_argmin<R, T, K, F>(rng: &mut R, items: &[T], mut key: F) -> Option<usize>
+where
+    R: RngCore + ?Sized,
+    K: Ord,
+    F: FnMut(&T) -> K,
+{
+    let mut best: Option<(K, usize, u64)> = None;
+    let mut ties: u64 = 0;
+    for (i, item) in items.iter().enumerate() {
+        let k = key(item);
+        match &mut best {
+            None => {
+                ties = 1;
+                best = Some((k, i, 1));
+            }
+            Some((bk, bi, _)) => {
+                if k < *bk {
+                    ties = 1;
+                    *bk = k;
+                    *bi = i;
+                } else if k == *bk {
+                    // Reservoir: replace the incumbent with probability 1/ties.
+                    ties += 1;
+                    if rng.gen_range(0..ties) == 0 {
+                        *bi = i;
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(_, i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn with_replacement_is_in_range() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        let mut out = Vec::new();
+        fill_with_replacement(&mut rng, 7, 1000, &mut out);
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().all(|&b| b < 7));
+    }
+
+    #[test]
+    fn with_replacement_zero_count_from_empty_is_ok() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        let mut out = vec![1, 2, 3];
+        fill_with_replacement(&mut rng, 0, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn with_replacement_panics_on_empty_range() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        let mut out = Vec::new();
+        fill_with_replacement(&mut rng, 0, 1, &mut out);
+    }
+
+    #[test]
+    fn with_replacement_hits_every_bin_eventually() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(11);
+        let mut out = Vec::new();
+        fill_with_replacement(&mut rng, 16, 2000, &mut out);
+        let mut seen = [false; 16];
+        for &b in &out {
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "coupon collector failure");
+    }
+
+    #[test]
+    fn distinct_samples_are_distinct_and_in_range() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(2);
+        for count in [0usize, 1, 5, 50, 100] {
+            let s = sample_distinct(&mut rng, 100, count);
+            assert_eq!(s.len(), count);
+            assert!(s.iter().all(|&x| x < 100));
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), count);
+        }
+    }
+
+    #[test]
+    fn distinct_full_range_is_a_permutation() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        let mut s = sample_distinct(&mut rng, 20, 20);
+        s.sort_unstable();
+        assert_eq!(s, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn distinct_panics_when_count_exceeds_n() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        let _ = sample_distinct(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn shuffle_of_empty_and_singleton_is_noop() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(4);
+        let mut empty: [u8; 0] = [];
+        shuffle(&mut rng, &mut empty);
+        let mut one = [42];
+        shuffle(&mut rng, &mut one);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn permutation_is_roughly_uniform() {
+        // All 6 permutations of 0..3 should appear with frequency ~1/6.
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 6000;
+        for _ in 0..trials {
+            let p = random_permutation(&mut rng, 3);
+            *counts.entry(p).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (_, &c) in counts.iter() {
+            let f = c as f64 / trials as f64;
+            assert!((f - 1.0 / 6.0).abs() < 0.03, "permutation frequency {f}");
+        }
+    }
+
+    #[test]
+    fn argmin_finds_unique_minimum() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(6);
+        let v = [5, 4, 1, 9];
+        assert_eq!(random_argmin(&mut rng, &v, |&x| x), Some(2));
+    }
+
+    #[test]
+    fn argmin_empty_is_none() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(6);
+        let v: [u8; 0] = [];
+        assert_eq!(random_argmin(&mut rng, &v, |&x| x), None);
+    }
+
+    #[test]
+    fn argmin_ties_are_uniform() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(7);
+        let v = [1, 0, 0, 0];
+        let mut counts = [0u32; 4];
+        let trials = 9000;
+        for _ in 0..trials {
+            let i = random_argmin(&mut rng, &v, |&x| x).unwrap();
+            counts[i] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            let f = c as f64 / trials as f64;
+            assert!((f - 1.0 / 3.0).abs() < 0.03, "tie frequency {f}");
+        }
+    }
+}

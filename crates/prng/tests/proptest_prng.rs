@@ -1,0 +1,154 @@
+//! Property-based tests of the PRNG substrate.
+
+use kdchoice_prng::dist::{AliasTable, BoundedPareto, Exponential, Poisson, Zipf};
+use kdchoice_prng::sample::{
+    fill_with_replacement, random_argmin, random_permutation, sample_distinct, shuffle,
+};
+use kdchoice_prng::{derive_seed, SplitMix64, Xoshiro256PlusPlus};
+use proptest::prelude::*;
+use rand::RngCore;
+
+proptest! {
+    /// Same seed, same stream — for both generators.
+    #[test]
+    fn generators_are_deterministic(seed in any::<u64>()) {
+        let mut a = Xoshiro256PlusPlus::from_u64(seed);
+        let mut b = Xoshiro256PlusPlus::from_u64(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Derived seeds are a pure function and rarely collide.
+    #[test]
+    fn derived_seeds_deterministic(master in any::<u64>(), idx in 0u64..10_000) {
+        prop_assert_eq!(derive_seed(master, idx), derive_seed(master, idx));
+    }
+
+    /// fill_with_replacement stays in range and has the right length.
+    #[test]
+    fn replacement_sampling_in_range(n in 1usize..500, count in 0usize..200, seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        let mut out = Vec::new();
+        fill_with_replacement(&mut rng, n, count, &mut out);
+        prop_assert_eq!(out.len(), count);
+        prop_assert!(out.iter().all(|&x| x < n));
+    }
+
+    /// Distinct sampling yields distinct in-range values.
+    #[test]
+    fn distinct_sampling_is_distinct(n in 1usize..200, seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        let count = n / 2;
+        let s = sample_distinct(&mut rng, n, count);
+        prop_assert_eq!(s.len(), count);
+        prop_assert!(s.iter().all(|&x| x < n));
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        prop_assert_eq!(d.len(), count);
+    }
+
+    /// Shuffle is a permutation (multiset preserved).
+    #[test]
+    fn shuffle_preserves_multiset(mut v in prop::collection::vec(0u8..20, 0..50), seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        let mut original = v.clone();
+        shuffle(&mut rng, &mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(original, v);
+    }
+
+    /// random_permutation returns a permutation of 0..k.
+    #[test]
+    fn permutation_is_valid(k in 0usize..64, seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        let mut p = random_permutation(&mut rng, k);
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..k).collect::<Vec<_>>());
+    }
+
+    /// random_argmin returns an index of a minimal element.
+    #[test]
+    fn argmin_returns_a_minimum(v in prop::collection::vec(0u32..100, 1..50), seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        let idx = random_argmin(&mut rng, &v, |&x| x).unwrap();
+        let min = *v.iter().min().unwrap();
+        prop_assert_eq!(v[idx], min);
+    }
+
+    /// Exponential samples are non-negative and finite.
+    #[test]
+    fn exponential_samples_valid(rate in 0.01f64..100.0, seed in any::<u64>()) {
+        let e = Exponential::new(rate).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        for _ in 0..32 {
+            let x = e.sample(&mut rng);
+            prop_assert!(x >= 0.0 && x.is_finite());
+        }
+    }
+
+    /// Poisson samples are finite counts.
+    #[test]
+    fn poisson_samples_valid(lambda in 0.1f64..200.0, seed in any::<u64>()) {
+        let p = Poisson::new(lambda).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        for _ in 0..16 {
+            let x = p.sample(&mut rng);
+            prop_assert!((x as f64) < lambda * 20.0 + 100.0);
+        }
+    }
+
+    /// Bounded Pareto stays within its bounds.
+    #[test]
+    fn pareto_in_bounds(alpha in 0.2f64..4.0, lo in 0.1f64..10.0, span in 1.1f64..100.0, seed in any::<u64>()) {
+        let hi = lo * span;
+        let bp = BoundedPareto::new(alpha, lo, hi).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        for _ in 0..32 {
+            let x = bp.sample(&mut rng);
+            prop_assert!(x >= lo && x <= hi);
+        }
+    }
+
+    /// Zipf samples are in range for any exponent.
+    #[test]
+    fn zipf_in_range(n in 1usize..500, s in 0.0f64..4.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Alias tables never emit zero-weight categories.
+    #[test]
+    fn alias_respects_zero_weights(
+        weights in prop::collection::vec(0u32..10, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let total: u32 = weights.iter().sum();
+        prop_assume!(total > 0);
+        let w: Vec<f64> = weights.iter().map(|&x| f64::from(x)).collect();
+        let table = AliasTable::new(&w).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        for _ in 0..64 {
+            let i = table.sample(&mut rng);
+            prop_assert!(w[i] > 0.0, "drew zero-weight category {}", i);
+        }
+    }
+
+    /// Jump streams do not trivially collide on their first outputs.
+    #[test]
+    fn jump_streams_differ(seed in any::<u64>()) {
+        let mut s0 = Xoshiro256PlusPlus::stream(seed, 0);
+        let mut s1 = Xoshiro256PlusPlus::stream(seed, 1);
+        prop_assert_ne!(s0.next_u64(), s1.next_u64());
+    }
+}

@@ -1,0 +1,535 @@
+//! Parallel job scheduling with (k,d)-choice — the paper's first
+//! application (§1.3).
+//!
+//! > "Suppose that a job consists of k tasks to be scheduled in parallel,
+//! > and each task issues d random probes individually (as in d-choice). In
+//! > this case, it is likely that there will be a ball/task whose d possible
+//! > destinations are all heavily loaded. Since a job's completion time is
+//! > determined by the task finishing last, the performance of the standard
+//! > multiple choice degrades as a job's parallelism increases. Our
+//! > (k,d)-choice model solves this problem by letting k tasks share
+//! > information across all the probes in a job."
+//!
+//! This crate simulates exactly that scenario: a cluster of FIFO workers, a
+//! Poisson stream of jobs of `k` parallel tasks each, and pluggable probing
+//! strategies ([`PlacementStrategy`]):
+//!
+//! * [`PlacementStrategy::Random`] — no probing;
+//! * [`PlacementStrategy::PerTaskDChoice`] — the degraded per-task d-choice
+//!   described above;
+//! * [`PlacementStrategy::BatchSampling`] — Sparrow's batch sampling
+//!   (reference \[12\]): probe `d·k` workers, place the `k` tasks on the `k`
+//!   least loaded — which is precisely (k, d·k)-choice;
+//! * [`PlacementStrategy::KdChoice`] — the paper's process with a probe
+//!   budget `d` decoupled from `k` (e.g. `d = k+1` for near-minimal message
+//!   cost).
+//!
+//! A job's **response time** is the completion time of its last task; the
+//! experiment regenerating the §1.3 claim compares tail response times at
+//! matched or lower message budgets.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod placement;
+mod workload;
+
+pub use placement::{select_k_least_loaded, PlacementStrategy};
+pub use workload::ServiceDistribution;
+
+use std::collections::VecDeque;
+
+use kdchoice_prng::dist::Exponential;
+use kdchoice_prng::Xoshiro256PlusPlus;
+use rand::Rng;
+use kdchoice_sim::{Clock, EventQueue, TimeWeighted};
+use kdchoice_stats::quantile::quantiles;
+use kdchoice_stats::Summary;
+
+/// Configuration of one cluster-scheduling simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClusterConfig {
+    /// Number of worker machines.
+    pub workers: usize,
+    /// Tasks per job (`k` in the paper's framing).
+    pub tasks_per_job: usize,
+    /// Total jobs to run.
+    pub jobs: usize,
+    /// Poisson arrival rate (jobs per unit time).
+    pub arrival_rate: f64,
+    /// Per-task service time distribution.
+    pub service: ServiceDistribution,
+    /// Fraction of earliest-arriving jobs excluded from statistics.
+    pub warmup_fraction: f64,
+    /// Probe staleness: consecutive jobs in a batch of this size share one
+    /// queue-length snapshot (modeling multiple independent schedulers or
+    /// probe latency, as in Sparrow). `1` = perfectly fresh probes.
+    pub scheduler_batch: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A reasonable default scenario: utilization is set via
+    /// [`ClusterConfig::with_utilization`].
+    pub fn new(workers: usize, tasks_per_job: usize, jobs: usize, seed: u64) -> Self {
+        Self {
+            workers,
+            tasks_per_job,
+            jobs,
+            arrival_rate: 1.0,
+            service: ServiceDistribution::Exponential { mean: 1.0 },
+            warmup_fraction: 0.1,
+            scheduler_batch: 1,
+            seed,
+        }
+    }
+
+    /// Makes probes stale: batches of `batch` consecutive jobs share one
+    /// queue-length snapshot (Sparrow's multi-scheduler race).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    #[must_use]
+    pub fn with_scheduler_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "scheduler batch must be at least 1");
+        self.scheduler_batch = batch;
+        self
+    }
+
+    /// Sets the arrival rate so that the offered load is `rho` (fraction of
+    /// aggregate service capacity).
+    #[must_use]
+    pub fn with_utilization(mut self, rho: f64) -> Self {
+        assert!(rho > 0.0 && rho < 1.0, "utilization must be in (0,1)");
+        let per_job_work = self.tasks_per_job as f64 * self.service.mean();
+        self.arrival_rate = rho * self.workers as f64 / per_job_work;
+        self
+    }
+
+    /// Replaces the service distribution.
+    #[must_use]
+    pub fn with_service(mut self, service: ServiceDistribution) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// The offered load `λ·k·E[S]/workers`.
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate * self.tasks_per_job as f64 * self.service.mean()
+            / self.workers as f64
+    }
+}
+
+/// Aggregate results of one scheduling simulation.
+#[derive(Debug, Clone)]
+pub struct SchedulerReport {
+    /// The strategy's display name.
+    pub strategy: String,
+    /// Jobs measured (post-warmup).
+    pub jobs_measured: usize,
+    /// Summary of job response times (last-task completion − arrival).
+    pub response: Summary,
+    /// Response-time percentiles `[p50, p90, p99]`.
+    pub response_percentiles: [f64; 3],
+    /// Total probe messages issued by the scheduler.
+    pub probe_messages: u64,
+    /// Probe messages per job.
+    pub probes_per_job: f64,
+    /// Time-weighted mean of total outstanding tasks in the cluster.
+    pub mean_outstanding: f64,
+    /// Maximum queue length (including the running task) seen at any worker.
+    pub max_queue_len: u32,
+}
+
+/// A queue entry at a worker: a concrete task, or a late-binding
+/// reservation that will claim a task (or cancel) when it reaches service.
+#[derive(Debug, Clone, Copy)]
+enum Entry {
+    /// A task of `job` with its service time drawn at assignment.
+    Task(u32, f64),
+    /// A late-binding reservation for `job`.
+    Reservation(u32),
+}
+
+/// One worker: a FIFO queue of entries plus the running task.
+#[derive(Debug, Default)]
+struct Worker {
+    /// Pending entries, not including the one in service.
+    pending: VecDeque<Entry>,
+    /// Job id of the task in service, if busy.
+    running: Option<u32>,
+    /// Queue length including the running task — the probed "load"
+    /// (reservations count, as in Sparrow).
+    queue_len: u32,
+}
+
+/// Simulation events.
+#[derive(Debug)]
+enum Event {
+    /// Job with this index arrives.
+    JobArrival(u32),
+    /// The running task at this worker completes.
+    TaskComplete(u32),
+}
+
+/// Runs one simulation; deterministic in `(config, strategy)`.
+///
+/// # Panics
+///
+/// Panics if the configuration is unstable (utilization ≥ 1) or degenerate
+/// (zero workers/jobs/tasks).
+///
+/// ```
+/// use kdchoice_scheduler::{simulate, ClusterConfig, PlacementStrategy};
+///
+/// let cfg = ClusterConfig::new(100, 4, 500, 7).with_utilization(0.6);
+/// let report = simulate(&cfg, PlacementStrategy::KdChoice { d: 8 });
+/// assert_eq!(report.jobs_measured, 450); // 10% warmup excluded
+/// assert!(report.response.mean() > 0.0);
+/// ```
+pub fn simulate(config: &ClusterConfig, strategy: PlacementStrategy) -> SchedulerReport {
+    assert!(config.workers > 0, "need at least one worker");
+    assert!(config.tasks_per_job > 0, "need at least one task per job");
+    assert!(config.jobs > 0, "need at least one job");
+    assert!(
+        config.utilization() < 1.0,
+        "unstable configuration: utilization {:.3} >= 1",
+        config.utilization()
+    );
+    strategy.validate(config.tasks_per_job, config.workers);
+
+    let mut rng = Xoshiro256PlusPlus::from_u64(config.seed);
+    let interarrival = Exponential::new(config.arrival_rate).expect("rate > 0");
+    let mut workers: Vec<Worker> = (0..config.workers).map(|_| Worker::default()).collect();
+    let mut queue = EventQueue::new();
+    let mut clock = Clock::new();
+
+    let k = config.tasks_per_job;
+    let warmup = ((config.jobs as f64) * config.warmup_fraction).floor() as usize;
+    let mut arrivals: Vec<f64> = vec![0.0; config.jobs];
+    let mut remaining: Vec<u32> = vec![0; config.jobs];
+    // Tasks launched so far per job (only consulted by late binding).
+    let mut launched: Vec<u32> = vec![0; config.jobs];
+    let mut responses: Vec<f64> = Vec::with_capacity(config.jobs - warmup);
+    let mut probe_messages = 0u64;
+    let mut outstanding = TimeWeighted::new(0.0, 0.0);
+    let mut outstanding_now = 0i64;
+    let mut max_queue_len = 0u32;
+    // The probed queue-length snapshot; refreshed once per scheduler batch
+    // (scheduler_batch = 1 means perfectly fresh probes).
+    let mut snapshot: Vec<u32> = vec![0; config.workers];
+    let mut jobs_since_refresh = 0usize;
+
+    queue.push(interarrival.sample(&mut rng), Event::JobArrival(0));
+
+    while let Some((t, event)) = queue.pop() {
+        clock.advance_to(t);
+        match event {
+            Event::JobArrival(job) => {
+                let job_idx = job as usize;
+                arrivals[job_idx] = t;
+                remaining[job_idx] = k as u32;
+                if let PlacementStrategy::LateBinding { probes_per_task } = strategy {
+                    // Place reservations on d·k probed workers; idle workers
+                    // claim a task immediately, busy workers enqueue.
+                    let probes = probes_per_task * k;
+                    probe_messages += probes as u64;
+                    for _ in 0..probes {
+                        let w = rng.gen_range(0..config.workers);
+                        let worker = &mut workers[w];
+                        if worker.running.is_none() && launched[job_idx] < k as u32 {
+                            launched[job_idx] += 1;
+                            let service = config.service.sample(&mut rng);
+                            worker.running = Some(job);
+                            worker.queue_len += 1;
+                            max_queue_len = max_queue_len.max(worker.queue_len);
+                            queue.push(t + service, Event::TaskComplete(w as u32));
+                        } else if launched[job_idx] < k as u32 {
+                            worker.pending.push_back(Entry::Reservation(job));
+                            worker.queue_len += 1;
+                            max_queue_len = max_queue_len.max(worker.queue_len);
+                        }
+                    }
+                    // Degenerate safety net: if every probe hit the same few
+                    // idle workers and fewer than k tasks have homes, bind
+                    // the remainder to random workers (Sparrow retries).
+                    while launched[job_idx] < k as u32 {
+                        let w = rng.gen_range(0..config.workers);
+                        launched[job_idx] += 1;
+                        let service = config.service.sample(&mut rng);
+                        let worker = &mut workers[w];
+                        worker.queue_len += 1;
+                        max_queue_len = max_queue_len.max(worker.queue_len);
+                        if worker.running.is_none() {
+                            worker.running = Some(job);
+                            queue.push(t + service, Event::TaskComplete(w as u32));
+                        } else {
+                            worker.pending.push_back(Entry::Task(job, service));
+                        }
+                    }
+                } else {
+                    // Probe and choose workers for the k tasks up front,
+                    // reading the (possibly stale) snapshot.
+                    if jobs_since_refresh == 0 {
+                        snapshot.clear();
+                        snapshot.extend(workers.iter().map(|w| w.queue_len));
+                    }
+                    jobs_since_refresh = (jobs_since_refresh + 1) % config.scheduler_batch;
+                    let (chosen, probes) = strategy.choose_workers(&snapshot, k, &mut rng);
+                    probe_messages += probes;
+                    debug_assert_eq!(chosen.len(), k);
+                    for &w in &chosen {
+                        let service = config.service.sample(&mut rng);
+                        let worker = &mut workers[w];
+                        worker.queue_len += 1;
+                        max_queue_len = max_queue_len.max(worker.queue_len);
+                        if worker.running.is_none() {
+                            worker.running = Some(job);
+                            queue.push(t + service, Event::TaskComplete(w as u32));
+                        } else {
+                            worker.pending.push_back(Entry::Task(job, service));
+                        }
+                    }
+                }
+                outstanding_now += k as i64;
+                outstanding.update(t, outstanding_now as f64);
+                let next = job_idx + 1;
+                if next < config.jobs {
+                    queue.push(t + interarrival.sample(&mut rng), Event::JobArrival(next as u32));
+                }
+            }
+            Event::TaskComplete(w) => {
+                let widx = w as usize;
+                let finished_job = workers[widx].running.take().expect("worker was busy");
+                workers[widx].queue_len -= 1;
+                outstanding_now -= 1;
+                outstanding.update(t, outstanding_now as f64);
+                // Pull the next runnable entry: concrete tasks run as-is;
+                // reservations launch a task if their job still needs one,
+                // and cancel otherwise.
+                while let Some(entry) = workers[widx].pending.pop_front() {
+                    match entry {
+                        Entry::Task(next_job, service) => {
+                            workers[widx].running = Some(next_job);
+                            queue.push(t + service, Event::TaskComplete(w));
+                            break;
+                        }
+                        Entry::Reservation(res_job) => {
+                            let rj = res_job as usize;
+                            if launched[rj] < k as u32 {
+                                launched[rj] += 1;
+                                let service = config.service.sample(&mut rng);
+                                workers[widx].running = Some(res_job);
+                                queue.push(t + service, Event::TaskComplete(w));
+                                break;
+                            }
+                            // Cancelled reservation: drop and keep looking.
+                            workers[widx].queue_len -= 1;
+                        }
+                    }
+                }
+                let fj = finished_job as usize;
+                remaining[fj] -= 1;
+                if remaining[fj] == 0 && fj >= warmup {
+                    responses.push(t - arrivals[fj]);
+                }
+            }
+        }
+    }
+
+    let response = Summary::from_iter(responses.iter().copied());
+    let pct = quantiles(&responses, &[0.5, 0.9, 0.99]);
+    let percentiles = if pct.len() == 3 {
+        [pct[0], pct[1], pct[2]]
+    } else {
+        [0.0; 3]
+    };
+    SchedulerReport {
+        strategy: strategy.name(),
+        jobs_measured: responses.len(),
+        response,
+        response_percentiles: percentiles,
+        probe_messages,
+        probes_per_job: probe_messages as f64 / config.jobs as f64,
+        mean_outstanding: outstanding.average(clock.now()),
+        max_queue_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config(seed: u64) -> ClusterConfig {
+        ClusterConfig::new(64, 4, 400, seed).with_utilization(0.7)
+    }
+
+    #[test]
+    fn utilization_is_respected() {
+        let cfg = base_config(1);
+        assert!((cfg.utilization() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_config_is_rejected() {
+        let mut cfg = base_config(1);
+        cfg.arrival_rate *= 2.0; // utilization 1.4
+        let _ = simulate(&cfg, PlacementStrategy::Random);
+    }
+
+    #[test]
+    fn all_jobs_complete_and_accounting_balances() {
+        let cfg = base_config(2);
+        let r = simulate(&cfg, PlacementStrategy::KdChoice { d: 5 });
+        assert_eq!(r.jobs_measured, 400 - 40);
+        // (k,d)-choice probes d workers per job.
+        assert_eq!(r.probe_messages, 400 * 5);
+        assert!((r.probes_per_job - 5.0).abs() < 1e-12);
+        assert!(r.response.min().unwrap() > 0.0);
+        assert!(r.max_queue_len >= 1);
+        assert!(r.mean_outstanding > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = base_config(3);
+        let a = simulate(&cfg, PlacementStrategy::BatchSampling { probes_per_task: 2 });
+        let b = simulate(&cfg, PlacementStrategy::BatchSampling { probes_per_task: 2 });
+        assert_eq!(a.response.mean(), b.response.mean());
+        assert_eq!(a.probe_messages, b.probe_messages);
+        assert_eq!(a.max_queue_len, b.max_queue_len);
+    }
+
+    #[test]
+    fn probing_beats_random_at_high_load() {
+        let cfg = ClusterConfig::new(64, 4, 2000, 4).with_utilization(0.85);
+        let rand = simulate(&cfg, PlacementStrategy::Random);
+        let batch = simulate(&cfg, PlacementStrategy::BatchSampling { probes_per_task: 2 });
+        assert!(
+            batch.response.mean() < rand.response.mean(),
+            "batch {} vs random {}",
+            batch.response.mean(),
+            rand.response.mean()
+        );
+    }
+
+    #[test]
+    fn batch_sampling_improves_tail_over_per_task_probing() {
+        // The §1.3 claim: sharing probes across the job's tasks reduces the
+        // chance that some task lands on a loaded machine, which shows up in
+        // the response-time tail. Use equal message budgets.
+        let cfg = ClusterConfig::new(128, 8, 4000, 5).with_utilization(0.85);
+        let per_task = simulate(&cfg, PlacementStrategy::PerTaskDChoice { d: 2 });
+        let batch = simulate(&cfg, PlacementStrategy::BatchSampling { probes_per_task: 2 });
+        assert_eq!(per_task.probe_messages, batch.probe_messages);
+        let tail_pt = per_task.response_percentiles[2];
+        let tail_b = batch.response_percentiles[2];
+        assert!(
+            tail_b <= tail_pt * 1.05,
+            "batch p99 {tail_b} should not lose to per-task p99 {tail_pt}"
+        );
+    }
+
+    #[test]
+    fn kd_choice_with_small_d_uses_far_fewer_messages() {
+        let cfg = base_config(6);
+        let kd = simulate(&cfg, PlacementStrategy::KdChoice { d: 5 }); // k+1 probes
+        let batch = simulate(&cfg, PlacementStrategy::BatchSampling { probes_per_task: 2 });
+        assert!(kd.probe_messages * ((2 * 4) / 5) <= batch.probe_messages);
+    }
+
+    #[test]
+    fn deterministic_service_works() {
+        let cfg = base_config(7).with_service(ServiceDistribution::Deterministic { value: 0.5 });
+        let r = simulate(&cfg, PlacementStrategy::Random);
+        assert!(r.response.min().unwrap() >= 0.5 - 1e-12);
+    }
+
+    #[test]
+    fn late_binding_completes_every_job() {
+        let cfg = base_config(8);
+        let r = simulate(&cfg, PlacementStrategy::LateBinding { probes_per_task: 2 });
+        assert_eq!(r.jobs_measured, 400 - 40);
+        assert_eq!(r.probe_messages, 400 * 2 * 4);
+        assert!(r.response.mean() > 0.0);
+    }
+
+    #[test]
+    fn late_binding_is_deterministic() {
+        let cfg = base_config(9);
+        let a = simulate(&cfg, PlacementStrategy::LateBinding { probes_per_task: 2 });
+        let b = simulate(&cfg, PlacementStrategy::LateBinding { probes_per_task: 2 });
+        assert_eq!(a.response.mean(), b.response.mean());
+    }
+
+    #[test]
+    fn late_binding_beats_random_but_not_perfect_information_batch() {
+        // In Sparrow, late binding wins because probed queue lengths are
+        // stale and task durations unknown. This simulator gives batch
+        // sampling *perfect instantaneous* queue information, so batch
+        // sampling retains the information advantage — late binding must
+        // still clearly beat unprobed random placement. (Recorded as a
+        // substitution note in DESIGN.md.)
+        let cfg = ClusterConfig::new(128, 8, 4000, 10).with_utilization(0.9);
+        let random = simulate(&cfg, PlacementStrategy::Random);
+        let late = simulate(&cfg, PlacementStrategy::LateBinding { probes_per_task: 2 });
+        assert!(
+            late.response.mean() < random.response.mean(),
+            "late binding mean {} vs random mean {}",
+            late.response.mean(),
+            random.response.mean()
+        );
+    }
+
+    #[test]
+    fn stale_probes_degrade_batch_sampling_monotonically() {
+        // With scheduler_batch > 1, many jobs act on one queue snapshot and
+        // pile onto the same apparently-idle workers (Sparrow's
+        // multi-scheduler race). Batch sampling degrades as the snapshot
+        // ages; late binding never trusts a snapshot and is unaffected.
+        let base = ClusterConfig::new(128, 8, 3000, 12).with_utilization(0.9);
+        let mean_at = |batch: usize, s: PlacementStrategy| {
+            simulate(&base.clone().with_scheduler_batch(batch), s)
+                .response
+                .mean()
+        };
+        let bs = PlacementStrategy::BatchSampling { probes_per_task: 2 };
+        let lb = PlacementStrategy::LateBinding { probes_per_task: 2 };
+        let fresh = mean_at(1, bs);
+        let stale32 = mean_at(32, bs);
+        let stale128 = mean_at(128, bs);
+        assert!(
+            fresh < stale32 && stale32 < stale128,
+            "staleness must degrade batch sampling monotonically: {fresh:.2} {stale32:.2} {stale128:.2}"
+        );
+        // Late binding is immune to snapshot staleness (it never reads one).
+        let late_fresh = mean_at(1, lb);
+        let late_stale = mean_at(128, lb);
+        assert!((late_fresh - late_stale).abs() < 1e-9);
+        // At extreme staleness late binding overtakes batch sampling on the
+        // mean — Sparrow's regime.
+        assert!(
+            late_stale < stale128,
+            "late binding {late_stale:.2} should beat extremely stale batch sampling {stale128:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_scheduler_batch_rejected() {
+        let _ = base_config(13).with_scheduler_batch(0);
+    }
+
+    #[test]
+    fn late_binding_survives_probe_collisions() {
+        // Tiny cluster, large jobs: many probes collide; the safety net
+        // must still launch exactly k tasks per job.
+        let cfg = ClusterConfig::new(3, 4, 100, 11).with_utilization(0.5);
+        let r = simulate(&cfg, PlacementStrategy::LateBinding { probes_per_task: 1 });
+        assert_eq!(r.jobs_measured, 90);
+    }
+}

@@ -1,0 +1,297 @@
+//! Worker-selection strategies for job scheduling.
+
+use rand::{Rng, RngCore};
+
+/// How a job's `k` tasks pick their workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PlacementStrategy {
+    /// Each task goes to a uniformly random worker; zero probes.
+    Random,
+    /// Each task independently probes `d` workers and joins the least
+    /// loaded — the standard multiple-choice strategy whose *job-level*
+    /// performance degrades with parallelism (§1.3). `k·d` probes per job.
+    PerTaskDChoice {
+        /// Probes per task.
+        d: usize,
+    },
+    /// Sparrow's batch sampling (the paper's reference \[12\]): probe
+    /// `probes_per_task · k` workers and place the `k` tasks on the `k`
+    /// least loaded, multiplicities respected — exactly
+    /// (k, probes_per_task·k)-choice. `probes_per_task·k` probes per job.
+    BatchSampling {
+        /// Probes per task (Sparrow uses 2).
+        probes_per_task: usize,
+    },
+    /// The paper's (k,d)-choice with a probe budget `d` decoupled from `k`
+    /// (`d ≥ k`): `d` probes per job, e.g. `d = k+1` for near-minimal
+    /// message cost.
+    KdChoice {
+        /// Total probes per job.
+        d: usize,
+    },
+    /// Sparrow's **late binding**: place reservations on
+    /// `probes_per_task · k` probed workers; each worker, upon becoming
+    /// free, claims one of the job's not-yet-launched tasks (service time
+    /// drawn at launch), and surplus reservations cancel. The strongest
+    /// scheme in the Sparrow paper \[12\].
+    ///
+    /// Note: in this simulator probes read *perfect instantaneous* queue
+    /// lengths, so [`PlacementStrategy::BatchSampling`] keeps an
+    /// information advantage that real deployments lack (stale probes,
+    /// unknown task durations) — late binding beats random placement here
+    /// but not perfect-information batch sampling.
+    LateBinding {
+        /// Probes (reservations) per task.
+        probes_per_task: usize,
+    },
+}
+
+impl PlacementStrategy {
+    /// Display name used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            PlacementStrategy::Random => "random".to_string(),
+            PlacementStrategy::PerTaskDChoice { d } => format!("per-task {d}-choice"),
+            PlacementStrategy::BatchSampling { probes_per_task } => {
+                format!("batch-sampling x{probes_per_task}")
+            }
+            PlacementStrategy::KdChoice { d } => format!("(k,{d})-choice"),
+            PlacementStrategy::LateBinding { probes_per_task } => {
+                format!("late-binding x{probes_per_task}")
+            }
+        }
+    }
+
+    /// Panics when the strategy is incompatible with the job shape.
+    pub(crate) fn validate(&self, k: usize, workers: usize) {
+        match *self {
+            PlacementStrategy::Random => {}
+            PlacementStrategy::PerTaskDChoice { d } => {
+                assert!(d >= 1, "per-task d-choice needs d >= 1");
+            }
+            PlacementStrategy::BatchSampling { probes_per_task } => {
+                assert!(probes_per_task >= 1, "batch sampling needs >= 1 probe/task");
+            }
+            PlacementStrategy::KdChoice { d } => {
+                assert!(d >= k, "(k,d)-choice needs d >= k (k={k}, d={d})");
+            }
+            PlacementStrategy::LateBinding { probes_per_task } => {
+                assert!(probes_per_task >= 1, "late binding needs >= 1 probe/task");
+            }
+        }
+        assert!(workers >= 1);
+    }
+
+    /// Chooses the workers for the `k` tasks of one job given the current
+    /// worker loads (queue lengths). Returns `(workers, probe_messages)`;
+    /// the same worker may appear multiple times (it then receives several
+    /// of the job's tasks).
+    pub(crate) fn choose_workers<R: RngCore + ?Sized>(
+        &self,
+        loads: &[u32],
+        k: usize,
+        rng: &mut R,
+    ) -> (Vec<usize>, u64) {
+        let n = loads.len();
+        match *self {
+            PlacementStrategy::Random => {
+                let chosen = (0..k).map(|_| rng.gen_range(0..n)).collect();
+                (chosen, 0)
+            }
+            PlacementStrategy::PerTaskDChoice { d } => {
+                let mut chosen = Vec::with_capacity(k);
+                let mut samples = Vec::with_capacity(d);
+                for _ in 0..k {
+                    samples.clear();
+                    for _ in 0..d {
+                        samples.push(rng.gen_range(0..n));
+                    }
+                    let idx =
+                        kdchoice_prng::sample::random_argmin(rng, &samples, |&w| loads[w])
+                            .expect("d >= 1");
+                    chosen.push(samples[idx]);
+                }
+                (chosen, (k * d) as u64)
+            }
+            PlacementStrategy::BatchSampling { probes_per_task } => {
+                let probes = probes_per_task * k;
+                let samples: Vec<usize> = (0..probes).map(|_| rng.gen_range(0..n)).collect();
+                (
+                    select_k_least_loaded(&samples, loads, k, rng),
+                    probes as u64,
+                )
+            }
+            PlacementStrategy::KdChoice { d } => {
+                let samples: Vec<usize> = (0..d).map(|_| rng.gen_range(0..n)).collect();
+                (select_k_least_loaded(&samples, loads, k, rng), d as u64)
+            }
+            PlacementStrategy::LateBinding { .. } => {
+                unreachable!("late binding is event-driven; handled by the simulator")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Selects destinations for `k` tasks from `samples` (worker indices, with
+/// multiplicity) under the paper's rule: a worker sampled `m` times receives
+/// at most `m` tasks, and tasks go to the least loaded tentative slots
+/// (height = load + occurrence), ties broken randomly.
+///
+/// This is the (k,d)-choice round kernel operating on an arbitrary load
+/// slice instead of a `LoadVector`, shared by the batch-sampling and
+/// (k,d)-choice strategies.
+///
+/// # Panics
+///
+/// Panics if `k > samples.len()`.
+///
+/// ```
+/// use kdchoice_scheduler::select_k_least_loaded;
+/// use kdchoice_prng::Xoshiro256PlusPlus;
+///
+/// let loads = [3, 0, 5];
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// // Worker 1 sampled twice: both tasks go there (heights 1 and 2 < 4).
+/// let w = select_k_least_loaded(&[0, 1, 1], &loads, 2, &mut rng);
+/// assert_eq!(w, vec![1, 1]);
+/// ```
+pub fn select_k_least_loaded<R: RngCore + ?Sized>(
+    samples: &[usize],
+    loads: &[u32],
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(k <= samples.len(), "cannot place {k} tasks on {} slots", samples.len());
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    // (height, random key, worker)
+    let mut slots: Vec<(u32, u64, usize)> = Vec::with_capacity(sorted.len());
+    let mut i = 0;
+    while i < sorted.len() {
+        let w = sorted[i];
+        let base = loads[w];
+        let mut occ = 0u32;
+        while i < sorted.len() && sorted[i] == w {
+            occ += 1;
+            slots.push((base + occ, rng.next_u64(), w));
+            i += 1;
+        }
+    }
+    if k < slots.len() {
+        slots.select_nth_unstable_by(k - 1, |a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    }
+    slots[..k].iter().map(|&(_, _, w)| w).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<String> = [
+            PlacementStrategy::Random,
+            PlacementStrategy::PerTaskDChoice { d: 2 },
+            PlacementStrategy::BatchSampling { probes_per_task: 2 },
+            PlacementStrategy::KdChoice { d: 5 },
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert_eq!(PlacementStrategy::Random.to_string(), "random");
+    }
+
+    #[test]
+    fn select_respects_multiplicity() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(2);
+        let loads = [0, 0, 0, 0];
+        // Worker 0 sampled once, cannot receive both tasks even though it
+        // stays least loaded after one assignment... heights break the tie:
+        // slot heights are 1 (w0), 1 (w1): both tasks spread out.
+        let w = select_k_least_loaded(&[0, 1], &loads, 2, &mut rng);
+        let mut sorted = w.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn select_prefers_low_load() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        let loads = [9, 9, 0, 9];
+        for _ in 0..50 {
+            let w = select_k_least_loaded(&[0, 1, 2, 3], &loads, 1, &mut rng);
+            assert_eq!(w, vec![2]);
+        }
+    }
+
+    #[test]
+    fn select_k_equals_slots_returns_all() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(4);
+        let loads = [1, 2];
+        let mut w = select_k_least_loaded(&[0, 1, 0], &loads, 3, &mut rng);
+        w.sort_unstable();
+        assert_eq!(w, vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn select_rejects_k_above_slots() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        let _ = select_k_least_loaded(&[0], &[0], 2, &mut rng);
+    }
+
+    #[test]
+    fn choose_workers_counts_probes() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(6);
+        let loads = vec![0u32; 16];
+        let (w, p) = PlacementStrategy::Random.choose_workers(&loads, 4, &mut rng);
+        assert_eq!((w.len(), p), (4, 0));
+        let (w, p) =
+            PlacementStrategy::PerTaskDChoice { d: 3 }.choose_workers(&loads, 4, &mut rng);
+        assert_eq!((w.len(), p), (4, 12));
+        let (w, p) = PlacementStrategy::BatchSampling { probes_per_task: 2 }
+            .choose_workers(&loads, 4, &mut rng);
+        assert_eq!((w.len(), p), (4, 8));
+        let (w, p) = PlacementStrategy::KdChoice { d: 5 }.choose_workers(&loads, 4, &mut rng);
+        assert_eq!((w.len(), p), (4, 5));
+    }
+
+    #[test]
+    fn batch_sampling_avoids_hot_workers() {
+        // One cold worker among hot ones: batch sampling with enough probes
+        // should route at least one task to it almost always.
+        let mut rng = Xoshiro256PlusPlus::from_u64(7);
+        let mut loads = vec![10u32; 32];
+        loads[17] = 0;
+        let mut hits = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let (w, _) = PlacementStrategy::BatchSampling { probes_per_task: 8 }
+                .choose_workers(&loads, 4, &mut rng);
+            if w.contains(&17) {
+                hits += 1;
+            }
+        }
+        // P(17 sampled in 32 probes) = 1 - (31/32)^32 ≈ 0.64; if sampled it
+        // is always chosen (load 0).
+        assert!(hits > trials / 3, "cold worker hit only {hits}/{trials}");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs d >= k")]
+    fn kd_strategy_validates_d_at_least_k() {
+        PlacementStrategy::KdChoice { d: 2 }.validate(4, 10);
+    }
+}

@@ -1,0 +1,355 @@
+//! A small deterministic discrete-event simulation engine.
+//!
+//! The paper's two applications (§1.3) — cluster job scheduling and
+//! distributed storage — are queueing systems; this crate provides the
+//! simulation substrate they share:
+//!
+//! * [`EventQueue`] — a time-ordered queue with deterministic FIFO
+//!   tie-breaking (a sequence number disambiguates simultaneous events, so
+//!   runs are bit-reproducible).
+//! * [`Clock`] — monotone simulation time.
+//! * [`TimeWeighted`] — time-weighted averages for state variables such as
+//!   queue lengths.
+//!
+//! ```
+//! use kdchoice_sim::{Clock, EventQueue};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Arrive(u32), Depart(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(2.0, Ev::Depart(1));
+//! q.push(1.0, Ev::Arrive(1));
+//! let mut clock = Clock::new();
+//! let (t, ev) = q.pop().unwrap();
+//! clock.advance_to(t);
+//! assert_eq!(ev, Ev::Arrive(1));
+//! assert_eq!(clock.now(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Monotone simulation time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Clock {
+    now: f64,
+}
+
+impl Clock {
+    /// A clock at time 0.
+    pub fn new() -> Self {
+        Self { now: 0.0 }
+    }
+
+    /// The current time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time or not finite —
+    /// time travel in a discrete-event simulation is always a bug.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t.is_finite(), "non-finite simulation time");
+        assert!(t >= self.now, "time went backwards: {} -> {t}", self.now);
+        self.now = t;
+    }
+}
+
+/// An event scheduled at a time, ordered for the min-heap.
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first;
+        // equal times fall back to insertion order (FIFO).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events with equal timestamps pop in insertion (FIFO) order, which keeps
+/// simulations reproducible across platforms.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite.
+    pub fn push(&mut self, time: f64, event: E) {
+        assert!(time.is_finite(), "non-finite event time");
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+/// A time-weighted running average of a piecewise-constant state variable
+/// (e.g. a queue length): each value contributes proportionally to how long
+/// it was held.
+///
+/// ```
+/// use kdchoice_sim::TimeWeighted;
+///
+/// let mut tw = TimeWeighted::new(0.0, 0.0);
+/// tw.update(2.0, 10.0); // value 0 held on [0,2)
+/// tw.update(4.0, 0.0);  // value 10 held on [2,4)
+/// assert_eq!(tw.average(4.0), 5.0);
+/// assert_eq!(tw.max(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    start: f64,
+    last_time: f64,
+    last_value: f64,
+    integral: f64,
+    max_value: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start_time` with initial `value`.
+    pub fn new(start_time: f64, value: f64) -> Self {
+        Self {
+            start: start_time,
+            last_time: start_time,
+            last_value: value,
+            integral: 0.0,
+            max_value: value,
+        }
+    }
+
+    /// Records that the variable changed to `value` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the previous update.
+    pub fn update(&mut self, t: f64, value: f64) {
+        assert!(t >= self.last_time, "time went backwards");
+        self.integral += self.last_value * (t - self.last_time);
+        self.last_time = t;
+        self.last_value = value;
+        if value > self.max_value {
+            self.max_value = value;
+        }
+    }
+
+    /// The time-weighted average over `[start, end]`. If `end` does not
+    /// exceed the start time, returns the current value.
+    pub fn average(&self, end: f64) -> f64 {
+        let span = end - self.start;
+        if span <= 0.0 {
+            return self.last_value;
+        }
+        let total = self.integral + self.last_value * (end - self.last_time);
+        total / span
+    }
+
+    /// The maximum value seen.
+    pub fn max(&self) -> f64 {
+        self.max_value
+    }
+
+    /// The current (most recently set) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        c.advance_to(1.5);
+        c.advance_to(1.5);
+        c.advance_to(2.0);
+        assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn clock_rejects_regression() {
+        let mut c = Clock::new();
+        c.advance_to(2.0);
+        c.advance_to(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn clock_rejects_nan() {
+        let mut c = Clock::new();
+        c.advance_to(f64::NAN);
+    }
+
+    #[test]
+    fn queue_pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 'c');
+        q.push(1.0, 'a');
+        q.push(2.0, 'b');
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((1.0, 'a')));
+        assert_eq!(q.pop(), Some((2.0, 'b')));
+        assert_eq!(q.pop(), Some((3.0, 'c')));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(1.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((1.0, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_pushes_and_pops_stay_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10.0, 1);
+        q.push(5.0, 0);
+        assert_eq!(q.pop(), Some((5.0, 0)));
+        q.push(7.0, 2);
+        q.push(20.0, 3);
+        assert_eq!(q.pop(), Some((7.0, 2)));
+        assert_eq!(q.pop(), Some((10.0, 1)));
+        assert_eq!(q.pop(), Some((20.0, 3)));
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(5.0, ());
+        q.push(4.0, ());
+        assert_eq!(q.peek_time(), Some(4.0));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn queue_rejects_nan_times() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+
+    #[test]
+    fn debug_impl_is_nonempty() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 7u8);
+        let s = format!("{q:?}");
+        assert!(s.contains("pending"));
+    }
+
+    #[test]
+    fn time_weighted_piecewise_average() {
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.update(1.0, 3.0); // 1 held on [0,1)
+        tw.update(3.0, 0.0); // 3 held on [1,3)
+        // avg over [0,4] = (1*1 + 3*2 + 0*1)/4 = 7/4.
+        assert!((tw.average(4.0) - 1.75).abs() < 1e-12);
+        assert_eq!(tw.max(), 3.0);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_no_updates_is_constant() {
+        let tw = TimeWeighted::new(2.0, 5.0);
+        assert_eq!(tw.average(10.0), 5.0);
+        assert_eq!(tw.average(2.0), 5.0); // degenerate span
+        assert_eq!(tw.average(1.0), 5.0); // before start
+    }
+
+    #[test]
+    fn time_weighted_nonzero_start() {
+        let mut tw = TimeWeighted::new(10.0, 2.0);
+        tw.update(12.0, 4.0);
+        // avg over [10,14] = (2*2 + 4*2)/4 = 3.
+        assert!((tw.average(14.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_weighted_rejects_regression() {
+        let mut tw = TimeWeighted::new(5.0, 0.0);
+        tw.update(4.0, 1.0);
+    }
+}

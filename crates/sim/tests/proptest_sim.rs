@@ -1,0 +1,69 @@
+//! Property-based tests of the discrete-event engine against a reference
+//! model.
+
+use kdchoice_sim::{EventQueue, TimeWeighted};
+use proptest::prelude::*;
+
+proptest! {
+    /// The queue pops events in nondecreasing time order, FIFO within ties,
+    /// and returns exactly the pushed multiset.
+    #[test]
+    fn queue_matches_stable_sort_reference(times in prop::collection::vec(0u32..50, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(f64::from(t), i);
+        }
+        // Reference: stable sort by time preserves insertion order in ties.
+        let mut reference: Vec<(f64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (f64::from(t), i)).collect();
+        reference.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev);
+        }
+        prop_assert_eq!(popped, reference);
+        prop_assert!(q.is_empty());
+    }
+
+    /// Interleaved push/pop never yields out-of-order events when pushes
+    /// are at or after the last popped time (the DES contract).
+    #[test]
+    fn interleaved_operations_stay_ordered(ops in prop::collection::vec((0u32..100, any::<bool>()), 0..200)) {
+        let mut q = EventQueue::new();
+        let mut last_popped = 0.0f64;
+        let mut pending = 0usize;
+        for (t, is_push) in ops {
+            if is_push || pending == 0 {
+                // Schedule in the future of the last pop.
+                let time = last_popped + f64::from(t);
+                q.push(time, ());
+                pending += 1;
+            } else {
+                let (time, ()) = q.pop().unwrap();
+                prop_assert!(time >= last_popped);
+                last_popped = time;
+                pending -= 1;
+            }
+            prop_assert_eq!(q.len(), pending);
+        }
+    }
+
+    /// Time-weighted average is bracketed by the min and max values.
+    #[test]
+    fn time_weighted_average_bracketed(steps in prop::collection::vec((0.01f64..10.0, 0.0f64..100.0), 1..50)) {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        let mut t = 0.0;
+        let mut lo = 0.0f64;
+        let mut hi = 0.0f64;
+        for (dt, v) in steps {
+            t += dt;
+            tw.update(t, v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let end = t + 1.0;
+        let avg = tw.average(end);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+        prop_assert!(tw.max() >= hi);
+    }
+}

@@ -1,0 +1,179 @@
+//! Confidence intervals: Wilson score for proportions, bootstrap for means.
+
+use rand::{Rng, RngCore};
+
+/// A two-sided confidence interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Whether `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// The width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials`, at critical value `z` (1.96 for 95%).
+///
+/// Well-behaved for small counts and extreme proportions, unlike the normal
+/// (Wald) interval.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials`.
+///
+/// ```
+/// use kdchoice_stats::ci::wilson;
+///
+/// let iv = wilson(80, 100, 1.96);
+/// assert!(iv.contains(0.8));
+/// assert!(iv.lo > 0.70 && iv.hi < 0.88);
+/// ```
+pub fn wilson(successes: u64, trials: u64, z: f64) -> Interval {
+    assert!(trials > 0, "wilson interval needs at least one trial");
+    assert!(successes <= trials, "successes exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // At the boundaries the exact endpoints are 0 and 1; pin them so that
+    // floating-point round-off cannot exclude the point estimate.
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        (center - half).clamp(0.0, p)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        (center + half).clamp(p, 1.0)
+    };
+    Interval { lo, hi }
+}
+
+/// Percentile bootstrap confidence interval for the mean of `xs`.
+///
+/// Resamples `xs` with replacement `resamples` times and reports the
+/// `[(1−level)/2, (1+level)/2]` percentiles of the resampled means.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, `resamples == 0`, or `level` is not in (0, 1).
+///
+/// ```
+/// use kdchoice_stats::ci::bootstrap_mean;
+/// use kdchoice_prng::Xoshiro256PlusPlus;
+///
+/// let xs: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// let iv = bootstrap_mean(&xs, 500, 0.95, &mut rng);
+/// assert!(iv.contains(4.5)); // true mean of 0..10 repeated
+/// ```
+pub fn bootstrap_mean<R: RngCore + ?Sized>(
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Interval {
+    assert!(!xs.is_empty(), "bootstrap needs a non-empty sample");
+    assert!(resamples > 0, "bootstrap needs at least one resample");
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "bad level");
+    let n = xs.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += xs[rng.gen_range(0..n)];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::quantile::quantile_sorted(&means, alpha).expect("non-empty");
+    let hi = crate::quantile::quantile_sorted(&means, 1.0 - alpha).expect("non-empty");
+    Interval { lo, hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn wilson_is_inside_unit_interval() {
+        for &(s, t) in &[(0u64, 10u64), (10, 10), (1, 2), (500, 1000)] {
+            let iv = wilson(s, t, 1.96);
+            assert!(iv.lo >= 0.0 && iv.hi <= 1.0);
+            assert!(iv.lo <= iv.hi);
+        }
+    }
+
+    #[test]
+    fn wilson_shrinks_with_more_trials() {
+        let small = wilson(8, 10, 1.96);
+        let large = wilson(800, 1000, 1.96);
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn wilson_zero_and_full_successes() {
+        let zero = wilson(0, 20, 1.96);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.0 && zero.hi < 0.4);
+        let full = wilson(20, 20, 1.96);
+        assert_eq!(full.hi, 1.0);
+        assert!(full.lo > 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_zero_trials() {
+        let _ = wilson(0, 0, 1.96);
+    }
+
+    #[test]
+    fn interval_contains_and_width() {
+        let iv = Interval { lo: 1.0, hi: 3.0 };
+        assert!(iv.contains(1.0) && iv.contains(3.0) && iv.contains(2.0));
+        assert!(!iv.contains(0.99) && !iv.contains(3.01));
+        assert_eq!(iv.width(), 2.0);
+    }
+
+    #[test]
+    fn bootstrap_covers_true_mean() {
+        let xs: Vec<f64> = (0..500).map(|i| (i % 7) as f64).collect();
+        let true_mean = 3.0;
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        let iv = bootstrap_mean(&xs, 400, 0.99, &mut rng);
+        assert!(iv.contains(true_mean), "{iv:?}");
+    }
+
+    #[test]
+    fn bootstrap_degenerate_sample() {
+        let xs = vec![2.5; 50];
+        let mut rng = Xoshiro256PlusPlus::from_u64(6);
+        let iv = bootstrap_mean(&xs, 100, 0.95, &mut rng);
+        assert_eq!(iv.lo, 2.5);
+        assert_eq!(iv.hi, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn bootstrap_rejects_empty() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(7);
+        let _ = bootstrap_mean(&[], 10, 0.95, &mut rng);
+    }
+}

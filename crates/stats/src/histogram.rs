@@ -1,0 +1,248 @@
+//! Integer-valued histograms for bin loads and ball heights.
+//!
+//! The paper's observables ν_y (number of bins with load ≥ y, Lemma 11) and
+//! µ_y (number of balls with height ≥ y, Lemma 2) are suffix sums of exactly
+//! these histograms.
+
+use std::fmt;
+
+/// A dense histogram over small non-negative integer values (bin loads and
+/// ball heights are `O(log n)` in this problem, so dense storage is ideal).
+///
+/// ```
+/// use kdchoice_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.add(3);
+/// h.add(3);
+/// h.add(1);
+/// assert_eq!(h.count(3), 2);
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.count_at_least(2), 2);   // the two 3s
+/// assert_eq!(h.max_value(), Some(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a histogram from `(value, count)` pairs.
+    ///
+    /// ```
+    /// use kdchoice_stats::Histogram;
+    /// let h = Histogram::from_pairs([(0, 5), (2, 1)]);
+    /// assert_eq!(h.total(), 6);
+    /// ```
+    pub fn from_pairs<I: IntoIterator<Item = (u32, u64)>>(pairs: I) -> Self {
+        let mut h = Self::new();
+        for (v, c) in pairs {
+            h.add_count(v, c);
+        }
+        h
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn add(&mut self, value: u32) {
+        self.add_count(value, 1);
+    }
+
+    /// Records `count` observations of `value`.
+    pub fn add_count(&mut self, value: u32, count: u64) {
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += count;
+        self.total += count;
+    }
+
+    /// The number of observations equal to `value`.
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// The total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The number of observations `≥ value` (a suffix sum; this is ν_y / µ_y).
+    pub fn count_at_least(&self, value: u32) -> u64 {
+        let idx = (value as usize).min(self.counts.len());
+        self.counts[idx..].iter().sum()
+    }
+
+    /// The largest observed value, or `None` if empty.
+    pub fn max_value(&self) -> Option<u32> {
+        self.counts.iter().rposition(|&c| c > 0).map(|i| i as u32)
+    }
+
+    /// The smallest observed value, or `None` if empty.
+    pub fn min_value(&self) -> Option<u32> {
+        self.counts.iter().position(|&c| c > 0).map(|i| i as u32)
+    }
+
+    /// The mean of the observations; 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u128 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u128 * c as u128)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Iterates over `(value, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u32, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.add_count(v, c);
+        }
+    }
+
+    /// A borrowed view of the dense counts, indexed by value.
+    pub fn dense_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total == 0 {
+            return write!(f, "(empty histogram)");
+        }
+        let max = self
+            .counts
+            .iter()
+            .copied()
+            .max()
+            .expect("non-empty histogram");
+        for (v, c) in self.iter() {
+            let bar_len = ((c as f64 / max as f64) * 40.0).round() as usize;
+            writeln!(f, "{v:>4} | {:<40} {c}", "#".repeat(bar_len))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<u32> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.add(v);
+        }
+        h
+    }
+}
+
+impl Extend<u32> for Histogram {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.count_at_least(0), 0);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.min_value(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.to_string(), "(empty histogram)");
+    }
+
+    #[test]
+    fn counts_and_suffix_sums() {
+        let h: Histogram = [0u32, 0, 1, 3, 3, 3].into_iter().collect();
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count_at_least(0), 6);
+        assert_eq!(h.count_at_least(1), 4);
+        assert_eq!(h.count_at_least(2), 3);
+        assert_eq!(h.count_at_least(3), 3);
+        assert_eq!(h.count_at_least(4), 0);
+        assert_eq!(h.count_at_least(100), 0);
+    }
+
+    #[test]
+    fn min_max_mean() {
+        let h: Histogram = [2u32, 4, 4, 6].into_iter().collect();
+        assert_eq!(h.min_value(), Some(2));
+        assert_eq!(h.max_value(), Some(6));
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn suffix_sum_is_decreasing() {
+        let h: Histogram = (0u32..20).chain(5..15).collect();
+        let mut prev = u64::MAX;
+        for y in 0..25 {
+            let v = h.count_at_least(y);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::from_pairs([(0, 2), (3, 1)]);
+        let b = Histogram::from_pairs([(3, 4), (5, 1)]);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(3), 5);
+        assert_eq!(a.count(5), 1);
+        assert_eq!(a.total(), 8);
+    }
+
+    #[test]
+    fn iter_skips_zeros() {
+        let h = Histogram::from_pairs([(0, 1), (5, 2)]);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn display_contains_bars() {
+        let h = Histogram::from_pairs([(1, 10)]);
+        let s = h.to_string();
+        assert!(s.contains('#'));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn dense_counts_view() {
+        let h = Histogram::from_pairs([(2, 3)]);
+        assert_eq!(h.dense_counts(), &[0, 0, 3]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Statistics substrate for the `kdchoice` workspace.
+//!
+//! Everything the experiments need to aggregate and compare simulation
+//! output, implemented from scratch:
+//!
+//! * [`summary`] — streaming mean/variance/min/max (Welford).
+//! * [`quantile`] — order statistics on sorted samples.
+//! * [`histogram`] — integer-valued histograms (ball heights, bin loads).
+//! * [`special`] — `ln Γ` (Lanczos), `erf`/`erfc` used by both the hypothesis
+//!   tests and the theory crate's Stirling inversions.
+//! * [`tests`] — two-sample Kolmogorov–Smirnov and Mann–Whitney U tests,
+//!   used to check Property (i) (serialization equivalence) empirically.
+//! * [`ci`] — Wilson score intervals and bootstrap confidence intervals.
+//! * [`order`] — majorization and domination checks on load vectors
+//!   (Definition 2 of the paper).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ci;
+pub mod histogram;
+pub mod order;
+pub mod quantile;
+pub mod special;
+pub mod summary;
+pub mod tests;
+
+pub use histogram::Histogram;
+pub use summary::Summary;

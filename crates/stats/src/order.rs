@@ -1,0 +1,251 @@
+//! Majorization and domination on load vectors (Definition 2 of the paper).
+//!
+//! The paper compares allocation processes through two stochastic orders:
+//!
+//! * **majorization** `A₁ ≤mj A₂`: for every prefix length x and threshold t,
+//!   `Pr(B^{A₁}_{≤x} ≥ t) ≤ Pr(B^{A₂}_{≤x} ≥ t)` — the top-x bins of A₂ are
+//!   (stochastically) at least as full;
+//! * **domination** `A₁ ≤dm A₂`: the same per-coordinate,
+//!   `Pr(B^{A₁}_x ≥ t) ≤ Pr(B^{A₂}_x ≥ t)`.
+//!
+//! This module provides the deterministic, single-realization counterparts
+//! (prefix-sum dominance on sorted vectors) and empirical estimators over
+//! many trials, which the `properties` experiment uses to check Properties
+//! (ii)–(v).
+
+/// Sorts a load vector in descending order (the paper's "bin 1 = most
+/// loaded" convention).
+///
+/// ```
+/// use kdchoice_stats::order::sort_descending;
+/// assert_eq!(sort_descending(&[1, 3, 2]), vec![3, 2, 1]);
+/// ```
+pub fn sort_descending(loads: &[u32]) -> Vec<u32> {
+    let mut v = loads.to_vec();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+/// The prefix sums `B_{≤x}` of a descending-sorted load vector, for
+/// `x = 1..=n`.
+///
+/// ```
+/// use kdchoice_stats::order::prefix_sums;
+/// assert_eq!(prefix_sums(&[3, 2, 1]), vec![3, 5, 6]);
+/// ```
+pub fn prefix_sums(sorted_desc: &[u32]) -> Vec<u64> {
+    let mut acc = 0u64;
+    sorted_desc
+        .iter()
+        .map(|&v| {
+            acc += u64::from(v);
+            acc
+        })
+        .collect()
+}
+
+/// Checks whether the single realization `a` is majorized by `b`
+/// (`a ⪯ b` in the deterministic sense): every prefix sum of the
+/// descending sort of `a` is `≤` the corresponding prefix sum of `b`.
+///
+/// The vectors may have different totals; this matches the paper's remark
+/// that under *domination* the dominated process may even contain fewer
+/// balls.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// ```
+/// use kdchoice_stats::order::is_majorized_by;
+///
+/// // [2,2,2] is flatter than [3,2,1]: majorized.
+/// assert!(is_majorized_by(&[2, 2, 2], &[3, 2, 1]));
+/// assert!(!is_majorized_by(&[3, 2, 1], &[2, 2, 2]));
+/// ```
+pub fn is_majorized_by(a: &[u32], b: &[u32]) -> bool {
+    assert_eq!(a.len(), b.len(), "load vectors must have equal length");
+    let pa = prefix_sums(&sort_descending(a));
+    let pb = prefix_sums(&sort_descending(b));
+    pa.iter().zip(pb.iter()).all(|(x, y)| x <= y)
+}
+
+/// Per-coordinate domination on single realizations: the x-th largest entry
+/// of `a` is `≤` the x-th largest entry of `b` for every x.
+///
+/// ```
+/// use kdchoice_stats::order::is_dominated_by;
+/// assert!(is_dominated_by(&[2, 1, 1], &[2, 2, 1]));
+/// assert!(!is_dominated_by(&[3, 0, 0], &[2, 2, 2]));
+/// ```
+pub fn is_dominated_by(a: &[u32], b: &[u32]) -> bool {
+    assert_eq!(a.len(), b.len(), "load vectors must have equal length");
+    let sa = sort_descending(a);
+    let sb = sort_descending(b);
+    sa.iter().zip(sb.iter()).all(|(x, y)| x <= y)
+}
+
+/// Empirical estimate of the majorization order between two *processes*
+/// from many independent realizations of each.
+///
+/// For each prefix length x it compares the trial-averaged prefix sums
+/// `E[B_{≤x}]` (a necessary consequence of Definition 2(ii) via linearity),
+/// and reports the largest relative violation
+/// `max_x (mean_a(x) − mean_b(x)) / max(mean_b(x), 1)`.
+///
+/// A process pair satisfying `A ≤mj B` should produce a violation that is
+/// zero up to sampling noise; the experiments assert it is below a small
+/// tolerance.
+///
+/// # Panics
+///
+/// Panics if the trial sets are empty or contain vectors of differing
+/// lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MajorizationReport {
+    /// Largest relative violation of `E[B^a_{≤x}] ≤ E[B^b_{≤x}]` over x.
+    pub max_relative_violation: f64,
+    /// The prefix length attaining it.
+    pub argmax_prefix: usize,
+    /// Fraction of prefix lengths with any violation at all.
+    pub violated_fraction: f64,
+}
+
+/// Computes a [`MajorizationReport`] for "is `a` majorized by `b`?".
+pub fn empirical_majorization(a_trials: &[Vec<u32>], b_trials: &[Vec<u32>]) -> MajorizationReport {
+    assert!(
+        !a_trials.is_empty() && !b_trials.is_empty(),
+        "need at least one trial per process"
+    );
+    let n = a_trials[0].len();
+    assert!(
+        a_trials.iter().chain(b_trials.iter()).all(|v| v.len() == n),
+        "all trials must have the same number of bins"
+    );
+    let mean_prefix = |trials: &[Vec<u32>]| -> Vec<f64> {
+        let mut acc = vec![0.0f64; n];
+        for t in trials {
+            for (i, &p) in prefix_sums(&sort_descending(t)).iter().enumerate() {
+                acc[i] += p as f64;
+            }
+        }
+        for v in &mut acc {
+            *v /= trials.len() as f64;
+        }
+        acc
+    };
+    let ma = mean_prefix(a_trials);
+    let mb = mean_prefix(b_trials);
+    let mut worst = f64::NEG_INFINITY;
+    let mut arg = 0usize;
+    let mut violated = 0usize;
+    for x in 0..n {
+        let rel = (ma[x] - mb[x]) / mb[x].max(1.0);
+        if rel > worst {
+            worst = rel;
+            arg = x + 1;
+        }
+        if rel > 0.0 {
+            violated += 1;
+        }
+    }
+    MajorizationReport {
+        max_relative_violation: worst.max(0.0),
+        argmax_prefix: arg,
+        violated_fraction: violated as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_descending_works() {
+        assert_eq!(sort_descending(&[]), Vec::<u32>::new());
+        assert_eq!(sort_descending(&[5]), vec![5]);
+        assert_eq!(sort_descending(&[0, 2, 1, 2]), vec![2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn prefix_sums_monotone() {
+        let p = prefix_sums(&[4, 2, 2, 0]);
+        assert_eq!(p, vec![4, 6, 8, 8]);
+    }
+
+    #[test]
+    fn majorization_is_reflexive() {
+        let v = [3u32, 1, 4, 1, 5];
+        assert!(is_majorized_by(&v, &v));
+        assert!(is_dominated_by(&v, &v));
+    }
+
+    #[test]
+    fn flatter_vector_is_majorized() {
+        // Same total (9): [3,3,3] ⪯ [4,3,2] ⪯ [9,0,0].
+        assert!(is_majorized_by(&[3, 3, 3], &[4, 3, 2]));
+        assert!(is_majorized_by(&[4, 3, 2], &[9, 0, 0]));
+        assert!(is_majorized_by(&[3, 3, 3], &[9, 0, 0]));
+        assert!(!is_majorized_by(&[9, 0, 0], &[4, 3, 2]));
+    }
+
+    #[test]
+    fn majorization_with_fewer_balls() {
+        // Strictly smaller everywhere also majorizes upward.
+        assert!(is_majorized_by(&[1, 1, 0], &[2, 1, 1]));
+    }
+
+    #[test]
+    fn domination_implies_majorization() {
+        let pairs: [(&[u32], &[u32]); 3] = [
+            (&[2, 1, 1], &[2, 2, 1]),
+            (&[0, 0, 0], &[1, 0, 0]),
+            (&[3, 3, 1], &[3, 3, 2]),
+        ];
+        for (a, b) in pairs {
+            assert!(is_dominated_by(a, b));
+            assert!(is_majorized_by(a, b), "domination must imply majorization");
+        }
+    }
+
+    #[test]
+    fn majorization_does_not_imply_domination() {
+        // [3,3] ⪯ [5,2] in prefix sums (3≤5, 6≤7) but coordinate 2: 3 > 2.
+        assert!(is_majorized_by(&[3, 3], &[5, 2]));
+        assert!(!is_dominated_by(&[3, 3], &[5, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn majorization_rejects_length_mismatch() {
+        let _ = is_majorized_by(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn empirical_majorization_detects_clean_order() {
+        let a = vec![vec![2u32, 2, 2]; 10];
+        let b = vec![vec![4u32, 1, 1]; 10];
+        let r = empirical_majorization(&a, &b);
+        assert_eq!(r.max_relative_violation, 0.0);
+        assert_eq!(r.violated_fraction, 0.0);
+    }
+
+    #[test]
+    fn empirical_majorization_detects_violation() {
+        let a = vec![vec![5u32, 0, 0]; 10];
+        let b = vec![vec![2u32, 2, 2]; 10];
+        let r = empirical_majorization(&a, &b);
+        assert!(r.max_relative_violation > 0.5);
+        assert_eq!(r.argmax_prefix, 1);
+        assert!(r.violated_fraction > 0.0);
+    }
+
+    #[test]
+    fn empirical_majorization_averages_over_trials() {
+        // a alternates between flat and spiky; on average still below b.
+        let a = vec![vec![3u32, 0, 0], vec![0, 0, 0]];
+        let b = vec![vec![2u32, 1, 1], vec![2, 1, 1]];
+        let r = empirical_majorization(&a, &b);
+        assert_eq!(r.max_relative_violation, 0.0);
+    }
+}

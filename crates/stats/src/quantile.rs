@@ -1,0 +1,150 @@
+//! Order statistics: quantiles and empirical CDFs on sample vectors.
+
+/// Returns the `q`-quantile (`0 ≤ q ≤ 1`) of a **sorted** slice using linear
+/// interpolation between closest ranks (type-7 estimator, the R/NumPy
+/// default).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is not in `[0, 1]` or the slice is not sorted (checked only
+/// in debug builds).
+///
+/// ```
+/// use kdchoice_stats::quantile::quantile_sorted;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile_sorted(&xs, 0.0), Some(1.0));
+/// assert_eq!(quantile_sorted(&xs, 1.0), Some(4.0));
+/// assert_eq!(quantile_sorted(&xs, 0.5), Some(2.5));
+/// ```
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    if sorted.is_empty() {
+        return None;
+    }
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Sorts a copy of `xs` and returns the requested quantiles.
+///
+/// Convenience wrapper over [`quantile_sorted`]; returns an empty vector when
+/// `xs` is empty.
+pub fn quantiles(xs: &[f64], qs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    qs.iter()
+        .map(|&q| quantile_sorted(&sorted, q).expect("non-empty"))
+        .collect()
+}
+
+/// The median of `xs`, or `None` if empty.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(quantiles(xs, &[0.5])[0])
+}
+
+/// Evaluates the empirical CDF of a **sorted** sample at `x`:
+/// the fraction of observations `≤ x`.
+///
+/// ```
+/// use kdchoice_stats::quantile::ecdf_sorted;
+///
+/// let xs = [1.0, 2.0, 2.0, 5.0];
+/// assert_eq!(ecdf_sorted(&xs, 0.5), 0.0);
+/// assert_eq!(ecdf_sorted(&xs, 2.0), 0.75);
+/// assert_eq!(ecdf_sorted(&xs, 9.0), 1.0);
+/// ```
+pub fn ecdf_sorted(sorted: &[f64], x: f64) -> f64 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let count = sorted.partition_point(|&v| v <= x);
+    count as f64 / sorted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+        assert!(quantiles(&[], &[0.5]).is_empty());
+    }
+
+    #[test]
+    fn quantile_singleton() {
+        let xs = [7.0];
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(quantile_sorted(&xs, q), Some(7.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn quantiles_handle_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        let qs = quantiles(&xs, &[0.0, 0.5, 1.0]);
+        assert_eq!(qs, vec![1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&xs, 0.3), Some(3.0));
+        assert_eq!(quantile_sorted(&xs, 0.77), Some(7.7));
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let xs = [1.0, 1.0, 2.0, 3.5, 8.0, 13.0];
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = quantile_sorted(&xs, q).unwrap();
+            assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ecdf_basics() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(ecdf_sorted(&xs, 0.0), 0.0);
+        assert_eq!(ecdf_sorted(&xs, 1.0), 1.0 / 3.0);
+        assert_eq!(ecdf_sorted(&xs, 2.5), 2.0 / 3.0);
+        assert_eq!(ecdf_sorted(&xs, 3.0), 1.0);
+        assert_eq!(ecdf_sorted(&[], 3.0), 0.0);
+    }
+}

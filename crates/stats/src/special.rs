@@ -1,0 +1,223 @@
+//! Special functions: `ln Γ`, `erf`, `erfc`, and the standard normal CDF.
+//!
+//! The theory crate inverts Stirling-type inequalities such as `y! ≤ 48·dk`
+//! (Theorem 3) and the hypothesis tests need normal tail probabilities; both
+//! are built on the implementations here. No external math crates are used.
+
+/// Natural log of the Gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with the classic g=7, n=9 coefficient set,
+/// giving ~15 significant digits over the positive reals.
+///
+/// # Panics
+///
+/// Panics if `x ≤ 0` or `x` is not finite.
+///
+/// ```
+/// use kdchoice_stats::special::ln_gamma;
+///
+/// // Γ(5) = 4! = 24.
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(
+        x.is_finite() && x > 0.0,
+        "ln_gamma requires finite x > 0, got {x}"
+    );
+    // Lanczos g = 7, n = 9 coefficients (Godfrey / Numerical Recipes lineage).
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural log of `n!`, exact dispatch to `ln Γ(n+1)`.
+///
+/// ```
+/// use kdchoice_stats::special::ln_factorial;
+/// assert!((ln_factorial(4) - 24f64.ln()).abs() < 1e-12);
+/// assert_eq!(ln_factorial(0), 0.0);
+/// ```
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        0.0
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is 0).
+///
+/// ```
+/// use kdchoice_stats::special::ln_binomial;
+/// assert!((ln_binomial(5, 2) - 10f64.ln()).abs() < 1e-12);
+/// assert_eq!(ln_binomial(3, 7), f64::NEG_INFINITY);
+/// ```
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// The error function `erf(x)`, accurate to ~1.2e-7 (Abramowitz & Stegun
+/// 7.1.26), which is ample for p-values in the statistical tests here.
+///
+/// ```
+/// use kdchoice_stats::special::erf;
+/// assert!(erf(0.0).abs() < 1e-8);
+/// assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+/// assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// The standard normal CDF `Φ(z)`.
+///
+/// ```
+/// use kdchoice_stats::special::normal_cdf;
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+/// assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+/// ```
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..20u32 {
+            fact *= n as f64;
+            assert!(
+                (ln_gamma(n as f64 + 1.0) - fact.ln()).abs() < 1e-10,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(π).
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-12);
+        // Γ(3/2) = sqrt(π)/2.
+        let want = (std::f64::consts::PI.sqrt() / 2.0).ln();
+        assert!((ln_gamma(1.5) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x·Γ(x) at assorted points.
+        for &x in &[0.1, 0.7, 1.3, 2.9, 17.5, 123.4] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-9, "x={x}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires finite x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_binomial_symmetry_and_pascal() {
+        for n in 1..30u64 {
+            for k in 0..=n {
+                let a = ln_binomial(n, k);
+                let b = ln_binomial(n, n - k);
+                assert!((a - b).abs() < 1e-9, "symmetry at ({n},{k})");
+            }
+        }
+        // Pascal: C(10,4) = C(9,3) + C(9,4) -> check in linear space.
+        let c = ln_binomial(10, 4).exp();
+        let s = ln_binomial(9, 3).exp() + ln_binomial(9, 4).exp();
+        assert!((c - s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in 0..100 {
+            let x = i as f64 * 0.07;
+            assert!((erf(x) + erf(-x)).abs() < 1e-7);
+            assert!(erf(x) <= 1.0 && erf(x) >= 0.0);
+        }
+        assert!((erf(3.0) - 0.9999779).abs() < 1e-5);
+    }
+
+    #[test]
+    fn erfc_complements() {
+        for &x in &[-2.0, -0.3, 0.0, 0.5, 1.7] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_points() {
+        assert!((normal_cdf(-1.6449) - 0.05).abs() < 1e-3);
+        assert!((normal_cdf(1.6449) - 0.95).abs() < 1e-3);
+        assert!((normal_cdf(2.5758) - 0.995).abs() < 1e-3);
+        assert!(normal_cdf(-8.0) < 1e-6);
+        assert!(normal_cdf(8.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let v = normal_cdf(i as f64 * 0.1);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Streaming univariate summaries (Welford's online algorithm).
+
+use std::fmt;
+
+/// A streaming summary of a sequence of `f64` observations: count, mean,
+/// variance (via Welford's numerically stable recurrence), min, and max.
+///
+/// ```
+/// use kdchoice_stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(4.0));
+/// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from an iterator of observations.
+    ///
+    /// ```
+    /// use kdchoice_stats::Summary;
+    /// let s = Summary::from_iter([2.0, 4.0]);
+    /// assert_eq!(s.mean(), 3.0);
+    /// ```
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The mean; 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The population variance (divides by n); 0 if fewer than 1 observation.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// The sample variance (divides by n−1); 0 if fewer than 2 observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// The sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// The standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_std() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// The minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// The maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean,
+            self.sample_std(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = Summary::new();
+        s.push(5.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 37) % 17) as f64 * 0.5).collect();
+        let s = Summary::from_iter(data.iter().copied());
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..70).map(|i| 3.0 - i as f64 * 0.05).collect();
+        let mut merged = Summary::from_iter(a.iter().copied());
+        merged.merge(&Summary::from_iter(b.iter().copied()));
+        let all = Summary::from_iter(a.into_iter().chain(b));
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.sample_variance() - all.sample_variance()).abs() < 1e-10);
+        assert_eq!(merged.min(), all.min());
+        assert_eq!(merged.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_iter([1.0, 2.0]);
+        let before = s.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_trait_works() {
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Summary::from_iter([1.0]);
+        assert!(s.to_string().contains("n=1"));
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let offset = 1e9;
+        let s = Summary::from_iter([offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0]);
+        assert!((s.mean() - (offset + 10.0)).abs() < 1e-3);
+        assert!((s.sample_variance() - 30.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,271 @@
+//! Two-sample hypothesis tests.
+//!
+//! Used to check the paper's Property (i) — the serialized process Aσ and the
+//! round process A are *equivalent in distribution* — and, in reverse, to
+//! confirm that genuinely different processes (e.g. single choice vs
+//! two-choice) are told apart.
+
+use crate::special::normal_cdf;
+
+/// The result of a two-sample test: the test statistic and the (asymptotic,
+/// two-sided) p-value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The value of the test statistic (D for KS, |z| for Mann–Whitney).
+    pub statistic: f64,
+    /// The asymptotic two-sided p-value in `[0, 1]`.
+    pub p_value: f64,
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Computes the KS statistic `D = sup |F₁ − F₂|` between the empirical CDFs
+/// of `a` and `b`, and the asymptotic p-value via the Kolmogorov
+/// distribution `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}`.
+///
+/// Note: the asymptotic p-value is conservative for heavily tied (discrete)
+/// data such as max-load samples; the experiments use it only for *shape*
+/// comparison with generous thresholds.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+///
+/// ```
+/// use kdchoice_stats::tests::ks_two_sample;
+///
+/// let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let b: Vec<f64> = (0..100).map(|i| i as f64 + 0.5).collect();
+/// let r = ks_two_sample(&a, &b);
+/// assert!(r.statistic < 0.05); // nearly identical distributions
+/// assert!(r.p_value > 0.9);
+/// ```
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (na, nb) = (sa.len(), sb.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let x = sa[i].min(sb[j]);
+        while i < na && sa[i] <= x {
+            i += 1;
+        }
+        while j < nb && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let en = ((na * nb) as f64 / (na + nb) as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    TestResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// The Kolmogorov survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Two-sample Mann–Whitney U test (normal approximation with tie
+/// correction).
+///
+/// More sensitive than KS for the small-support integer distributions (max
+/// loads take only a handful of values) that dominate this workspace.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+///
+/// ```
+/// use kdchoice_stats::tests::mann_whitney_u;
+///
+/// let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+/// let b = vec![11.0, 12.0, 13.0, 14.0, 15.0];
+/// let r = mann_whitney_u(&a, &b);
+/// assert!(r.p_value < 0.02); // clearly shifted
+/// ```
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "Mann-Whitney needs non-empty samples"
+    );
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    // Rank the pooled sample with midranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|p, q| p.0.total_cmp(&q.0));
+    let n = pooled.len();
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_term = 0.0f64;
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j < n && pooled[j].0 == pooled[i].0 {
+            j += 1;
+        }
+        let count = (j - i) as f64;
+        // Midrank of the tie group (1-based ranks i+1 ..= j).
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for p in &pooled[i..j] {
+            if p.1 == 0 {
+                rank_sum_a += midrank;
+            }
+        }
+        tie_term += count * (count * count - 1.0);
+        i = j;
+    }
+    let u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+    let mean_u = na * nb / 2.0;
+    let n_tot = na + nb;
+    let var_u = na * nb / 12.0 * ((n_tot + 1.0) - tie_term / (n_tot * (n_tot - 1.0)));
+    if var_u <= 0.0 {
+        // All observations identical: no evidence of difference.
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
+    }
+    // Continuity correction.
+    let z = (u_a - mean_u - 0.5 * (u_a - mean_u).signum()) / var_u.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    TestResult {
+        statistic: z.abs(),
+        p_value: p.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+    use rand::Rng;
+
+    fn uniform_sample(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+
+    #[test]
+    fn ks_identical_samples_high_p() {
+        let a = uniform_sample(1, 500, 0.0, 1.0);
+        let r = ks_two_sample(&a, &a);
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn ks_same_distribution_high_p() {
+        let a = uniform_sample(1, 800, 0.0, 1.0);
+        let b = uniform_sample(2, 800, 0.0, 1.0);
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value > 0.01, "false positive: p={}", r.p_value);
+    }
+
+    #[test]
+    fn ks_detects_shift() {
+        let a = uniform_sample(3, 800, 0.0, 1.0);
+        let b = uniform_sample(4, 800, 0.3, 1.3);
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic > 0.2);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn ks_is_symmetric() {
+        let a = uniform_sample(5, 300, 0.0, 1.0);
+        let b = uniform_sample(6, 400, 0.1, 1.1);
+        let r1 = ks_two_sample(&a, &b);
+        let r2 = ks_two_sample(&b, &a);
+        assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ks_rejects_empty() {
+        let _ = ks_two_sample(&[], &[1.0]);
+    }
+
+    #[test]
+    fn ks_statistic_on_disjoint_supports_is_one() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 11.0];
+        let r = ks_two_sample(&a, &b);
+        assert_eq!(r.statistic, 1.0);
+    }
+
+    #[test]
+    fn kolmogorov_q_boundaries() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > 0.9);
+        assert!(kolmogorov_q(2.0) < 0.001);
+    }
+
+    #[test]
+    fn mwu_identical_discrete_samples_high_p() {
+        // Heavily tied data, like max-load observations.
+        let a = vec![3.0, 3.0, 4.0, 4.0, 4.0, 3.0, 4.0, 3.0];
+        let r = mann_whitney_u(&a, &a);
+        assert!(r.p_value > 0.8, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn mwu_all_equal_returns_p_one() {
+        let a = vec![2.0; 10];
+        let b = vec![2.0; 12];
+        let r = mann_whitney_u(&a, &b);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn mwu_detects_discrete_shift() {
+        let a = vec![3.0; 40];
+        let b = vec![4.0; 40];
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p_value < 1e-6, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn mwu_same_distribution_high_p() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(9);
+        let a: Vec<f64> = (0..400).map(|_| rng.gen_range(0..5) as f64).collect();
+        let b: Vec<f64> = (0..400).map(|_| rng.gen_range(0..5) as f64).collect();
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p_value > 0.01, "false positive: p={}", r.p_value);
+    }
+
+    #[test]
+    fn mwu_is_symmetric_in_p() {
+        let a = vec![1.0, 5.0, 2.0, 8.0];
+        let b = vec![3.0, 3.0, 9.0];
+        let r1 = mann_whitney_u(&a, &b);
+        let r2 = mann_whitney_u(&b, &a);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+    }
+}

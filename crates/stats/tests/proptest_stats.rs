@@ -1,0 +1,192 @@
+//! Property-based tests of the statistics substrate.
+
+use kdchoice_stats::ci::wilson;
+use kdchoice_stats::histogram::Histogram;
+use kdchoice_stats::order::{is_dominated_by, is_majorized_by, prefix_sums, sort_descending};
+use kdchoice_stats::quantile::{ecdf_sorted, median, quantile_sorted, quantiles};
+use kdchoice_stats::special::{erf, ln_binomial, ln_factorial, ln_gamma, normal_cdf};
+use kdchoice_stats::summary::Summary;
+use kdchoice_stats::tests::{ks_two_sample, mann_whitney_u};
+use proptest::prelude::*;
+
+fn finite_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..100)
+}
+
+proptest! {
+    /// Welford mean/min/max bracket every observation.
+    #[test]
+    fn summary_brackets_observations(xs in finite_vec()) {
+        let s = Summary::from_iter(xs.iter().copied());
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.count() as usize, xs.len());
+        prop_assert!(s.mean() >= min - 1e-6 && s.mean() <= max + 1e-6);
+        prop_assert_eq!(s.min().unwrap(), min);
+        prop_assert_eq!(s.max().unwrap(), max);
+        prop_assert!(s.sample_variance() >= 0.0);
+    }
+
+    /// Merging summaries equals summarizing the concatenation.
+    #[test]
+    fn summary_merge_is_concat(a in finite_vec(), b in finite_vec()) {
+        let mut m = Summary::from_iter(a.iter().copied());
+        m.merge(&Summary::from_iter(b.iter().copied()));
+        let all = Summary::from_iter(a.into_iter().chain(b));
+        prop_assert_eq!(m.count(), all.count());
+        prop_assert!((m.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((m.sample_variance() - all.sample_variance()).abs()
+            < 1e-3 * (1.0 + all.sample_variance()));
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(xs in finite_vec()) {
+        let qs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let vals = quantiles(&xs, &qs);
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(vals[0], min);
+        prop_assert_eq!(vals[10], max);
+        prop_assert!(median(&xs).unwrap() >= min && median(&xs).unwrap() <= max);
+    }
+
+    /// The ECDF is a CDF: monotone, 0 before min, 1 at max.
+    #[test]
+    fn ecdf_is_a_cdf(mut xs in finite_vec()) {
+        xs.sort_by(f64::total_cmp);
+        let lo = xs[0];
+        let hi = xs[xs.len() - 1];
+        prop_assert_eq!(ecdf_sorted(&xs, lo - 1.0), 0.0);
+        prop_assert_eq!(ecdf_sorted(&xs, hi), 1.0);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = lo + (hi - lo) * i as f64 / 20.0;
+            let v = ecdf_sorted(&xs, x);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    /// Histogram totals and suffix sums are consistent.
+    #[test]
+    fn histogram_consistency(vals in prop::collection::vec(0u32..64, 0..200)) {
+        let h: Histogram = vals.iter().copied().collect();
+        prop_assert_eq!(h.total() as usize, vals.len());
+        prop_assert_eq!(h.count_at_least(0) as usize, vals.len());
+        for y in 0..70u32 {
+            let expected = vals.iter().filter(|&&v| v >= y).count() as u64;
+            prop_assert_eq!(h.count_at_least(y), expected);
+        }
+        if let Some(max) = h.max_value() {
+            prop_assert_eq!(Some(max), vals.iter().copied().max());
+        }
+    }
+
+    /// Majorization is reflexive; domination implies majorization.
+    #[test]
+    fn order_relations(a in prop::collection::vec(0u32..20, 1..30)) {
+        prop_assert!(is_majorized_by(&a, &a));
+        prop_assert!(is_dominated_by(&a, &a));
+        // Adding one ball to the largest entry dominates the original.
+        let mut b = sort_descending(&a);
+        b[0] += 1;
+        prop_assert!(is_dominated_by(&a, &b));
+        prop_assert!(is_majorized_by(&a, &b));
+    }
+
+    /// Prefix sums are monotone and end at the total.
+    #[test]
+    fn prefix_sums_shape(a in prop::collection::vec(0u32..50, 1..40)) {
+        let sorted = sort_descending(&a);
+        let ps = prefix_sums(&sorted);
+        for w in ps.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(*ps.last().unwrap(), a.iter().map(|&x| u64::from(x)).sum::<u64>());
+    }
+
+    /// KS statistic is within [0,1]; identical samples give 0.
+    #[test]
+    fn ks_statistic_bounds(a in finite_vec(), b in finite_vec()) {
+        let r = ks_two_sample(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.statistic));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        let same = ks_two_sample(&a, &a);
+        prop_assert_eq!(same.statistic, 0.0);
+    }
+
+    /// MWU p-values are probabilities and symmetric in the inputs.
+    #[test]
+    fn mwu_p_bounds(a in finite_vec(), b in finite_vec()) {
+        let r1 = mann_whitney_u(&a, &b);
+        let r2 = mann_whitney_u(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+    }
+
+    /// Wilson intervals are valid probability intervals containing p-hat.
+    #[test]
+    fn wilson_contains_point_estimate(s in 0u64..=100, extra in 0u64..100) {
+        let t = s + extra;
+        prop_assume!(t > 0);
+        let iv = wilson(s, t, 1.96);
+        let p_hat = s as f64 / t as f64;
+        prop_assert!(iv.lo >= 0.0 && iv.hi <= 1.0);
+        prop_assert!(iv.contains(p_hat));
+    }
+
+    /// ln Γ satisfies the recurrence on arbitrary positive reals.
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..500.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-7 * (1.0 + lhs.abs()));
+    }
+
+    /// ln n! is increasing and superadditive-ish; matches direct products.
+    #[test]
+    fn ln_factorial_matches_products(n in 0u64..20) {
+        let direct: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
+        prop_assert!((ln_factorial(n) - direct).abs() < 1e-8);
+    }
+
+    /// Binomials: C(n,0) = C(n,n) = 1 and symmetry.
+    #[test]
+    fn binomial_symmetry(n in 0u64..60, k in 0u64..60) {
+        prop_assume!(k <= n);
+        prop_assert!((ln_binomial(n, 0)).abs() < 1e-9);
+        prop_assert!((ln_binomial(n, n)).abs() < 1e-9);
+        prop_assert!((ln_binomial(n, k) - ln_binomial(n, n - k)).abs() < 1e-7);
+    }
+
+    /// erf is odd, bounded, monotone; Φ is a CDF.
+    #[test]
+    fn erf_and_phi_shapes(x in -6.0f64..6.0, y in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-7);
+        prop_assert!(erf(x).abs() <= 1.0);
+        if x < y {
+            prop_assert!(erf(x) <= erf(y) + 1e-9);
+            prop_assert!(normal_cdf(x) <= normal_cdf(y) + 1e-9);
+        }
+        prop_assert!((0.0..=1.0).contains(&normal_cdf(x)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantile interpolation stays within neighbouring order statistics.
+    #[test]
+    fn quantile_between_neighbours(mut xs in prop::collection::vec(-1e3f64..1e3, 2..50), q in 0.0f64..1.0) {
+        xs.sort_by(f64::total_cmp);
+        let v = quantile_sorted(&xs, q).unwrap();
+        let h = q * (xs.len() - 1) as f64;
+        let lo = xs[h.floor() as usize];
+        let hi = xs[h.ceil() as usize];
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+}

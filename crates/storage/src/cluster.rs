@@ -1,0 +1,580 @@
+//! The storage cluster: servers, chunk placement, reads, and failure
+//! recovery.
+
+use rand::{Rng, RngCore};
+
+/// How a file's `k` chunks pick their servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PlacementPolicy {
+    /// The paper's scheme: sample `d` alive servers i.u.r. (with
+    /// replacement) and store the `k` chunks on the `k` least loaded,
+    /// multiplicities respected. Placement costs `d` probe messages; a read
+    /// costs `k + 1` (one directory lookup + `k` fetches).
+    KdChoice {
+        /// Probes per file creation (`d ≥ k`).
+        d: usize,
+    },
+    /// Each chunk independently picks the less loaded of 2 sampled servers.
+    /// Placement costs `2k` probes; §1.3 charges reads `2k` messages (two
+    /// candidate locations per chunk must be addressed).
+    PerChunkTwoChoice,
+    /// Each chunk goes to a uniformly random alive server; no probes; reads
+    /// cost `k + 1` via the directory.
+    Random,
+}
+
+impl PlacementPolicy {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            PlacementPolicy::KdChoice { d } => format!("(k,{d})-choice"),
+            PlacementPolicy::PerChunkTwoChoice => "per-chunk 2-choice".to_string(),
+            PlacementPolicy::Random => "random".to_string(),
+        }
+    }
+}
+
+/// One stored chunk's identity: `(file, chunk index)`.
+type ChunkId = (u32, u16);
+
+/// A storage server.
+#[derive(Debug, Clone)]
+struct Server {
+    /// Chunks held, for recovery enumeration.
+    chunks: Vec<ChunkId>,
+    alive: bool,
+    /// Relative capacity; placement compares `chunks/capacity` so that a
+    /// 2x-capacity server absorbs 2x the chunks (heterogeneous clusters).
+    capacity: f64,
+}
+
+/// Message-cost and load statistics of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageStats {
+    /// Alive servers.
+    pub alive_servers: usize,
+    /// Total chunks stored on alive servers.
+    pub total_chunks: u64,
+    /// Maximum chunks on any alive server.
+    pub max_load: u32,
+    /// Mean chunks per alive server.
+    pub mean_load: f64,
+    /// `max_load / mean_load` (1.0 when empty).
+    pub imbalance: f64,
+    /// Probe messages spent on placement so far.
+    pub placement_messages: u64,
+    /// Messages spent on reads so far.
+    pub read_messages: u64,
+    /// Chunks re-replicated due to failures so far.
+    pub recovered_chunks: u64,
+    /// Probe messages spent during recovery so far.
+    pub recovery_messages: u64,
+}
+
+/// A simulated storage cluster.
+///
+/// ```
+/// use kdchoice_storage::{PlacementPolicy, StorageCluster};
+/// use kdchoice_prng::Xoshiro256PlusPlus;
+///
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// let mut cluster = StorageCluster::new(50, 4, PlacementPolicy::KdChoice { d: 8 });
+/// let file = cluster.create_file(&mut rng);
+/// assert_eq!(cluster.read_file(file), 5); // k + 1 messages
+/// let stats = cluster.stats();
+/// assert_eq!(stats.total_chunks, 4);
+/// ```
+#[derive(Debug)]
+pub struct StorageCluster {
+    servers: Vec<Server>,
+    /// Indices of alive servers (for uniform sampling among the living).
+    alive: Vec<usize>,
+    /// `alive_pos[s]` = position of server `s` in `alive`, or `usize::MAX`.
+    alive_pos: Vec<usize>,
+    /// `files[f][c]` = server holding chunk `c` of file `f`.
+    files: Vec<Vec<usize>>,
+    chunks_per_file: usize,
+    policy: PlacementPolicy,
+    placement_messages: u64,
+    read_messages: u64,
+    recovered_chunks: u64,
+    recovery_messages: u64,
+}
+
+impl StorageCluster {
+    /// Creates a cluster of `servers` empty alive servers storing files of
+    /// `chunks_per_file` chunks under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`, `chunks_per_file == 0`, or the policy's
+    /// probe count is smaller than `chunks_per_file`.
+    pub fn new(servers: usize, chunks_per_file: usize, policy: PlacementPolicy) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(chunks_per_file > 0, "need at least one chunk per file");
+        if let PlacementPolicy::KdChoice { d } = policy {
+            assert!(
+                d >= chunks_per_file,
+                "(k,d)-choice placement needs d >= k (k={chunks_per_file}, d={d})"
+            );
+        }
+        Self {
+            servers: (0..servers)
+                .map(|_| Server {
+                    chunks: Vec::new(),
+                    alive: true,
+                    capacity: 1.0,
+                })
+                .collect(),
+            alive: (0..servers).collect(),
+            alive_pos: (0..servers).collect(),
+            files: Vec::new(),
+            chunks_per_file,
+            policy,
+            placement_messages: 0,
+            read_messages: 0,
+            recovered_chunks: 0,
+            recovery_messages: 0,
+        }
+    }
+
+    /// Assigns heterogeneous relative capacities. Placement then compares
+    /// *effective* loads `chunks/capacity`, so a capacity-2 server absorbs
+    /// about twice the chunks of a capacity-1 server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the server count or any
+    /// capacity is not finite and positive.
+    #[must_use]
+    pub fn with_capacities(mut self, capacities: &[f64]) -> Self {
+        assert_eq!(
+            capacities.len(),
+            self.servers.len(),
+            "one capacity per server"
+        );
+        assert!(
+            capacities.iter().all(|c| c.is_finite() && *c > 0.0),
+            "capacities must be finite and positive"
+        );
+        for (s, &c) in self.servers.iter_mut().zip(capacities) {
+            s.capacity = c;
+        }
+        self
+    }
+
+    /// Chunks per file, `k`.
+    pub fn chunks_per_file(&self) -> usize {
+        self.chunks_per_file
+    }
+
+    /// The placement policy.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// The number of alive servers.
+    pub fn alive_servers(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// The number of files ever created.
+    pub fn files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The chunk count of an alive server (its "load").
+    fn load(&self, server: usize) -> u32 {
+        self.servers[server].chunks.len() as u32
+    }
+
+    /// The capacity-normalized load `chunks/capacity` used for placement.
+    fn effective_load(&self, server: usize) -> f64 {
+        self.servers[server].chunks.len() as f64 / self.servers[server].capacity
+    }
+
+    /// Places `count` chunks on servers chosen by the policy among the
+    /// alive servers; returns `(destinations, probe_messages)`.
+    fn place<R: RngCore + ?Sized>(&self, count: usize, rng: &mut R) -> (Vec<usize>, u64) {
+        let alive = &self.alive;
+        assert!(!alive.is_empty(), "no alive servers left");
+        match self.policy {
+            PlacementPolicy::Random => {
+                let dest = (0..count)
+                    .map(|_| alive[rng.gen_range(0..alive.len())])
+                    .collect();
+                (dest, 0)
+            }
+            PlacementPolicy::PerChunkTwoChoice => {
+                let mut dest = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let a = alive[rng.gen_range(0..alive.len())];
+                    let b = alive[rng.gen_range(0..alive.len())];
+                    let (la, lb) = (self.effective_load(a), self.effective_load(b));
+                    // Note: loads within a single file placement are read
+                    // once; simultaneous chunk placements of one file do not
+                    // see each other — matching independent per-chunk
+                    // placement.
+                    let chosen = if la < lb {
+                        a
+                    } else if lb < la {
+                        b
+                    } else if rng.gen_bool(0.5) {
+                        a
+                    } else {
+                        b
+                    };
+                    dest.push(chosen);
+                }
+                (dest, 2 * count as u64)
+            }
+            PlacementPolicy::KdChoice { d } => {
+                // Sample d alive servers with replacement; take the `count`
+                // least loaded slots with the multiplicity rule (tentative
+                // heights (load+occ)/capacity, ties broken randomly).
+                let mut sampled: Vec<usize> = (0..d)
+                    .map(|_| alive[rng.gen_range(0..alive.len())])
+                    .collect();
+                sampled.sort_unstable();
+                let mut slots: Vec<(f64, u64, usize)> = Vec::with_capacity(d);
+                let mut i = 0;
+                while i < sampled.len() {
+                    let s = sampled[i];
+                    let base = self.load(s);
+                    let capacity = self.servers[s].capacity;
+                    let mut occ = 0u32;
+                    while i < sampled.len() && sampled[i] == s {
+                        occ += 1;
+                        slots.push((f64::from(base + occ) / capacity, rng.next_u64(), s));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    count <= slots.len(),
+                    "placement needs at least k sampled slots"
+                );
+                if count < slots.len() {
+                    slots.select_nth_unstable_by(count - 1, |a, b| {
+                        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+                    });
+                }
+                (
+                    slots[..count].iter().map(|&(_, _, s)| s).collect(),
+                    d as u64,
+                )
+            }
+        }
+    }
+
+    /// Creates a new file of `k` chunks, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no servers are alive.
+    pub fn create_file<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> u32 {
+        let file = self.files.len() as u32;
+        let (dest, probes) = self.place(self.chunks_per_file, rng);
+        self.placement_messages += probes;
+        for (c, &server) in dest.iter().enumerate() {
+            self.servers[server].chunks.push((file, c as u16));
+        }
+        self.files.push(dest);
+        file
+    }
+
+    /// Reads a file (all `k` chunks) and returns the message cost of the
+    /// operation per §1.3: `k + 1` for directory-based placements, `2k` for
+    /// per-chunk two-choice (each chunk has two candidate locations to
+    /// address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file does not exist.
+    pub fn read_file(&mut self, file: u32) -> u64 {
+        assert!((file as usize) < self.files.len(), "unknown file {file}");
+        let k = self.chunks_per_file as u64;
+        let cost = match self.policy {
+            PlacementPolicy::PerChunkTwoChoice => 2 * k,
+            PlacementPolicy::KdChoice { .. } | PlacementPolicy::Random => k + 1,
+        };
+        self.read_messages += cost;
+        cost
+    }
+
+    /// Kills server `server`; its chunks are re-replicated onto alive
+    /// servers via the placement policy. Returns the number of chunks
+    /// moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is already dead, or if it held chunks and no
+    /// other server is alive.
+    pub fn fail_server<R: RngCore + ?Sized>(&mut self, server: usize, rng: &mut R) -> u64 {
+        assert!(self.servers[server].alive, "server {server} already dead");
+        // Remove from the alive set (swap-remove + position fixup).
+        let pos = self.alive_pos[server];
+        self.alive.swap_remove(pos);
+        if pos < self.alive.len() {
+            self.alive_pos[self.alive[pos]] = pos;
+        }
+        self.alive_pos[server] = usize::MAX;
+        self.servers[server].alive = false;
+        let lost = std::mem::take(&mut self.servers[server].chunks);
+        // Re-replicate chunk by chunk (a real system copies from surviving
+        // replicas; here the chunk is reborn on a policy-chosen server).
+        for (file, chunk) in &lost {
+            let (dest, probes) = self.place(1, rng);
+            self.recovery_messages += probes.max(1);
+            let d = dest[0];
+            self.servers[d].chunks.push((*file, *chunk));
+            self.files[*file as usize][*chunk as usize] = d;
+        }
+        self.recovered_chunks += lost.len() as u64;
+        lost.len() as u64
+    }
+
+    /// Kills a uniformly random alive server. Returns `(server, moved)`.
+    pub fn fail_random_server<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> (usize, u64) {
+        let server = self.alive[rng.gen_range(0..self.alive.len())];
+        let moved = self.fail_server(server, rng);
+        (server, moved)
+    }
+
+    /// The loads (chunk counts) of all alive servers.
+    pub fn alive_loads(&self) -> Vec<u32> {
+        self.alive.iter().map(|&s| self.load(s)).collect()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> StorageStats {
+        let loads = self.alive_loads();
+        let total: u64 = loads.iter().map(|&l| u64::from(l)).sum();
+        let max = loads.iter().copied().max().unwrap_or(0);
+        let mean = if loads.is_empty() {
+            0.0
+        } else {
+            total as f64 / loads.len() as f64
+        };
+        StorageStats {
+            alive_servers: self.alive.len(),
+            total_chunks: total,
+            max_load: max,
+            mean_load: mean,
+            imbalance: if mean > 0.0 { f64::from(max) / mean } else { 1.0 },
+            placement_messages: self.placement_messages,
+            read_messages: self.read_messages,
+            recovered_chunks: self.recovered_chunks,
+            recovery_messages: self.recovery_messages,
+        }
+    }
+
+    /// Verifies internal consistency: every file chunk is on the server the
+    /// directory says, alive bookkeeping matches, chunk counts add up.
+    pub fn check_invariants(&self) -> bool {
+        let mut counted = 0u64;
+        for (s, server) in self.servers.iter().enumerate() {
+            if server.alive != (self.alive_pos[s] != usize::MAX) {
+                return false;
+            }
+            if server.alive && self.alive[self.alive_pos[s]] != s {
+                return false;
+            }
+            for &(f, c) in &server.chunks {
+                if self.files[f as usize][c as usize] != s {
+                    return false;
+                }
+            }
+            counted += server.chunks.len() as u64;
+        }
+        counted == (self.files.len() * self.chunks_per_file) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn construction_validates() {
+        let c = StorageCluster::new(10, 3, PlacementPolicy::KdChoice { d: 5 });
+        assert_eq!(c.alive_servers(), 10);
+        assert_eq!(c.chunks_per_file(), 3);
+        assert_eq!(c.files(), 0);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= k")]
+    fn kd_policy_needs_enough_probes() {
+        let _ = StorageCluster::new(10, 4, PlacementPolicy::KdChoice { d: 3 });
+    }
+
+    #[test]
+    fn create_places_k_chunks() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        for policy in [
+            PlacementPolicy::KdChoice { d: 6 },
+            PlacementPolicy::PerChunkTwoChoice,
+            PlacementPolicy::Random,
+        ] {
+            let mut c = StorageCluster::new(20, 3, policy);
+            for _ in 0..50 {
+                c.create_file(&mut rng);
+            }
+            let st = c.stats();
+            assert_eq!(st.total_chunks, 150, "{policy:?}");
+            assert!(c.check_invariants(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn placement_message_accounting() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(2);
+        let mut kd = StorageCluster::new(20, 3, PlacementPolicy::KdChoice { d: 4 });
+        kd.create_file(&mut rng);
+        assert_eq!(kd.stats().placement_messages, 4);
+
+        let mut two = StorageCluster::new(20, 3, PlacementPolicy::PerChunkTwoChoice);
+        two.create_file(&mut rng);
+        assert_eq!(two.stats().placement_messages, 6);
+
+        let mut rnd = StorageCluster::new(20, 3, PlacementPolicy::Random);
+        rnd.create_file(&mut rng);
+        assert_eq!(rnd.stats().placement_messages, 0);
+    }
+
+    #[test]
+    fn read_costs_match_section_1_3() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        let mut kd = StorageCluster::new(20, 4, PlacementPolicy::KdChoice { d: 5 });
+        let f = kd.create_file(&mut rng);
+        assert_eq!(kd.read_file(f), 5); // k + 1
+        let mut two = StorageCluster::new(20, 4, PlacementPolicy::PerChunkTwoChoice);
+        let f = two.create_file(&mut rng);
+        assert_eq!(two.read_file(f), 8); // 2k
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown file")]
+    fn read_unknown_file_panics() {
+        let mut c = StorageCluster::new(5, 2, PlacementPolicy::Random);
+        let _ = c.read_file(7);
+    }
+
+    #[test]
+    fn kd_placement_respects_multiplicity_and_prefers_cold_servers() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(4);
+        let mut c = StorageCluster::new(4, 2, PlacementPolicy::KdChoice { d: 8 });
+        // Preload server 0 heavily by creating files then checking spread.
+        for _ in 0..40 {
+            c.create_file(&mut rng);
+        }
+        let loads = c.alive_loads();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        // 80 chunks over 4 servers with d=8 probing: very tight balance.
+        assert!(max - min <= 3, "loads {loads:?}");
+    }
+
+    #[test]
+    fn failure_recovery_moves_all_chunks() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        let mut c = StorageCluster::new(10, 3, PlacementPolicy::KdChoice { d: 4 });
+        for _ in 0..30 {
+            c.create_file(&mut rng);
+        }
+        let before = c.stats().total_chunks;
+        let (server, moved) = c.fail_random_server(&mut rng);
+        assert!(!c.servers[server].alive);
+        assert_eq!(c.alive_servers(), 9);
+        let after = c.stats();
+        assert_eq!(after.total_chunks, before, "chunks must be conserved");
+        assert_eq!(after.recovered_chunks, moved);
+        assert!(c.check_invariants());
+        // Directory points only at alive servers.
+        for f in &c.files {
+            for &s in f {
+                assert!(c.servers[s].alive, "directory points at dead server");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already dead")]
+    fn double_failure_panics() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(6);
+        let mut c = StorageCluster::new(3, 1, PlacementPolicy::Random);
+        c.fail_server(0, &mut rng);
+        c.fail_server(0, &mut rng);
+    }
+
+    #[test]
+    fn cascading_failures_keep_invariants() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(7);
+        let mut c = StorageCluster::new(16, 2, PlacementPolicy::KdChoice { d: 4 });
+        for _ in 0..64 {
+            c.create_file(&mut rng);
+        }
+        for _ in 0..12 {
+            c.fail_random_server(&mut rng);
+            assert!(c.check_invariants());
+        }
+        assert_eq!(c.alive_servers(), 4);
+        assert_eq!(c.stats().total_chunks, 128);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_absorb_proportionally() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(20);
+        // Half the servers have double capacity.
+        let n = 40;
+        let caps: Vec<f64> = (0..n).map(|i| if i < 20 { 2.0 } else { 1.0 }).collect();
+        let mut c = StorageCluster::new(n, 2, PlacementPolicy::KdChoice { d: 8 })
+            .with_capacities(&caps);
+        for _ in 0..600 {
+            c.create_file(&mut rng);
+        }
+        let loads = c.alive_loads();
+        let big: u64 = loads[..20].iter().map(|&l| u64::from(l)).sum();
+        let small: u64 = loads[20..].iter().map(|&l| u64::from(l)).sum();
+        let ratio = big as f64 / small as f64;
+        assert!(
+            (1.5..=2.6).contains(&ratio),
+            "capacity-2 servers should hold ~2x the chunks, ratio {ratio}"
+        );
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per server")]
+    fn capacities_length_checked() {
+        let _ = StorageCluster::new(3, 1, PlacementPolicy::Random).with_capacities(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn capacities_value_checked() {
+        let _ =
+            StorageCluster::new(2, 1, PlacementPolicy::Random).with_capacities(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn kd_beats_random_on_imbalance() {
+        let mut rng_a = Xoshiro256PlusPlus::from_u64(8);
+        let mut rng_b = Xoshiro256PlusPlus::from_u64(8);
+        let mut kd = StorageCluster::new(100, 3, PlacementPolicy::KdChoice { d: 6 });
+        let mut rnd = StorageCluster::new(100, 3, PlacementPolicy::Random);
+        for _ in 0..300 {
+            kd.create_file(&mut rng_a);
+            rnd.create_file(&mut rng_b);
+        }
+        assert!(
+            kd.stats().max_load < rnd.stats().max_load,
+            "kd {} vs random {}",
+            kd.stats().max_load,
+            rnd.stats().max_load
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Distributed storage with (k,d)-choice — the paper's second application
+//! (§1.3).
+//!
+//! > "Suppose that a new file is created and replicated into k copies (or
+//! > that a large file is split into k chunks), and each of the replicas (or
+//! > chunks) is to be stored on servers. The (k,d)-choice scheme provides a
+//! > simple and efficient solution for fast allocation and load balance with
+//! > the minimum message cost; k replicas (or chunks) are stored on the k
+//! > least loaded out of d servers chosen randomly."
+//!
+//! This crate simulates a storage cluster: files are created as `k` chunks
+//! placed by a pluggable [`PlacementPolicy`]; reads retrieve all `k` chunks
+//! (cost `k+1` for directory-based (k,d) placement vs `2k` for per-chunk
+//! two-choice, per §1.3); servers can fail, triggering re-replication of
+//! their chunks. See [`StorageCluster`] for the operations and
+//! [`run_workload`] for a scripted create/read/fail experiment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cluster;
+mod workload;
+
+pub use cluster::{PlacementPolicy, StorageCluster, StorageStats};
+pub use workload::{run_workload, StorageReport, WorkloadConfig};

@@ -1,0 +1,225 @@
+//! A scripted create/read/fail workload over the storage cluster.
+
+use kdchoice_prng::dist::Zipf;
+use kdchoice_prng::Xoshiro256PlusPlus;
+use kdchoice_stats::quantile::quantiles;
+
+use crate::cluster::{PlacementPolicy, StorageCluster, StorageStats};
+
+/// Configuration of a storage workload run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkloadConfig {
+    /// Number of servers.
+    pub servers: usize,
+    /// Chunks (or replicas) per file, `k`.
+    pub chunks_per_file: usize,
+    /// Placement policy.
+    pub policy: PlacementPolicy,
+    /// Files to create.
+    pub files: usize,
+    /// Read operations to issue (Zipf-popular files).
+    pub reads: usize,
+    /// Zipf exponent for read popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Servers to fail, evenly spread through the create phase.
+    pub failures: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A sensible default workload.
+    pub fn new(servers: usize, chunks_per_file: usize, policy: PlacementPolicy) -> Self {
+        Self {
+            servers,
+            chunks_per_file,
+            policy,
+            files: servers * 10,
+            reads: servers * 20,
+            zipf_exponent: 0.9,
+            failures: 0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of mid-workload server failures.
+    #[must_use]
+    pub fn with_failures(mut self, failures: usize) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Results of one storage workload run.
+#[derive(Debug, Clone)]
+pub struct StorageReport {
+    /// Policy name.
+    pub policy: String,
+    /// Final cluster statistics.
+    pub stats: StorageStats,
+    /// Load percentiles `[p50, p90, p99]` over alive servers.
+    pub load_percentiles: [f64; 3],
+    /// Mean messages per read operation.
+    pub read_cost_per_op: f64,
+    /// Mean probe messages per file creation.
+    pub create_cost_per_file: f64,
+}
+
+/// Runs the scripted workload: create `files` files (failures injected at
+/// even intervals), then issue `reads` Zipf-popular reads.
+///
+/// # Panics
+///
+/// Panics if the configuration would kill all servers, or on invalid
+/// parameters (propagated from [`StorageCluster`] / [`Zipf`]).
+///
+/// ```
+/// use kdchoice_storage::{run_workload, PlacementPolicy, WorkloadConfig};
+///
+/// let cfg = WorkloadConfig::new(50, 4, PlacementPolicy::KdChoice { d: 8 })
+///     .with_failures(2)
+///     .with_seed(7);
+/// let report = run_workload(&cfg);
+/// assert_eq!(report.stats.alive_servers, 48);
+/// assert!((report.read_cost_per_op - 5.0).abs() < 1e-9); // k+1
+/// ```
+pub fn run_workload(config: &WorkloadConfig) -> StorageReport {
+    assert!(
+        config.failures < config.servers,
+        "cannot fail every server"
+    );
+    let mut rng = Xoshiro256PlusPlus::from_u64(config.seed);
+    let mut cluster = StorageCluster::new(config.servers, config.chunks_per_file, config.policy);
+
+    // Create phase with failures at even intervals.
+    let failure_every = if config.failures > 0 {
+        (config.files / (config.failures + 1)).max(1)
+    } else {
+        usize::MAX
+    };
+    let mut failures_done = 0usize;
+    for f in 0..config.files {
+        cluster.create_file(&mut rng);
+        if failures_done < config.failures && (f + 1) % failure_every == 0 {
+            cluster.fail_random_server(&mut rng);
+            failures_done += 1;
+        }
+    }
+    while failures_done < config.failures {
+        cluster.fail_random_server(&mut rng);
+        failures_done += 1;
+    }
+
+    // Read phase: Zipf-popular files.
+    if config.files > 0 && config.reads > 0 {
+        let zipf = Zipf::new(config.files, config.zipf_exponent).expect("valid zipf");
+        for _ in 0..config.reads {
+            let file = zipf.sample(&mut rng) as u32;
+            cluster.read_file(file);
+        }
+    }
+
+    let stats = cluster.stats();
+    let loads: Vec<f64> = cluster.alive_loads().iter().map(|&l| f64::from(l)).collect();
+    let pct = quantiles(&loads, &[0.5, 0.9, 0.99]);
+    let load_percentiles = if pct.len() == 3 {
+        [pct[0], pct[1], pct[2]]
+    } else {
+        [0.0; 3]
+    };
+    StorageReport {
+        policy: config.policy.name(),
+        stats,
+        load_percentiles,
+        read_cost_per_op: if config.reads > 0 {
+            stats.read_messages as f64 / config.reads as f64
+        } else {
+            0.0
+        },
+        create_cost_per_file: if config.files > 0 {
+            stats.placement_messages as f64 / config.files as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let cfg = WorkloadConfig::new(40, 3, PlacementPolicy::KdChoice { d: 6 }).with_seed(1);
+        let a = run_workload(&cfg);
+        let b = run_workload(&cfg);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn failures_reduce_alive_count_but_conserve_chunks() {
+        let cfg = WorkloadConfig::new(30, 3, PlacementPolicy::KdChoice { d: 6 })
+            .with_failures(5)
+            .with_seed(2);
+        let r = run_workload(&cfg);
+        assert_eq!(r.stats.alive_servers, 25);
+        assert_eq!(r.stats.total_chunks, (cfg.files * 3) as u64);
+        assert!(r.stats.recovered_chunks > 0);
+        assert!(r.stats.recovery_messages >= r.stats.recovered_chunks);
+    }
+
+    #[test]
+    fn read_costs_favor_kd_over_per_chunk_two_choice() {
+        let kd = run_workload(
+            &WorkloadConfig::new(40, 4, PlacementPolicy::KdChoice { d: 8 }).with_seed(3),
+        );
+        let two = run_workload(
+            &WorkloadConfig::new(40, 4, PlacementPolicy::PerChunkTwoChoice).with_seed(3),
+        );
+        assert_eq!(kd.read_cost_per_op, 5.0);
+        assert_eq!(two.read_cost_per_op, 8.0);
+        // §1.3: "approximately half".
+        assert!(kd.read_cost_per_op < 0.7 * two.read_cost_per_op);
+    }
+
+    #[test]
+    fn kd_balances_better_than_random() {
+        let kd = run_workload(
+            &WorkloadConfig::new(60, 3, PlacementPolicy::KdChoice { d: 9 }).with_seed(4),
+        );
+        let rnd =
+            run_workload(&WorkloadConfig::new(60, 3, PlacementPolicy::Random).with_seed(4));
+        assert!(
+            kd.stats.imbalance < rnd.stats.imbalance,
+            "kd {} vs random {}",
+            kd.stats.imbalance,
+            rnd.stats.imbalance
+        );
+    }
+
+    #[test]
+    fn zero_reads_and_files_are_handled() {
+        let mut cfg = WorkloadConfig::new(10, 2, PlacementPolicy::Random).with_seed(5);
+        cfg.files = 0;
+        cfg.reads = 0;
+        let r = run_workload(&cfg);
+        assert_eq!(r.stats.total_chunks, 0);
+        assert_eq!(r.read_cost_per_op, 0.0);
+        assert_eq!(r.create_cost_per_file, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fail every server")]
+    fn all_failures_rejected() {
+        let cfg = WorkloadConfig::new(3, 1, PlacementPolicy::Random).with_failures(3);
+        let _ = run_workload(&cfg);
+    }
+}

@@ -1,0 +1,335 @@
+//! Executable forms of Theorem 1, Corollary 1, Theorem 2, and the classical
+//! baselines' maximum-load predictions.
+
+use crate::{classify, dk_ratio, Regime};
+
+/// A maximum-load prediction decomposed into the two terms of Theorem 1.
+///
+/// Theorem 1 (paper, §1.1): with probability 1 − o(1),
+///
+/// * if `dk = O(1)`:
+///   `M(k,d,n) = lnln n / ln(d−k+1) ± O(1)`;
+/// * if `dk → ∞`:
+///   `M(k,d,n) = lnln n / ln(d−k+1) + (1 ± o(1)) · ln dk / lnln dk`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The layered-induction term `lnln n / ln(d−k+1)` (upper-bound analysis
+    /// of Theorem 4, matching lower bound via `A(1, d−k+1) ≤mj A(k,d)`).
+    pub layered_term: f64,
+    /// The `ln dk / lnln dk` term (Theorems 3 and 6); zero in the
+    /// `dk = O(1)` regime.
+    pub dk_term: f64,
+    /// The regime used to combine the terms.
+    pub regime: Regime,
+}
+
+impl Prediction {
+    /// The predicted maximum load up to the theorem's `O(1)` additive slack.
+    pub fn total(&self) -> f64 {
+        self.layered_term + self.dk_term
+    }
+}
+
+/// The term `lnln n / ln(d−k+1)` for `k < d`.
+///
+/// For `d − k + 1 = 2` (e.g. `d = k+1`) this is `log₂ ln n`, the familiar
+/// two-choice bound.
+pub fn layered_term(k: usize, d: usize, n: usize) -> f64 {
+    assert!(k < d, "layered term requires k < d");
+    let lnln = (n as f64).ln().ln().max(0.0);
+    lnln / ((d - k + 1) as f64).ln()
+}
+
+/// The term `ln dk / lnln dk`, clamped to 0 when `dk ≤ e` (where the
+/// double log is non-positive and the asymptotic expression is meaningless).
+pub fn dk_term(k: usize, d: usize) -> f64 {
+    let dk = dk_ratio(k, d);
+    if !dk.is_finite() {
+        return f64::INFINITY;
+    }
+    let ln_dk = dk.ln();
+    if ln_dk <= 1.0 {
+        return 0.0;
+    }
+    ln_dk / ln_dk.ln()
+}
+
+/// The Theorem 1 point prediction for `M(k,d,n)` (no slack applied).
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ d` and `n ≥ 4`. For `k = d` the process is
+/// classical single choice and the prediction is
+/// [`single_choice_prediction`].
+///
+/// ```
+/// use kdchoice_theory::bounds::theorem1_prediction;
+///
+/// // Two-choice: lnln n / ln 2 and no dk term.
+/// let p = theorem1_prediction(1, 2, 1 << 20);
+/// assert!(p.dk_term == 0.0);
+/// assert!(p.layered_term > 3.0 && p.layered_term < 5.0);
+/// ```
+pub fn theorem1_prediction(k: usize, d: usize, n: usize) -> Prediction {
+    assert!(1 <= k && k <= d, "need 1 <= k <= d");
+    assert!(n >= 4, "need n >= 4");
+    let regime = classify(k, d, n);
+    match regime {
+        Regime::SingleChoice => Prediction {
+            layered_term: 0.0,
+            dk_term: single_choice_prediction(n),
+            regime,
+        },
+        Regime::ConstantDk => Prediction {
+            layered_term: layered_term(k, d, n),
+            dk_term: 0.0,
+            regime,
+        },
+        Regime::DivergingDk | Regime::HugeDk => Prediction {
+            layered_term: layered_term(k, d, n),
+            dk_term: dk_term(k, d),
+            regime,
+        },
+    }
+}
+
+/// A two-sided band `[lo, hi]` for a maximum load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Lower edge of the band.
+    pub lo: f64,
+    /// Upper edge of the band.
+    pub hi: f64,
+}
+
+impl Band {
+    /// Whether the measured value `x` falls inside the band.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+/// The Theorem 1 band with an explicit additive slack standing in for the
+/// theorem's `O(1)` terms (the paper does not pin the constants down).
+///
+/// ```
+/// use kdchoice_theory::bounds::theorem1_band;
+///
+/// let band = theorem1_band(1, 2, 1 << 16, 3.0);
+/// assert!(band.contains(4.0)); // observed two-choice max load at this n
+/// ```
+pub fn theorem1_band(k: usize, d: usize, n: usize, slack: f64) -> Band {
+    let p = theorem1_prediction(k, d, n);
+    Band {
+        lo: (p.total() - slack).max(1.0),
+        hi: p.total() + slack,
+    }
+}
+
+/// Theorem 2: heavily loaded case, `m > n` balls into `n` bins, `d ≥ 2k`.
+/// The *excess over the average* `M − m/n` lies in
+/// `[lnln n / ln(d−k+1) − O(1), lnln n / ln ⌊d/k⌋ + O(1)]`
+/// with probability `1 − o(1/n)`.
+///
+/// Returns the band for the **gap** `M(k,d,m,n) − m/n`, with `slack` in
+/// place of the `O(1)` terms.
+///
+/// # Panics
+///
+/// Panics unless `d ≥ 2k` (the theorem's hypothesis) and `k ≥ 1`.
+///
+/// ```
+/// use kdchoice_theory::bounds::theorem2_gap_band;
+///
+/// let band = theorem2_gap_band(2, 4, 1 << 16, 2.0);
+/// assert!(band.lo < band.hi);
+/// ```
+pub fn theorem2_gap_band(k: usize, d: usize, n: usize, slack: f64) -> Band {
+    assert!(k >= 1 && d >= 2 * k, "Theorem 2 requires d >= 2k");
+    let lnln = (n as f64).ln().ln().max(0.0);
+    let lo = lnln / ((d - k + 1) as f64).ln() - slack;
+    let floor_ratio = (d / k) as f64;
+    let hi = lnln / floor_ratio.ln() + slack;
+    Band {
+        lo: lo.max(0.0),
+        hi,
+    }
+}
+
+/// The classical single-choice maximum load `(1 + o(1)) · ln n / lnln n`
+/// (Raab & Steger), evaluated without the o(1).
+///
+/// ```
+/// use kdchoice_theory::bounds::single_choice_prediction;
+/// let p = single_choice_prediction(3 * (1 << 16));
+/// assert!(p > 4.5 && p < 6.0); // observed max is 7-9 at this n (constant factors)
+/// ```
+pub fn single_choice_prediction(n: usize) -> f64 {
+    let ln_n = (n as f64).ln();
+    ln_n / ln_n.ln()
+}
+
+/// The classical d-choice (Greedy\[d\]) maximum load `lnln n / ln d + Θ(1)`
+/// (Azar, Broder, Karlin & Upfal), evaluated without the Θ(1).
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+pub fn d_choice_prediction(n: usize, d: usize) -> f64 {
+    assert!(d >= 2, "d-choice prediction needs d >= 2");
+    (n as f64).ln().ln().max(0.0) / (d as f64).ln()
+}
+
+/// Corollary 1: when `dk ≥ e^{(lnln n)³}`, the max load is
+/// `(1 ± o(1)) · ln dk / lnln dk`. Returns that central value.
+///
+/// # Panics
+///
+/// Panics if the parameters are not in the Corollary 1 regime.
+pub fn corollary1_prediction(k: usize, d: usize, n: usize) -> f64 {
+    assert_eq!(
+        classify(k, d, n),
+        Regime::HugeDk,
+        "corollary 1 requires dk >= e^((lnln n)^3)"
+    );
+    dk_term(k, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 3 * (1 << 16); // the paper's Table 1 size
+
+    #[test]
+    fn layered_term_matches_two_choice() {
+        // (k, k+1): d-k+1 = 2 -> log2 lnln n.
+        let t = layered_term(1, 2, N);
+        let want = (N as f64).ln().ln() / 2f64.ln();
+        assert!((t - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layered_term_decreases_in_d() {
+        let mut prev = f64::INFINITY;
+        for d in 2..40 {
+            let t = layered_term(1, d, N);
+            assert!(t < prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k < d")]
+    fn layered_term_rejects_k_equal_d() {
+        let _ = layered_term(3, 3, N);
+    }
+
+    #[test]
+    fn dk_term_clamps_small_dk() {
+        assert_eq!(dk_term(1, 2), 0.0); // dk = 2, ln 2 < 1
+        assert_eq!(dk_term(1, 100), 0.0); // dk ≈ 1
+    }
+
+    #[test]
+    fn dk_term_grows_with_k_near_d() {
+        // (k, k+1): dk = k+1, so term grows in k.
+        let t64 = dk_term(64, 65);
+        let t192 = dk_term(192, 193);
+        assert!(t192 > t64);
+        assert!(t64 > 2.0);
+    }
+
+    #[test]
+    fn dk_term_infinite_when_k_equals_d() {
+        assert_eq!(dk_term(5, 5), f64::INFINITY);
+    }
+
+    #[test]
+    fn theorem1_prediction_regimes_compose() {
+        let p = theorem1_prediction(4, 8, N);
+        assert_eq!(p.regime, Regime::ConstantDk);
+        assert_eq!(p.dk_term, 0.0);
+        assert!(p.total() > 0.0);
+
+        let p = theorem1_prediction(192, 193, N);
+        assert!(p.dk_term > 0.0);
+        assert!(p.total() > p.layered_term);
+    }
+
+    #[test]
+    fn theorem1_prediction_single_choice_degenerate() {
+        let p = theorem1_prediction(4, 4, N);
+        assert_eq!(p.regime, Regime::SingleChoice);
+        assert_eq!(p.layered_term, 0.0);
+        assert!((p.dk_term - single_choice_prediction(N)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem1_band_contains_table1_observations() {
+        // Paper Table 1 observations at n = 3*2^16 with slack 3:
+        for (k, d, observed) in [
+            (1usize, 2usize, 4.0f64),
+            (1, 3, 3.0),
+            (2, 3, 4.0),
+            (1, 9, 2.0),
+            (8, 9, 4.0),
+            (64, 65, 5.0),
+            (192, 193, 6.0),
+            (128, 193, 2.0),
+        ] {
+            let band = theorem1_band(k, d, N, 3.0);
+            assert!(
+                band.contains(observed),
+                "({k},{d}): band [{}, {}] misses {observed}",
+                band.lo,
+                band.hi
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_band_is_ordered() {
+        for (k, d) in [(1usize, 2usize), (2, 4), (4, 8), (2, 5)] {
+            let b = theorem2_gap_band(k, d, N, 2.0);
+            assert!(b.lo <= b.hi, "({k},{d})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2k")]
+    fn theorem2_rejects_small_d() {
+        let _ = theorem2_gap_band(3, 5, N, 1.0);
+    }
+
+    #[test]
+    fn single_choice_prediction_grows() {
+        assert!(single_choice_prediction(1 << 20) > single_choice_prediction(1 << 10));
+    }
+
+    #[test]
+    fn d_choice_prediction_shrinks_in_d() {
+        assert!(d_choice_prediction(N, 2) > d_choice_prediction(N, 4));
+        assert!(d_choice_prediction(N, 4) > d_choice_prediction(N, 16));
+    }
+
+    #[test]
+    fn corollary1_prediction_in_regime() {
+        // (192,193) at small n is in the HugeDk regime.
+        let v = corollary1_prediction(192, 193, 256);
+        assert!(v > 2.0 && v < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "corollary 1")]
+    fn corollary1_rejects_wrong_regime() {
+        let _ = corollary1_prediction(1, 2, N);
+    }
+
+    #[test]
+    fn band_contains_inclusive() {
+        let b = Band { lo: 1.0, hi: 2.0 };
+        assert!(b.contains(1.0) && b.contains(2.0));
+        assert!(!b.contains(0.5) && !b.contains(2.5));
+    }
+}

@@ -1,0 +1,134 @@
+//! The message-cost model of the paper (§1, footnote 1; §1.1; §1.3).
+//!
+//! The message cost of an allocation scheme is the number of bins probed.
+//! (k,d)-choice probes `d` bins per round of `k` balls, so placing `m` balls
+//! costs `(m/k)·d` messages — `d/k` per ball. The paper's headline tradeoffs:
+//!
+//! * `d = 2k`: constant maximum load at `2n` messages;
+//! * `k = Θ(ln² n)`, `d − k = Θ(ln n)`: `o(lnln n)` load at `(1+o(1))·n`
+//!   messages;
+//! * `d = k+1`, `k = Θ(ln n)`: two-choice-grade load at about *half* the
+//!   two-choice message cost (§1.3, storage application).
+
+/// Total probe messages for placing `m` balls with (k,d)-choice.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `m` is not a multiple of `k` (the paper assumes
+/// `k | n`).
+///
+/// ```
+/// use kdchoice_theory::cost::total_messages;
+/// // Two-choice: d/k = 2 messages per ball.
+/// assert_eq!(total_messages(1, 2, 1000), 2000);
+/// // (k, k+1)-choice: barely more than 1 message per ball.
+/// assert_eq!(total_messages(100, 101, 1000), 1010);
+/// ```
+pub fn total_messages(k: usize, d: usize, m: u64) -> u64 {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(m % k as u64 == 0, "m = {m} must be a multiple of k = {k}");
+    (m / k as u64) * d as u64
+}
+
+/// Messages per ball, `d/k`.
+///
+/// ```
+/// use kdchoice_theory::cost::messages_per_ball;
+/// assert_eq!(messages_per_ball(1, 2), 2.0);
+/// assert!((messages_per_ball(128, 193) - 1.5078125).abs() < 1e-9);
+/// ```
+pub fn messages_per_ball(k: usize, d: usize) -> f64 {
+    assert!(k >= 1, "k must be at least 1");
+    d as f64 / k as f64
+}
+
+/// The §1.3 storage search cost for retrieving all `k` chunks of a file:
+/// `k + 1` for (k,d)-choice (one directory round-trip plus `k` fetches).
+pub fn kd_search_cost(k: usize) -> u64 {
+    k as u64 + 1
+}
+
+/// The §1.3 comparison point: per-chunk two-choice stores each chunk at one
+/// of 2 candidate locations, so retrieving `k` chunks probes `2k` bins.
+pub fn two_choice_search_cost(k: usize) -> u64 {
+    2 * k as u64
+}
+
+/// Suggested (k,d) for the "constant load, O(n) messages" corner of the
+/// tradeoff (Theorem 1(i) with `d − k + 1 ≥ Ω(ln n)` and `dk = O(1)`):
+/// `k = ⌈ln² n⌉` rounded to a divisor-friendly value, `d = 2k`.
+pub fn constant_load_params(n: usize) -> (usize, usize) {
+    let ln_n = (n as f64).ln();
+    let k = (ln_n * ln_n).ceil() as usize;
+    let k = k.max(1);
+    (k, 2 * k)
+}
+
+/// Suggested (k,d) for the "o(lnln n) load, (1+o(1))·n messages" corner
+/// (§1.1: `k ≥ Θ(ln² n)`, `d − k = Θ(ln n)`).
+pub fn near_minimal_message_params(n: usize) -> (usize, usize) {
+    let ln_n = (n as f64).ln();
+    let k = (ln_n * ln_n).ceil() as usize;
+    let k = k.max(2);
+    let spread = ln_n.ceil() as usize;
+    (k, k + spread.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_messages_examples() {
+        assert_eq!(total_messages(2, 3, 10), 15);
+        assert_eq!(total_messages(1, 1, 7), 7);
+        // d = 2k -> exactly 2 per ball.
+        assert_eq!(total_messages(50, 100, 1000), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of k")]
+    fn total_messages_rejects_non_divisible() {
+        let _ = total_messages(3, 5, 10);
+    }
+
+    #[test]
+    fn messages_per_ball_interpolates_single_and_double() {
+        assert_eq!(messages_per_ball(1, 1), 1.0);
+        assert_eq!(messages_per_ball(1, 2), 2.0);
+        let near_one = messages_per_ball(192, 193);
+        assert!(near_one > 1.0 && near_one < 1.01);
+    }
+
+    #[test]
+    fn search_costs_match_section_1_3() {
+        // "the search operation costs k+1, ... approximately half of the
+        // search cost for two-choice".
+        for k in [2usize, 8, 64, 1000] {
+            let kd = kd_search_cost(k) as f64;
+            let two = two_choice_search_cost(k) as f64;
+            assert!(kd < two);
+            let ratio = kd / two;
+            assert!((ratio - 0.5).abs() < 0.26, "k={k}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn constant_load_params_cost_two_per_ball() {
+        let n = 1 << 16;
+        let (k, d) = constant_load_params(n);
+        assert_eq!(d, 2 * k);
+        assert_eq!(messages_per_ball(k, d), 2.0);
+        // k = Θ(ln² n) is polylog: small relative to n.
+        assert!(k < n / 100);
+    }
+
+    #[test]
+    fn near_minimal_params_approach_one_message_per_ball() {
+        let n = 1 << 20;
+        let (k, d) = near_minimal_message_params(n);
+        assert!(k < d);
+        let mpb = messages_per_ball(k, d);
+        assert!(mpb > 1.0 && mpb < 1.2, "messages per ball {mpb}");
+    }
+}

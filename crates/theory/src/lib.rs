@@ -1,0 +1,183 @@
+//! Theoretical bound calculators for the (k,d)-choice process.
+//!
+//! This crate turns the paper's theorems into executable predictions that the
+//! benchmark harness compares against simulation:
+//!
+//! * [`bounds`] — Theorem 1 (tight max-load bounds), Corollary 1 (huge
+//!   `dk = d/(d−k)` regime), Theorem 2 (heavily loaded case `m > n`,
+//!   `d ≥ 2k`), and the classical single-choice / d-choice predictions used
+//!   as baselines.
+//! * [`sequences`] — the layered-induction machinery behind the proofs: the
+//!   β-sequence of Theorem 4 with its cut-off `i*`, the γ-sequence of
+//!   Theorem 7, the Stirling inversion `y₁! ≤ 48·dk` of Theorem 3, and the
+//!   boundary markers β₀, γ*, γ₀ drawn in Figures 1 and 2.
+//! * [`cost`] — the message-cost model (`d` probes per round of `k` balls).
+//!
+//! All bounds carry explicit `O(1)`-style slack terms that the callers
+//! choose; the experiments verify the *shape* of the bounds (who wins, where
+//! crossovers fall), not unknowable constants.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod cost;
+pub mod sequences;
+
+/// The ratio `dk = d/(d−k)` from the paper (∞ when `k = d`).
+///
+/// Small `dk` (i.e. `d` much larger than `k`) means (k,d)-choice behaves like
+/// the standard d-choice; diverging `dk` (i.e. `k ≈ d`) pushes it toward the
+/// classical single-choice process.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ d`.
+///
+/// ```
+/// use kdchoice_theory::dk_ratio;
+/// assert_eq!(dk_ratio(1, 2), 2.0);
+/// assert_eq!(dk_ratio(99, 100), 100.0);
+/// assert_eq!(dk_ratio(2, 2), f64::INFINITY);
+/// ```
+pub fn dk_ratio(k: usize, d: usize) -> f64 {
+    assert!(1 <= k && k <= d, "need 1 <= k <= d, got k={k}, d={d}");
+    if k == d {
+        f64::INFINITY
+    } else {
+        d as f64 / (d - k) as f64
+    }
+}
+
+/// The `δ(n) = lnlnln n / lnln n` quantity used throughout the paper's
+/// threshold `dk ≤ n^{1−δ}`.
+///
+/// Defined for `n ≥ 16` (below that the triple log is not positive);
+/// returns 0 for smaller `n` so that thresholds degrade gracefully in tests.
+pub fn delta(n: usize) -> f64 {
+    let lnln = (n as f64).ln().ln();
+    if lnln <= 1.0 {
+        return 0.0;
+    }
+    let lnlnln = lnln.ln();
+    if lnlnln <= 0.0 {
+        0.0
+    } else {
+        lnlnln / lnln
+    }
+}
+
+/// Regime classification of a parameter pair `(k, d)` at a given `n`,
+/// following the case analysis of Theorem 1 and Corollary 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// `k = d`: the process degenerates to classical single choice SA(k,k).
+    SingleChoice,
+    /// `dk = O(1)` (operationally: `dk ≤ e²`): Theorem 1(i) applies and the
+    /// max load is `lnln n / ln(d−k+1) ± O(1)` — d-choice-like behavior.
+    ConstantDk,
+    /// `dk` diverging but below the Corollary 1 threshold: Theorem 1(ii),
+    /// both the layered term and the `ln dk/lnln dk` term matter.
+    DivergingDk,
+    /// `dk ≥ e^{(lnln n)³}`: Corollary 1, the `ln dk/lnln dk` term dominates
+    /// and the process is single-choice-like.
+    HugeDk,
+}
+
+/// Classifies `(k, d)` at `n` into a [`Regime`].
+///
+/// The `dk = O(1)` vs `dk → ∞` distinction is asymptotic; for concrete
+/// parameters we use the operational cut `dk ≤ e²` (the paper's examples with
+/// "constant dk" all satisfy `dk ≤ 2`, e.g. `d = 2k`).
+///
+/// ```
+/// use kdchoice_theory::{classify, Regime};
+/// assert_eq!(classify(1, 2, 1 << 16), Regime::ConstantDk);
+/// assert_eq!(classify(4, 8, 1 << 16), Regime::ConstantDk);
+/// assert_eq!(classify(4, 4, 1 << 16), Regime::SingleChoice);
+/// ```
+pub fn classify(k: usize, d: usize, n: usize) -> Regime {
+    if k == d {
+        return Regime::SingleChoice;
+    }
+    let dk = dk_ratio(k, d);
+    if dk <= std::f64::consts::E * std::f64::consts::E {
+        return Regime::ConstantDk;
+    }
+    let lnln = (n as f64).ln().ln().max(0.0);
+    let corollary_threshold = (lnln.powi(3)).exp();
+    if dk >= corollary_threshold {
+        Regime::HugeDk
+    } else {
+        Regime::DivergingDk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dk_ratio_examples() {
+        assert_eq!(dk_ratio(1, 3), 1.5);
+        assert_eq!(dk_ratio(2, 3), 3.0);
+        assert_eq!(dk_ratio(128, 193), 193.0 / 65.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= d")]
+    fn dk_ratio_rejects_k_above_d() {
+        let _ = dk_ratio(3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= d")]
+    fn dk_ratio_rejects_zero_k() {
+        let _ = dk_ratio(0, 2);
+    }
+
+    #[test]
+    fn delta_is_small_and_eventually_decreasing() {
+        // δ(n) = lnlnln n / lnln n peaks near lnln n = e (n ≈ 4·10^6) and
+        // decays to 0 beyond it.
+        let values: Vec<f64> = [10u32, 20, 30, 40, 60]
+            .iter()
+            .map(|&b| delta(1usize << b.min(62)))
+            .collect();
+        for &v in &values {
+            assert!(v > 0.0 && v < 0.5, "delta out of range: {v}");
+        }
+        // Decreasing past the peak.
+        assert!(delta(1 << 30) > delta(1usize << 62));
+    }
+
+    #[test]
+    fn delta_small_n_is_zero() {
+        assert_eq!(delta(2), 0.0);
+        assert_eq!(delta(4), 0.0);
+    }
+
+    #[test]
+    fn classify_regimes() {
+        let n = 3 * (1 << 16);
+        assert_eq!(classify(1, 1, n), Regime::SingleChoice);
+        assert_eq!(classify(1, 2, n), Regime::ConstantDk);
+        assert_eq!(classify(16, 32, n), Regime::ConstantDk);
+        // dk = 193 exceeds e^((lnln 256)^3) ≈ 152 -> Corollary 1 regime.
+        assert_eq!(classify(192, 193, 256), Regime::HugeDk);
+        // In between: diverging but not huge.
+        assert_eq!(classify(24, 25, n), Regime::DivergingDk);
+    }
+
+    #[test]
+    fn classify_threshold_monotone_in_n() {
+        // With growing n the Corollary 1 threshold rises, so a fixed (k,d)
+        // can only move from HugeDk toward DivergingDk.
+        let k = 192;
+        let d = 193;
+        let small = classify(k, d, 1 << 8);
+        let large = classify(k, d, 1 << 24);
+        assert_eq!(small, Regime::HugeDk);
+        assert_eq!(large, Regime::DivergingDk);
+    }
+}

@@ -1,0 +1,306 @@
+//! The layered-induction machinery from the paper's proofs, made executable.
+//!
+//! * Theorem 3 bounds the load of bin β₀ = n/(6·dk) by inverting
+//!   `y₁! ≤ 48·dk` (Stirling inversion, [`y1_from_dk`]).
+//! * Theorem 4 controls the load *difference* B₁ − B_{β₀} through the
+//!   recursive sequence β₀ = n/(6·dk),
+//!   `β_{i+1} = 6·(n/k)·C(d, d−k+1)·(β_i/n)^{d−k+1}`, stopping at
+//!   `i* = max{ i : β_i ≥ 6 ln n }` ([`beta_sequence`]).
+//! * Theorem 7 mirrors this for the lower bound with γ₀ = n/d and
+//!   `γ_{i+1} = 2^{−(i+6)}·(n/k)·C(d, d−k+1)·(γ_i/n)^{d−k+1}`
+//!   ([`gamma_sequence`]).
+//!
+//! The sequences are exactly the quantities marked on the paper's Figures 1
+//! and 2 (the sorted-load-vector schematics), so the `figure1`/`figure2`
+//! bench targets overlay them on measured load vectors.
+
+use kdchoice_stats::special::{ln_binomial, ln_factorial};
+
+use crate::dk_ratio;
+
+/// The bin index β₀ = n/(6·dk) that splits the upper-bound analysis
+/// (Figure 1). Clamped to at least 1.
+///
+/// ```
+/// use kdchoice_theory::sequences::beta0;
+/// assert_eq!(beta0(60_000, 1, 2), 5_000.0);
+/// ```
+pub fn beta0(n: usize, k: usize, d: usize) -> f64 {
+    (n as f64 / (6.0 * dk_ratio(k, d))).max(1.0)
+}
+
+/// The bin index γ* = 4·n/dk used by the lower bound on B_{γ*}
+/// (Theorem 6, Figure 2). Clamped to at most n.
+pub fn gamma_star(n: usize, k: usize, d: usize) -> f64 {
+    (4.0 * n as f64 / dk_ratio(k, d)).min(n as f64)
+}
+
+/// The bin index γ₀ = n/d that starts the lower-bound layered induction
+/// (Theorem 7, Figure 2).
+pub fn gamma0(n: usize, d: usize) -> f64 {
+    n as f64 / d as f64
+}
+
+/// The smallest `y` with `y! > c` (so `y − 1` is the largest with
+/// `(y−1)! ≤ c`). Works in log space, so `c` may be astronomically large.
+///
+/// ```
+/// use kdchoice_theory::sequences::factorial_inversion;
+/// assert_eq!(factorial_inversion(0.5), 0);   // 0! = 1 > 0.5
+/// assert_eq!(factorial_inversion(1.0), 2);   // 2! = 2 > 1 = 0! = 1!
+/// assert_eq!(factorial_inversion(24.0), 5);  // 5! = 120 > 24 >= 4!
+/// assert_eq!(factorial_inversion(120.0), 6);
+/// ```
+pub fn factorial_inversion(c: f64) -> u32 {
+    assert!(c.is_finite() && c >= 0.0, "need finite c >= 0");
+    let ln_c = if c <= 0.0 { f64::NEG_INFINITY } else { c.ln() };
+    // Tiny epsilon so that exact hits (c = y!) resolve to "not greater",
+    // matching the strict inequality, despite ln/ln_gamma round-off.
+    let eps = 1e-9;
+    let mut y = 0u32;
+    loop {
+        if ln_factorial(u64::from(y)) > ln_c + eps {
+            return y;
+        }
+        y += 1;
+        assert!(y < 1_000_000, "factorial inversion diverged");
+    }
+}
+
+/// Theorem 3's `y₁`: the largest `y` with `y! ≤ 48·dk`, i.e. the predicted
+/// number of "dense" load levels below bin β₀. The theorem concludes
+/// `B_{β₀} ≤ y₀ = y₁ + 1` w.h.p.
+///
+/// ```
+/// use kdchoice_theory::sequences::y1_from_dk;
+/// // dk = 2 -> 48*2 = 96; 4! = 24 <= 96 < 120 = 5! -> y1 = 4.
+/// assert_eq!(y1_from_dk(2.0), 4);
+/// ```
+pub fn y1_from_dk(dk: f64) -> u32 {
+    assert!(dk.is_finite() && dk >= 1.0, "dk must be finite and >= 1");
+    factorial_inversion(48.0 * dk) - 1
+}
+
+/// One step of either layered-induction recurrence, in log space:
+/// returns `ln β_{i+1}` given `ln β_i` and the multiplier `ln A` where
+/// `β_{i+1} = A · n · (β_i/n)^{d−k+1}`.
+fn step(ln_prev: f64, ln_n: f64, ln_mult: f64, exponent: f64) -> f64 {
+    ln_mult + ln_n + exponent * (ln_prev - ln_n)
+}
+
+/// The result of running a layered-induction sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredSequence {
+    /// The values β₀, β₁, …, β_{i*} (or γ's), all ≥ the stopping threshold.
+    pub values: Vec<f64>,
+    /// The stopping threshold (6·ln n for β, 9·ln n for γ).
+    pub threshold: f64,
+    /// `i*`: the index of the last value ≥ threshold (= `values.len() − 1`).
+    pub i_star: usize,
+}
+
+/// The β-sequence of Theorem 4 down to its cut-off `i* = max{i : β_i ≥ 6 ln n}`.
+///
+/// The theorem proves `ν_{y₀+i} ≤ β_i` w.h.p. and
+/// `i* ≤ lnln n / ln(d−k+1)`, which yields the layered term of Theorem 1.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k < d ≤ n` and `n ≥ 16`.
+///
+/// ```
+/// use kdchoice_theory::sequences::beta_sequence;
+///
+/// let n = 1 << 16;
+/// let seq = beta_sequence(n, 1, 2);
+/// // i* is at most lnln n / ln 2 + O(1).
+/// let bound = (n as f64).ln().ln() / 2f64.ln();
+/// assert!(seq.i_star as f64 <= bound + 2.0);
+/// ```
+pub fn beta_sequence(n: usize, k: usize, d: usize) -> LayeredSequence {
+    assert!(1 <= k && k < d && d <= n, "need 1 <= k < d <= n");
+    assert!(n >= 16, "need n >= 16");
+    let ln_n = (n as f64).ln();
+    let threshold = 6.0 * ln_n;
+    let exponent = (d - k + 1) as f64;
+    // Multiplier A = 6/k * C(d, d-k+1) per the recurrence (16).
+    let ln_mult = 6f64.ln() - (k as f64).ln() + ln_binomial(d as u64, (d - k + 1) as u64);
+    let mut values = vec![beta0(n, k, d)];
+    let mut ln_prev = values[0].ln();
+    loop {
+        let ln_next = step(ln_prev, ln_n, ln_mult, exponent);
+        if ln_next < threshold.ln() || values.len() > 200 {
+            break;
+        }
+        values.push(ln_next.exp());
+        ln_prev = ln_next;
+    }
+    let i_star = values.len() - 1;
+    LayeredSequence {
+        values,
+        threshold,
+        i_star,
+    }
+}
+
+/// The γ-sequence of Theorem 7 down to its cut-off (γ_i ≥ 9 ln n).
+///
+/// The theorem proves `ν_{y₀+i}(R_i) ≥ γ_i` w.h.p., giving the matching
+/// lower bound on the load difference B₁ − B_{γ₀}.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k < d ≤ n` and `n ≥ 16`.
+pub fn gamma_sequence(n: usize, k: usize, d: usize) -> LayeredSequence {
+    assert!(1 <= k && k < d && d <= n, "need 1 <= k < d <= n");
+    assert!(n >= 16, "need n >= 16");
+    let ln_n = (n as f64).ln();
+    let threshold = 9.0 * ln_n;
+    let exponent = (d - k + 1) as f64;
+    let ln_base_mult = -(k as f64).ln() + ln_binomial(d as u64, (d - k + 1) as u64);
+    let mut values = vec![gamma0(n, d)];
+    let mut ln_prev = values[0].ln();
+    let mut i = 0usize;
+    loop {
+        // γ_{i+1} = 2^{-(i+6)} · (n/k) · C(d,d-k+1) · (γ_i/n)^{d-k+1}.
+        let ln_mult = ln_base_mult - ((i + 6) as f64) * 2f64.ln();
+        let ln_next = step(ln_prev, ln_n, ln_mult, exponent);
+        if ln_next < threshold.ln() || values.len() > 200 {
+            break;
+        }
+        values.push(ln_next.exp());
+        ln_prev = ln_next;
+        i += 1;
+    }
+    let i_star = values.len() - 1;
+    LayeredSequence {
+        values,
+        threshold,
+        i_star,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 3 * (1 << 16);
+
+    #[test]
+    fn beta0_and_markers() {
+        assert!((beta0(N, 1, 2) - N as f64 / 12.0).abs() < 1e-9);
+        assert!((gamma0(N, 4) - N as f64 / 4.0).abs() < 1e-9);
+        assert!((gamma_star(N, 1, 2) - 2.0 * N as f64).min(N as f64) <= N as f64);
+        // gamma_star clamps at n.
+        assert_eq!(gamma_star(100, 1, 2), 100.0);
+        // (192,193): dk = 193, gamma* = 4n/193.
+        assert!((gamma_star(N, 192, 193) - 4.0 * N as f64 / 193.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn factorial_inversion_small_cases() {
+        assert_eq!(factorial_inversion(0.0), 0); // 0! = 1 > 0
+        assert_eq!(factorial_inversion(0.5), 0);
+        assert_eq!(factorial_inversion(2.0), 3); // 3! = 6 > 2
+        assert_eq!(factorial_inversion(6.0), 4);
+        assert_eq!(factorial_inversion(719.0), 6); // 6! = 720
+        assert_eq!(factorial_inversion(720.0), 7);
+    }
+
+    #[test]
+    fn factorial_inversion_large_value() {
+        // 20! ≈ 2.43e18.
+        let y = factorial_inversion(2.5e18);
+        assert_eq!(y, 21);
+    }
+
+    #[test]
+    fn y1_grows_slowly_with_dk() {
+        let a = y1_from_dk(2.0);
+        let b = y1_from_dk(200.0);
+        let c = y1_from_dk(2e6);
+        assert!(a <= b && b <= c);
+        assert!(c < 15, "y1 should be tiny even for huge dk: {c}");
+    }
+
+    #[test]
+    fn y1_matches_theorem3_shape() {
+        // y1 ~ ln dk / lnln dk for large dk (within a small factor).
+        let dk = 1e9f64;
+        let y1 = y1_from_dk(dk) as f64;
+        let predicted = dk.ln() / dk.ln().ln();
+        assert!(y1 > 0.5 * predicted && y1 < 3.0 * predicted, "y1={y1} predicted={predicted}");
+    }
+
+    #[test]
+    fn beta_sequence_two_choice_length() {
+        let seq = beta_sequence(N, 1, 2);
+        // i* ≤ lnln n / ln(d-k+1) = lnln n / ln 2 ≈ 3.6... plus slack.
+        let bound = (N as f64).ln().ln() / 2f64.ln();
+        assert!(
+            (seq.i_star as f64) <= bound + 2.0,
+            "i* = {} vs bound {bound}",
+            seq.i_star
+        );
+        // The sequence decreases doubly exponentially.
+        for w in seq.values.windows(2) {
+            assert!(w[1] < w[0], "beta must decrease: {w:?}");
+        }
+        // All values ≥ threshold by construction.
+        for &v in &seq.values {
+            assert!(v >= seq.threshold || seq.values.len() == 1);
+        }
+    }
+
+    #[test]
+    fn beta_sequence_large_spread_is_short() {
+        // d - k + 1 large -> extremely fast decay -> tiny i*.
+        let seq = beta_sequence(N, 1, 65);
+        assert!(seq.i_star <= 2, "i* = {}", seq.i_star);
+    }
+
+    #[test]
+    fn beta_sequence_i_star_bound_across_params() {
+        for (k, d) in [(1usize, 2usize), (2, 3), (8, 9), (4, 8), (16, 32), (3, 5)] {
+            let seq = beta_sequence(N, k, d);
+            let bound = (N as f64).ln().ln() / ((d - k + 1) as f64).ln();
+            assert!(
+                (seq.i_star as f64) <= bound + 2.0,
+                "({k},{d}): i*={} bound={bound}",
+                seq.i_star
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_sequence_decreases_and_respects_threshold() {
+        let seq = gamma_sequence(N, 1, 2);
+        for w in seq.values.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        assert!(seq.values[0] == N as f64 / 2.0);
+        assert!(seq.i_star >= 1, "two-choice gamma sequence should iterate");
+    }
+
+    #[test]
+    fn gamma_i_star_is_at_most_beta_i_star_plus_slack() {
+        // Lower-bound induction must not run longer than the upper-bound one
+        // by more than a constant (they sandwich the same quantity).
+        for (k, d) in [(1usize, 2usize), (2, 3), (8, 9)] {
+            let b = beta_sequence(N, k, d);
+            let g = gamma_sequence(N, k, d);
+            assert!(
+                (g.i_star as i64 - b.i_star as i64).abs() <= 3,
+                "({k},{d}): gamma i*={} beta i*={}",
+                g.i_star,
+                b.i_star
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k < d")]
+    fn beta_sequence_rejects_k_equal_d() {
+        let _ = beta_sequence(N, 2, 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the theory crate's numerics.
+
+use kdchoice_theory::bounds::{
+    d_choice_prediction, single_choice_prediction, theorem1_band, theorem1_prediction,
+    theorem2_gap_band,
+};
+use kdchoice_theory::cost::{messages_per_ball, total_messages};
+use kdchoice_theory::sequences::{
+    beta0, beta_sequence, factorial_inversion, gamma0, gamma_sequence, gamma_star, y1_from_dk,
+};
+use kdchoice_theory::{classify, dk_ratio, Regime};
+use proptest::prelude::*;
+
+fn kd_strict() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=256).prop_flat_map(|d| (1usize..d, Just(d)))
+}
+
+proptest! {
+    /// dk ≥ 1 always; equals d when k = d−1 (hmm: d/(d−k) = d when k=d−1).
+    #[test]
+    fn dk_ratio_bounds((k, d) in kd_strict()) {
+        let dk = dk_ratio(k, d);
+        prop_assert!(dk >= 1.0);
+        prop_assert!(dk <= d as f64 + 1e-9);
+        if k == d - 1 {
+            prop_assert!((dk - d as f64).abs() < 1e-9);
+        }
+    }
+
+    /// dk is monotone increasing in k at fixed d.
+    #[test]
+    fn dk_monotone_in_k(d in 3usize..200) {
+        let mut prev = 0.0;
+        for k in 1..d {
+            let dk = dk_ratio(k, d);
+            prop_assert!(dk >= prev);
+            prev = dk;
+        }
+    }
+
+    /// Theorem 1 predictions are positive, finite, and the band brackets
+    /// the point prediction.
+    #[test]
+    fn theorem1_prediction_sane((k, d) in kd_strict(), n_exp in 4u32..24) {
+        let n = 1usize << n_exp;
+        let p = theorem1_prediction(k, d, n);
+        prop_assert!(p.total().is_finite());
+        prop_assert!(p.total() >= 0.0);
+        let band = theorem1_band(k, d, n, 2.0);
+        prop_assert!(band.lo <= band.hi);
+        prop_assert!(band.contains(p.total().max(band.lo)));
+    }
+
+    /// The layered term decreases in d and increases with n.
+    #[test]
+    fn layered_term_monotonicity(k in 1usize..50, n_exp in 4u32..24) {
+        let n = 1usize << n_exp;
+        let p1 = theorem1_prediction(k, k + 1, n);
+        let p2 = theorem1_prediction(k, k + 8, n);
+        prop_assert!(p2.layered_term <= p1.layered_term + 1e-9);
+        let big = theorem1_prediction(k, k + 1, n * 16);
+        prop_assert!(big.layered_term >= p1.layered_term - 1e-9);
+    }
+
+    /// Theorem 2 bands are ordered and lower edge clamps at zero.
+    #[test]
+    fn theorem2_band_sane(k in 1usize..40, mult in 2usize..6, n_exp in 4u32..24) {
+        let d = k * mult;
+        let n = 1usize << n_exp;
+        let b = theorem2_gap_band(k, d, n, 2.0);
+        prop_assert!(b.lo >= 0.0);
+        prop_assert!(b.lo <= b.hi);
+    }
+
+    /// Regime classification is total and consistent with dk.
+    #[test]
+    fn classification_is_consistent((k, d) in kd_strict(), n_exp in 4u32..24) {
+        let n = 1usize << n_exp;
+        let regime = classify(k, d, n);
+        let dk = dk_ratio(k, d);
+        match regime {
+            Regime::SingleChoice => prop_assert_eq!(k, d),
+            Regime::ConstantDk => prop_assert!(dk <= 7.4),
+            Regime::DivergingDk | Regime::HugeDk => prop_assert!(dk > 7.38),
+        }
+    }
+
+    /// factorial_inversion is the exact inverse of the factorial on u64
+    /// range: (y-1)! <= c < y! for the returned y... stated as y! > c and
+    /// (y−1)! ≤ c.
+    #[test]
+    fn factorial_inversion_is_inverse(c in 0f64..1e15) {
+        let y = factorial_inversion(c);
+        let fact = |m: u32| -> f64 { (1..=u64::from(m)).map(|i| i as f64).product() };
+        prop_assert!(fact(y) > c);
+        if y > 0 {
+            prop_assert!(fact(y - 1) <= c * (1.0 + 1e-9) + 1.0);
+        }
+    }
+
+    /// y1 is nondecreasing in dk.
+    #[test]
+    fn y1_monotone(dk in 1.0f64..1e9) {
+        let y_small = y1_from_dk(dk);
+        let y_big = y1_from_dk(dk * 10.0);
+        prop_assert!(y_big >= y_small);
+    }
+
+    /// β/γ sequences decrease and respect their thresholds.
+    #[test]
+    fn sequences_decrease((k, d) in (1usize..30).prop_flat_map(|k| (Just(k), k+1..=k+30)), n_exp in 6u32..20) {
+        let n = 1usize << n_exp;
+        prop_assume!(d <= n);
+        let b = beta_sequence(n, k, d);
+        for w in b.values.windows(2) {
+            prop_assert!(w[1] < w[0]);
+        }
+        prop_assert_eq!(b.i_star, b.values.len() - 1);
+        let g = gamma_sequence(n, k, d);
+        for w in g.values.windows(2) {
+            prop_assert!(w[1] < w[0]);
+        }
+        // Markers are within (0, n].
+        prop_assert!(beta0(n, k, d) >= 1.0 && beta0(n, k, d) <= n as f64);
+        prop_assert!(gamma_star(n, k, d) >= 1.0 && gamma_star(n, k, d) <= n as f64);
+        prop_assert!(gamma0(n, d) > 0.0 && gamma0(n, d) <= n as f64);
+    }
+
+    /// i* respects the Theorem 4 bound lnln n / ln(d−k+1) + O(1).
+    #[test]
+    fn i_star_respects_theorem4((k, d) in (1usize..20).prop_flat_map(|k| (Just(k), k+1..=k+20)), n_exp in 8u32..20) {
+        let n = 1usize << n_exp;
+        let seq = beta_sequence(n, k, d);
+        let bound = (n as f64).ln().ln() / ((d - k + 1) as f64).ln();
+        prop_assert!(
+            (seq.i_star as f64) <= bound + 2.0,
+            "i* = {} vs bound {} for ({},{}) at n = {}", seq.i_star, bound, k, d, n
+        );
+    }
+
+    /// Cost model: messages_per_ball * m == total_messages when k | m.
+    #[test]
+    fn cost_model_consistency((k, d) in kd_strict(), rounds in 1u64..1000) {
+        let m = rounds * k as u64;
+        let total = total_messages(k, d, m);
+        let per_ball = messages_per_ball(k, d);
+        prop_assert!((total as f64 - per_ball * m as f64).abs() < 1e-6 * total as f64 + 1e-9);
+    }
+
+    /// Baseline predictions are monotone in n.
+    #[test]
+    fn baseline_predictions_monotone(n_exp in 4u32..30) {
+        let n = 1usize << n_exp;
+        prop_assert!(single_choice_prediction(n * 2) >= single_choice_prediction(n) - 1e-9);
+        prop_assert!(d_choice_prediction(n * 2, 2) >= d_choice_prediction(n, 2) - 1e-9);
+    }
+}

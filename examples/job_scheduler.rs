@@ -1,0 +1,60 @@
+//! Cluster job scheduling with shared probes (§1.3 of the paper).
+//!
+//! A job of k parallel tasks finishes when its *last* task does. Per-task
+//! d-choice probing degrades as k grows; (k,d)-choice shares one batch of
+//! probes across the whole job. This example compares response times at
+//! equal or lower message budgets.
+//!
+//! ```sh
+//! cargo run --release --example job_scheduler
+//! ```
+
+use kdchoice::scheduler::{
+    simulate, ClusterConfig, PlacementStrategy, ServiceDistribution,
+};
+
+fn main() {
+    let workers = 200;
+    let k = 8; // tasks per job
+    let jobs = 10_000;
+    let cfg = ClusterConfig::new(workers, k, jobs, 2024)
+        .with_utilization(0.85)
+        .with_service(ServiceDistribution::Exponential { mean: 1.0 });
+
+    println!(
+        "cluster: {workers} workers, {jobs} jobs x {k} tasks, utilization {:.2}\n",
+        cfg.utilization()
+    );
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>8} {:>12}",
+        "strategy", "mean resp", "p50", "p90", "p99", "probes/job"
+    );
+
+    for strategy in [
+        PlacementStrategy::Random,
+        PlacementStrategy::PerTaskDChoice { d: 2 },
+        PlacementStrategy::BatchSampling { probes_per_task: 2 },
+        PlacementStrategy::LateBinding { probes_per_task: 2 },
+        PlacementStrategy::KdChoice { d: k + 1 },
+        PlacementStrategy::KdChoice { d: 2 * k },
+    ] {
+        let r = simulate(&cfg, strategy);
+        println!(
+            "{:<22} {:>10.3} {:>8.3} {:>8.3} {:>8.3} {:>12.1}",
+            r.strategy,
+            r.response.mean(),
+            r.response_percentiles[0],
+            r.response_percentiles[1],
+            r.response_percentiles[2],
+            r.probes_per_job,
+        );
+    }
+
+    println!(
+        "\nNote how (k,{kk1})-choice stays close to batch sampling's response \
+         time at {kk1} probes/job instead of {kd2} — the §1.3 tradeoff: shared \
+         probes buy two-choice-grade tails at roughly half the message cost.",
+        kk1 = k + 1,
+        kd2 = 2 * k,
+    );
+}

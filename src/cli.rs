@@ -1,0 +1,213 @@
+//! A tiny dependency-free command-line parser for the `kdchoice` binary.
+//!
+//! Supports `--key value` and `--flag` styles; subcommand dispatch lives in
+//! the binary. Kept in the library so the parsing logic is unit-testable.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed command line: the subcommand and its `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CliArgs {
+    /// The first positional argument (the subcommand), if any.
+    pub command: Option<String>,
+    /// `--key value` pairs; bare `--flag`s map to `"true"`.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Error produced when the command line cannot be parsed or a value has the
+/// wrong type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError {
+    message: String,
+}
+
+impl ParseCliError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ParseCliError {}
+
+impl CliArgs {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCliError`] on a stray positional argument after the
+    /// subcommand or an option with a missing name.
+    ///
+    /// ```
+    /// use kdchoice::cli::CliArgs;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let args = CliArgs::parse(["run", "--k", "2", "--d", "3", "--fast"])?;
+    /// assert_eq!(args.command.as_deref(), Some("run"));
+    /// assert_eq!(args.get_usize("k", 1)?, 2);
+    /// assert!(args.get_flag("fast"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse<I, S>(args: I) -> Result<Self, ParseCliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = CliArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            if let Some(name) = arg.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(ParseCliError::new("empty option name '--'"));
+                }
+                // `--key=value` or `--key value` or bare flag.
+                if let Some((k, v)) = name.split_once('=') {
+                    out.options.insert(k.to_string(), v.to_string());
+                } else {
+                    let takes_value = iter
+                        .peek()
+                        .map(|next| !next.as_ref().starts_with("--"))
+                        .unwrap_or(false);
+                    if takes_value {
+                        let v = iter.next().expect("peeked").as_ref().to_string();
+                        out.options.insert(name.to_string(), v);
+                    } else {
+                        out.options.insert(name.to_string(), "true".to_string());
+                    }
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg.to_string());
+            } else {
+                return Err(ParseCliError::new(format!(
+                    "unexpected positional argument '{arg}'"
+                )));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns option `name` parsed as `usize`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCliError`] when present but not a valid integer.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, ParseCliError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseCliError::new(format!("--{name} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// Returns option `name` parsed as `u64`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCliError`] when present but not a valid integer.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, ParseCliError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseCliError::new(format!("--{name} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// Returns option `name` parsed as `f64`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCliError`] when present but not a valid number.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, ParseCliError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseCliError::new(format!("--{name} expects a number, got '{v}'"))),
+        }
+    }
+
+    /// Returns option `name` as a string, or `default` when absent.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.options
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a bare flag (or explicit `--name true`) was given.
+    pub fn get_flag(&self, name: &str) -> bool {
+        matches!(self.options.get(name).map(String::as_str), Some("true") | Some("1"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = CliArgs::parse(["table1", "--trials", "10", "--fast"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("table1"));
+        assert_eq!(a.get_usize("trials", 1).unwrap(), 10);
+        assert!(a.get_flag("fast"));
+        assert!(!a.get_flag("absent"));
+    }
+
+    #[test]
+    fn parses_equals_style() {
+        let a = CliArgs::parse(["run", "--k=3", "--beta=0.5"]).unwrap();
+        assert_eq!(a.get_usize("k", 0).unwrap(), 3);
+        assert_eq!(a.get_f64("beta", 0.0).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn empty_args_are_fine() {
+        let a = CliArgs::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a.command, None);
+        assert_eq!(a.get_usize("k", 7).unwrap(), 7);
+        assert_eq!(a.get_str("mode", "def"), "def");
+    }
+
+    #[test]
+    fn rejects_stray_positionals() {
+        assert!(CliArgs::parse(["run", "extra"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let a = CliArgs::parse(["run", "--k", "two"]).unwrap();
+        let err = a.get_usize("k", 0).unwrap_err();
+        assert!(err.to_string().contains("expects an integer"));
+    }
+
+    #[test]
+    fn rejects_empty_option_name() {
+        assert!(CliArgs::parse(["run", "--", "x"]).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // A value not starting with -- is consumed as the option's value.
+        let a = CliArgs::parse(["run", "--offset", "-5"]).unwrap();
+        assert_eq!(a.get_str("offset", ""), "-5");
+    }
+
+    #[test]
+    fn u64_parsing() {
+        let a = CliArgs::parse(["run", "--balls", "4294967296"]).unwrap();
+        assert_eq!(a.get_u64("balls", 0).unwrap(), 4_294_967_296);
+    }
+}

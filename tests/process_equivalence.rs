@@ -1,0 +1,97 @@
+//! Integration test for Property (i) of §3: the serialized process Aσ(k,d)
+//! is equivalent in distribution to the round process A(k,d), for any σ.
+
+use kdchoice::kd::{run_trials, KdChoice, RunConfig, SerializedKdChoice, SigmaSchedule};
+use kdchoice::stats::tests::mann_whitney_u;
+
+const N: usize = 1 << 12;
+const TRIALS: usize = 40;
+
+fn round_trials(k: usize, d: usize, seed: u64) -> kdchoice::kd::TrialSet {
+    run_trials(
+        move |_| Box::new(KdChoice::new(k, d).expect("valid")),
+        &RunConfig::new(N, seed),
+        TRIALS,
+    )
+}
+
+fn serialized_trials(
+    k: usize,
+    d: usize,
+    schedule: SigmaSchedule,
+    seed: u64,
+) -> kdchoice::kd::TrialSet {
+    run_trials(
+        move |_| Box::new(SerializedKdChoice::new(k, d, schedule).expect("valid")),
+        &RunConfig::new(N, seed),
+        TRIALS,
+    )
+}
+
+#[test]
+fn serialization_matches_round_process_distribution() {
+    for &(k, d) in &[(2usize, 3usize), (4, 6), (8, 9)] {
+        let base = round_trials(k, d, 100);
+        for schedule in [
+            SigmaSchedule::Identity,
+            SigmaSchedule::Reverse,
+            SigmaSchedule::UniformRandom,
+        ] {
+            let ser = serialized_trials(k, d, schedule, 200);
+            let diff = (base.mean_max_load() - ser.mean_max_load()).abs();
+            assert!(
+                diff < 0.5,
+                "({k},{d}) {schedule:?}: mean max loads differ by {diff}"
+            );
+            let test = mann_whitney_u(&base.max_loads_f64(), &ser.max_loads_f64());
+            assert!(
+                test.p_value > 0.005,
+                "({k},{d}) {schedule:?}: distribution mismatch (p = {})",
+                test.p_value
+            );
+        }
+    }
+}
+
+#[test]
+fn sigma_does_not_change_the_coupled_load_vector() {
+    // The strongest form of Property (i): under the natural coupling (same
+    // seed => same samples and keys), every σ yields the identical final
+    // sorted load vector.
+    use kdchoice::kd::run_once_with_state;
+    for seed in [1u64, 2, 3] {
+        let states: Vec<Vec<u32>> = [
+            SigmaSchedule::Identity,
+            SigmaSchedule::Reverse,
+        ]
+        .iter()
+        .map(|&s| {
+            let mut p = SerializedKdChoice::new(3, 7, s).expect("valid");
+            let (_, st) = run_once_with_state(&mut p, &RunConfig::new(N, seed));
+            st.sorted_descending()
+        })
+        .collect();
+        assert_eq!(states[0], states[1], "seed {seed}");
+    }
+}
+
+#[test]
+fn serialized_and_round_process_agree_exactly_on_shared_stream() {
+    // Identity serialization consumes the RNG identically to the round
+    // process, so whole runs coincide exactly, not just in distribution.
+    use kdchoice::kd::run_once;
+    for seed in [7u64, 8, 9] {
+        let a = {
+            let mut p = KdChoice::new(2, 5).expect("valid");
+            run_once(&mut p, &RunConfig::new(N, seed))
+        };
+        let b = {
+            let mut p =
+                SerializedKdChoice::new(2, 5, SigmaSchedule::Identity).expect("valid");
+            run_once(&mut p, &RunConfig::new(N, seed))
+        };
+        assert_eq!(a.max_load, b.max_load);
+        assert_eq!(a.load_histogram, b.load_histogram);
+        assert_eq!(a.height_histogram, b.height_histogram);
+    }
+}
