@@ -1,6 +1,6 @@
 //! Adaptive threshold probing (Czumaj–Stemann style).
 
-use kdchoice_core::{BallsIntoBins, ConfigError, LoadVector, RoundStats};
+use kdchoice_core::{ConfigError, HeightSink, LoadVector, RoundProcess, RoundStats};
 use rand::{Rng, RngCore};
 
 /// A simplified adaptive allocation in the spirit of Czumaj & Stemann
@@ -58,18 +58,22 @@ impl AdaptiveProbing {
     }
 }
 
-impl BallsIntoBins for AdaptiveProbing {
+impl RoundProcess for AdaptiveProbing {
     fn name(&self) -> String {
         format!("adaptive[+{},cap {}]", self.slack, self.max_probes)
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights_out: &mut S,
         _balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         let n = state.n() as u64;
         // Threshold: ceil of the average load after this ball, plus slack.
         let threshold = ((state.total_balls() + 1).div_ceil(n)) as u32 + self.slack;
@@ -82,7 +86,7 @@ impl BallsIntoBins for AdaptiveProbing {
             let load = state.load(bin);
             if load < threshold {
                 let h = state.add_ball(bin);
-                heights_out.push(h);
+                heights_out.record(h);
                 return RoundStats {
                     thrown: 1,
                     placed: 1,
@@ -95,7 +99,7 @@ impl BallsIntoBins for AdaptiveProbing {
             }
         }
         let h = state.add_ball(best_bin);
-        heights_out.push(h);
+        heights_out.record(h);
         RoundStats {
             thrown: 1,
             placed: 1,

@@ -1,6 +1,6 @@
 //! Greedy[d]: the standard d-choice process of Azar et al.
 
-use kdchoice_core::{BallsIntoBins, ConfigError, LoadVector, RoundStats};
+use kdchoice_core::{ConfigError, HeightSink, LoadVector, RoundProcess, RoundStats};
 use rand::{Rng, RngCore};
 
 /// The d-choice (Greedy\[d\]) process of Azar, Broder, Karlin & Upfal: each
@@ -50,18 +50,22 @@ impl DChoice {
     }
 }
 
-impl BallsIntoBins for DChoice {
+impl RoundProcess for DChoice {
     fn name(&self) -> String {
         format!("greedy[{}]", self.d)
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights_out: &mut S,
         _balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         let n = state.n();
         self.samples.clear();
         for _ in 0..self.d {
@@ -70,7 +74,7 @@ impl BallsIntoBins for DChoice {
         let idx = kdchoice_prng::sample::random_argmin(rng, &self.samples, |&b| state.load(b))
             .expect("d >= 1");
         let h = state.add_ball(self.samples[idx]);
-        heights_out.push(h);
+        heights_out.record(h);
         RoundStats {
             thrown: 1,
             placed: 1,

@@ -1,6 +1,6 @@
 //! Vöcking's Always-Go-Left asymmetric d-choice.
 
-use kdchoice_core::{BallsIntoBins, ConfigError, LoadVector, RoundStats};
+use kdchoice_core::{ConfigError, HeightSink, LoadVector, RoundProcess, RoundStats};
 use rand::{Rng, RngCore};
 
 /// Vöcking's Always-Go-Left process ("How asymmetry helps load balancing",
@@ -55,18 +55,22 @@ impl AlwaysGoLeft {
     }
 }
 
-impl BallsIntoBins for AlwaysGoLeft {
+impl RoundProcess for AlwaysGoLeft {
     fn name(&self) -> String {
         format!("go-left[{}]", self.d)
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights_out: &mut S,
         _balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         let n = state.n();
         debug_assert!(n >= self.d, "need at least d bins");
         let mut best_bin = usize::MAX;
@@ -83,7 +87,7 @@ impl BallsIntoBins for AlwaysGoLeft {
             }
         }
         let h = state.add_ball(best_bin);
-        heights_out.push(h);
+        heights_out.record(h);
         RoundStats {
             thrown: 1,
             placed: 1,

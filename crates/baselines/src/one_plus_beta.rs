@@ -1,6 +1,6 @@
 //! The (1+β)-choice process of Peres, Talwar & Wieder.
 
-use kdchoice_core::{BallsIntoBins, ConfigError, LoadVector, RoundStats};
+use kdchoice_core::{ConfigError, HeightSink, LoadVector, RoundProcess, RoundStats};
 use rand::{Rng, RngCore};
 
 /// The (1+β)-choice process (the paper's reference \[14\]): each ball flips
@@ -50,18 +50,22 @@ impl OnePlusBeta {
     }
 }
 
-impl BallsIntoBins for OnePlusBeta {
+impl RoundProcess for OnePlusBeta {
     fn name(&self) -> String {
         format!("(1+{})-choice", self.beta)
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights_out: &mut S,
         _balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         let n = state.n();
         let two_choice = rng.gen_bool(self.beta);
         let (bin, probes) = if two_choice {
@@ -83,7 +87,7 @@ impl BallsIntoBins for OnePlusBeta {
             (rng.gen_range(0..n), 1)
         };
         let h = state.add_ball(bin);
-        heights_out.push(h);
+        heights_out.record(h);
         RoundStats {
             thrown: 1,
             placed: 1,

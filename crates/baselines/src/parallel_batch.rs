@@ -1,7 +1,7 @@
 //! A synchronous batched-parallel allocation (Stemann-style collision
 //! protocol).
 
-use kdchoice_core::{BallsIntoBins, ConfigError, LoadVector, RoundStats};
+use kdchoice_core::{ConfigError, HeightSink, LoadVector, RoundProcess, RoundStats};
 use rand::{Rng, RngCore};
 
 /// A synchronous parallel allocation in the spirit of Stemann's collision
@@ -64,21 +64,24 @@ impl BatchedParallel {
     }
 }
 
-impl BallsIntoBins for BatchedParallel {
+impl RoundProcess for BatchedParallel {
     fn name(&self) -> String {
         format!("parallel[d={},phases={}]", self.d, self.max_phases)
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights_out: &mut S,
         balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         let n = state.n();
-        let total =
-            usize::try_from(balls_remaining.min(u64::from(u32::MAX))).expect("fits usize");
+        let total = usize::try_from(balls_remaining.min(u64::from(u32::MAX))).expect("fits usize");
         let mut probes = 0u64;
         let mut unplaced: u64 = total as u64;
         // requests[bin] holds the count of requesters this phase; winners
@@ -100,9 +103,8 @@ impl BallsIntoBins for BatchedParallel {
                     samples.push(rng.gen_range(0..n));
                 }
                 probes += self.d as u64;
-                let idx =
-                    kdchoice_prng::sample::random_argmin(rng, &samples, |&b| state.load(b))
-                        .expect("d >= 1");
+                let idx = kdchoice_prng::sample::random_argmin(rng, &samples, |&b| state.load(b))
+                    .expect("d >= 1");
                 let bin = samples[idx];
                 if requests[bin] == 0 {
                     touched.push(bin);
@@ -116,7 +118,7 @@ impl BallsIntoBins for BatchedParallel {
                 let take = requests[bin].min(capacity);
                 for _ in 0..take {
                     let h = state.add_ball(bin);
-                    heights_out.push(h);
+                    heights_out.record(h);
                 }
                 accepted += u64::from(take);
                 requests[bin] = 0;
@@ -134,7 +136,7 @@ impl BallsIntoBins for BatchedParallel {
             let idx = kdchoice_prng::sample::random_argmin(rng, &samples, |&b| state.load(b))
                 .expect("d >= 1");
             let h = state.add_ball(samples[idx]);
-            heights_out.push(h);
+            heights_out.record(h);
         }
         RoundStats {
             thrown: total as u32,

@@ -1,6 +1,6 @@
 //! The classical single-choice process.
 
-use kdchoice_core::{BallsIntoBins, LoadVector, RoundStats};
+use kdchoice_core::{HeightSink, LoadVector, RoundProcess, RoundStats};
 use rand::{Rng, RngCore};
 
 /// Classical single-choice balls-into-bins: every ball goes to one bin
@@ -30,21 +30,25 @@ impl SingleChoice {
     }
 }
 
-impl BallsIntoBins for SingleChoice {
+impl RoundProcess for SingleChoice {
     fn name(&self) -> String {
         "single-choice".to_string()
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights_out: &mut S,
         _balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         let bin = rng.gen_range(0..state.n());
         let h = state.add_ball(bin);
-        heights_out.push(h);
+        heights_out.record(h);
         RoundStats {
             thrown: 1,
             placed: 1,
@@ -76,7 +80,7 @@ mod tests {
             10,
         );
         let mean = set.mean_max_load();
-        assert!(mean >= 5.0 && mean <= 13.0, "mean max load {mean}");
+        assert!((5.0..=13.0).contains(&mean), "mean max load {mean}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! SA_{x₀}: the truncated single-choice process of Definition 3.
 
-use kdchoice_core::{BallsIntoBins, LoadVector, RoundStats};
+use kdchoice_core::{HeightSink, LoadVector, RoundProcess, RoundStats};
 use rand::{Rng, RngCore};
 
 /// The SA_{x₀} process (Definition 3 of the paper): each ball chooses a bin
@@ -40,23 +40,27 @@ impl TruncatedSingleChoice {
     }
 }
 
-impl BallsIntoBins for TruncatedSingleChoice {
+impl RoundProcess for TruncatedSingleChoice {
     fn name(&self) -> String {
         format!("SA_{{{}}}", self.x0)
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights_out: &mut S,
         _balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         let bin = rng.gen_range(0..state.n());
         let rank = state.rank_of(bin, rng);
         let placed = if rank > self.x0 {
             let h = state.add_ball(bin);
-            heights_out.push(h);
+            heights_out.record(h);
             1
         } else {
             0
@@ -119,7 +123,11 @@ mod tests {
             &RunConfig::new(n, 4),
             trials,
         );
-        let plain = run_trials(|_| Box::new(SingleChoice::new()), &RunConfig::new(n, 5), trials);
+        let plain = run_trials(
+            |_| Box::new(SingleChoice::new()),
+            &RunConfig::new(n, 5),
+            trials,
+        );
         let mean_sorted = |set: &kdchoice_core::TrialSet| -> Vec<f64> {
             let vecs = set.sorted_load_vectors();
             let mut acc = vec![0.0; n];
@@ -155,6 +163,9 @@ mod tests {
         };
         let p8 = placed(8, 6);
         let p128 = placed(128, 7);
-        assert!(p128 < p8, "more truncation must discard more: {p128} vs {p8}");
+        assert!(
+            p128 < p8,
+            "more truncation must discard more: {p128} vs {p8}"
+        );
     }
 }

@@ -12,7 +12,11 @@ use kdchoice_bench::{fast_mode, print_header};
 use kdchoice_core::{run_trials, DynamicKChoice, KdChoice, RoundPolicy, RunConfig};
 
 fn main() {
-    let (n, trials) = if fast_mode() { (3 * (1 << 10), 3) } else { (3 * (1 << 14), 10) };
+    let (n, trials) = if fast_mode() {
+        (3 * (1 << 10), 3)
+    } else {
+        (3 * (1 << 14), 10)
+    };
     print_header(
         "§7 ablation: multiplicity rule vs unrestricted water-filling",
         &format!("n = {n}, trials = {trials}"),
@@ -46,10 +50,7 @@ fn main() {
             format!("({k},{d})"),
             std.max_load_set_string(),
             relaxed.max_load_set_string(),
-            format!(
-                "{:+.2}",
-                std.mean_max_load() - relaxed.mean_max_load()
-            ),
+            format!("{:+.2}", std.mean_max_load() - relaxed.mean_max_load()),
         ]);
         // The relaxation can only help (it dominates the standard policy).
         assert!(

@@ -11,8 +11,8 @@ use kdchoice_bench::plot::sorted_load_plot;
 use kdchoice_bench::table::Table;
 use kdchoice_bench::{fast_mode, print_header};
 use kdchoice_core::{run_once_with_state, KdChoice, RunConfig};
-use kdchoice_theory::sequences::{beta0, beta_sequence, y1_from_dk};
 use kdchoice_theory::dk_ratio;
+use kdchoice_theory::sequences::{beta0, beta_sequence, y1_from_dk};
 
 fn main() {
     let n: usize = if fast_mode() { 1 << 14 } else { 1 << 18 };
@@ -44,11 +44,7 @@ fn main() {
         println!("\n--- ({k},{d})-choice: dk = {:.2} ---", dk_ratio(k, d));
         println!(
             "{}",
-            sorted_load_plot(
-                &sorted,
-                &[(b0, format!("beta0 = n/(6 dk)"))],
-                72
-            )
+            sorted_load_plot(&sorted, &[(b0, "beta0 = n/(6 dk)".to_string())], 72)
         );
         println!(
             "beta sequence (nu_{{y0+i}} <= beta_i): {:?}, i* = {}",

@@ -41,7 +41,11 @@ fn main() {
         let g0 = gamma0(n, d).round() as usize;
         let b_gs = sorted[(gs - 1).min(n - 1)];
         let b_g0 = sorted[(g0 - 1).min(n - 1)];
-        let dk_term = if dk.ln() > 1.0 { dk.ln() / dk.ln().ln() } else { 0.0 };
+        let dk_term = if dk.ln() > 1.0 {
+            dk.ln() / dk.ln().ln()
+        } else {
+            0.0
+        };
         let seq = gamma_sequence(n, k, d);
         println!("\n--- ({k},{d})-choice: dk = {dk:.1} ---");
         println!(

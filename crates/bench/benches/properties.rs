@@ -18,7 +18,11 @@ use kdchoice_stats::order::empirical_majorization;
 use kdchoice_stats::tests::mann_whitney_u;
 
 fn main() {
-    let (n, trials) = if fast_mode() { (1 << 10, 20) } else { (1 << 13, 60) };
+    let (n, trials) = if fast_mode() {
+        (1 << 10, 20)
+    } else {
+        (1 << 13, 60)
+    };
     print_header(
         "Properties (i)-(v) of (k,d)-choice (§3)",
         &format!("n = {n}, trials = {trials}"),
@@ -46,9 +50,7 @@ fn main() {
             SigmaSchedule::UniformRandom,
         ] {
             let ser = run_trials(
-                move |_| {
-                    Box::new(SerializedKdChoice::new(k, d, schedule).expect("valid"))
-                },
+                move |_| Box::new(SerializedKdChoice::new(k, d, schedule).expect("valid")),
                 &RunConfig::new(n, 9500 + (k * 17 + d) as u64),
                 trials,
             );
@@ -82,7 +84,8 @@ fn main() {
         "holds".into(),
     ]);
     // (property, (k1,d1) ≤mj (k2,d2))
-    let cases: Vec<(&str, (usize, usize), (usize, usize))> = vec![
+    type Case = (&'static str, (usize, usize), (usize, usize));
+    let cases: Vec<Case> = vec![
         ("(ii) more probes", (2, 6), (2, 4)),
         ("(ii) more probes", (4, 12), (4, 6)),
         ("(iii) fewer balls", (1, 4), (3, 4)),
@@ -106,8 +109,7 @@ fn main() {
             &RunConfig::new(n, 9950 + (k2 * 23 + d2) as u64),
             trials,
         );
-        let report =
-            empirical_majorization(&a.sorted_load_vectors(), &b.sorted_load_vectors());
+        let report = empirical_majorization(&a.sorted_load_vectors(), &b.sorted_load_vectors());
         let holds = report.max_relative_violation <= tolerance;
         t.row(vec![
             label.to_string(),

@@ -11,16 +11,22 @@ use kdchoice_bench::{fast_mode, print_header};
 use kdchoice_scheduler::{simulate, ClusterConfig, PlacementStrategy, ServiceDistribution};
 
 fn main() {
-    let (workers, jobs) = if fast_mode() { (64, 1500) } else { (256, 20_000) };
+    let (workers, jobs) = if fast_mode() {
+        (64, 1500)
+    } else {
+        (256, 20_000)
+    };
     let utilization = 0.85;
     print_header(
         "§1.3 scheduling: response time vs probing strategy",
-        &format!(
-            "workers = {workers}, jobs = {jobs}, utilization = {utilization}, exp(1) service"
-        ),
+        &format!("workers = {workers}, jobs = {jobs}, utilization = {utilization}, exp(1) service"),
     );
 
-    for &k in &(if fast_mode() { vec![4usize] } else { vec![2usize, 4, 8, 16] }) {
+    for &k in &(if fast_mode() {
+        vec![4usize]
+    } else {
+        vec![2usize, 4, 8, 16]
+    }) {
         let cfg = ClusterConfig::new(workers, k, jobs, 31_337 + k as u64)
             .with_utilization(utilization)
             .with_service(ServiceDistribution::Exponential { mean: 1.0 });
@@ -96,7 +102,10 @@ fn main() {
         .with_utilization(0.9);
     for batch in [1usize, 8, 32, 128] {
         let cfg = base.clone().with_scheduler_batch(batch);
-        let bs = simulate(&cfg, PlacementStrategy::BatchSampling { probes_per_task: 2 });
+        let bs = simulate(
+            &cfg,
+            PlacementStrategy::BatchSampling { probes_per_task: 2 },
+        );
         let lb = simulate(&cfg, PlacementStrategy::LateBinding { probes_per_task: 2 });
         t.row(vec![
             batch.to_string(),

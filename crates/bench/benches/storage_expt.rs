@@ -16,7 +16,10 @@ fn main() {
     let k = 4usize;
     print_header(
         "§1.3 storage: placement balance, message cost, failure recovery",
-        &format!("servers = {servers}, k = {k} chunks/file, files = {}", servers * files_per_server),
+        &format!(
+            "servers = {servers}, k = {k} chunks/file, files = {}",
+            servers * files_per_server
+        ),
     );
 
     let policies = [

@@ -5,9 +5,9 @@
 //! — in particular it does **not grow with m**, unlike single choice whose
 //! gap grows like √(m/n · ln n).
 
+use kdchoice_baselines::SingleChoice;
 use kdchoice_bench::table::Table;
 use kdchoice_bench::{fast_mode, print_header};
-use kdchoice_baselines::SingleChoice;
 use kdchoice_core::{run_trials, KdChoice, RunConfig};
 use kdchoice_theory::bounds::theorem2_gap_band;
 

@@ -17,7 +17,8 @@ fn bench_processes(c: &mut Criterion) {
     let mut group = c.benchmark_group("alloc");
     group.sample_size(10);
     group.throughput(Throughput::Elements(N as u64));
-    let mut cases: Vec<(String, Box<dyn Fn() -> Box<dyn BallsIntoBins>>)> = vec![
+    type Factory = Box<dyn Fn() -> Box<dyn BallsIntoBins>>;
+    let mut cases: Vec<(String, Factory)> = vec![
         (
             "single-choice".into(),
             Box::new(|| Box::new(SingleChoice::new())),
@@ -63,7 +64,12 @@ fn bench_scheduler(c: &mut Criterion) {
     group.sample_size(10);
     let cfg = ClusterConfig::new(128, 4, 2000, 9).with_utilization(0.8);
     group.bench_function("batch_sampling_2000_jobs", |b| {
-        b.iter(|| simulate(&cfg, PlacementStrategy::BatchSampling { probes_per_task: 2 }))
+        b.iter(|| {
+            simulate(
+                &cfg,
+                PlacementStrategy::BatchSampling { probes_per_task: 2 },
+            )
+        })
     });
     group.bench_function("kd_choice_2000_jobs", |b| {
         b.iter(|| simulate(&cfg, PlacementStrategy::KdChoice { d: 8 }))

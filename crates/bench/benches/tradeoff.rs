@@ -15,7 +15,11 @@ use kdchoice_core::{run_trials, BallsIntoBins, KdChoice, RunConfig};
 use kdchoice_theory::cost::{constant_load_params, near_minimal_message_params};
 
 fn main() {
-    let (n, trials) = if fast_mode() { (1 << 12, 3) } else { (1 << 18, 8) };
+    let (n, trials) = if fast_mode() {
+        (1 << 12, 3)
+    } else {
+        (1 << 18, 8)
+    };
     print_header(
         "§1.1 tradeoff frontier: max load vs messages per ball",
         &format!("n = {n}, trials = {trials}"),
@@ -26,11 +30,11 @@ fn main() {
     let (k_const, d_const) = constant_load_params(n);
     let (k_min, d_min) = near_minimal_message_params(n);
 
-    let mut entries: Vec<(String, Box<dyn Fn() -> Box<dyn BallsIntoBins> + Sync>)> = Vec::new();
-    entries.push((
+    type Factory = Box<dyn Fn() -> Box<dyn BallsIntoBins> + Sync>;
+    let mut entries: Vec<(String, Factory)> = vec![(
         "single-choice".into(),
         Box::new(|| Box::new(SingleChoice::new())),
-    ));
+    )];
     entries.push((
         "greedy[2]".into(),
         Box::new(|| Box::new(DChoice::new(2).expect("valid"))),
@@ -65,11 +69,7 @@ fn main() {
     ]);
     let mut results = Vec::new();
     for (i, (name, factory)) in entries.iter().enumerate() {
-        let set = run_trials(
-            |_| factory(),
-            &RunConfig::new(n, 11_000 + i as u64),
-            trials,
-        );
+        let set = run_trials(|_| factory(), &RunConfig::new(n, 11_000 + i as u64), trials);
         let mpb: f64 = set
             .results
             .iter()
@@ -117,8 +117,7 @@ fn main() {
     // executable check is Theorem 1's point prediction plus O(1) slack,
     // and two-choice-grade load at roughly half of two-choice's cost.
     let (_, two_load, two_mpb) = get("greedy[2]");
-    let predicted =
-        kdchoice_theory::bounds::theorem1_prediction(k_min, d_min, n).total();
+    let predicted = kdchoice_theory::bounds::theorem1_prediction(k_min, d_min, n).total();
     assert!(
         min_load <= predicted + 1.5,
         "near-minimal config load {min_load} vs Theorem 1 prediction {predicted:.2}"

@@ -19,7 +19,9 @@ pub mod table1_data;
 /// Fast mode shrinks `n` and the trial counts so that the full bench suite
 /// finishes in seconds; the printed tables note the substitution.
 pub fn fast_mode() -> bool {
-    std::env::var("KD_FAST").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    std::env::var("KD_FAST")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
 }
 
 /// The paper's Table 1 bin count, `n = 3·2¹⁶ = 196608`.

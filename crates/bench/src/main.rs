@@ -1,0 +1,175 @@
+//! The `kdchoice-bench` throughput harness.
+//!
+//! Measures allocation throughput (balls/second) for (1,1)-, (2,3)- and
+//! (3,5)-choice at `n = 2^20` bins and `m = 16n` balls, once through the
+//! **pre-refactor dynamic path** (legacy engine boxed as
+//! `Box<dyn BallsIntoBins>`: vtable dispatch per RNG call, eager tie keys,
+//! per-round height buffer) and once through the **monomorphized batched
+//! engine** (static dispatch, block sampling, lazy tie keys, inline height
+//! histogramming). Both measurements run in the same invocation so the
+//! reported speedup is apples-to-apples on the same machine and build.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p kdchoice-bench            # writes BENCH_results.json
+//! cargo run --release -p kdchoice-bench -- --quick # reduced workload, stdout only
+//! ```
+//!
+//! The JSON lands in `BENCH_results.json` in the current directory and is
+//! committed at the repo root as the perf trajectory baseline for future
+//! PRs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use kdchoice_core::{run_once, BallsIntoBins, EngineVersion, KdChoice, RunConfig};
+
+/// One measured configuration.
+struct Measurement {
+    k: usize,
+    d: usize,
+    n: usize,
+    balls: u64,
+    dyn_legacy_balls_per_sec: f64,
+    generic_batched_balls_per_sec: f64,
+    max_load_dyn: u32,
+    max_load_generic: u32,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.generic_batched_balls_per_sec / self.dyn_legacy_balls_per_sec
+    }
+}
+
+/// How many times each measurement repeats; the best rate is reported
+/// (standard practice for throughput: the minimum-interference run).
+const REPS: usize = 3;
+
+/// Times one full run `REPS` times, returning (best balls/sec, max load).
+fn time_run<F: FnMut() -> kdchoice_core::RunResult>(balls: u64, mut run: F) -> (f64, u32) {
+    let mut best_rate = 0.0f64;
+    let mut max_load = 0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let result = run();
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(result.balls_placed, balls, "harness must place every ball");
+        best_rate = best_rate.max(balls as f64 / secs);
+        max_load = result.max_load;
+    }
+    (best_rate, max_load)
+}
+
+fn measure(k: usize, d: usize, n: usize, ratio: u64, seed: u64) -> Measurement {
+    let balls = ratio * n as u64;
+    let cfg = RunConfig::new(n, seed).with_balls(balls);
+
+    // Pre-refactor path: legacy engine behind the object-safe shim — every
+    // probe, tie key, and height crosses a `dyn` boundary.
+    let (dyn_rate, max_load_dyn) = time_run(balls, || {
+        let mut p: Box<dyn BallsIntoBins> = Box::new(
+            KdChoice::new(k, d)
+                .expect("valid (k,d)")
+                .with_engine(EngineVersion::Legacy),
+        );
+        run_once(&mut *p, &cfg)
+    });
+
+    // Monomorphized batched engine: static dispatch end to end.
+    let (generic_rate, max_load_generic) = time_run(balls, || {
+        let mut p = KdChoice::new(k, d)
+            .expect("valid (k,d)")
+            .with_engine(EngineVersion::Batched);
+        run_once(&mut p, &cfg)
+    });
+
+    Measurement {
+        k,
+        d,
+        n,
+        balls,
+        dyn_legacy_balls_per_sec: dyn_rate,
+        generic_batched_balls_per_sec: generic_rate,
+        max_load_dyn,
+        max_load_generic,
+    }
+}
+
+fn render_json(measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"harness\": \"kdchoice-bench throughput\",\n");
+    out.push_str(
+        "  \"comparison\": \"dyn_legacy = pre-refactor Box<dyn BallsIntoBins> path with eager tie keys; generic_batched = monomorphized engine with block sampling and lazy tie keys\",\n",
+    );
+    let _ = writeln!(out, "  \"profile\": \"{}\",", profile_name());
+    out.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"process\": \"({},{})-choice\",\n      \"n\": {},\n      \"balls\": {},\n      \"dyn_legacy_balls_per_sec\": {:.0},\n      \"generic_batched_balls_per_sec\": {:.0},\n      \"speedup\": {:.3},\n      \"max_load_dyn\": {},\n      \"max_load_generic\": {}\n    }}",
+            m.k,
+            m.d,
+            m.n,
+            m.balls,
+            m.dyn_legacy_balls_per_sec,
+            m.generic_batched_balls_per_sec,
+            m.speedup(),
+            m.max_load_dyn,
+            m.max_load_generic,
+        );
+        out.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn profile_name() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if profile_name() == "debug" && !quick {
+        eprintln!(
+            "note: running the full workload in a debug build; use --release for the committed numbers"
+        );
+    }
+    let (n, ratio) = if quick { (1 << 16, 4) } else { (1 << 20, 16) };
+
+    println!(
+        "kdchoice throughput harness: n = {n}, m = {ratio}n, profile = {}",
+        profile_name()
+    );
+    println!();
+
+    let mut measurements = Vec::new();
+    for &(k, d) in &[(1usize, 1usize), (2, 3), (3, 5)] {
+        let m = measure(k, d, n, ratio, 0xBE7C4);
+        println!(
+            "({k},{d})-choice: dyn-legacy {:>7.2} Mballs/s | generic-batched {:>7.2} Mballs/s | speedup {:.2}x (max load {} / {})",
+            m.dyn_legacy_balls_per_sec / 1e6,
+            m.generic_batched_balls_per_sec / 1e6,
+            m.speedup(),
+            m.max_load_dyn,
+            m.max_load_generic,
+        );
+        measurements.push(m);
+    }
+
+    if !quick {
+        let json = render_json(&measurements);
+        std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
+        println!("\nwrote BENCH_results.json");
+    }
+}

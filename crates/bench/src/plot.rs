@@ -57,7 +57,10 @@ pub fn sorted_load_plot(sorted_desc: &[u32], markers: &[(usize, String)], width:
             .iter()
             .position(|&r| r >= rank)
             .unwrap_or(ranks.len() - 1);
-        out.push_str(&format!("     |{}^ {label} (bin {rank})\n", " ".repeat(col)));
+        out.push_str(&format!(
+            "     |{}^ {label} (bin {rank})\n",
+            " ".repeat(col)
+        ));
     }
     out.push_str(&format!(
         "     +{} bin rank 1..{n} (geometric axis)\n",

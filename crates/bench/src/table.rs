@@ -101,7 +101,7 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header, separator, 2 rows
-        // All lines the same width.
+                                    // All lines the same width.
         let w = lines[0].chars().count();
         for l in &lines[1..] {
             assert_eq!(l.chars().count(), w, "misaligned: {l:?}");

@@ -95,7 +95,9 @@ pub fn paper_cells() -> impl Iterator<Item = (usize, usize, &'static str)> {
 
 /// Looks up the paper's published value for a cell.
 pub fn paper_value(k: usize, d: usize) -> Option<&'static str> {
-    paper_cells().find(|&(pk, pd, _)| pk == k && pd == d).map(|(_, _, v)| v)
+    paper_cells()
+        .find(|&(pk, pd, _)| pk == k && pd == d)
+        .map(|(_, _, v)| v)
 }
 
 #[cfg(test)]

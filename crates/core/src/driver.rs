@@ -1,10 +1,18 @@
-//! Deterministic run drivers: single runs, and parallel multi-trial sets.
+//! Deterministic run drivers: single runs, parallel multi-trial sets, and
+//! the parallel (config × seed) sweep runner.
+//!
+//! Every driver is generic over [`RoundProcess`], so driving a concrete
+//! process monomorphizes the whole round loop (no dynamic dispatch per
+//! probe); `Box<dyn BallsIntoBins>` still works through the shim impl of
+//! [`RoundProcess`] for `dyn BallsIntoBins`.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 
-use crate::process::BallsIntoBins;
+use crate::process::{HeightSink, RoundProcess};
 use crate::state::LoadVector;
 
 /// Configuration of one simulation run.
@@ -46,6 +54,57 @@ impl RunConfig {
     pub fn with_balls(mut self, balls: u64) -> Self {
         self.balls = balls;
         self
+    }
+
+    /// Overrides the seed (convenient when sweeping a config across seeds).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// An inline ball-height histogram: the [`HeightSink`] the drivers pass to
+/// [`RoundProcess::run_round`], accumulating `height_histogram[h]` counts
+/// without materializing a per-round `Vec` of heights.
+#[derive(Debug, Clone, Default)]
+pub struct HeightHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl HeightHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts indexed by height; entry `h` is the number of recorded balls
+    /// of height `h`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded heights.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Consumes the histogram, returning the counts vector.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+}
+
+impl HeightSink for HeightHistogram {
+    #[inline]
+    fn record(&mut self, height: u32) {
+        let idx = height as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
     }
 }
 
@@ -104,32 +163,33 @@ impl RunResult {
 
 /// Runs `process` until `config.balls` balls have been thrown, returning the
 /// result. See [`run_once_with_state`] to also keep the final bin state.
-pub fn run_once<P: BallsIntoBins + ?Sized>(process: &mut P, config: &RunConfig) -> RunResult {
+pub fn run_once<P: RoundProcess + ?Sized>(process: &mut P, config: &RunConfig) -> RunResult {
     run_once_with_state(process, config).0
 }
 
 /// Like [`run_once`], additionally returning the final [`LoadVector`]
 /// (needed by the figure benches, which plot the full sorted load vector).
 ///
+/// Heights are histogrammed inline through a [`HeightHistogram`] sink — the
+/// non-coupling path allocates no per-round height buffer.
+///
 /// # Panics
 ///
 /// Panics if the process reports a round with zero thrown balls (no
 /// progress), or throws more balls than requested.
-pub fn run_once_with_state<P: BallsIntoBins + ?Sized>(
+pub fn run_once_with_state<P: RoundProcess + ?Sized>(
     process: &mut P,
     config: &RunConfig,
 ) -> (RunResult, LoadVector) {
     process.reset();
     let mut state = LoadVector::new(config.n);
     let mut rng = Xoshiro256PlusPlus::from_u64(config.seed);
-    let mut heights: Vec<u32> = Vec::new();
-    let mut height_histogram: Vec<u64> = Vec::new();
+    let mut heights = HeightHistogram::new();
     let mut thrown = 0u64;
     let mut placed = 0u64;
     let mut messages = 0u64;
     let mut rounds = 0u64;
     while thrown < config.balls {
-        heights.clear();
         let stats = process.run_round(&mut state, &mut rng, &mut heights, config.balls - thrown);
         assert!(stats.thrown > 0, "process made no progress in a round");
         thrown += u64::from(stats.thrown);
@@ -137,14 +197,7 @@ pub fn run_once_with_state<P: BallsIntoBins + ?Sized>(
         placed += u64::from(stats.placed);
         messages += stats.probes;
         rounds += 1;
-        debug_assert_eq!(heights.len(), stats.placed as usize);
-        for &h in &heights {
-            let idx = h as usize;
-            if idx >= height_histogram.len() {
-                height_histogram.resize(idx + 1, 0);
-            }
-            height_histogram[idx] += 1;
-        }
+        debug_assert_eq!(heights.total(), placed);
     }
     debug_assert!(state.check_invariants());
     debug_assert_eq!(state.total_balls(), placed);
@@ -158,7 +211,7 @@ pub fn run_once_with_state<P: BallsIntoBins + ?Sized>(
         messages,
         rounds,
         load_histogram: state.load_histogram().to_vec(),
-        height_histogram,
+        height_histogram: heights.into_counts(),
         seed: config.seed,
     };
     (result, state)
@@ -202,7 +255,11 @@ impl TrialSet {
         if self.results.is_empty() {
             return 0.0;
         }
-        self.results.iter().map(|r| f64::from(r.max_load)).sum::<f64>() / self.results.len() as f64
+        self.results
+            .iter()
+            .map(|r| f64::from(r.max_load))
+            .sum::<f64>()
+            / self.results.len() as f64
     }
 
     /// Mean of the per-trial gaps (heavy-case observable).
@@ -238,6 +295,11 @@ impl TrialSet {
 /// result set is deterministic regardless of thread count, and
 /// `factory(i)` builds a fresh process per trial.
 ///
+/// The factory returns `Box<P>` for any `P: RoundProcess + ?Sized`:
+/// returning a concrete process type monomorphizes the whole trial loop,
+/// while `Box<dyn BallsIntoBins>` factories keep working through the
+/// dynamic shim.
+///
 /// ```
 /// use kdchoice_core::{run_trials, KdChoice, RunConfig};
 ///
@@ -255,9 +317,10 @@ impl TrialSet {
 /// );
 /// assert_eq!(set.max_load_counts(), again.max_load_counts());
 /// ```
-pub fn run_trials<F>(factory: F, config: &RunConfig, trials: usize) -> TrialSet
+pub fn run_trials<P, F>(factory: F, config: &RunConfig, trials: usize) -> TrialSet
 where
-    F: Fn(usize) -> Box<dyn BallsIntoBins> + Sync,
+    P: RoundProcess + ?Sized,
+    F: Fn(usize) -> Box<P> + Sync,
 {
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -290,11 +353,92 @@ where
     }
 }
 
+/// Runs a (config × trial) grid across threads, returning one [`TrialSet`]
+/// per config, in config order.
+///
+/// `factory(config_index, trial_index)` builds a fresh process **by
+/// value** — the grid is fully monomorphized, with no boxing anywhere.
+/// Trial `t` of config `c` uses the derived seed
+/// `derive_seed(configs[c].seed, t)`, identical to what [`run_trials`]
+/// would use for that config alone, so sweep cells are reproducible in
+/// isolation. Jobs are distributed dynamically (an atomic work queue), so
+/// heterogeneous configs — say n = 2¹⁰ next to n = 2²⁰ — still keep all
+/// cores busy. Heights are histogrammed inline; no per-round buffers.
+///
+/// ```
+/// use kdchoice_core::{run_sweep, run_trials, KdChoice, RunConfig};
+///
+/// let configs = [RunConfig::new(512, 7), RunConfig::new(1024, 8)];
+/// let sweep = run_sweep(|_c, _t| KdChoice::new(2, 3).expect("valid"), &configs, 5);
+/// assert_eq!(sweep.len(), 2);
+/// // Cell (0) reproduces a standalone run_trials of the same config.
+/// let alone = run_trials(
+///     |_| Box::new(KdChoice::new(2, 3).expect("valid")),
+///     &configs[0],
+///     5,
+/// );
+/// assert_eq!(sweep[0].max_load_counts(), alone.max_load_counts());
+/// ```
+pub fn run_sweep<P, F>(factory: F, configs: &[RunConfig], trials: usize) -> Vec<TrialSet>
+where
+    P: RoundProcess,
+    F: Fn(usize, usize) -> P + Sync,
+{
+    let total_jobs = configs.len() * trials;
+    if total_jobs == 0 {
+        return configs
+            .iter()
+            .map(|_| TrialSet {
+                results: Vec::new(),
+            })
+            .collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(total_jobs);
+    let next_job = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; total_jobs]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let factory = &factory;
+            let next_job = &next_job;
+            let results = &results;
+            scope.spawn(move || loop {
+                let job = next_job.fetch_add(1, Ordering::Relaxed);
+                if job >= total_jobs {
+                    break;
+                }
+                let config_idx = job / trials;
+                let trial = job % trials;
+                let mut process = factory(config_idx, trial);
+                let cfg = RunConfig {
+                    seed: derive_seed(configs[config_idx].seed, trial as u64),
+                    ..configs[config_idx]
+                };
+                let result = run_once(&mut process, &cfg);
+                results.lock().expect("no poisoned sweeps")[job] = Some(result);
+            });
+        }
+    });
+    let mut flat = results
+        .into_inner()
+        .expect("no poisoned sweeps")
+        .into_iter()
+        .map(|r| r.expect("all sweep jobs completed"));
+    configs
+        .iter()
+        .map(|_| TrialSet {
+            results: flat.by_ref().take(trials).collect(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::kd::KdChoice;
-    use crate::process::RoundStats;
+    use crate::process::{HeightSink, RoundProcess, RoundStats};
     use rand::RngCore;
 
     #[test]
@@ -368,6 +512,17 @@ mod tests {
     }
 
     #[test]
+    fn height_histogram_records_and_resizes() {
+        let mut h = HeightHistogram::new();
+        h.record(3);
+        h.record(1);
+        h.record(3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts(), &[0, 1, 0, 2]);
+        assert_eq!(h.into_counts(), vec![0, 1, 0, 2]);
+    }
+
+    #[test]
     fn trials_are_deterministic_and_ordered() {
         let cfg = RunConfig::new(512, 100);
         let a = run_trials(|_| Box::new(KdChoice::new(2, 3).unwrap()), &cfg, 8);
@@ -406,19 +561,69 @@ mod tests {
         }
     }
 
+    #[test]
+    fn sweep_matches_run_trials_cell_by_cell() {
+        let configs = [
+            RunConfig::new(256, 5),
+            RunConfig::new(512, 6),
+            RunConfig::new(256, 7).with_balls(1024),
+        ];
+        let sweep = run_sweep(|_, _| KdChoice::new(2, 4).unwrap(), &configs, 4);
+        assert_eq!(sweep.len(), 3);
+        for (cell, cfg) in sweep.iter().zip(&configs) {
+            let alone = run_trials(|_| Box::new(KdChoice::new(2, 4).unwrap()), cfg, 4);
+            assert_eq!(cell.results.len(), 4);
+            for (a, b) in cell.results.iter().zip(&alone.results) {
+                assert_eq!(a.max_load, b.max_load);
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.load_histogram, b.load_histogram);
+                assert_eq!(a.height_histogram, b.height_histogram);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_with_zero_trials_yields_empty_cells() {
+        let configs = [RunConfig::new(64, 1)];
+        let sweep = run_sweep(|_, _| KdChoice::new(1, 2).unwrap(), &configs, 0);
+        assert_eq!(sweep.len(), 1);
+        assert!(sweep[0].results.is_empty());
+    }
+
+    #[test]
+    fn sweep_factory_sees_grid_coordinates() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let configs = [RunConfig::new(64, 1), RunConfig::new(64, 2)];
+        let _ = run_sweep(
+            |c, t| {
+                assert!(c < 2 && t < 3);
+                hits.fetch_add(1, Ordering::Relaxed);
+                KdChoice::new(1, 2).unwrap()
+            },
+            &configs,
+            3,
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+    }
+
     /// A process that lies about progress must be caught.
     struct Stuck;
-    impl BallsIntoBins for Stuck {
+    impl RoundProcess for Stuck {
         fn name(&self) -> String {
             "stuck".into()
         }
-        fn run_round(
+        fn run_round<R, S>(
             &mut self,
             _state: &mut LoadVector,
-            _rng: &mut dyn RngCore,
-            _heights_out: &mut Vec<u32>,
+            _rng: &mut R,
+            _heights: &mut S,
             _balls_remaining: u64,
-        ) -> RoundStats {
+        ) -> RoundStats
+        where
+            R: RngCore + ?Sized,
+            S: HeightSink + ?Sized,
+        {
             RoundStats::default()
         }
     }

@@ -10,10 +10,10 @@
 //! (spending their probes as reconnaissance); rounds that find empty bins
 //! fill them. The `ablation` bench measures the effect.
 
-use rand::{Rng, RngCore};
+use rand::RngCore;
 
 use crate::error::ConfigError;
-use crate::process::{BallsIntoBins, RoundStats};
+use crate::process::{HeightSink, RoundProcess, RoundStats};
 use crate::state::LoadVector;
 
 /// One tentative ball of a round.
@@ -79,23 +79,24 @@ impl DynamicKChoice {
     }
 }
 
-impl BallsIntoBins for DynamicKChoice {
+impl RoundProcess for DynamicKChoice {
     fn name(&self) -> String {
         format!("dynamic-k({},+{})", self.d, self.slack)
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights_out: &mut S,
         balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         let n = state.n();
-        self.samples.clear();
-        for _ in 0..self.d {
-            self.samples.push(rng.gen_range(0..n));
-        }
+        kdchoice_prng::sample::fill_with_replacement(rng, n, self.d, &mut self.samples);
         self.samples.sort_unstable();
         self.tentative.clear();
         let mut i = 0;
@@ -113,8 +114,7 @@ impl BallsIntoBins for DynamicKChoice {
                 i += 1;
             }
         }
-        let threshold =
-            ((state.total_balls() + 1).div_ceil(n as u64)) as u32 + self.slack;
+        let threshold = ((state.total_balls() + 1).div_ceil(n as u64)) as u32 + self.slack;
         // Dynamic k: accept slots under the threshold; at least 1 (the
         // globally least loaded slot), at most what the driver still wants.
         let under = self
@@ -122,8 +122,8 @@ impl BallsIntoBins for DynamicKChoice {
             .iter()
             .filter(|t| t.height <= threshold)
             .count();
-        let k_max = usize::try_from(balls_remaining.max(1).min(self.d as u64))
-            .expect("bounded by d");
+        let k_max =
+            usize::try_from(balls_remaining.max(1).min(self.d as u64)).expect("bounded by d");
         let balls = under.clamp(1, k_max);
         if balls < self.tentative.len() {
             self.tentative.select_nth_unstable_by(balls - 1, |a, b| {
@@ -131,11 +131,11 @@ impl BallsIntoBins for DynamicKChoice {
             });
         }
         let kept = &mut self.tentative[..balls];
-        kept.sort_unstable_by(|a, b| (a.bin, a.height).cmp(&(b.bin, b.height)));
+        kept.sort_unstable_by_key(|a| (a.bin, a.height));
         for t in kept.iter() {
             let h = state.add_ball(t.bin as usize);
             debug_assert_eq!(h, t.height);
-            heights_out.push(h);
+            heights_out.record(h);
         }
         RoundStats {
             thrown: balls as u32,

@@ -50,7 +50,9 @@ mod tests {
         let e = ConfigError::KExceedsD { k: 5, d: 3 };
         assert!(e.to_string().contains("k=5"));
         assert!(e.to_string().contains("d=3"));
-        assert!(ConfigError::ZeroParameter("beta").to_string().contains("beta"));
+        assert!(ConfigError::ZeroParameter("beta")
+            .to_string()
+            .contains("beta"));
         assert!(ConfigError::BadProbability("beta")
             .to_string()
             .contains("[0, 1]"));

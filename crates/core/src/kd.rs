@@ -1,14 +1,54 @@
-//! The (k,d)-choice process.
+//! The (k,d)-choice process and its monomorphized round engines.
 
+use kdchoice_prng::sample::UniformBin;
 use rand::{Rng, RngCore};
 
 use crate::error::ConfigError;
 use crate::policy::RoundPolicy;
-use crate::process::{BallsIntoBins, RoundStats};
+use crate::process::{HeightSink, RoundProcess, RoundStats};
 use crate::state::LoadVector;
 
-/// One tentative ball: the height it would have, a random tie-breaking key
-/// (the paper's "ties broken randomly"), and the bin it would land in.
+/// Largest `d` served by the fixed-array fast path of the batched engine.
+/// The paper's experiments use `d ≤ 17` only for the (16,17) cell; every
+/// other configuration fits comfortably.
+const SMALL_D: usize = 16;
+
+/// Which round engine a [`KdChoice`] instance runs.
+///
+/// Both engines realize the same process — for any fixed engine the run is
+/// a pure function of the seed, and the two engines agree **in
+/// distribution** — but they consume the RNG stream differently, so
+/// results are reproducible only *within* an engine version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineVersion {
+    /// The original engine: one bounded draw per probe and one eager
+    /// tie-break key per tentative ball, committed through a
+    /// `(height, key)` selection. This is the stream the serialized
+    /// process Aσ mirrors, so exact-stream coupling experiments pin it.
+    Legacy,
+    /// The batched engine (default): generator outputs are pulled in
+    /// blocks and widened-multiplied into bin indices (no division), small
+    /// rounds run on fixed stack arrays ordered by a branchless sorting
+    /// network (insertion sort on the rare bin-collision path), and
+    /// tie-break randomness is drawn **lazily** — only for tentative balls
+    /// straddling the selection boundary. Identical distribution, fewer
+    /// draws, no heap traffic.
+    #[default]
+    Batched,
+}
+
+impl EngineVersion {
+    /// A short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineVersion::Legacy => "legacy",
+            EngineVersion::Batched => "batched",
+        }
+    }
+}
+
+/// One tentative ball: the height it would have, an (eager-engine only)
+/// random tie-breaking key, and the bin it would land in.
 #[derive(Debug, Clone, Copy)]
 struct Tentative {
     height: u32,
@@ -52,14 +92,17 @@ pub struct KdChoice {
     k: usize,
     d: usize,
     policy: RoundPolicy,
-    // Reusable scratch buffers (hot path: billions of rounds in benches).
+    engine: EngineVersion,
+    // Reusable scratch buffers for the d > SMALL_D paths (hot path:
+    // billions of rounds in benches).
     samples: Vec<usize>,
     tentative: Vec<Tentative>,
     candidates: Vec<Candidate>,
 }
 
 impl KdChoice {
-    /// Creates a (k,d)-choice process with the paper's multiplicity policy.
+    /// Creates a (k,d)-choice process with the paper's multiplicity policy
+    /// and the [`EngineVersion::Batched`] engine.
     ///
     /// # Errors
     ///
@@ -75,6 +118,7 @@ impl KdChoice {
             k,
             d,
             policy: RoundPolicy::Multiplicity,
+            engine: EngineVersion::default(),
             samples: Vec::with_capacity(d),
             tentative: Vec::with_capacity(d),
             candidates: Vec::with_capacity(d),
@@ -97,6 +141,22 @@ impl KdChoice {
         self
     }
 
+    /// Switches the round engine (builder style).
+    ///
+    /// ```
+    /// use kdchoice_core::{EngineVersion, KdChoice};
+    /// # fn main() -> Result<(), kdchoice_core::ConfigError> {
+    /// let p = KdChoice::new(2, 3)?.with_engine(EngineVersion::Legacy);
+    /// assert_eq!(p.engine(), EngineVersion::Legacy);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineVersion) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The number of balls per round, `k`.
     pub fn k(&self) -> usize {
         self.k
@@ -112,25 +172,30 @@ impl KdChoice {
         self.policy
     }
 
+    /// The active round engine.
+    pub fn engine(&self) -> EngineVersion {
+        self.engine
+    }
+
     /// Runs one round with **externally chosen** samples instead of drawing
     /// them from the RNG. `balls` balls are placed (`balls ≤ samples.len()`).
     ///
     /// This is the coupling hook: the majorization experiments for
     /// Properties (ii)–(v) and the paper's scenario walk-throughs feed both
     /// processes the same sample sets. The RNG is still used for random
-    /// tie-breaking.
+    /// tie-breaking (eagerly or lazily, per the engine).
     ///
     /// Returns the heights of the placed balls via `heights_out` (appended).
     ///
     /// # Panics
     ///
     /// Panics if `balls > samples.len()`, or if any sample is out of range.
-    pub fn place_round_with_samples(
+    pub fn place_round_with_samples<R: RngCore + ?Sized>(
         &mut self,
         state: &mut LoadVector,
         samples: &[usize],
         balls: usize,
-        rng: &mut dyn RngCore,
+        rng: &mut R,
         heights_out: &mut Vec<u32>,
     ) {
         assert!(
@@ -140,27 +205,34 @@ impl KdChoice {
         );
         self.samples.clear();
         self.samples.extend_from_slice(samples);
-        match self.policy {
-            RoundPolicy::Multiplicity => {
-                self.commit_multiplicity(state, balls, rng, heights_out)
+        match (self.policy, self.engine) {
+            (RoundPolicy::Multiplicity, EngineVersion::Legacy) => {
+                self.commit_multiplicity_eager(state, balls, rng, heights_out)
             }
-            RoundPolicy::Unrestricted => {
+            (RoundPolicy::Multiplicity, EngineVersion::Batched) => {
+                self.commit_multiplicity_lazy(state, balls, rng, heights_out)
+            }
+            (RoundPolicy::Unrestricted, _) => {
                 self.commit_unrestricted(state, balls, rng, heights_out)
             }
         }
     }
 
-    /// The paper's policy: place `d` tentative balls (a bin of load `L`
-    /// sampled `c` times holds tentative heights `L+1..=L+c`), then keep the
-    /// `balls` tentative balls of *smallest* height — identical to removing
-    /// the `d − k` of maximal height.
-    fn commit_multiplicity(
+    /// The paper's policy, eager-key variant (legacy engine): place `d`
+    /// tentative balls (a bin of load `L` sampled `c` times holds tentative
+    /// heights `L+1..=L+c`), draw a random key per tentative ball, then
+    /// keep the `balls` smallest `(height, key)` — identical to removing
+    /// the `d − k` of maximal height with uniform tie-breaking.
+    fn commit_multiplicity_eager<R, S>(
         &mut self,
         state: &mut LoadVector,
         balls: usize,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
-    ) {
+        rng: &mut R,
+        heights_out: &mut S,
+    ) where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         // Group identical bins to assign tentative heights L+1..L+c.
         self.samples.sort_unstable();
         self.tentative.clear();
@@ -183,30 +255,100 @@ impl KdChoice {
         // heights is downward-closed within a bin (its heights are distinct
         // and ascending), so the per-bin multiplicity cap is automatic.
         if balls < self.tentative.len() {
-            self.tentative
-                .select_nth_unstable_by(balls - 1, |a, b| {
-                    (a.height, a.key).cmp(&(b.height, b.key))
-                });
+            self.tentative.select_nth_unstable_by(balls - 1, |a, b| {
+                (a.height, a.key).cmp(&(b.height, b.key))
+            });
         }
         let kept = &mut self.tentative[..balls];
         // Commit in (bin, height) order so add_ball's returned heights match
         // the tentative heights exactly.
-        kept.sort_unstable_by(|a, b| (a.bin, a.height).cmp(&(b.bin, b.height)));
+        kept.sort_unstable_by_key(|a| (a.bin, a.height));
         for t in kept.iter() {
             let h = state.add_ball(t.bin as usize);
             debug_assert_eq!(h, t.height, "tentative height mismatch");
-            heights_out.push(h);
+            heights_out.record(h);
+        }
+    }
+
+    /// The paper's policy, lazy-key variant (batched engine, `Vec` path for
+    /// `d > SMALL_D` and for externally supplied samples): selection is by
+    /// height alone; randomness is drawn only for the tentative balls whose
+    /// height equals the selection boundary, of which a uniform subset is
+    /// kept. Distributionally identical to the eager variant — every
+    /// tentative ball strictly below the boundary is kept either way, and
+    /// eager keys induce exactly a uniform choice among boundary balls.
+    fn commit_multiplicity_lazy<R, S>(
+        &mut self,
+        state: &mut LoadVector,
+        balls: usize,
+        rng: &mut R,
+        heights_out: &mut S,
+    ) where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
+        self.samples.sort_unstable();
+        self.tentative.clear();
+        let mut i = 0;
+        while i < self.samples.len() {
+            let bin = self.samples[i];
+            let base = state.load(bin);
+            let mut occ = 0u32;
+            while i < self.samples.len() && self.samples[i] == bin {
+                occ += 1;
+                self.tentative.push(Tentative {
+                    height: base + occ,
+                    key: 0,
+                    bin: bin as u32,
+                });
+                i += 1;
+            }
+        }
+        let len = self.tentative.len();
+        if balls < len {
+            // Boundary height: the `balls`-th smallest tentative height.
+            let (_, pivot, _) = self
+                .tentative
+                .select_nth_unstable_by_key(balls - 1, |t| t.height);
+            let hb = pivot.height;
+            // Partition into [h < hb][h == hb][h ≥ hb] and pick a uniform
+            // subset of the boundary band.
+            let mut lt_end = 0;
+            for j in 0..len {
+                if self.tentative[j].height < hb {
+                    self.tentative.swap(lt_end, j);
+                    lt_end += 1;
+                }
+            }
+            let mut eq_end = lt_end;
+            for j in lt_end..len {
+                if self.tentative[j].height == hb {
+                    self.tentative.swap(eq_end, j);
+                    eq_end += 1;
+                }
+            }
+            shuffle_boundary_ties(&mut self.tentative, balls, |t| t.height, rng);
+        }
+        // Within any bin the kept heights are exactly L+1..=L+j, so
+        // committing in slice order reproduces the kept height multiset
+        // regardless of slot order.
+        for t in self.tentative[..balls].iter() {
+            let h = state.add_ball(t.bin as usize);
+            heights_out.record(h);
         }
     }
 
     /// The §7 relaxation: water-fill the distinct sampled bins.
-    fn commit_unrestricted(
+    fn commit_unrestricted<R, S>(
         &mut self,
         state: &mut LoadVector,
         balls: usize,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
-    ) {
+        rng: &mut R,
+        heights_out: &mut S,
+    ) where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         self.samples.sort_unstable();
         self.samples.dedup();
         self.candidates.clear();
@@ -222,12 +364,220 @@ impl KdChoice {
             let bin = self.candidates[idx].bin as usize;
             let h = state.add_ball(bin);
             self.candidates[idx].load = h;
-            heights_out.push(h);
+            heights_out.record(h);
+        }
+    }
+
+    /// The batched engine's fast path: `d ≤ SMALL_D`, multiplicity policy,
+    /// everything on fixed stack arrays.
+    ///
+    /// Dispatches the runtime `d` onto a const-generic round body so the
+    /// per-round loops fully unroll and the scratch arrays live in
+    /// registers for the small `d` the paper actually uses.
+    fn round_batched_small<R, S>(
+        &mut self,
+        state: &mut LoadVector,
+        rng: &mut R,
+        heights_out: &mut S,
+        balls: usize,
+    ) where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
+        match self.d {
+            1 => round_small::<1, R, S>(state, rng, heights_out, balls),
+            2 => round_small::<2, R, S>(state, rng, heights_out, balls),
+            3 => round_small::<3, R, S>(state, rng, heights_out, balls),
+            4 => round_small::<4, R, S>(state, rng, heights_out, balls),
+            5 => round_small::<5, R, S>(state, rng, heights_out, balls),
+            6 => round_small::<6, R, S>(state, rng, heights_out, balls),
+            7 => round_small::<7, R, S>(state, rng, heights_out, balls),
+            8 => round_small::<8, R, S>(state, rng, heights_out, balls),
+            9 => round_small::<9, R, S>(state, rng, heights_out, balls),
+            10 => round_small::<10, R, S>(state, rng, heights_out, balls),
+            11 => round_small::<11, R, S>(state, rng, heights_out, balls),
+            12 => round_small::<12, R, S>(state, rng, heights_out, balls),
+            13 => round_small::<13, R, S>(state, rng, heights_out, balls),
+            14 => round_small::<14, R, S>(state, rng, heights_out, balls),
+            15 => round_small::<15, R, S>(state, rng, heights_out, balls),
+            16 => round_small::<16, R, S>(state, rng, heights_out, balls),
+            _ => unreachable!("small path requires d <= SMALL_D"),
         }
     }
 }
 
-impl BallsIntoBins for KdChoice {
+/// Uniform lazy tie-breaking at the selection boundary, shared by every
+/// lazy commit path (`Vec`, packed-key, and grouped-array).
+///
+/// `slots[..balls]` must already hold the `balls` smallest heights, with
+/// the boundary-height band contiguous around the cut (true after a full
+/// sort or after the `[< hb][== hb][> hb]` partition). If the boundary
+/// height spans the cut, a partial Fisher–Yates over the band leaves a
+/// uniform subset of the tied slots in the kept prefix — consuming one
+/// bounded draw per chosen tied slot instead of one key per tentative
+/// ball, and none at all when no tie straddles the boundary.
+#[inline]
+fn shuffle_boundary_ties<T, R, F>(slots: &mut [T], balls: usize, height_of: F, rng: &mut R)
+where
+    R: RngCore + ?Sized,
+    F: Fn(&T) -> u32,
+{
+    if balls >= slots.len() || height_of(&slots[balls]) != height_of(&slots[balls - 1]) {
+        return;
+    }
+    let hb = height_of(&slots[balls - 1]);
+    let mut lo = balls - 1;
+    while lo > 0 && height_of(&slots[lo - 1]) == hb {
+        lo -= 1;
+    }
+    let mut hi = balls;
+    while hi + 1 < slots.len() && height_of(&slots[hi + 1]) == hb {
+        hi += 1;
+    }
+    let ties = hi - lo + 1;
+    let chosen = balls - lo;
+    debug_assert!(chosen < ties, "the band spans the cut, so ties > chosen");
+    for t in 0..chosen {
+        let j = t + rand::lemire_u64(rng, (ties - t) as u64) as usize;
+        slots.swap(lo + t, lo + j);
+    }
+}
+
+/// One batched-engine round at compile-time-known `D` (multiplicity
+/// policy): `D` generator outputs pulled in a block, widened-multiplied
+/// into bin indices (no division), a branchless sorting network over
+/// packed `(height, bin)` keys, and tie-break draws only when tentative
+/// balls straddle the selection boundary.
+///
+/// `inline(always)`: the per-`D` instantiations are selected by a runtime
+/// match; inlining them into the caller removes a call per round on the
+/// hottest path in the workspace.
+#[inline(always)]
+fn round_small<const D: usize, R, S>(
+    state: &mut LoadVector,
+    rng: &mut R,
+    heights_out: &mut S,
+    balls: usize,
+) where
+    R: RngCore + ?Sized,
+    S: HeightSink + ?Sized,
+{
+    debug_assert!(0 < balls && balls <= D);
+    let bins_dist = UniformBin::new(state.n());
+
+    // 1. Block-pull the round's raw randomness, then map to bins.
+    let mut raw = [0u64; D];
+    for slot in raw.iter_mut() {
+        *slot = rng.next_u64();
+    }
+    let mut bins = [0u32; D];
+    for i in 0..D {
+        bins[i] = bins_dist.map_raw(raw[i], rng) as u32;
+    }
+
+    // Distinctness check (O(D²) unrolled compares). With n ≫ d² a round
+    // repeats a bin with probability ≈ d²/2n, so the grouped path is cold.
+    let mut distinct = true;
+    for i in 1..D {
+        for j in 0..i {
+            distinct &= bins[i] != bins[j];
+        }
+    }
+    if !distinct {
+        return round_small_grouped::<D, R, S>(state, rng, heights_out, balls, bins);
+    }
+
+    // 2. Each sampled bin holds one tentative ball at height load + 1.
+    //    Keys pack (height << 32 | bin) so a u64 compare orders by height
+    //    first; the loads issue back-to-back, overlapping cache misses.
+    let mut key = [0u64; D];
+    for i in 0..D {
+        key[i] = ((u64::from(state.load(bins[i] as usize)) + 1) << 32) | u64::from(bins[i]);
+    }
+
+    // 3. Odd-even transposition network: D unrolled passes of branchless
+    //    compare-exchanges (min/max compile to cmov, no mispredictions).
+    for pass in 0..D {
+        let mut j = pass & 1;
+        while j + 1 < D {
+            let (a, b) = (key[j], key[j + 1]);
+            key[j] = a.min(b);
+            key[j + 1] = a.max(b);
+            j += 2;
+        }
+    }
+
+    // 4. Lazy tie-breaking: randomness only if the boundary height is
+    //    shared between kept and discarded slots. (Keys ordered ties by
+    //    bin index; the uniform boundary shuffle erases that bias.)
+    shuffle_boundary_ties(&mut key, balls, |&x| (x >> 32) as u32, rng);
+
+    // 5. Commit the balls of smallest height.
+    for &k in &key[..balls] {
+        let h = state.add_ball((k & 0xFFFF_FFFF) as usize);
+        heights_out.record(h);
+    }
+}
+
+/// The collision continuation of [`round_small`]: some bin was sampled
+/// more than once, so tentative heights need the multiplicity walk
+/// (heights L+1..=L+c for a bin of load L sampled c times). Probability
+/// ≈ d²/2n per round — kept out of line so the hot path stays small.
+#[cold]
+#[inline(never)]
+fn round_small_grouped<const D: usize, R, S>(
+    state: &mut LoadVector,
+    rng: &mut R,
+    heights_out: &mut S,
+    balls: usize,
+    mut bins: [u32; D],
+) where
+    R: RngCore + ?Sized,
+    S: HeightSink + ?Sized,
+{
+    // Group multiplicities: insertion sort of D bin indices.
+    for i in 1..D {
+        let mut j = i;
+        while j > 0 && bins[j - 1] > bins[j] {
+            bins.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    let mut tent = [(0u32, 0u32); D]; // (height, bin)
+    let mut i = 0;
+    while i < D {
+        let bin = bins[i];
+        let base = state.load(bin as usize);
+        let mut occ = 0u32;
+        while i < D && bins[i] == bin {
+            occ += 1;
+            tent[i] = (base + occ, bin);
+            i += 1;
+        }
+    }
+
+    // Order by height (stable insertion sort keeps each bin's heights
+    // ascending).
+    for i in 1..D {
+        let mut j = i;
+        while j > 0 && tent[j - 1].0 > tent[j].0 {
+            tent.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+
+    // Lazy tie-breaking, as in the distinct path.
+    shuffle_boundary_ties(&mut tent, balls, |t| t.0, rng);
+
+    // Commit. Kept heights within a bin are downward closed, so the
+    // returned heights reproduce the kept multiset in slice order.
+    for t in &tent[..balls] {
+        let h = state.add_ball(t.1 as usize);
+        heights_out.record(h);
+    }
+}
+
+impl RoundProcess for KdChoice {
     fn name(&self) -> String {
         match self.policy {
             RoundPolicy::Multiplicity => format!("({},{})-choice", self.k, self.d),
@@ -237,27 +587,54 @@ impl BallsIntoBins for KdChoice {
         }
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights: &mut S,
         balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         // Truncate the final round if fewer than k balls remain (the paper
         // assumes k | n; this keeps the driver total-ball-exact anyway).
         let balls = (self.k as u64).min(balls_remaining.max(1)) as usize;
-        let n = state.n();
-        self.samples.clear();
-        for _ in 0..self.d {
-            self.samples.push(rng.gen_range(0..n));
-        }
-        match self.policy {
-            RoundPolicy::Multiplicity => {
-                self.commit_multiplicity(state, balls, rng, heights_out)
+        match (self.policy, self.engine) {
+            (RoundPolicy::Multiplicity, EngineVersion::Batched) if self.d <= SMALL_D => {
+                self.round_batched_small(state, rng, heights, balls);
             }
-            RoundPolicy::Unrestricted => {
-                self.commit_unrestricted(state, balls, rng, heights_out)
+            (RoundPolicy::Multiplicity, EngineVersion::Batched) => {
+                let n = state.n();
+                kdchoice_prng::sample::fill_with_replacement(rng, n, self.d, &mut self.samples);
+                self.commit_multiplicity_lazy(state, balls, rng, heights);
+            }
+            (RoundPolicy::Multiplicity, EngineVersion::Legacy) => {
+                let n = state.n();
+                self.samples.clear();
+                for _ in 0..self.d {
+                    self.samples.push(rng.gen_range(0..n));
+                }
+                self.commit_multiplicity_eager(state, balls, rng, heights);
+            }
+            (RoundPolicy::Unrestricted, engine) => {
+                let n = state.n();
+                self.samples.clear();
+                match engine {
+                    EngineVersion::Batched => kdchoice_prng::sample::fill_with_replacement(
+                        rng,
+                        n,
+                        self.d,
+                        &mut self.samples,
+                    ),
+                    EngineVersion::Legacy => {
+                        for _ in 0..self.d {
+                            self.samples.push(rng.gen_range(0..n));
+                        }
+                    }
+                }
+                self.commit_unrestricted(state, balls, rng, heights);
             }
         }
         RoundStats {
@@ -290,7 +667,10 @@ mod tests {
             KdChoice::new(4, 3).unwrap_err(),
             ConfigError::KExceedsD { k: 4, d: 3 }
         );
-        assert!(KdChoice::new(3, 3).is_ok(), "k = d is the SA(k,k) degenerate");
+        assert!(
+            KdChoice::new(3, 3).is_ok(),
+            "k = d is the SA(k,k) degenerate"
+        );
         assert!(KdChoice::new(1, 1).is_ok());
     }
 
@@ -302,43 +682,63 @@ mod tests {
         assert_eq!(p.name(), "(2,3)-choice[unrestricted]");
     }
 
+    #[test]
+    fn default_engine_is_batched() {
+        assert_eq!(
+            KdChoice::new(2, 3).unwrap().engine(),
+            EngineVersion::Batched
+        );
+        assert_eq!(EngineVersion::Batched.label(), "batched");
+        assert_ne!(
+            EngineVersion::Batched.label(),
+            EngineVersion::Legacy.label()
+        );
+    }
+
     /// Paper §1, scenario (a): (3,4)-choice, bins with loads (3,2,1,0), each
-    /// sampled once. Each of bin2, bin3, bin4 receives a ball.
+    /// sampled once. Each of bin2, bin3, bin4 receives a ball. Tie-free, so
+    /// both engines must agree exactly.
     #[test]
     fn paper_scenario_a() {
-        let mut p = KdChoice::new(3, 4).unwrap();
-        let mut state = state_with_loads(&[3, 2, 1, 0]);
-        let mut rng = Xoshiro256PlusPlus::from_u64(1);
-        let mut heights = Vec::new();
-        p.place_round_with_samples(&mut state, &[0, 1, 2, 3], 3, &mut rng, &mut heights);
-        assert_eq!(state.loads(), &[3, 3, 2, 1]);
-        let mut h = heights.clone();
-        h.sort_unstable();
-        assert_eq!(h, vec![1, 2, 3]);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let mut p = KdChoice::new(3, 4).unwrap().with_engine(engine);
+            let mut state = state_with_loads(&[3, 2, 1, 0]);
+            let mut rng = Xoshiro256PlusPlus::from_u64(1);
+            let mut heights = Vec::new();
+            p.place_round_with_samples(&mut state, &[0, 1, 2, 3], 3, &mut rng, &mut heights);
+            assert_eq!(state.loads(), &[3, 3, 2, 1], "{engine:?}");
+            let mut h = heights.clone();
+            h.sort_unstable();
+            assert_eq!(h, vec![1, 2, 3]);
+        }
     }
 
     /// Paper §1, scenario (b): bin2 and bin3 sampled once, bin4 twice.
     /// "bin3 receives a ball and bin4 receives two balls".
     #[test]
     fn paper_scenario_b() {
-        let mut p = KdChoice::new(3, 4).unwrap();
-        let mut state = state_with_loads(&[3, 2, 1, 0]);
-        let mut rng = Xoshiro256PlusPlus::from_u64(2);
-        let mut heights = Vec::new();
-        p.place_round_with_samples(&mut state, &[1, 2, 3, 3], 3, &mut rng, &mut heights);
-        assert_eq!(state.loads(), &[3, 2, 2, 2]);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let mut p = KdChoice::new(3, 4).unwrap().with_engine(engine);
+            let mut state = state_with_loads(&[3, 2, 1, 0]);
+            let mut rng = Xoshiro256PlusPlus::from_u64(2);
+            let mut heights = Vec::new();
+            p.place_round_with_samples(&mut state, &[1, 2, 3, 3], 3, &mut rng, &mut heights);
+            assert_eq!(state.loads(), &[3, 2, 2, 2], "{engine:?}");
+        }
     }
 
     /// Paper §1, scenario (c): bin1 sampled twice, bin4 sampled twice.
     /// "bin1 receives one ball and bin4 receives two".
     #[test]
     fn paper_scenario_c() {
-        let mut p = KdChoice::new(3, 4).unwrap();
-        let mut state = state_with_loads(&[3, 2, 1, 0]);
-        let mut rng = Xoshiro256PlusPlus::from_u64(3);
-        let mut heights = Vec::new();
-        p.place_round_with_samples(&mut state, &[0, 0, 3, 3], 3, &mut rng, &mut heights);
-        assert_eq!(state.loads(), &[4, 2, 1, 2]);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let mut p = KdChoice::new(3, 4).unwrap().with_engine(engine);
+            let mut state = state_with_loads(&[3, 2, 1, 0]);
+            let mut rng = Xoshiro256PlusPlus::from_u64(3);
+            let mut heights = Vec::new();
+            p.place_round_with_samples(&mut state, &[0, 0, 3, 3], 3, &mut rng, &mut heights);
+            assert_eq!(state.loads(), &[4, 2, 1, 2], "{engine:?}");
+        }
     }
 
     /// §7: under the unrestricted policy in (2,3)-choice with loads
@@ -360,18 +760,20 @@ mod tests {
     /// balls: one to the empty bin, one to the load-2 bin.
     #[test]
     fn multiplicity_policy_on_section7_example() {
-        let mut p = KdChoice::new(2, 3).unwrap();
-        let mut state = state_with_loads(&[0, 2, 3]);
-        let mut rng = Xoshiro256PlusPlus::from_u64(5);
-        let mut heights = Vec::new();
-        p.place_round_with_samples(&mut state, &[0, 1, 2], 2, &mut rng, &mut heights);
-        assert_eq!(state.loads(), &[1, 3, 3]);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let mut p = KdChoice::new(2, 3).unwrap().with_engine(engine);
+            let mut state = state_with_loads(&[0, 2, 3]);
+            let mut rng = Xoshiro256PlusPlus::from_u64(5);
+            let mut heights = Vec::new();
+            p.place_round_with_samples(&mut state, &[0, 1, 2], 2, &mut rng, &mut heights);
+            assert_eq!(state.loads(), &[1, 3, 3], "{engine:?}");
+        }
     }
 
     /// Reference implementation of the paper's removal formulation: place
     /// one ball per sampled slot sequentially, then remove the d−k balls of
-    /// maximal height. Checked equivalent to `commit_multiplicity` on random
-    /// instances.
+    /// maximal height. Checked equivalent to both engines' multiplicity
+    /// commit on random instances.
     fn removal_reference(loads: &[u32], samples: &[usize], k: usize) -> Vec<u32> {
         let mut loads = loads.to_vec();
         let mut placed: Vec<(u32, usize)> = Vec::new(); // (height, bin)
@@ -390,57 +792,67 @@ mod tests {
     #[test]
     fn multiplicity_matches_removal_formulation_on_random_instances() {
         use rand::Rng;
-        let mut rng = Xoshiro256PlusPlus::from_u64(6);
-        for trial in 0..500 {
-            let n = rng.gen_range(2..12);
-            let d = rng.gen_range(1..=8usize);
-            let k = rng.gen_range(1..=d);
-            let loads: Vec<u32> = (0..n).map(|_| rng.gen_range(0..5)).collect();
-            let samples: Vec<usize> = (0..d).map(|_| rng.gen_range(0..n)).collect();
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let mut rng = Xoshiro256PlusPlus::from_u64(6);
+            for trial in 0..500 {
+                let n = rng.gen_range(2..12);
+                let d = rng.gen_range(1..=8usize);
+                let k = rng.gen_range(1..=d);
+                let loads: Vec<u32> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+                let samples: Vec<usize> = (0..d).map(|_| rng.gen_range(0..n)).collect();
 
-            let mut p = KdChoice::new(k, d).unwrap();
-            let mut state = state_with_loads(&loads);
-            let mut heights = Vec::new();
-            p.place_round_with_samples(&mut state, &samples, k, &mut rng, &mut heights);
+                let mut p = KdChoice::new(k, d).unwrap().with_engine(engine);
+                let mut state = state_with_loads(&loads);
+                let mut heights = Vec::new();
+                p.place_round_with_samples(&mut state, &samples, k, &mut rng, &mut heights);
 
-            let mut got: Vec<u32> = state.loads().to_vec();
-            let mut want = removal_reference(&loads, &samples, k);
-            // Compare as multisets of loads: tie-breaking may route a ball
-            // to a different bin of equal height, but the sorted load vector
-            // must be identical (this is the paper's state space).
-            got.sort_unstable();
-            want.sort_unstable();
-            assert_eq!(got, want, "trial {trial}: k={k} d={d} samples {samples:?}");
+                let mut got: Vec<u32> = state.loads().to_vec();
+                let mut want = removal_reference(&loads, &samples, k);
+                // Compare as multisets of loads: tie-breaking may route a ball
+                // to a different bin of equal height, but the sorted load vector
+                // must be identical (this is the paper's state space).
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(
+                    got, want,
+                    "{engine:?} trial {trial}: k={k} d={d} samples {samples:?}"
+                );
+            }
         }
     }
 
     #[test]
     fn multiplicity_cap_is_respected() {
         use rand::Rng;
-        let mut rng = Xoshiro256PlusPlus::from_u64(7);
-        for _ in 0..300 {
-            let n = 6;
-            let d = rng.gen_range(2..=10usize);
-            let k = rng.gen_range(1..=d);
-            let loads: Vec<u32> = (0..n).map(|_| rng.gen_range(0..4)).collect();
-            let samples: Vec<usize> = (0..d).map(|_| rng.gen_range(0..n)).collect();
-            let mut occurrences = vec![0u32; n];
-            for &s in &samples {
-                occurrences[s] += 1;
-            }
-            let mut p = KdChoice::new(k, d).unwrap();
-            let mut state = state_with_loads(&loads);
-            let mut heights = Vec::new();
-            p.place_round_with_samples(&mut state, &samples, k, &mut rng, &mut heights);
-            for bin in 0..n {
-                let gained = state.load(bin) - loads[bin];
-                assert!(
-                    gained <= occurrences[bin],
-                    "bin {bin} sampled {} times but gained {gained}",
-                    occurrences[bin]
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let mut rng = Xoshiro256PlusPlus::from_u64(7);
+            for _ in 0..300 {
+                let n = 6;
+                let d = rng.gen_range(2..=10usize);
+                let k = rng.gen_range(1..=d);
+                let loads: Vec<u32> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+                let samples: Vec<usize> = (0..d).map(|_| rng.gen_range(0..n)).collect();
+                let mut occurrences = vec![0u32; n];
+                for &s in &samples {
+                    occurrences[s] += 1;
+                }
+                let mut p = KdChoice::new(k, d).unwrap().with_engine(engine);
+                let mut state = state_with_loads(&loads);
+                let mut heights = Vec::new();
+                p.place_round_with_samples(&mut state, &samples, k, &mut rng, &mut heights);
+                for bin in 0..n {
+                    let gained = state.load(bin) - loads[bin];
+                    assert!(
+                        gained <= occurrences[bin],
+                        "{engine:?}: bin {bin} sampled {} times but gained {gained}",
+                        occurrences[bin]
+                    );
+                }
+                assert_eq!(
+                    state.total_balls() as usize,
+                    loads.iter().sum::<u32>() as usize + k
                 );
             }
-            assert_eq!(state.total_balls() as usize, loads.iter().sum::<u32>() as usize + k);
         }
     }
 
@@ -458,27 +870,45 @@ mod tests {
 
     #[test]
     fn run_round_throws_k_and_probes_d() {
-        let mut p = KdChoice::new(3, 7).unwrap();
-        let mut state = LoadVector::new(100);
-        let mut rng = Xoshiro256PlusPlus::from_u64(9);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let mut p = KdChoice::new(3, 7).unwrap().with_engine(engine);
+            let mut state = LoadVector::new(100);
+            let mut rng = Xoshiro256PlusPlus::from_u64(9);
+            let mut heights = Vec::new();
+            let stats = p.run_round(&mut state, &mut rng, &mut heights, 1000);
+            assert_eq!(stats.thrown, 3, "{engine:?}");
+            assert_eq!(stats.placed, 3);
+            assert_eq!(stats.probes, 7);
+            assert_eq!(heights.len(), 3);
+            assert_eq!(state.total_balls(), 3);
+        }
+    }
+
+    #[test]
+    fn large_d_batched_path_works() {
+        // d > SMALL_D exercises the Vec-based lazy path.
+        let mut p = KdChoice::new(20, 40).unwrap();
+        let mut state = LoadVector::new(64);
+        let mut rng = Xoshiro256PlusPlus::from_u64(10);
         let mut heights = Vec::new();
         let stats = p.run_round(&mut state, &mut rng, &mut heights, 1000);
-        assert_eq!(stats.thrown, 3);
-        assert_eq!(stats.placed, 3);
-        assert_eq!(stats.probes, 7);
-        assert_eq!(heights.len(), 3);
-        assert_eq!(state.total_balls(), 3);
+        assert_eq!(stats.thrown, 20);
+        assert_eq!(stats.probes, 40);
+        assert_eq!(state.total_balls(), 20);
+        assert!(state.check_invariants());
     }
 
     #[test]
     fn final_round_truncates_to_remaining() {
-        let mut p = KdChoice::new(4, 6).unwrap();
-        let mut state = LoadVector::new(50);
-        let mut rng = Xoshiro256PlusPlus::from_u64(10);
-        let mut heights = Vec::new();
-        let stats = p.run_round(&mut state, &mut rng, &mut heights, 2);
-        assert_eq!(stats.thrown, 2);
-        assert_eq!(state.total_balls(), 2);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let mut p = KdChoice::new(4, 6).unwrap().with_engine(engine);
+            let mut state = LoadVector::new(50);
+            let mut rng = Xoshiro256PlusPlus::from_u64(10);
+            let mut heights = Vec::new();
+            let stats = p.run_round(&mut state, &mut rng, &mut heights, 2);
+            assert_eq!(stats.thrown, 2, "{engine:?}");
+            assert_eq!(state.total_balls(), 2);
+        }
     }
 
     #[test]
@@ -509,38 +939,66 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let run = |seed: u64| {
-            let mut p = KdChoice::new(2, 5).unwrap();
-            let mut state = LoadVector::new(64);
-            let mut rng = Xoshiro256PlusPlus::from_u64(seed);
-            let mut heights = Vec::new();
-            for _ in 0..32 {
-                p.run_round(&mut state, &mut rng, &mut heights, u64::MAX);
-            }
-            (state.sorted_descending(), heights)
-        };
-        assert_eq!(run(42), run(42));
-        assert_ne!(run(42).1, run(43).1);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let run = |seed: u64| {
+                let mut p = KdChoice::new(2, 5).unwrap().with_engine(engine);
+                let mut state = LoadVector::new(64);
+                let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+                let mut heights = Vec::new();
+                for _ in 0..32 {
+                    p.run_round(&mut state, &mut rng, &mut heights, u64::MAX);
+                }
+                (state.sorted_descending(), heights)
+            };
+            assert_eq!(run(42), run(42), "{engine:?}");
+            assert_ne!(run(42).1, run(43).1, "{engine:?}");
+        }
     }
 
     #[test]
     fn ties_between_bins_are_randomized() {
         // (1,2)-choice, two empty bins sampled: the ball should land on
-        // either bin with roughly equal probability.
-        let mut counts = [0u32; 2];
-        let mut rng = Xoshiro256PlusPlus::from_u64(13);
-        for _ in 0..4000 {
-            let mut p = KdChoice::new(1, 2).unwrap();
-            let mut state = LoadVector::new(2);
-            let mut heights = Vec::new();
-            p.place_round_with_samples(&mut state, &[0, 1], 1, &mut rng, &mut heights);
-            if state.load(0) == 1 {
-                counts[0] += 1;
-            } else {
-                counts[1] += 1;
+        // either bin with roughly equal probability — under both the eager
+        // and the lazy tie-break engines.
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let mut counts = [0u32; 2];
+            let mut rng = Xoshiro256PlusPlus::from_u64(13);
+            for _ in 0..4000 {
+                let mut p = KdChoice::new(1, 2).unwrap().with_engine(engine);
+                let mut state = LoadVector::new(2);
+                let mut heights = Vec::new();
+                p.place_round_with_samples(&mut state, &[0, 1], 1, &mut rng, &mut heights);
+                if state.load(0) == 1 {
+                    counts[0] += 1;
+                } else {
+                    counts[1] += 1;
+                }
             }
+            let f = f64::from(counts[0]) / 4000.0;
+            assert!((f - 0.5).abs() < 0.05, "{engine:?}: tie frequency {f}");
         }
-        let f = counts[0] as f64 / 4000.0;
-        assert!((f - 0.5).abs() < 0.05, "tie frequency {f}");
+    }
+
+    #[test]
+    fn engines_agree_in_distribution_on_max_load() {
+        // Legacy and batched engines simulate the same process: mean max
+        // loads over independent trials must be statistically
+        // indistinguishable.
+        let mean_max = |engine: EngineVersion| {
+            let mut sum = 0.0;
+            for seed in 0..40u64 {
+                let mut p = KdChoice::new(2, 3).unwrap().with_engine(engine);
+                let r =
+                    crate::driver::run_once(&mut p, &crate::driver::RunConfig::new(1 << 12, seed));
+                sum += f64::from(r.max_load);
+            }
+            sum / 40.0
+        };
+        let legacy = mean_max(EngineVersion::Legacy);
+        let batched = mean_max(EngineVersion::Batched);
+        assert!(
+            (legacy - batched).abs() < 0.4,
+            "legacy {legacy} vs batched {batched}"
+        );
     }
 }

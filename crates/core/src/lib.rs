@@ -23,11 +23,13 @@
 //!   validate Property (i) (`Aσ ≡ A` in distribution).
 //! * [`LoadVector`] — the bin-state substrate with O(1) max-load and ν_y
 //!   queries.
-//! * [`run_once`] / [`run_trials`] — deterministic, seedable drivers; trials
-//!   run in parallel threads with per-trial derived seeds.
-//! * [`BallsIntoBins`] — the process trait shared with the
-//!   `kdchoice-baselines` crate so that every scheme plugs into the same
-//!   drivers and experiments.
+//! * [`run_once`] / [`run_trials`] / [`run_sweep`] — deterministic,
+//!   seedable drivers; trials and sweep grids run in parallel threads with
+//!   per-trial derived seeds, histogramming ball heights inline.
+//! * [`RoundProcess`] — the monomorphized engine trait every process
+//!   implements; [`BallsIntoBins`] is its object-safe shim for
+//!   `Box<dyn BallsIntoBins>` harnesses. [`EngineVersion`] selects the
+//!   batched (default) or legacy (k,d)-choice round engine.
 //!
 //! ```
 //! use kdchoice_core::{KdChoice, RunConfig, run_once};
@@ -54,12 +56,15 @@ mod serialized;
 mod state;
 mod trace;
 
-pub use driver::{run_once, run_once_with_state, run_trials, RunConfig, RunResult, TrialSet};
+pub use driver::{
+    run_once, run_once_with_state, run_sweep, run_trials, HeightHistogram, RunConfig, RunResult,
+    TrialSet,
+};
 pub use dynamic::DynamicKChoice;
 pub use error::ConfigError;
-pub use kd::KdChoice;
+pub use kd::{EngineVersion, KdChoice};
 pub use policy::RoundPolicy;
-pub use process::{BallsIntoBins, RoundStats};
+pub use process::{BallsIntoBins, HeightSink, RoundProcess, RoundStats};
 pub use serialized::{SerializedKdChoice, SigmaSchedule};
 pub use state::LoadVector;
 pub use trace::{run_with_trace, TracePoint};

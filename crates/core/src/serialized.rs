@@ -1,9 +1,9 @@
 //! The serialized (k,d)-choice process Aσ of Definition 1.
 
-use rand::{Rng, RngCore};
+use rand::RngCore;
 
 use crate::error::ConfigError;
-use crate::process::{BallsIntoBins, RoundStats};
+use crate::process::{HeightSink, RoundProcess, RoundStats};
 use crate::state::LoadVector;
 
 /// How the per-round permutations σᵣ of Definition 1 are chosen.
@@ -118,7 +118,7 @@ impl SerializedKdChoice {
     }
 }
 
-impl BallsIntoBins for SerializedKdChoice {
+impl RoundProcess for SerializedKdChoice {
     fn name(&self) -> String {
         format!(
             "serialized({},{})-choice[{}]",
@@ -128,21 +128,23 @@ impl BallsIntoBins for SerializedKdChoice {
         )
     }
 
-    fn run_round(
+    fn run_round<R, S>(
         &mut self,
         state: &mut LoadVector,
-        rng: &mut dyn RngCore,
-        heights_out: &mut Vec<u32>,
+        rng: &mut R,
+        heights_out: &mut S,
         balls_remaining: u64,
-    ) -> RoundStats {
+    ) -> RoundStats
+    where
+        R: RngCore + ?Sized,
+        S: HeightSink + ?Sized,
+    {
         let balls = (self.k as u64).min(balls_remaining.max(1)) as usize;
         let n = state.n();
-        // Sample the round's d bins and build tentative slots with
-        // multiplicity-consistent heights.
-        self.samples.clear();
-        for _ in 0..self.d {
-            self.samples.push(rng.gen_range(0..n));
-        }
+        // Sample the round's d bins (batched, divisionless; consumes the
+        // generator exactly like d successive bounded draws) and build
+        // tentative slots with multiplicity-consistent heights.
+        kdchoice_prng::sample::fill_with_replacement(rng, n, self.d, &mut self.samples);
         self.samples.sort_unstable();
         self.slots.clear();
         let mut i = 0;
@@ -161,8 +163,7 @@ impl BallsIntoBins for SerializedKdChoice {
             }
         }
         // Rank all d slots once: "the i-th least loaded bin in S_r".
-        self.slots
-            .sort_unstable_by(|a, b| (a.height, a.key).cmp(&(b.height, b.key)));
+        self.slots.sort_unstable_by_key(|a| (a.height, a.key));
         // σ determines the order in which balls claim ranks 1..=balls.
         let sigma: &[usize] = match self.schedule {
             SigmaSchedule::Identity => {
@@ -184,10 +185,10 @@ impl BallsIntoBins for SerializedKdChoice {
         // tentative slot heights — the paper's §2 convention assigns
         // co-located round balls distinct ascending heights no matter the
         // placement order.
-        for s in 0..balls {
-            let slot = self.slots[sigma[s]];
+        for &rank in sigma.iter().take(balls) {
+            let slot = self.slots[rank];
             state.add_ball(slot.bin as usize);
-            heights_out.push(slot.height);
+            heights_out.record(slot.height);
         }
         RoundStats {
             thrown: balls as u32,
@@ -201,7 +202,8 @@ impl BallsIntoBins for SerializedKdChoice {
 mod tests {
     use super::*;
     use crate::driver::{run_once, RunConfig};
-    use crate::kd::KdChoice;
+    use crate::kd::{EngineVersion, KdChoice};
+    use crate::process::BallsIntoBins;
     use kdchoice_prng::Xoshiro256PlusPlus;
 
     #[test]
@@ -214,8 +216,9 @@ mod tests {
     #[test]
     fn name_mentions_schedule() {
         let p = SerializedKdChoice::new(2, 3, SigmaSchedule::Reverse).unwrap();
-        assert!(p.name().contains("reverse"));
-        assert!(p.name().contains("(2,3)"));
+        let name = RoundProcess::name(&p);
+        assert!(name.contains("reverse"));
+        assert!(name.contains("(2,3)"));
     }
 
     #[test]
@@ -269,24 +272,32 @@ mod tests {
             sum / trials as f64
         };
         let a = mean_max(&mut || Box::new(KdChoice::new(2, 3).unwrap()));
+
         let b = mean_max(&mut || {
             Box::new(SerializedKdChoice::new(2, 3, SigmaSchedule::Identity).unwrap())
         });
         let c = mean_max(&mut || {
             Box::new(SerializedKdChoice::new(2, 3, SigmaSchedule::UniformRandom).unwrap())
         });
-        assert!((a - b).abs() < 0.5, "round {a} vs identity serialization {b}");
+        assert!(
+            (a - b).abs() < 0.5,
+            "round {a} vs identity serialization {b}"
+        );
         assert!((a - c).abs() < 0.5, "round {a} vs random serialization {c}");
     }
 
     #[test]
     fn heights_match_round_process_heights_on_same_stream() {
         // With the same seed, the serialized process consumes the RNG the
-        // same way as KdChoice (d samples + d keys per round) when the
-        // schedule draws no extra randomness, so even the height *histogram*
-        // coincides with the round process run.
+        // same way as the *legacy* KdChoice engine (d samples + d keys per
+        // round) when the schedule draws no extra randomness, so even the
+        // height *histogram* coincides with the round process run. (The
+        // batched engine draws tie keys lazily, so it shares only the
+        // distribution, not the stream.)
         let n = 512;
-        let mut a = KdChoice::new(2, 5).unwrap();
+        let mut a = KdChoice::new(2, 5)
+            .unwrap()
+            .with_engine(EngineVersion::Legacy);
         let ra = run_once(&mut a, &RunConfig::new(n, 123));
         let mut b = SerializedKdChoice::new(2, 5, SigmaSchedule::Identity).unwrap();
         let rb = run_once(&mut b, &RunConfig::new(n, 123));
@@ -304,13 +315,8 @@ mod tests {
         for _ in 0..50 {
             let before: Vec<u32> = state.loads().to_vec();
             let occ_before = state.total_balls();
-            p.run_round(&mut state, &mut rng, &mut heights, u64::MAX);
-            let gained: u32 = state
-                .loads()
-                .iter()
-                .zip(&before)
-                .map(|(a, b)| a - b)
-                .sum();
+            RoundProcess::run_round(&mut p, &mut state, &mut rng, &mut heights, u64::MAX);
+            let gained: u32 = state.loads().iter().zip(&before).map(|(a, b)| a - b).sum();
             assert_eq!(gained, 3);
             assert_eq!(state.total_balls(), occ_before + 3);
         }

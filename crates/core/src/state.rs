@@ -34,6 +34,13 @@ pub struct LoadVector {
     count_by_load: Vec<u64>,
     max_load: u32,
     total_balls: u64,
+    /// Cached `ν_1` (bins with load ≥ 1). The layered-induction
+    /// observables hammer `nu(y)` for tiny `y`; keeping the two leading
+    /// suffix counts incrementally makes those queries O(1) instead of a
+    /// histogram scan.
+    nu1: u64,
+    /// Cached `ν_2` (bins with load ≥ 2).
+    nu2: u64,
 }
 
 impl LoadVector {
@@ -49,10 +56,13 @@ impl LoadVector {
             count_by_load: vec![n as u64],
             max_load: 0,
             total_balls: 0,
+            nu1: 0,
+            nu2: 0,
         }
     }
 
     /// The number of bins.
+    #[inline]
     pub fn n(&self) -> usize {
         self.loads.len()
     }
@@ -87,15 +97,20 @@ impl LoadVector {
             self.max_load = new;
         }
         self.total_balls += 1;
+        // Keep the ν_1/ν_2 suffix counts current (branchless increments).
+        self.nu1 += u64::from(new == 1);
+        self.nu2 += u64::from(new == 2);
         new
     }
 
     /// The current maximum load.
+    #[inline]
     pub fn max_load(&self) -> u32 {
         self.max_load
     }
 
     /// The total number of balls placed so far.
+    #[inline]
     pub fn total_balls(&self) -> u64 {
         self.total_balls
     }
@@ -112,9 +127,21 @@ impl LoadVector {
     }
 
     /// `ν_y`: the number of bins with load at least `y`.
+    ///
+    /// `y ≤ 2` — the values driven through the layered induction of
+    /// Theorems 4 and 7 — is answered from cached counters in O(1); larger
+    /// `y` falls back to the histogram suffix sum.
+    #[inline]
     pub fn nu(&self, y: u32) -> u64 {
-        let from = (y as usize).min(self.count_by_load.len());
-        self.count_by_load[from..].iter().sum()
+        match y {
+            0 => self.loads.len() as u64,
+            1 => self.nu1,
+            2 => self.nu2,
+            _ => {
+                let from = (y as usize).min(self.count_by_load.len());
+                self.count_by_load[from..].iter().sum()
+            }
+        }
     }
 
     /// The count-by-load histogram, indexed by load value. Entry `l` is the
@@ -144,17 +171,14 @@ impl LoadVector {
     /// # Panics
     ///
     /// Panics if `bin >= n`.
+    #[inline]
     pub fn rank_of<R: RngCore + ?Sized>(&self, bin: usize, rng: &mut R) -> usize {
         let l = self.loads[bin];
         // Bins with a strictly greater load all rank above `bin`.
         let greater: u64 = self.count_by_load[(l as usize + 1)..].iter().sum();
         let ties = self.count_by_load[l as usize];
         debug_assert!(ties >= 1);
-        let offset = if ties == 1 {
-            0
-        } else {
-            rng.gen_range(0..ties)
-        };
+        let offset = if ties == 1 { 0 } else { rng.gen_range(0..ties) };
         greater as usize + 1 + offset as usize
     }
 
@@ -173,10 +197,14 @@ impl LoadVector {
             total += u64::from(l);
             max = max.max(l);
         }
+        let ge1: u64 = hist[1..].iter().sum();
+        let ge2: u64 = hist.get(2..).map(|t| t.iter().sum()).unwrap_or(0);
         hist == self.count_by_load
             && total == self.total_balls
             && max == self.max_load
             && self.count_by_load.iter().sum::<u64>() == n as u64
+            && ge1 == self.nu1
+            && ge2 == self.nu2
     }
 }
 

@@ -1,0 +1,154 @@
+//! The refactor-safety property: the monomorphized generic path and the
+//! object-safe `dyn` shim are the *same* simulated process.
+//!
+//! Driving a `KdChoice` directly (static dispatch: `RoundProcess`
+//! monomorphized over the concrete RNG) and driving the identical
+//! configuration boxed as `Box<dyn BallsIntoBins>` (dynamic dispatch
+//! through the shim) must consume the RNG identically and therefore
+//! produce identical results — not just in distribution, but exactly:
+//! same sorted load vector, same histograms, same every observable.
+
+use kdchoice_core::{
+    run_once, run_once_with_state, BallsIntoBins, EngineVersion, KdChoice, RoundPolicy, RunConfig,
+};
+use kdchoice_prng::Xoshiro256PlusPlus;
+use rand::{Rng, RngCore};
+
+/// Runs one config through the generic (static-dispatch) driver path.
+fn run_generic(
+    k: usize,
+    d: usize,
+    engine: EngineVersion,
+    cfg: &RunConfig,
+) -> kdchoice_core::RunResult {
+    let mut p = KdChoice::new(k, d)
+        .expect("valid (k,d)")
+        .with_engine(engine);
+    run_once(&mut p, cfg)
+}
+
+/// Runs the same config through the object-safe shim (dynamic dispatch).
+fn run_dyn(k: usize, d: usize, engine: EngineVersion, cfg: &RunConfig) -> kdchoice_core::RunResult {
+    let mut p: Box<dyn BallsIntoBins> = Box::new(
+        KdChoice::new(k, d)
+            .expect("valid (k,d)")
+            .with_engine(engine),
+    );
+    run_once(&mut *p, cfg)
+}
+
+#[test]
+fn generic_and_dyn_paths_agree_on_random_instances() {
+    let mut meta = Xoshiro256PlusPlus::from_u64(0xE9E9);
+    let mut instances = 0;
+    while instances < 240 {
+        let d = meta.gen_range(1..=20usize);
+        let k = meta.gen_range(1..=d);
+        let n = 1usize << meta.gen_range(4..11u32); // 16 .. 1024 bins
+        let heavy = meta.gen_range(1..4u64); // up to m = 3n (Theorem 2 regime)
+        let seed = meta.next_u64();
+        let cfg = RunConfig::new(n, seed).with_balls(heavy * n as u64);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let a = run_generic(k, d, engine, &cfg);
+            let b = run_dyn(k, d, engine, &cfg);
+            // RunResult equality covers the full observable set: max load,
+            // gap, message count, rounds, and both histograms (the load
+            // histogram *is* the sorted load vector up to permutation).
+            assert_eq!(
+                a, b,
+                "{engine:?} diverged between dispatch paths at k={k} d={d} n={n} seed={seed}"
+            );
+            instances += 1;
+        }
+    }
+    assert!(instances >= 200, "acceptance floor: >= 200 instances");
+}
+
+#[test]
+fn generic_and_dyn_final_states_agree_exactly() {
+    // Sharper than histogram equality: the per-bin load vectors coincide,
+    // bin by bin, because both paths draw the same bins in the same order.
+    let mut meta = Xoshiro256PlusPlus::from_u64(77);
+    for _ in 0..25 {
+        let d = meta.gen_range(1..=17usize);
+        let k = meta.gen_range(1..=d);
+        let seed = meta.next_u64();
+        let cfg = RunConfig::new(512, seed);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let (_, state_generic) = {
+                let mut p = KdChoice::new(k, d).unwrap().with_engine(engine);
+                run_once_with_state(&mut p, &cfg)
+            };
+            let (_, state_dyn) = {
+                let mut p: Box<dyn BallsIntoBins> =
+                    Box::new(KdChoice::new(k, d).unwrap().with_engine(engine));
+                run_once_with_state(&mut *p, &cfg)
+            };
+            assert_eq!(
+                state_generic.loads(),
+                state_dyn.loads(),
+                "{engine:?} k={k} d={d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unrestricted_policy_also_agrees_across_dispatch_paths() {
+    let mut meta = Xoshiro256PlusPlus::from_u64(4242);
+    for _ in 0..40 {
+        let d = meta.gen_range(1..=12usize);
+        let k = meta.gen_range(1..=d);
+        let seed = meta.next_u64();
+        let cfg = RunConfig::new(256, seed);
+        for engine in [EngineVersion::Legacy, EngineVersion::Batched] {
+            let a = {
+                let mut p = KdChoice::new(k, d)
+                    .unwrap()
+                    .with_policy(RoundPolicy::Unrestricted)
+                    .with_engine(engine);
+                run_once(&mut p, &cfg)
+            };
+            let b = {
+                let mut p: Box<dyn BallsIntoBins> = Box::new(
+                    KdChoice::new(k, d)
+                        .unwrap()
+                        .with_policy(RoundPolicy::Unrestricted)
+                        .with_engine(engine),
+                );
+                run_once(&mut *p, &cfg)
+            };
+            assert_eq!(a, b, "{engine:?} k={k} d={d}");
+        }
+    }
+}
+
+#[test]
+fn legacy_and_batched_engines_agree_in_distribution() {
+    // The engines share the process's *distribution* (not the stream):
+    // compare mean max loads and mean gaps across seeds for a spread of
+    // configurations, including the heavy case.
+    for &(k, d, mult) in &[(1usize, 2usize, 1u64), (2, 3, 1), (3, 5, 1), (2, 4, 8)] {
+        let stats = |engine: EngineVersion| {
+            let trials = 30u64;
+            let (mut max_sum, mut gap_sum) = (0.0f64, 0.0f64);
+            for seed in 0..trials {
+                let cfg = RunConfig::new(1 << 11, 1000 + seed).with_balls(mult << 11);
+                let r = run_generic(k, d, engine, &cfg);
+                max_sum += f64::from(r.max_load);
+                gap_sum += r.gap;
+            }
+            (max_sum / trials as f64, gap_sum / trials as f64)
+        };
+        let (legacy_max, legacy_gap) = stats(EngineVersion::Legacy);
+        let (batched_max, batched_gap) = stats(EngineVersion::Batched);
+        assert!(
+            (legacy_max - batched_max).abs() < 0.5,
+            "(k={k},d={d},m={mult}n) max: legacy {legacy_max} vs batched {batched_max}"
+        );
+        assert!(
+            (legacy_gap - batched_gap).abs() < 0.5,
+            "(k={k},d={d},m={mult}n) gap: legacy {legacy_gap} vs batched {batched_gap}"
+        );
+    }
+}

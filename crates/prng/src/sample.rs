@@ -8,11 +8,92 @@
 
 use rand::{Rng, RngCore};
 
+/// Size of the raw-u64 blocks pulled by the batched samplers.
+const BLOCK: usize = 32;
+
+/// A precomputed uniform sampler over `0..n`, using Lemire's
+/// nearly-divisionless widening multiply (ACM TOMS 2019).
+///
+/// Each draw costs one generator output plus a 64×64→128-bit multiply; a
+/// modulo is computed only when the low half of the product lands below `n`
+/// (probability `n / 2^64`), so the per-probe division of naive
+/// `x % n` sampling disappears from the hot path entirely.
+///
+/// ```
+/// use kdchoice_prng::{sample::UniformBin, Xoshiro256PlusPlus};
+///
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// let bins = UniformBin::new(10);
+/// for _ in 0..100 {
+///     assert!(bins.sample(&mut rng) < 10);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformBin {
+    span: u64,
+}
+
+impl UniformBin {
+    /// Creates a sampler over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cannot sample from an empty range");
+        Self { span: n as u64 }
+    }
+
+    /// The exclusive upper bound `n`.
+    pub fn n(&self) -> usize {
+        self.span as usize
+    }
+
+    /// Draws one index uniformly from `0..n`.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rand::lemire_u64(rng, self.span) as usize
+    }
+
+    /// Maps one raw generator output to an index, falling back to fresh
+    /// draws from `rng` in the (probability `n / 2^64`) rejection band.
+    ///
+    /// This is the widening-multiply step the batched samplers apply to
+    /// pre-pulled blocks of generator outputs.
+    #[inline]
+    pub fn map_raw<R: RngCore + ?Sized>(&self, raw: u64, rng: &mut R) -> usize {
+        let m = u128::from(raw) * u128::from(self.span);
+        let lo = m as u64;
+        if lo >= self.span {
+            return (m >> 64) as usize;
+        }
+        // Rare slow path (probability span / 2^64): compute the exact
+        // rejection threshold. Accepting `raw` when lo ≥ threshold is
+        // Lemire's exact-uniformity condition; on true rejection, delegate
+        // to `lemire_u64`, whose fresh draws use the identical accept
+        // region — one shared implementation of the rejection logic, and
+        // the same stream a scalar retry loop would consume.
+        let threshold = self.span.wrapping_neg() % self.span;
+        if lo >= threshold {
+            return (m >> 64) as usize;
+        }
+        rand::lemire_u64(rng, self.span) as usize
+    }
+}
+
 /// Fills `out` with `count` indices drawn uniformly at random **with
 /// replacement** from `0..n`.
 ///
 /// `out` is cleared first; its capacity is reused across calls, which is the
-/// hot path of every allocation round in this workspace.
+/// hot path of every allocation round in this workspace. Internally the
+/// generator outputs are pulled in blocks of 32 and mapped through the
+/// widening multiply of [`UniformBin`], so the per-value work is one
+/// multiply and no division; when `rng` is a concrete generator type the
+/// whole block loop monomorphizes and inlines.
+///
+/// The emitted indices are identical to `count` successive
+/// [`UniformBin::sample`] draws on the same generator state, except in the
+/// astronomically rare rejection band (probability `n / 2^64` per value).
 ///
 /// # Panics
 ///
@@ -35,9 +116,23 @@ pub fn fill_with_replacement<R: RngCore + ?Sized>(
 ) {
     assert!(n > 0 || count == 0, "cannot sample from an empty range");
     out.clear();
+    if count == 0 {
+        return;
+    }
     out.reserve(count);
-    for _ in 0..count {
-        out.push(rng.gen_range(0..n));
+    let bins = UniformBin::new(n);
+    let mut raw = [0u64; BLOCK];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(BLOCK);
+        // Block-pull raw outputs first (tight generator loop), then map.
+        for slot in raw[..take].iter_mut() {
+            *slot = rng.next_u64();
+        }
+        for &r in &raw[..take] {
+            out.push(bins.map_raw(r, rng));
+        }
+        remaining -= take;
     }
 }
 
@@ -63,7 +158,10 @@ pub fn fill_with_replacement<R: RngCore + ?Sized>(
 /// assert_eq!(dedup.len(), 10);
 /// ```
 pub fn sample_distinct<R: RngCore + ?Sized>(rng: &mut R, n: usize, count: usize) -> Vec<usize> {
-    assert!(count <= n, "cannot draw {count} distinct values from 0..{n}");
+    assert!(
+        count <= n,
+        "cannot draw {count} distinct values from 0..{n}"
+    );
     let mut chosen: Vec<usize> = Vec::with_capacity(count);
     for j in (n - count)..n {
         let t = rng.gen_range(0..=j);
@@ -167,6 +265,43 @@ where
 mod tests {
     use super::*;
     use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn uniform_bin_matches_fill_with_replacement_stream() {
+        // The batched fill and scalar UniformBin draws must consume the
+        // generator identically (outside the ~2^-50 rejection band).
+        let mut a = Xoshiro256PlusPlus::from_u64(99);
+        let mut b = Xoshiro256PlusPlus::from_u64(99);
+        let mut out = Vec::new();
+        fill_with_replacement(&mut a, 12_345, 1000, &mut out);
+        let bins = UniformBin::new(12_345);
+        let scalar: Vec<usize> = (0..1000).map(|_| bins.sample(&mut b)).collect();
+        assert_eq!(out, scalar);
+        assert_eq!(a, b, "generator states must coincide after the batch");
+    }
+
+    #[test]
+    fn uniform_bin_is_roughly_uniform() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        let bins = UniformBin::new(8);
+        assert_eq!(bins.n(), 8);
+        let mut counts = [0u64; 8];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[bins.sample(&mut rng)] += 1;
+        }
+        let expected = draws as f64 / 8.0;
+        for &c in &counts {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.05, "bucket off by {rel}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_bin_rejects_zero() {
+        let _ = UniformBin::new(0);
+    }
 
     #[test]
     fn with_replacement_is_in_range() {

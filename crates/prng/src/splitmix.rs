@@ -29,6 +29,7 @@ impl SplitMix64 {
     }
 
     /// Returns the next 64-bit output.
+    #[allow(clippy::should_implement_trait)] // established generator API, not an Iterator
     #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -43,6 +43,7 @@ impl Xoshiro256PlusPlus {
     }
 
     /// Returns the next 64-bit output.
+    #[allow(clippy::should_implement_trait)] // established generator API, not an Iterator
     #[inline]
     pub fn next(&mut self) -> u64 {
         let result = self.s[0]

@@ -1,6 +1,7 @@
 //! Worker-selection strategies for job scheduling.
 
-use rand::{Rng, RngCore};
+use kdchoice_prng::sample::fill_with_replacement;
+use rand::RngCore;
 
 /// How a job's `k` tasks pick their workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,34 +97,33 @@ impl PlacementStrategy {
         let n = loads.len();
         match *self {
             PlacementStrategy::Random => {
-                let chosen = (0..k).map(|_| rng.gen_range(0..n)).collect();
+                let mut chosen = Vec::with_capacity(k);
+                fill_with_replacement(rng, n, k, &mut chosen);
                 (chosen, 0)
             }
             PlacementStrategy::PerTaskDChoice { d } => {
                 let mut chosen = Vec::with_capacity(k);
                 let mut samples = Vec::with_capacity(d);
                 for _ in 0..k {
-                    samples.clear();
-                    for _ in 0..d {
-                        samples.push(rng.gen_range(0..n));
-                    }
-                    let idx =
-                        kdchoice_prng::sample::random_argmin(rng, &samples, |&w| loads[w])
-                            .expect("d >= 1");
+                    fill_with_replacement(rng, n, d, &mut samples);
+                    let idx = kdchoice_prng::sample::random_argmin(rng, &samples, |&w| loads[w])
+                        .expect("d >= 1");
                     chosen.push(samples[idx]);
                 }
                 (chosen, (k * d) as u64)
             }
             PlacementStrategy::BatchSampling { probes_per_task } => {
                 let probes = probes_per_task * k;
-                let samples: Vec<usize> = (0..probes).map(|_| rng.gen_range(0..n)).collect();
+                let mut samples = Vec::with_capacity(probes);
+                fill_with_replacement(rng, n, probes, &mut samples);
                 (
                     select_k_least_loaded(&samples, loads, k, rng),
                     probes as u64,
                 )
             }
             PlacementStrategy::KdChoice { d } => {
-                let samples: Vec<usize> = (0..d).map(|_| rng.gen_range(0..n)).collect();
+                let mut samples = Vec::with_capacity(d);
+                fill_with_replacement(rng, n, d, &mut samples);
                 (select_k_least_loaded(&samples, loads, k, rng), d as u64)
             }
             PlacementStrategy::LateBinding { .. } => {
@@ -168,7 +168,11 @@ pub fn select_k_least_loaded<R: RngCore + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> Vec<usize> {
-    assert!(k <= samples.len(), "cannot place {k} tasks on {} slots", samples.len());
+    assert!(
+        k <= samples.len(),
+        "cannot place {k} tasks on {} slots",
+        samples.len()
+    );
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
     // (height, random key, worker)
@@ -258,8 +262,7 @@ mod tests {
         let loads = vec![0u32; 16];
         let (w, p) = PlacementStrategy::Random.choose_workers(&loads, 4, &mut rng);
         assert_eq!((w.len(), p), (4, 0));
-        let (w, p) =
-            PlacementStrategy::PerTaskDChoice { d: 3 }.choose_workers(&loads, 4, &mut rng);
+        let (w, p) = PlacementStrategy::PerTaskDChoice { d: 3 }.choose_workers(&loads, 4, &mut rng);
         assert_eq!((w.len(), p), (4, 12));
         let (w, p) = PlacementStrategy::BatchSampling { probes_per_task: 2 }
             .choose_workers(&loads, 4, &mut rng);

@@ -57,9 +57,9 @@ impl ServiceDistribution {
     /// through the public fields responsibly or via config validation).
     pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         match *self {
-            ServiceDistribution::Exponential { mean } => {
-                Exponential::new(1.0 / mean).expect("positive mean").sample(rng)
-            }
+            ServiceDistribution::Exponential { mean } => Exponential::new(1.0 / mean)
+                .expect("positive mean")
+                .sample(rng),
             ServiceDistribution::Deterministic { value } => value,
             ServiceDistribution::Pareto { alpha, lo, hi } => BoundedPareto::new(alpha, lo, hi)
                 .expect("valid pareto parameters")

@@ -324,7 +324,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 1.0);
         tw.update(1.0, 3.0); // 1 held on [0,1)
         tw.update(3.0, 0.0); // 3 held on [1,3)
-        // avg over [0,4] = (1*1 + 3*2 + 0*1)/4 = 7/4.
+                             // avg over [0,4] = (1*1 + 3*2 + 0*1)/4 = 7/4.
         assert!((tw.average(4.0) - 1.75).abs() < 1e-12);
         assert_eq!(tw.max(), 3.0);
         assert_eq!(tw.current(), 0.0);

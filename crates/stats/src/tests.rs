@@ -161,6 +161,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> TestResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::module_inception)] // unit tests of the two-sample `tests` module
 mod tests {
     use super::*;
     use kdchoice_prng::Xoshiro256PlusPlus;

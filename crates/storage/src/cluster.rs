@@ -1,6 +1,7 @@
 //! The storage cluster: servers, chunk placement, reads, and failure
 //! recovery.
 
+use kdchoice_prng::sample::UniformBin;
 use rand::{Rng, RngCore};
 
 /// How a file's `k` chunks pick their servers.
@@ -201,16 +202,16 @@ impl StorageCluster {
         assert!(!alive.is_empty(), "no alive servers left");
         match self.policy {
             PlacementPolicy::Random => {
-                let dest = (0..count)
-                    .map(|_| alive[rng.gen_range(0..alive.len())])
-                    .collect();
+                let pick = UniformBin::new(alive.len());
+                let dest = (0..count).map(|_| alive[pick.sample(rng)]).collect();
                 (dest, 0)
             }
             PlacementPolicy::PerChunkTwoChoice => {
+                let pick = UniformBin::new(alive.len());
                 let mut dest = Vec::with_capacity(count);
                 for _ in 0..count {
-                    let a = alive[rng.gen_range(0..alive.len())];
-                    let b = alive[rng.gen_range(0..alive.len())];
+                    let a = alive[pick.sample(rng)];
+                    let b = alive[pick.sample(rng)];
                     let (la, lb) = (self.effective_load(a), self.effective_load(b));
                     // Note: loads within a single file placement are read
                     // once; simultaneous chunk placements of one file do not
@@ -233,9 +234,8 @@ impl StorageCluster {
                 // Sample d alive servers with replacement; take the `count`
                 // least loaded slots with the multiplicity rule (tentative
                 // heights (load+occ)/capacity, ties broken randomly).
-                let mut sampled: Vec<usize> = (0..d)
-                    .map(|_| alive[rng.gen_range(0..alive.len())])
-                    .collect();
+                let pick = UniformBin::new(alive.len());
+                let mut sampled: Vec<usize> = (0..d).map(|_| alive[pick.sample(rng)]).collect();
                 sampled.sort_unstable();
                 let mut slots: Vec<(f64, u64, usize)> = Vec::with_capacity(d);
                 let mut i = 0;
@@ -336,7 +336,7 @@ impl StorageCluster {
 
     /// Kills a uniformly random alive server. Returns `(server, moved)`.
     pub fn fail_random_server<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> (usize, u64) {
-        let server = self.alive[rng.gen_range(0..self.alive.len())];
+        let server = self.alive[UniformBin::new(self.alive.len()).sample(rng)];
         let moved = self.fail_server(server, rng);
         (server, moved)
     }
@@ -361,7 +361,11 @@ impl StorageCluster {
             total_chunks: total,
             max_load: max,
             mean_load: mean,
-            imbalance: if mean > 0.0 { f64::from(max) / mean } else { 1.0 },
+            imbalance: if mean > 0.0 {
+                f64::from(max) / mean
+            } else {
+                1.0
+            },
             placement_messages: self.placement_messages,
             read_messages: self.read_messages,
             recovered_chunks: self.recovered_chunks,
@@ -531,8 +535,8 @@ mod tests {
         // Half the servers have double capacity.
         let n = 40;
         let caps: Vec<f64> = (0..n).map(|i| if i < 20 { 2.0 } else { 1.0 }).collect();
-        let mut c = StorageCluster::new(n, 2, PlacementPolicy::KdChoice { d: 8 })
-            .with_capacities(&caps);
+        let mut c =
+            StorageCluster::new(n, 2, PlacementPolicy::KdChoice { d: 8 }).with_capacities(&caps);
         for _ in 0..600 {
             c.create_file(&mut rng);
         }
@@ -556,8 +560,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite and positive")]
     fn capacities_value_checked() {
-        let _ =
-            StorageCluster::new(2, 1, PlacementPolicy::Random).with_capacities(&[1.0, 0.0]);
+        let _ = StorageCluster::new(2, 1, PlacementPolicy::Random).with_capacities(&[1.0, 0.0]);
     }
 
     #[test]

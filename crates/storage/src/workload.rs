@@ -92,10 +92,7 @@ pub struct StorageReport {
 /// assert!((report.read_cost_per_op - 5.0).abs() < 1e-9); // k+1
 /// ```
 pub fn run_workload(config: &WorkloadConfig) -> StorageReport {
-    assert!(
-        config.failures < config.servers,
-        "cannot fail every server"
-    );
+    assert!(config.failures < config.servers, "cannot fail every server");
     let mut rng = Xoshiro256PlusPlus::from_u64(config.seed);
     let mut cluster = StorageCluster::new(config.servers, config.chunks_per_file, config.policy);
 
@@ -128,7 +125,11 @@ pub fn run_workload(config: &WorkloadConfig) -> StorageReport {
     }
 
     let stats = cluster.stats();
-    let loads: Vec<f64> = cluster.alive_loads().iter().map(|&l| f64::from(l)).collect();
+    let loads: Vec<f64> = cluster
+        .alive_loads()
+        .iter()
+        .map(|&l| f64::from(l))
+        .collect();
     let pct = quantiles(&loads, &[0.5, 0.9, 0.99]);
     let load_percentiles = if pct.len() == 3 {
         [pct[0], pct[1], pct[2]]
@@ -195,8 +196,7 @@ mod tests {
         let kd = run_workload(
             &WorkloadConfig::new(60, 3, PlacementPolicy::KdChoice { d: 9 }).with_seed(4),
         );
-        let rnd =
-            run_workload(&WorkloadConfig::new(60, 3, PlacementPolicy::Random).with_seed(4));
+        let rnd = run_workload(&WorkloadConfig::new(60, 3, PlacementPolicy::Random).with_seed(4));
         assert!(
             kd.stats.imbalance < rnd.stats.imbalance,
             "kd {} vs random {}",

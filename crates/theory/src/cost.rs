@@ -26,7 +26,10 @@
 /// ```
 pub fn total_messages(k: usize, d: usize, m: u64) -> u64 {
     assert!(k >= 1, "k must be at least 1");
-    assert!(m % k as u64 == 0, "m = {m} must be a multiple of k = {k}");
+    assert!(
+        m.is_multiple_of(k as u64),
+        "m = {m} must be a multiple of k = {k}"
+    );
     (m / k as u64) * d as u64
 }
 

@@ -229,7 +229,10 @@ mod tests {
         let dk = 1e9f64;
         let y1 = y1_from_dk(dk) as f64;
         let predicted = dk.ln() / dk.ln().ln();
-        assert!(y1 > 0.5 * predicted && y1 < 3.0 * predicted, "y1={y1} predicted={predicted}");
+        assert!(
+            y1 > 0.5 * predicted && y1 < 3.0 * predicted,
+            "y1={y1} predicted={predicted}"
+        );
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Vendored, dependency-free stand-in for the parts of the `rand` crate this
+//! workspace uses.
+//!
+//! The build environment is fully offline, so the workspace ships the `rand`
+//! API surface it needs as a small path dependency: [`RngCore`],
+//! [`SeedableRng`], [`Error`], and the [`Rng`] extension trait with
+//! `gen_range` / `gen` / `gen_bool`.
+//!
+//! Bounded integer sampling uses Lemire's nearly-divisionless widening
+//! multiply (Lemire, "Fast random integer generation in an interval", ACM
+//! TOMS 2019): one 64×64→128-bit multiply per draw and a modulo only on the
+//! (astronomically rare for small ranges) rejection path. This is the same
+//! primitive `kdchoice-prng` builds its batched samplers on, so the scalar
+//! and batched paths draw from identical per-value distributions.
+//!
+//! Everything here is deterministic: given the same generator state, every
+//! method produces the same value on every platform (no `getrandom`, no
+//! thread-local entropy).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations (API compatibility; the
+/// deterministic generators in this workspace never fail).
+#[derive(Debug)]
+pub struct Error {
+    message: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(message: &'static str) -> Self {
+        Self { message }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: a source of `u32`/`u64` values
+/// and byte fills.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`fill_bytes`](Self::fill_bytes).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+
+    #[inline]
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+
+    #[inline]
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` (expanded deterministically).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling in `[0, span)` by Lemire's widening-multiply method.
+///
+/// `span` must be non-zero. At most one modulo is ever computed (to derive
+/// the rejection threshold), and only when the first draw lands in the
+/// low-`span` band of the 128-bit product — probability `span / 2^64`.
+#[inline]
+pub fn lemire_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0, "span must be non-zero");
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    let mut lo = m as u64;
+    if lo < span {
+        // Rare slow path: compute the exact rejection threshold.
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+mod private {
+    /// Seals [`SampleRange`](super::SampleRange) against downstream impls.
+    pub trait Sealed {}
+}
+
+/// A range type that [`Rng::gen_range`] accepts, producing values of `T`.
+pub trait SampleRange<T>: private::Sealed {
+    /// Draws a uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl private::Sealed for Range<$t> {}
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + lemire_u64(rng, span) as $t
+            }
+        }
+
+        impl private::Sealed for RangeInclusive<$t> {}
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u64) - (start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + lemire_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl private::Sealed for Range<$t> {}
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(lemire_u64(rng, span) as $t)
+            }
+        }
+
+        impl private::Sealed for RangeInclusive<$t> {}
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(lemire_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl private::Sealed for Range<f64> {}
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let unit = unit_f64(rng.next_u64());
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Maps a `u64` to a `f64` uniform in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types drawable from the "standard" distribution via [`Rng::gen`].
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Extension methods on [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniform value from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, Q: SampleRange<T>>(&mut self, range: Q) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draws a value from the standard distribution of `T` (`f64` is
+    /// uniform in `[0, 1)`).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counting generator for deterministic unit tests.
+    struct Seq(u64);
+
+    impl RngCore for Seq {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so every bit pattern occurs.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Seq(1);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(0..7);
+            assert!(v < 7);
+            let w: u64 = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = Seq(2);
+        let mut counts = [0u32; 5];
+        let trials = 50_000;
+        for _ in 0..trials {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            let f = f64::from(c) / f64::from(trials);
+            assert!((f - 0.2).abs() < 0.01, "frequency {f}");
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = Seq(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Seq(4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn gen_bool_rejects_bad_p() {
+        let mut rng = Seq(5);
+        let _ = rng.gen_bool(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Seq(6);
+        let _: usize = rng.gen_range(3..3);
+    }
+
+    #[test]
+    fn lemire_full_span_never_loops() {
+        let mut rng = Seq(7);
+        // span = u64::MAX: threshold is 1, rejection probability 2^-64.
+        for _ in 0..100 {
+            let _ = lemire_u64(&mut rng, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn dyn_rng_works_through_references() {
+        let mut rng = Seq(8);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let by_ref = dyn_rng;
+        let v: u32 = by_ref.gen_range(0..10u32);
+        assert!(v < 10);
+    }
+
+    #[test]
+    fn f64_range_in_bounds_including_negative() {
+        let mut rng = Seq(9);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-3.0f64..7.0);
+            assert!((-3.0..7.0).contains(&x));
+        }
+    }
+}

@@ -9,9 +9,7 @@
 //! cargo run --release --example job_scheduler
 //! ```
 
-use kdchoice::scheduler::{
-    simulate, ClusterConfig, PlacementStrategy, ServiceDistribution,
-};
+use kdchoice::scheduler::{simulate, ClusterConfig, PlacementStrategy, ServiceDistribution};
 
 fn main() {
     let workers = 200;

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("({k},{d})-choice: {n} balls into {n} bins");
     println!("  max load          : {}", result.max_load);
-    println!("  messages          : {} ({:.2}/ball)", result.messages, result.messages_per_ball());
+    println!(
+        "  messages          : {} ({:.2}/ball)",
+        result.messages,
+        result.messages_per_ball()
+    );
     println!("  rounds            : {}", result.rounds);
 
     // ν_y: number of bins with load ≥ y (drops doubly exponentially).
@@ -36,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The top of the sorted load vector (the paper's B_1, B_2, ...).
     let sorted = state.sorted_descending();
-    println!("  top of sorted vector: {:?}", &sorted[..8.min(sorted.len())]);
+    println!(
+        "  top of sorted vector: {:?}",
+        &sorted[..8.min(sorted.len())]
+    );
 
     // --- Theory comparison ----------------------------------------------
     let pred = theorem1_prediction(k, d, n);

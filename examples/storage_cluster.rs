@@ -13,7 +13,10 @@ fn main() {
     let mut rng = Xoshiro256PlusPlus::from_u64(99);
     let k = 4;
     let mut cluster = StorageCluster::new(100, k, PlacementPolicy::KdChoice { d: k + 1 });
-    println!("creating 500 files of {k} chunks on 100 servers with (k,{})-choice...", k + 1);
+    println!(
+        "creating 500 files of {k} chunks on 100 servers with (k,{})-choice...",
+        k + 1
+    );
     for _ in 0..500 {
         cluster.create_file(&mut rng);
     }
@@ -22,9 +25,15 @@ fn main() {
         "  max load {} / mean {:.1} chunks per server (imbalance {:.3})",
         s.max_load, s.mean_load, s.imbalance
     );
-    println!("  placement probes per file: {:.1}", s.placement_messages as f64 / 500.0);
+    println!(
+        "  placement probes per file: {:.1}",
+        s.placement_messages as f64 / 500.0
+    );
     let cost = cluster.read_file(0);
-    println!("  reading one file costs {cost} messages (k+1, vs 2k = {} for per-chunk 2-choice)", 2 * k);
+    println!(
+        "  reading one file costs {cost} messages (k+1, vs 2k = {} for per-chunk 2-choice)",
+        2 * k
+    );
 
     println!("\nkilling 5 servers...");
     for _ in 0..5 {
@@ -58,7 +67,11 @@ fn main() {
         let r = run_workload(&cfg);
         println!(
             "{:<20} {:>8} {:>10.3} {:>12.1} {:>12.1}",
-            r.policy, r.stats.max_load, r.stats.imbalance, r.create_cost_per_file, r.read_cost_per_op
+            r.policy,
+            r.stats.max_load,
+            r.stats.imbalance,
+            r.create_cost_per_file,
+            r.read_cost_per_op
         );
     }
 }

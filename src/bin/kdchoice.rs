@@ -16,9 +16,7 @@ use std::process::ExitCode;
 
 use kdchoice::baselines::{AdaptiveProbing, DChoice, OnePlusBeta, SingleChoice};
 use kdchoice::cli::CliArgs;
-use kdchoice::kd::{
-    run_trials, run_with_trace, BallsIntoBins, KdChoice, RoundPolicy, RunConfig,
-};
+use kdchoice::kd::{run_trials, run_with_trace, BallsIntoBins, KdChoice, RoundPolicy, RunConfig};
 use kdchoice::scheduler::{simulate, ClusterConfig, PlacementStrategy};
 use kdchoice::storage::{run_workload, PlacementPolicy, WorkloadConfig};
 use kdchoice::theory::bounds::{theorem1_prediction, theorem2_gap_band};
@@ -81,19 +79,20 @@ fn cmd_run(args: &CliArgs) -> Result<(), Box<dyn Error>> {
         RoundPolicy::Multiplicity
     };
     let cfg = RunConfig::new(n, seed).with_balls(balls);
+    // Validate eagerly for a clean error message before any worker thread
+    // constructs the process.
+    KdChoice::new(k, d)?;
     let set = run_trials(
         move |_| {
             Box::new(
                 KdChoice::new(k, d)
-                    .expect("validated below")
+                    .expect("validated above")
                     .with_policy(policy),
             )
         },
         &cfg,
         trials.max(1),
     );
-    // Validate eagerly for a clean error message.
-    KdChoice::new(k, d)?;
     println!("({k},{d})-choice [{policy}]: {balls} balls into {n} bins, {trials} trial(s)");
     println!("  max loads    : {}", set.max_load_set_string());
     println!("  mean max     : {:.3}", set.mean_max_load());
@@ -121,7 +120,8 @@ fn cmd_compare(args: &CliArgs) -> Result<(), Box<dyn Error>> {
         "{:<22} {:>12} {:>10} {:>12}",
         "process", "max loads", "mean max", "msgs/ball"
     );
-    let entries: Vec<(&str, Box<dyn Fn() -> Box<dyn BallsIntoBins> + Sync>)> = vec![
+    type Factory = Box<dyn Fn() -> Box<dyn BallsIntoBins> + Sync>;
+    let entries: Vec<(&str, Factory)> = vec![
         ("single-choice", Box::new(|| Box::new(SingleChoice::new()))),
         (
             "greedy[2]",
@@ -185,7 +185,10 @@ fn cmd_trace(args: &CliArgs) -> Result<(), Box<dyn Error>> {
             band.lo, band.hi
         );
     }
-    println!("{:>12} {:>8} {:>8} {:>12}", "balls", "max", "gap", "overloaded");
+    println!(
+        "{:>12} {:>8} {:>8} {:>12}",
+        "balls", "max", "gap", "overloaded"
+    );
     for pt in trace {
         println!(
             "{:>12} {:>8} {:>8.2} {:>12}",

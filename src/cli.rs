@@ -149,7 +149,10 @@ impl CliArgs {
 
     /// Whether a bare flag (or explicit `--name true`) was given.
     pub fn get_flag(&self, name: &str) -> bool {
-        matches!(self.options.get(name).map(String::as_str), Some("true") | Some("1"))
+        matches!(
+            self.options.get(name).map(String::as_str),
+            Some("true") | Some("1")
+        )
     }
 }
 

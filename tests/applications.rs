@@ -21,7 +21,10 @@ fn scheduler_shared_probes_beat_per_task_probing_tail() {
         .with_utilization(0.85)
         .with_service(ServiceDistribution::Exponential { mean: 1.0 });
     let per_task = simulate(&cfg, PlacementStrategy::PerTaskDChoice { d: 2 });
-    let batch = simulate(&cfg, PlacementStrategy::BatchSampling { probes_per_task: 2 });
+    let batch = simulate(
+        &cfg,
+        PlacementStrategy::BatchSampling { probes_per_task: 2 },
+    );
     // Same message budget; the shared-information scheme must not lose on
     // the tail (the §1.3 argument).
     assert_eq!(per_task.probe_messages, batch.probe_messages);

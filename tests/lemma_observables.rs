@@ -5,8 +5,8 @@
 
 use kdchoice::baselines::SingleChoice;
 use kdchoice::kd::{run_once, run_trials, KdChoice, RunConfig};
-use kdchoice::theory::sequences::{beta_sequence, y1_from_dk};
 use kdchoice::theory::dk_ratio;
+use kdchoice::theory::sequences::{beta_sequence, y1_from_dk};
 
 const N: usize = 1 << 14;
 
@@ -56,7 +56,11 @@ fn lemma3_kd_heights_are_dominated_by_single_choice() {
         &RunConfig::new(N, 3),
         trials,
     );
-    let sa = run_trials(|_| Box::new(SingleChoice::new()), &RunConfig::new(N, 4), trials);
+    let sa = run_trials(
+        |_| Box::new(SingleChoice::new()),
+        &RunConfig::new(N, 4),
+        trials,
+    );
     let mean_mu = |set: &kdchoice::kd::TrialSet, y: u32| -> f64 {
         set.results.iter().map(|r| r.mu(y) as f64).sum::<f64>() / set.results.len() as f64
     };

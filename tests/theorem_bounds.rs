@@ -67,7 +67,11 @@ fn theorem2_gap_is_bounded_and_flat_for_d_at_least_2k() {
 
 #[test]
 fn single_choice_matches_raab_steger_shape() {
-    let set = run_trials(|_| Box::new(SingleChoice::new()), &RunConfig::new(N, 5), TRIALS);
+    let set = run_trials(
+        |_| Box::new(SingleChoice::new()),
+        &RunConfig::new(N, 5),
+        TRIALS,
+    );
     let predicted = single_choice_prediction(N);
     let mean = set.mean_max_load();
     // ln n/lnln n times a modest constant window.
@@ -122,7 +126,11 @@ fn kd_choice_with_k_equal_d_is_single_choice() {
         &RunConfig::new(N, 10),
         TRIALS,
     );
-    let sc = run_trials(|_| Box::new(SingleChoice::new()), &RunConfig::new(N, 11), TRIALS);
+    let sc = run_trials(
+        |_| Box::new(SingleChoice::new()),
+        &RunConfig::new(N, 11),
+        TRIALS,
+    );
     assert!(
         (kd.mean_max_load() - sc.mean_max_load()).abs() <= 1.2,
         "SA(4,4) {} vs single choice {}",

@@ -34,11 +34,8 @@ fn namespaced_modules_are_reachable() {
     let _ = kdchoice::kd::LoadVector::new(4);
     let _ = kdchoice::baselines::AlwaysGoLeft::new(2).expect("valid");
     let _ = kdchoice::scheduler::ClusterConfig::new(4, 2, 10, 0);
-    let _ = kdchoice::storage::WorkloadConfig::new(
-        4,
-        2,
-        kdchoice::storage::PlacementPolicy::Random,
-    );
+    let _ =
+        kdchoice::storage::WorkloadConfig::new(4, 2, kdchoice::storage::PlacementPolicy::Random);
     let _ = kdchoice::baselines::BatchedParallel::new(2, 2).expect("valid");
     let _ = kdchoice::baselines::TruncatedSingleChoice::new(1);
     let _ = kdchoice::baselines::OnePlusBeta::new(0.5).expect("valid");
