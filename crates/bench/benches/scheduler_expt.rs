@@ -4,11 +4,15 @@
 //! share probes across the job's tasks and protect the tail.
 //!
 //! The experiment sweeps job parallelism `k` at fixed utilization and
-//! compares response-time percentiles and probe cost per job.
+//! compares response-time percentiles and probe cost per job. All cells
+//! run in parallel through the shared `kdchoice-expt` sweep runner; the
+//! table is the workspace-standard report format.
 
-use kdchoice_bench::table::Table;
 use kdchoice_bench::{fast_mode, print_header};
-use kdchoice_scheduler::{simulate, ClusterConfig, PlacementStrategy, ServiceDistribution};
+use kdchoice_expt::{SweepReport, SweepRunner};
+use kdchoice_scheduler::{
+    ClusterConfig, PlacementStrategy, SchedulerExperiment, SchedulerScenario, ServiceDistribution,
+};
 
 fn main() {
     let (workers, jobs) = if fast_mode() {
@@ -22,52 +26,40 @@ fn main() {
         &format!("workers = {workers}, jobs = {jobs}, utilization = {utilization}, exp(1) service"),
     );
 
+    let runner = SweepRunner::new();
     for &k in &(if fast_mode() {
         vec![4usize]
     } else {
         vec![2usize, 4, 8, 16]
     }) {
-        let cfg = ClusterConfig::new(workers, k, jobs, 31_337 + k as u64)
+        let cluster = ClusterConfig::new(workers, k, jobs, 31_337 + k as u64)
             .with_utilization(utilization)
             .with_service(ServiceDistribution::Exponential { mean: 1.0 });
-        let strategies = [
+        let configs: Vec<SchedulerExperiment> = [
             PlacementStrategy::Random,
             PlacementStrategy::PerTaskDChoice { d: 2 },
             PlacementStrategy::BatchSampling { probes_per_task: 2 },
             PlacementStrategy::LateBinding { probes_per_task: 2 },
             PlacementStrategy::KdChoice { d: k + 1 },
             PlacementStrategy::KdChoice { d: 2 * k },
-        ];
-        let mut t = Table::new(vec![
-            "strategy".into(),
-            "mean resp".into(),
-            "p50".into(),
-            "p90".into(),
-            "p99".into(),
-            "probes/job".into(),
-            "max queue".into(),
-        ]);
-        let mut rows = Vec::new();
-        for s in strategies {
-            let r = simulate(&cfg, s);
-            t.row(vec![
-                r.strategy.clone(),
-                format!("{:.3}", r.response.mean()),
-                format!("{:.3}", r.response_percentiles[0]),
-                format!("{:.3}", r.response_percentiles[1]),
-                format!("{:.3}", r.response_percentiles[2]),
-                format!("{:.1}", r.probes_per_job),
-                r.max_queue_len.to_string(),
-            ]);
-            rows.push(r);
-        }
-        println!("\n--- k = {k} tasks/job ---\n");
-        t.print();
+        ]
+        .into_iter()
+        .map(|strategy| SchedulerExperiment {
+            cluster: cluster.clone(),
+            strategy,
+        })
+        .collect();
 
-        let random = &rows[0];
-        let per_task = &rows[1];
-        let batch = &rows[2];
-        let kd_2k = &rows[5];
+        // One parallel sweep: every strategy simulates concurrently.
+        let cells = runner.run_scenario(&SchedulerScenario, &configs, 1);
+        println!("\n--- k = {k} tasks/job ---\n");
+        print!(
+            "{}",
+            SweepReport::from_cells(&SchedulerScenario, &configs, &cells).to_table()
+        );
+
+        let record = |i: usize| &cells[i].runs[0].record;
+        let (random, per_task, batch, kd_2k) = (record(0), record(1), record(2), record(5));
         // Probing beats random.
         assert!(
             batch.response.mean() < random.response.mean(),
@@ -93,26 +85,34 @@ fn main() {
     // late binding (no snapshot) is immune — the Sparrow regime appears at
     // extreme staleness.
     println!("\nProbe staleness (128 workers, k=8, util 0.9, mean response):\n");
-    let mut t = Table::new(vec![
-        "scheduler batch".into(),
-        "batch-sampling".into(),
-        "late-binding".into(),
-    ]);
     let base = ClusterConfig::new(128, 8, if fast_mode() { 1500 } else { 10_000 }, 777)
         .with_utilization(0.9);
-    for batch in [1usize, 8, 32, 128] {
-        let cfg = base.clone().with_scheduler_batch(batch);
-        let bs = simulate(
-            &cfg,
-            PlacementStrategy::BatchSampling { probes_per_task: 2 },
+    let batches = [1usize, 8, 32, 128];
+    let configs: Vec<SchedulerExperiment> = batches
+        .iter()
+        .flat_map(|&batch| {
+            let cluster = base.clone().with_scheduler_batch(batch);
+            [
+                PlacementStrategy::BatchSampling { probes_per_task: 2 },
+                PlacementStrategy::LateBinding { probes_per_task: 2 },
+            ]
+            .into_iter()
+            .map(move |strategy| SchedulerExperiment {
+                cluster: cluster.clone(),
+                strategy,
+            })
+        })
+        .collect();
+    let cells = runner.run_scenario(&SchedulerScenario, &configs, 1);
+    println!("scheduler batch | batch-sampling | late-binding");
+    for (i, &batch) in batches.iter().enumerate() {
+        let bs = &cells[2 * i].runs[0].record;
+        let lb = &cells[2 * i + 1].runs[0].record;
+        println!(
+            "{batch:>15} | {:>14.2} | {:>12.2}",
+            bs.response.mean(),
+            lb.response.mean()
         );
-        let lb = simulate(&cfg, PlacementStrategy::LateBinding { probes_per_task: 2 });
-        t.row(vec![
-            batch.to_string(),
-            format!("{:.2}", bs.response.mean()),
-            format!("{:.2}", lb.response.mean()),
-        ]);
     }
-    t.print();
     println!("\nscheduling claims confirmed");
 }

@@ -6,10 +6,13 @@
 //!   per-chunk two-choice, and file retrieval costs `k+1` vs `2k`;
 //! * failure recovery re-replicates onto lightly loaded servers, keeping
 //!   imbalance bounded.
+//!
+//! All cells run in parallel through the shared `kdchoice-expt` sweep
+//! runner; the tables are the workspace-standard report format.
 
-use kdchoice_bench::table::Table;
 use kdchoice_bench::{fast_mode, print_header};
-use kdchoice_storage::{run_workload, PlacementPolicy, WorkloadConfig};
+use kdchoice_expt::{SweepReport, SweepRunner};
+use kdchoice_storage::{PlacementPolicy, StorageScenario, WorkloadConfig};
 
 fn main() {
     let (servers, files_per_server) = if fast_mode() { (100, 10) } else { (1000, 40) };
@@ -22,45 +25,32 @@ fn main() {
         ),
     );
 
-    let policies = [
+    let runner = SweepRunner::new();
+    let configs: Vec<WorkloadConfig> = [
         PlacementPolicy::Random,
         PlacementPolicy::PerChunkTwoChoice,
         PlacementPolicy::KdChoice { d: k + 1 },
         PlacementPolicy::KdChoice { d: 2 * k },
-    ];
-    let mut t = Table::new(vec![
-        "policy".into(),
-        "max load".into(),
-        "mean load".into(),
-        "imbalance".into(),
-        "p99 load".into(),
-        "probes/file".into(),
-        "read msgs/op".into(),
-    ]);
-    let mut reports = Vec::new();
-    for policy in policies {
+    ]
+    .into_iter()
+    .map(|policy| {
         let mut cfg = WorkloadConfig::new(servers, k, policy).with_seed(77);
         cfg.files = servers * files_per_server;
         cfg.reads = servers * 20;
-        let r = run_workload(&cfg);
-        t.row(vec![
-            r.policy.clone(),
-            r.stats.max_load.to_string(),
-            format!("{:.1}", r.stats.mean_load),
-            format!("{:.3}", r.stats.imbalance),
-            format!("{:.0}", r.load_percentiles[2]),
-            format!("{:.1}", r.create_cost_per_file),
-            format!("{:.1}", r.read_cost_per_op),
-        ]);
-        reports.push(r);
-    }
-    println!("\nPlacement balance (no failures):\n");
-    t.print();
+        cfg
+    })
+    .collect();
 
-    let random = &reports[0];
-    let two = &reports[1];
-    let kd_small = &reports[2];
-    let kd_big = &reports[3];
+    // One parallel sweep: all four policies place concurrently.
+    let cells = runner.run_scenario(&StorageScenario, &configs, 1);
+    println!("\nPlacement balance (no failures):\n");
+    print!(
+        "{}",
+        SweepReport::from_cells(&StorageScenario, &configs, &cells).to_table()
+    );
+
+    let record = |i: usize| &cells[i].runs[0].record;
+    let (random, two, kd_small, kd_big) = (record(0), record(1), record(2), record(3));
     assert!(
         kd_small.stats.max_load <= random.stats.max_load,
         "(k,k+1) must not lose to random"
@@ -77,41 +67,31 @@ fn main() {
 
     // Failure recovery.
     let failures = servers / 10;
-    let mut t = Table::new(vec![
-        "policy".into(),
-        "alive".into(),
-        "max load".into(),
-        "imbalance".into(),
-        "recovered chunks".into(),
-        "recovery msgs".into(),
-    ]);
     println!("\nFailure recovery ({failures} failures mid-workload):\n");
-    for policy in [
+    let recovery_configs: Vec<WorkloadConfig> = [
         PlacementPolicy::Random,
         PlacementPolicy::KdChoice { d: 2 * k },
-    ] {
+    ]
+    .into_iter()
+    .map(|policy| {
         let mut cfg = WorkloadConfig::new(servers, k, policy)
             .with_seed(78)
             .with_failures(failures);
         cfg.files = servers * files_per_server;
         cfg.reads = 0;
-        let r = run_workload(&cfg);
-        t.row(vec![
-            r.policy.clone(),
-            r.stats.alive_servers.to_string(),
-            r.stats.max_load.to_string(),
-            format!("{:.3}", r.stats.imbalance),
-            r.stats.recovered_chunks.to_string(),
-            r.stats.recovery_messages.to_string(),
-        ]);
-        if let PlacementPolicy::KdChoice { .. } = policy {
-            assert!(
-                r.stats.imbalance < 1.5,
-                "kd recovery should keep imbalance tight, got {}",
-                r.stats.imbalance
-            );
-        }
-    }
-    t.print();
+        cfg
+    })
+    .collect();
+    let recovery_cells = runner.run_scenario(&StorageScenario, &recovery_configs, 1);
+    print!(
+        "{}",
+        SweepReport::from_cells(&StorageScenario, &recovery_configs, &recovery_cells).to_table()
+    );
+    let kd_recovery = &recovery_cells[1].runs[0].record;
+    assert!(
+        kd_recovery.stats.imbalance < 1.5,
+        "kd recovery should keep imbalance tight, got {}",
+        kd_recovery.stats.imbalance
+    );
     println!("\nstorage claims confirmed");
 }

@@ -1,31 +1,210 @@
-//! The `kdchoice-bench` throughput harness.
-//!
-//! Measures allocation throughput (balls/second) for (1,1)-, (2,3)- and
-//! (3,5)-choice at `n = 2^20` bins and `m = 16n` balls, once through the
-//! **pre-refactor dynamic path** (legacy engine boxed as
-//! `Box<dyn BallsIntoBins>`: vtable dispatch per RNG call, eager tie keys,
-//! per-round height buffer) and once through the **monomorphized batched
-//! engine** (static dispatch, block sampling, lazy tie keys, inline height
-//! histogramming). Both measurements run in the same invocation so the
-//! reported speedup is apples-to-apples on the same machine and build.
-//!
-//! Run with:
+//! The `kdchoice-bench` CLI: every experiment family in the workspace,
+//! runnable by name over a parameter grid, plus the throughput harness.
 //!
 //! ```sh
-//! cargo run --release -p kdchoice-bench            # writes BENCH_results.json
-//! cargo run --release -p kdchoice-bench -- --quick # reduced workload, stdout only
+//! kdchoice-bench list                          # registered scenarios + axes
+//! kdchoice-bench run static --grid k=2,3 d=4 n=2^16 --trials 8 --format table
+//! kdchoice-bench run scheduler --grid strategy=kd,batch rho=0.7,0.9 --format jsonl
+//! kdchoice-bench smoke                         # tiny grid per scenario; JSON validated
+//! kdchoice-bench throughput [--quick]          # writes BENCH_results.json
+//! kdchoice-bench                               # = throughput (back-compat)
 //! ```
 //!
-//! The JSON lands in `BENCH_results.json` in the current directory and is
-//! committed at the repo root as the perf trajectory baseline for future
-//! PRs.
+//! Every `run` sweep executes on the shared work-stealing
+//! [`SweepRunner`]: all (config × trial) cells in parallel across all
+//! cores, per-trial seeds derived from the grid coordinates, so output is
+//! identical no matter the thread count.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
-use kdchoice_core::{run_once, BallsIntoBins, EngineVersion, KdChoice, RunConfig};
+use kdchoice_core::{
+    run_once, BallsIntoBins, DynamicScenario, EngineVersion, KdChoice, RunConfig, StaticScenario,
+};
+use kdchoice_expt::{
+    configs_from_grid, GridSpec, Registry, ReportFormat, Scenario, SweepRunner, Value,
+};
+use kdchoice_scheduler::SchedulerScenario;
+use kdchoice_storage::StorageScenario;
 
-/// One measured configuration.
+/// Builds the workspace scenario registry: all four experiment families.
+fn registry() -> Registry {
+    Registry::new()
+        .with(Box::new(StaticScenario))
+        .with(Box::new(DynamicScenario))
+        .with(Box::new(SchedulerScenario))
+        .with(Box::new(StorageScenario))
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     kdchoice-bench list\n  \
+     kdchoice-bench run <scenario> [--grid k=v1,v2 ...] [--trials N] [--seed S] [--format jsonl|csv|table] [--threads N]\n  \
+     kdchoice-bench smoke\n  \
+     kdchoice-bench throughput [--quick]\n  \
+     kdchoice-bench [--quick]        (same as `throughput`)"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => match cmd_run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{}", usage());
+                ExitCode::FAILURE
+            }
+        },
+        Some("smoke") => match cmd_smoke() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("smoke failed: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("throughput") => {
+            cmd_throughput(args.iter().any(|a| a == "--quick"));
+            ExitCode::SUCCESS
+        }
+        None => {
+            cmd_throughput(false);
+            ExitCode::SUCCESS
+        }
+        Some("--quick") => {
+            cmd_throughput(true);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `list`: registered scenarios with their grid axes.
+fn cmd_list() {
+    let registry = registry();
+    println!("registered scenarios:\n");
+    for scenario in registry.iter() {
+        println!("  {:<10} {}", scenario.name(), scenario.description());
+        for axis in scenario.axes() {
+            println!("      {:<10} {}", axis.name, axis.help);
+        }
+        println!();
+    }
+    println!("run one with: kdchoice-bench run <scenario> --grid <axis>=<v1>,<v2> ...");
+}
+
+/// `run <scenario> ...`: one parallel grid sweep, rendered to stdout.
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let scenario_name = args.first().ok_or("missing scenario name")?;
+    let mut grid_tokens: Vec<String> = Vec::new();
+    let mut trials = 3usize;
+    let mut seed = 0u64;
+    let mut format = ReportFormat::JsonLines;
+    let mut threads = 0usize;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--grid" => {
+                i += 1;
+                while i < args.len() && !args[i].starts_with("--") {
+                    grid_tokens.push(args[i].clone());
+                    i += 1;
+                }
+            }
+            "--trials" => {
+                i += 1;
+                trials = next_value(args, i, "--trials")?;
+                i += 1;
+            }
+            "--seed" => {
+                i += 1;
+                seed = next_value(args, i, "--seed")?;
+                i += 1;
+            }
+            "--format" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--format needs a value")?;
+                format = raw.parse().map_err(|e| format!("{e}"))?;
+                i += 1;
+            }
+            "--threads" => {
+                i += 1;
+                threads = next_value(args, i, "--threads")?;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let registry = registry();
+    let scenario = registry
+        .require(scenario_name)
+        .map_err(|e| format!("{e} (have: {})", registry.names().join(", ")))?;
+    let grid = GridSpec::parse(&grid_tokens).map_err(|e| format!("{e}"))?;
+    let runner = SweepRunner::new().with_threads(threads);
+    let report = scenario
+        .run_grid(&grid, trials, seed, &runner)
+        .map_err(|e| format!("{e}"))?;
+    print!("{}", report.render(format));
+    Ok(())
+}
+
+fn next_value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
+    args.get(i)
+        .ok_or(format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag}: bad value `{}`", args[i]))
+}
+
+/// `smoke`: every registered scenario on its tiny grid; every JSONL line
+/// must validate, or the process exits non-zero (the CI gate).
+fn cmd_smoke() -> Result<(), String> {
+    let registry = registry();
+    let runner = SweepRunner::new();
+    for scenario in registry.iter() {
+        let start = Instant::now();
+        let report = scenario
+            .run_grid(&scenario.smoke_grid(), 2, 1, &runner)
+            .map_err(|e| format!("{}: {e}", scenario.name()))?;
+        if report.rows.is_empty() {
+            return Err(format!("{}: smoke grid produced no rows", scenario.name()));
+        }
+        let jsonl = report.to_jsonl();
+        for (lineno, line) in jsonl.lines().enumerate() {
+            kdchoice_expt::validate_json(line).map_err(|e| {
+                format!(
+                    "{}: malformed JSON on line {}: {e}\n  {line}",
+                    scenario.name(),
+                    lineno + 1
+                )
+            })?;
+        }
+        println!(
+            "smoke {:<10} {:>3} rows ok in {:>6.1?}",
+            scenario.name(),
+            report.rows.len(),
+            start.elapsed()
+        );
+        print!("{jsonl}");
+    }
+    println!("smoke: all scenarios produced well-formed JSON");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Throughput harness (BENCH_results.json)
+// ---------------------------------------------------------------------------
+
+/// One measured static configuration: the pre-refactor dynamic path vs
+/// the monomorphized batched engine.
 struct Measurement {
     k: usize,
     d: usize,
@@ -41,6 +220,18 @@ impl Measurement {
     fn speedup(&self) -> f64 {
         self.generic_batched_balls_per_sec / self.dyn_legacy_balls_per_sec
     }
+}
+
+/// One scenario-throughput row: a whole (config × trial) sweep through
+/// the shared runner, measured end to end.
+struct ScenarioThroughput {
+    scenario: &'static str,
+    unit: &'static str,
+    grid: String,
+    trials: usize,
+    work_items: u64,
+    wall_secs: f64,
+    rate: f64,
 }
 
 /// How many times each measurement repeats; the best rate is reported
@@ -97,7 +288,35 @@ fn measure(k: usize, d: usize, n: usize, ratio: u64, seed: u64) -> Measurement {
     }
 }
 
-fn render_json(measurements: &[Measurement]) -> String {
+/// Sweeps `scenario` over `grid` with the shared runner and measures the
+/// end-to-end rate, where one "work item" is `work_per_run` (jobs per
+/// simulation, ops per workload, ...).
+fn measure_scenario<S: Scenario>(
+    scenario: &S,
+    grid_str: &str,
+    trials: usize,
+    work_per_run: u64,
+) -> ScenarioThroughput {
+    let grid = GridSpec::parse_str(grid_str).expect("harness grid is well-formed");
+    let configs = configs_from_grid(scenario, &grid, 0xBE7C4).expect("harness grid is valid");
+    let runner = SweepRunner::new();
+    let start = Instant::now();
+    let cells = runner.run_scenario(scenario, &configs, trials);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let runs: u64 = cells.iter().map(|c| c.runs.len() as u64).sum();
+    let work_items = runs * work_per_run;
+    ScenarioThroughput {
+        scenario: scenario.name(),
+        unit: scenario.throughput_unit(),
+        grid: grid_str.to_string(),
+        trials,
+        work_items,
+        wall_secs,
+        rate: work_items as f64 / wall_secs,
+    }
+}
+
+fn render_json(measurements: &[Measurement], scenarios: &[ScenarioThroughput]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"harness\": \"kdchoice-bench throughput\",\n");
@@ -126,6 +345,21 @@ fn render_json(measurements: &[Measurement]) -> String {
             "\n"
         });
     }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"scenario_throughput_note\": \"end-to-end (config x trial) sweeps through the shared kdchoice-expt SweepRunner, all cores\",\n",
+    );
+    out.push_str("  \"scenario_throughput\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let mut grid_json = String::new();
+        Value::Str(s.grid.clone().into()).write_json(&mut grid_json);
+        let _ = write!(
+            out,
+            "    {{\n      \"scenario\": \"{}\",\n      \"unit\": \"{}\",\n      \"grid\": {},\n      \"trials\": {},\n      \"work_items\": {},\n      \"wall_secs\": {:.3},\n      \"rate\": {:.0}\n    }}",
+            s.scenario, s.unit, grid_json, s.trials, s.work_items, s.wall_secs, s.rate,
+        );
+        out.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -138,8 +372,7 @@ fn profile_name() -> &'static str {
     }
 }
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+fn cmd_throughput(quick: bool) {
     if profile_name() == "debug" && !quick {
         eprintln!(
             "note: running the full workload in a debug build; use --release for the committed numbers"
@@ -167,8 +400,48 @@ fn main() {
         measurements.push(m);
     }
 
+    // Application-scenario throughput through the shared sweep runner.
+    println!();
+    let (sched_grid, sched_jobs, sched_trials) = if quick {
+        (
+            "workers=64 k=4 jobs=2000 rho=0.8 strategy=kd d=5",
+            2000u64,
+            4,
+        )
+    } else {
+        (
+            "workers=256 k=4 jobs=20000 rho=0.8 strategy=kd d=5",
+            20000u64,
+            8,
+        )
+    };
+    let (storage_grid, storage_ops, storage_trials) = if quick {
+        (
+            "servers=100 k=4 files=1000 reads=2000 failures=4",
+            3000u64,
+            4,
+        )
+    } else {
+        (
+            "servers=1000 k=4 files=20000 reads=40000 failures=20",
+            60000u64,
+            8,
+        )
+    };
+    let scenarios = vec![
+        measure_scenario(&SchedulerScenario, sched_grid, sched_trials, sched_jobs),
+        measure_scenario(&StorageScenario, storage_grid, storage_trials, storage_ops),
+    ];
+    for s in &scenarios {
+        println!(
+            "{:<10} {:>10.0} {} ({} trials of [{}] in {:.2}s, all cores)",
+            s.scenario, s.rate, s.unit, s.trials, s.grid, s.wall_secs
+        );
+    }
+
     if !quick {
-        let json = render_json(&measurements);
+        let json = render_json(&measurements, &scenarios);
+        kdchoice_expt::validate_json(&json).expect("harness emits well-formed JSON");
         std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
         println!("\nwrote BENCH_results.json");
     }

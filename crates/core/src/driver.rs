@@ -7,9 +7,8 @@
 //! [`RoundProcess`] for `dyn BallsIntoBins`.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
+use kdchoice_expt::SweepRunner;
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 
 use crate::process::{HeightSink, RoundProcess};
@@ -361,9 +360,10 @@ where
 /// Trial `t` of config `c` uses the derived seed
 /// `derive_seed(configs[c].seed, t)`, identical to what [`run_trials`]
 /// would use for that config alone, so sweep cells are reproducible in
-/// isolation. Jobs are distributed dynamically (an atomic work queue), so
-/// heterogeneous configs — say n = 2¹⁰ next to n = 2²⁰ — still keep all
-/// cores busy. Heights are histogrammed inline; no per-round buffers.
+/// isolation. Scheduling is delegated to `kdchoice_expt::SweepRunner` —
+/// the workspace-wide work-stealing grid executor — so heterogeneous
+/// configs (say n = 2¹⁰ next to n = 2²⁰) still keep all cores busy.
+/// Heights are histogrammed inline; no per-round buffers.
 ///
 /// ```
 /// use kdchoice_core::{run_sweep, run_trials, KdChoice, RunConfig};
@@ -384,53 +384,17 @@ where
     P: RoundProcess,
     F: Fn(usize, usize) -> P + Sync,
 {
-    let total_jobs = configs.len() * trials;
-    if total_jobs == 0 {
-        return configs
-            .iter()
-            .map(|_| TrialSet {
-                results: Vec::new(),
-            })
-            .collect();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(total_jobs);
-    let next_job = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; total_jobs]);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let factory = &factory;
-            let next_job = &next_job;
-            let results = &results;
-            scope.spawn(move || loop {
-                let job = next_job.fetch_add(1, Ordering::Relaxed);
-                if job >= total_jobs {
-                    break;
-                }
-                let config_idx = job / trials;
-                let trial = job % trials;
-                let mut process = factory(config_idx, trial);
-                let cfg = RunConfig {
-                    seed: derive_seed(configs[config_idx].seed, trial as u64),
-                    ..configs[config_idx]
-                };
-                let result = run_once(&mut process, &cfg);
-                results.lock().expect("no poisoned sweeps")[job] = Some(result);
-            });
-        }
-    });
-    let mut flat = results
-        .into_inner()
-        .expect("no poisoned sweeps")
-        .into_iter()
-        .map(|r| r.expect("all sweep jobs completed"));
-    configs
-        .iter()
-        .map(|_| TrialSet {
-            results: flat.by_ref().take(trials).collect(),
+    SweepRunner::new()
+        .run_grid(configs, trials, |config, config_idx, trial| {
+            let mut process = factory(config_idx, trial);
+            let cfg = RunConfig {
+                seed: derive_seed(config.seed, trial as u64),
+                ..*config
+            };
+            run_once(&mut process, &cfg)
         })
+        .into_iter()
+        .map(|results| TrialSet { results })
         .collect()
 }
 

@@ -30,6 +30,9 @@
 //!   implements; [`BallsIntoBins`] is its object-safe shim for
 //!   `Box<dyn BallsIntoBins>` harnesses. [`EngineVersion`] selects the
 //!   batched (default) or legacy (k,d)-choice round engine.
+//! * [`StaticScenario`] / [`DynamicScenario`] — the core experiment
+//!   families plugged into the workspace experiment layer
+//!   (`kdchoice-expt`), runnable by name from the `kdchoice-bench` CLI.
 //!
 //! ```
 //! use kdchoice_core::{KdChoice, RunConfig, run_once};
@@ -52,6 +55,7 @@ mod error;
 mod kd;
 mod policy;
 mod process;
+pub mod scenario;
 mod serialized;
 mod state;
 mod trace;
@@ -65,6 +69,7 @@ pub use error::ConfigError;
 pub use kd::{EngineVersion, KdChoice};
 pub use policy::RoundPolicy;
 pub use process::{BallsIntoBins, HeightSink, RoundProcess, RoundStats};
+pub use scenario::{DynamicScenario, StaticScenario};
 pub use serialized::{SerializedKdChoice, SigmaSchedule};
 pub use state::LoadVector;
 pub use trace::{run_with_trace, TracePoint};

@@ -1,0 +1,306 @@
+//! The core experiment families as [`kdchoice_expt::Scenario`]s: static
+//! (k,d)-choice trials and the §7 dynamic-k variant.
+//!
+//! These plug the round engines into the workspace experiment layer —
+//! the `kdchoice-bench` CLI runs them by name (`static`, `dynamic`) over
+//! a parameter grid, in parallel, with the shared report format.
+
+use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
+
+use crate::driver::{run_once, RunConfig, RunResult};
+use crate::dynamic::DynamicKChoice;
+use crate::kd::{EngineVersion, KdChoice};
+
+/// The report fields shared by every [`RunResult`]-producing scenario.
+fn run_result_fields(r: &RunResult) -> Fields {
+    vec![
+        ("process", Value::Str(r.name.clone().into())),
+        ("max_load", Value::U64(u64::from(r.max_load))),
+        ("gap", Value::F64(r.gap)),
+        ("balls_placed", Value::U64(r.balls_placed)),
+        ("messages", Value::U64(r.messages)),
+        ("messages_per_ball", Value::F64(r.messages_per_ball())),
+        ("rounds", Value::U64(r.rounds)),
+        ("nu_2", Value::U64(r.nu(2))),
+        ("mu_2", Value::U64(r.mu(2))),
+    ]
+}
+
+/// Config of one static (k,d)-choice cell: process parameters plus the
+/// run shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticConfig {
+    /// Balls per round, `k`.
+    pub k: usize,
+    /// Probes per round, `d ≥ k`.
+    pub d: usize,
+    /// Which round engine to run.
+    pub engine: EngineVersion,
+    /// Bins, balls, and master seed.
+    pub run: RunConfig,
+}
+
+/// Static (k,d)-choice trials — the paper's Table 1 / Theorem 1 setting,
+/// as a registry scenario named `static`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticScenario;
+
+impl Scenario for StaticScenario {
+    type Config = StaticConfig;
+    type Record = RunResult;
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn description(&self) -> &'static str {
+        "static (k,d)-choice balls-into-bins trials (Table 1 / Theorems 1-2)"
+    }
+
+    fn run(&self, config: &Self::Config, seed: u64) -> RunResult {
+        let mut process = KdChoice::new(config.k, config.d)
+            .expect("validated at config construction")
+            .with_engine(config.engine);
+        run_once(&mut process, &config.run.with_seed(seed))
+    }
+
+    fn base_seed(&self, config: &Self::Config) -> u64 {
+        config.run.seed
+    }
+
+    fn config_fields(&self, config: &Self::Config) -> Fields {
+        vec![
+            ("k", Value::U64(config.k as u64)),
+            ("d", Value::U64(config.d as u64)),
+            ("n", Value::U64(config.run.n as u64)),
+            ("balls", Value::U64(config.run.balls)),
+            ("engine", Value::Str(config.engine.label().into())),
+        ]
+    }
+
+    fn record_fields(&self, record: &Self::Record) -> Fields {
+        run_result_fields(record)
+    }
+
+    fn axes(&self) -> &'static [Axis] {
+        const AXES: &[Axis] = &[
+            Axis::new("k", "balls per round (default 2)"),
+            Axis::new("d", "probes per round, d >= k (default k+1)"),
+            Axis::new("n", "bins (default 2^16; accepts 2^k)"),
+            Axis::new("balls", "balls to throw (default n)"),
+            Axis::new("engine", "round engine: batched | legacy (default batched)"),
+            Axis::new("seed", "master seed (default: --seed)"),
+        ];
+        AXES
+    }
+
+    fn config_from_params(&self, params: &Params) -> Result<Self::Config, GridError> {
+        let k = params.get_usize("k", 2)?;
+        let d = params.get_usize("d", k + 1)?;
+        if k == 0 || k > d {
+            return Err(params.bad_value("d", &format!("1 <= k <= d (got k={k}, d={d})")));
+        }
+        let n = params.get_usize("n", 1 << 16)?;
+        if n == 0 {
+            return Err(params.bad_value("n", "at least one bin"));
+        }
+        let engine = match params.get_raw("engine").unwrap_or("batched") {
+            "batched" => EngineVersion::Batched,
+            "legacy" => EngineVersion::Legacy,
+            _ => return Err(params.bad_value("engine", "batched | legacy")),
+        };
+        let seed = params.get_u64("seed", 0)?;
+        let balls = params.get_u64("balls", n as u64)?;
+        Ok(StaticConfig {
+            k,
+            d,
+            engine,
+            run: RunConfig::new(n, seed).with_balls(balls),
+        })
+    }
+
+    fn smoke_grid(&self) -> GridSpec {
+        GridSpec::parse_str("k=1,2 d=3 n=512").expect("static smoke grid")
+    }
+
+    fn throughput_unit(&self) -> &'static str {
+        "balls/sec"
+    }
+}
+
+/// Config of one dynamic-k cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicConfig {
+    /// Probe budget per round.
+    pub d: usize,
+    /// Acceptance slack above the running average.
+    pub slack: u32,
+    /// Bins, balls, and master seed.
+    pub run: RunConfig,
+}
+
+/// Dynamic-k (k,d)-choice (§7 future work) as a registry scenario named
+/// `dynamic`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynamicScenario;
+
+impl Scenario for DynamicScenario {
+    type Config = DynamicConfig;
+    type Record = RunResult;
+
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn description(&self) -> &'static str {
+        "dynamic-k (k,d)-choice: per-round k adapts to the sampled loads (section 7)"
+    }
+
+    fn run(&self, config: &Self::Config, seed: u64) -> RunResult {
+        let mut process =
+            DynamicKChoice::new(config.d, config.slack).expect("validated at config construction");
+        run_once(&mut process, &config.run.with_seed(seed))
+    }
+
+    fn base_seed(&self, config: &Self::Config) -> u64 {
+        config.run.seed
+    }
+
+    fn config_fields(&self, config: &Self::Config) -> Fields {
+        vec![
+            ("d", Value::U64(config.d as u64)),
+            ("slack", Value::U64(u64::from(config.slack))),
+            ("n", Value::U64(config.run.n as u64)),
+            ("balls", Value::U64(config.run.balls)),
+        ]
+    }
+
+    fn record_fields(&self, record: &Self::Record) -> Fields {
+        run_result_fields(record)
+    }
+
+    fn axes(&self) -> &'static [Axis] {
+        const AXES: &[Axis] = &[
+            Axis::new("d", "probes per round (default 8)"),
+            Axis::new("slack", "acceptance slack above average load (default 1)"),
+            Axis::new("n", "bins (default 2^16; accepts 2^k)"),
+            Axis::new("balls", "balls to throw (default n)"),
+            Axis::new("seed", "master seed (default: --seed)"),
+        ];
+        AXES
+    }
+
+    fn config_from_params(&self, params: &Params) -> Result<Self::Config, GridError> {
+        let d = params.get_usize("d", 8)?;
+        if d == 0 {
+            return Err(params.bad_value("d", "at least one probe per round"));
+        }
+        let slack = params.get_u32("slack", 1)?;
+        let n = params.get_usize("n", 1 << 16)?;
+        if n == 0 {
+            return Err(params.bad_value("n", "at least one bin"));
+        }
+        let seed = params.get_u64("seed", 0)?;
+        let balls = params.get_u64("balls", n as u64)?;
+        Ok(DynamicConfig {
+            d,
+            slack,
+            run: RunConfig::new(n, seed).with_balls(balls),
+        })
+    }
+
+    fn smoke_grid(&self) -> GridSpec {
+        GridSpec::parse_str("d=4,8 n=512").expect("dynamic smoke grid")
+    }
+
+    fn throughput_unit(&self) -> &'static str {
+        "balls/sec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_expt::{configs_from_grid, SweepReport, SweepRunner};
+    use kdchoice_prng::derive_seed;
+
+    #[test]
+    fn static_sweep_is_bit_identical_to_serial_run_once() {
+        // The acceptance criterion: the scenario path through the shared
+        // SweepRunner reproduces the pre-refactor serial loop bit for bit.
+        let grid = GridSpec::parse_str("k=1,2 d=3 n=256 seed=9").unwrap();
+        let configs = configs_from_grid(&StaticScenario, &grid, 9).unwrap();
+        assert_eq!(configs.len(), 2);
+        let trials = 4;
+        let cells = SweepRunner::new().run_scenario(&StaticScenario, &configs, trials);
+        for (cell, config) in cells.iter().zip(&configs) {
+            for run in &cell.runs {
+                // Pre-refactor serial path: run_once with the derived seed.
+                let mut p = KdChoice::new(config.k, config.d).unwrap();
+                let seed = derive_seed(config.run.seed, run.trial as u64);
+                let serial = run_once(&mut p, &config.run.with_seed(seed));
+                assert_eq!(run.record, serial, "k={} trial={}", config.k, run.trial);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_sweep_is_bit_identical_to_serial_run_once() {
+        let grid = GridSpec::parse_str("d=6 n=256").unwrap();
+        let configs = configs_from_grid(&DynamicScenario, &grid, 3).unwrap();
+        let cells = SweepRunner::new().run_scenario(&DynamicScenario, &configs, 3);
+        for (cell, config) in cells.iter().zip(&configs) {
+            for run in &cell.runs {
+                let mut p = DynamicKChoice::new(config.d, config.slack).unwrap();
+                let seed = derive_seed(config.run.seed, run.trial as u64);
+                let serial = run_once(&mut p, &config.run.with_seed(seed));
+                assert_eq!(run.record, serial);
+            }
+        }
+    }
+
+    #[test]
+    fn static_grid_validates_parameters() {
+        let bad = GridSpec::parse_str("k=4 d=2").unwrap();
+        assert!(configs_from_grid(&StaticScenario, &bad, 0).is_err());
+        let unknown = GridSpec::parse_str("q=1").unwrap();
+        assert!(matches!(
+            configs_from_grid(&StaticScenario, &unknown, 0),
+            Err(GridError::UnknownAxis { .. })
+        ));
+        let engines = GridSpec::parse_str("engine=legacy,batched n=64").unwrap();
+        let configs = configs_from_grid(&StaticScenario, &engines, 0).unwrap();
+        assert_eq!(configs[0].engine, EngineVersion::Legacy);
+        assert_eq!(configs[1].engine, EngineVersion::Batched);
+        let bad_engine = GridSpec::parse_str("engine=vroom").unwrap();
+        assert!(configs_from_grid(&StaticScenario, &bad_engine, 0).is_err());
+    }
+
+    #[test]
+    fn reports_render_valid_json() {
+        let grid = GridSpec::parse_str("k=2 d=4 n=128").unwrap();
+        let configs = configs_from_grid(&StaticScenario, &grid, 1).unwrap();
+        let cells = SweepRunner::new().run_scenario(&StaticScenario, &configs, 2);
+        let report = SweepReport::from_cells(&StaticScenario, &configs, &cells);
+        assert_eq!(report.rows.len(), 2);
+        for line in report.to_jsonl().lines() {
+            kdchoice_expt::validate_json(line).unwrap();
+            assert!(line.contains("\"scenario\": \"static\""));
+            assert!(line.contains("\"max_load\""));
+        }
+    }
+
+    #[test]
+    fn smoke_grids_are_tiny_and_runnable() {
+        for scenario in [
+            &StaticScenario as &dyn kdchoice_expt::RunnableScenario,
+            &DynamicScenario,
+        ] {
+            let report = scenario
+                .run_grid(&scenario.smoke_grid(), 1, 0, &SweepRunner::new())
+                .unwrap();
+            assert!(!report.rows.is_empty());
+            assert!(report.rows.len() <= 8, "smoke grid too large");
+        }
+    }
+}

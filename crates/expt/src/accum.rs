@@ -1,0 +1,227 @@
+//! Mergeable per-scenario accumulators.
+//!
+//! Sweep cells are produced in parallel; anything aggregated across them
+//! must merge associatively. This module adapts the `kdchoice-stats`
+//! substrate (Welford summaries, dense histograms, order statistics) into
+//! a single [`Merge`] vocabulary, plus a weighted mean for time-weighted
+//! observables.
+
+use kdchoice_stats::quantile::quantiles;
+use kdchoice_stats::{Histogram, Summary};
+
+/// Associative merge of two partial aggregates.
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge_from(&mut self, other: &Self);
+}
+
+impl Merge for Summary {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+impl Merge for Histogram {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+/// A metric accumulator that supports both moments (streaming Welford
+/// summary) and order statistics (retained samples), merging cheaply.
+///
+/// ```
+/// use kdchoice_expt::{Merge, MetricAccumulator};
+///
+/// let mut a = MetricAccumulator::new();
+/// a.push(1.0);
+/// a.push(3.0);
+/// let mut b = MetricAccumulator::new();
+/// b.push(2.0);
+/// a.merge_from(&b);
+/// assert_eq!(a.count(), 3);
+/// assert_eq!(a.mean(), 2.0);
+/// assert_eq!(a.quantile(0.5), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricAccumulator {
+    summary: Summary,
+    samples: Vec<f64>,
+}
+
+impl MetricAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.summary.push(x);
+        self.samples.push(x);
+    }
+
+    /// The streaming summary (count/mean/variance/min/max).
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> Option<f64> {
+        self.summary.min()
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<f64> {
+        self.summary.max()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the observations, or `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let qs = quantiles(&self.samples, &[q]);
+        qs.first().copied()
+    }
+
+    /// All retained samples (unordered).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Merge for MetricAccumulator {
+    fn merge_from(&mut self, other: &Self) {
+        self.summary.merge(&other.summary);
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// A mergeable weighted mean, the cross-trial aggregate for time-weighted
+/// observables (each trial contributes its mean weighted by observed
+/// span, so merging trials equals one long observation).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WeightedMean {
+    weight: f64,
+    weighted_sum: f64,
+}
+
+impl WeightedMean {
+    /// An empty weighted mean.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `value` carrying `weight` (e.g. a trial mean weighted by
+    /// its simulated duration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn push(&mut self, value: f64, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weights must be finite and non-negative"
+        );
+        self.weight += weight;
+        self.weighted_sum += value * weight;
+    }
+
+    /// Total weight recorded.
+    pub fn total_weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The weighted mean (0 when no weight has been recorded).
+    pub fn mean(&self) -> f64 {
+        if self.weight > 0.0 {
+            self.weighted_sum / self.weight
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Merge for WeightedMean {
+    fn merge_from(&mut self, other: &Self) {
+        self.weight += other.weight;
+        self.weighted_sum += other.weighted_sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_merge_matches_sequential() {
+        let mut a = MetricAccumulator::new();
+        let mut b = MetricAccumulator::new();
+        let mut all = MetricAccumulator::new();
+        for i in 0..50 {
+            let x = (i as f64).sin();
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            all.push(x);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        // Quantiles over the merged sample set match a single-set build.
+        assert_eq!(a.quantile(0.9), all.quantile(0.9));
+    }
+
+    #[test]
+    fn empty_metric_quantile_is_none() {
+        assert_eq!(MetricAccumulator::new().quantile(0.5), None);
+        assert_eq!(MetricAccumulator::new().count(), 0);
+    }
+
+    #[test]
+    fn weighted_mean_merges() {
+        let mut a = WeightedMean::new();
+        a.push(2.0, 1.0);
+        let mut b = WeightedMean::new();
+        b.push(4.0, 3.0);
+        a.merge_from(&b);
+        assert!((a.mean() - 3.5).abs() < 1e-12);
+        assert_eq!(a.total_weight(), 4.0);
+        assert_eq!(WeightedMean::new().mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn weighted_mean_rejects_negative_weight() {
+        WeightedMean::new().push(1.0, -1.0);
+    }
+
+    #[test]
+    fn histogram_and_summary_merge_adapters() {
+        let mut h = Histogram::from_pairs([(1, 2)]);
+        Merge::merge_from(&mut h, &Histogram::from_pairs([(1, 1), (3, 4)]));
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(3), 4);
+
+        let mut s = Summary::from_iter([1.0]);
+        Merge::merge_from(&mut s, &Summary::from_iter([3.0]));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! The scenario registry: every experiment family, runnable by name with
+//! a parameter grid — the object-safe face of [`Scenario`] that the
+//! `kdchoice-bench` CLI drives.
+
+use crate::grid::{Axis, GridError, GridSpec};
+use crate::report::SweepReport;
+use crate::runner::SweepRunner;
+use crate::scenario::{configs_from_grid, Scenario};
+
+/// An erased, registry-storable scenario. Every [`Scenario`] implements
+/// it through the blanket impl; harnesses hold `Box<dyn RunnableScenario>`.
+pub trait RunnableScenario: Sync {
+    /// The registry name.
+    fn name(&self) -> &'static str;
+
+    /// One-line description.
+    fn description(&self) -> &'static str;
+
+    /// Axes accepted by `--grid` (for validation and help text).
+    fn axes(&self) -> &'static [Axis];
+
+    /// The tiny CI smoke grid.
+    fn smoke_grid(&self) -> GridSpec;
+
+    /// Parses the grid, runs the (config × trial) sweep in parallel on
+    /// `runner`, and returns the uniform report.
+    fn run_grid(
+        &self,
+        grid: &GridSpec,
+        trials: usize,
+        base_seed: u64,
+        runner: &SweepRunner,
+    ) -> Result<SweepReport, GridError>;
+}
+
+impl<S: Scenario> RunnableScenario for S {
+    fn name(&self) -> &'static str {
+        Scenario::name(self)
+    }
+
+    fn description(&self) -> &'static str {
+        Scenario::description(self)
+    }
+
+    fn axes(&self) -> &'static [Axis] {
+        Scenario::axes(self)
+    }
+
+    fn smoke_grid(&self) -> GridSpec {
+        Scenario::smoke_grid(self)
+    }
+
+    fn run_grid(
+        &self,
+        grid: &GridSpec,
+        trials: usize,
+        base_seed: u64,
+        runner: &SweepRunner,
+    ) -> Result<SweepReport, GridError> {
+        let configs = configs_from_grid(self, grid, base_seed)?;
+        let cells = runner.run_scenario(self, &configs, trials);
+        Ok(SweepReport::from_cells(self, &configs, &cells))
+    }
+}
+
+/// A by-name collection of scenarios.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<Box<dyn RunnableScenario>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a scenario (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken — scenario names are CLI
+    /// identifiers and must be unique.
+    #[must_use]
+    pub fn with(mut self, scenario: Box<dyn RunnableScenario>) -> Self {
+        assert!(
+            self.get(scenario.name()).is_none(),
+            "duplicate scenario name `{}`",
+            scenario.name()
+        );
+        self.entries.push(scenario);
+        self
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn RunnableScenario> {
+        self.entries
+            .iter()
+            .find(|s| s.name() == name)
+            .map(|b| b.as_ref())
+    }
+
+    /// Like [`Registry::get`], but with a `GridError` naming the culprit.
+    pub fn require(&self, name: &str) -> Result<&dyn RunnableScenario, GridError> {
+        self.get(name)
+            .ok_or_else(|| GridError::UnknownScenario(name.to_string()))
+    }
+
+    /// All registered scenarios, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn RunnableScenario> {
+        self.entries.iter().map(|b| b.as_ref())
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|s| s.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Params;
+    use crate::scenario::Fields;
+    use crate::value::Value;
+
+    struct Fib;
+
+    #[derive(Clone)]
+    struct FibConfig {
+        n: u64,
+        seed: u64,
+    }
+
+    impl Scenario for Fib {
+        type Config = FibConfig;
+        type Record = u64;
+
+        fn name(&self) -> &'static str {
+            "fib"
+        }
+        fn description(&self) -> &'static str {
+            "toy"
+        }
+        fn run(&self, config: &Self::Config, _seed: u64) -> u64 {
+            let (mut a, mut b) = (0u64, 1u64);
+            for _ in 0..config.n {
+                (a, b) = (b, a + b);
+            }
+            a
+        }
+        fn base_seed(&self, config: &Self::Config) -> u64 {
+            config.seed
+        }
+        fn config_fields(&self, config: &Self::Config) -> Fields {
+            vec![("n", Value::U64(config.n))]
+        }
+        fn record_fields(&self, record: &Self::Record) -> Fields {
+            vec![("fib", Value::U64(*record))]
+        }
+        fn axes(&self) -> &'static [Axis] {
+            const AXES: &[Axis] = &[Axis::new("n", "index"), Axis::new("seed", "seed")];
+            AXES
+        }
+        fn config_from_params(&self, params: &Params) -> Result<Self::Config, GridError> {
+            Ok(FibConfig {
+                n: params.get_u64("n", 1)?,
+                seed: params.get_u64("seed", 0)?,
+            })
+        }
+        fn smoke_grid(&self) -> GridSpec {
+            GridSpec::parse_str("n=3").expect("static grid")
+        }
+    }
+
+    #[test]
+    fn registry_runs_by_name() {
+        let registry = Registry::new().with(Box::new(Fib));
+        assert_eq!(registry.names(), vec!["fib"]);
+        let s = registry.require("fib").unwrap();
+        let grid = GridSpec::parse_str("n=1,2,10").unwrap();
+        let report = s.run_grid(&grid, 2, 7, &SweepRunner::new()).unwrap();
+        assert_eq!(report.rows.len(), 6);
+        assert_eq!(report.configs, 3);
+        // n=10 → fib 55 in the last rows.
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"fib\": 55"));
+        assert!(registry.require("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_axis_is_rejected() {
+        let registry = Registry::new().with(Box::new(Fib));
+        let s = registry.require("fib").unwrap();
+        let grid = GridSpec::parse_str("zap=1").unwrap();
+        let err = s.run_grid(&grid, 1, 0, &SweepRunner::new()).unwrap_err();
+        assert!(matches!(err, GridError::UnknownAxis { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario name")]
+    fn duplicate_names_panic() {
+        let _ = Registry::new().with(Box::new(Fib)).with(Box::new(Fib));
+    }
+
+    #[test]
+    fn smoke_grids_run() {
+        let registry = Registry::new().with(Box::new(Fib));
+        for s in registry.iter() {
+            let report = s
+                .run_grid(&s.smoke_grid(), 1, 0, &SweepRunner::new())
+                .unwrap();
+            assert!(!report.rows.is_empty());
+            for line in report.to_jsonl().lines() {
+                crate::value::validate_json(line).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The one report format every scenario shares: flat rows rendered as
+//! JSON lines, CSV, or a human-readable table, plus per-config
+//! aggregation through the mergeable accumulators.
+
+use std::fmt::Write as _;
+
+use crate::accum::{Merge, MetricAccumulator};
+use crate::grid::GridError;
+use crate::runner::SweepCell;
+use crate::scenario::{Fields, Scenario};
+use crate::value::{write_json_string, Value};
+
+/// One output row: the scenario name, the config fields, the trial
+/// coordinates, and the record fields, flattened in order.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Ordered `(key, value)` cells.
+    pub fields: Fields,
+}
+
+/// Output syntax for a [`SweepReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// One JSON object per row, newline separated.
+    #[default]
+    JsonLines,
+    /// RFC-4180-style CSV with a header row.
+    Csv,
+    /// Fixed-width human-readable table.
+    Table,
+}
+
+impl std::str::FromStr for ReportFormat {
+    type Err = GridError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" | "json" => Ok(ReportFormat::JsonLines),
+            "csv" => Ok(ReportFormat::Csv),
+            "table" => Ok(ReportFormat::Table),
+            other => Err(GridError::BadValue {
+                axis: "format".to_string(),
+                value: other.to_string(),
+                expected: "jsonl | csv | table".to_string(),
+            }),
+        }
+    }
+}
+
+/// The materialized result of one sweep: uniform rows, renderable in
+/// every supported format.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The scenario the sweep ran.
+    pub scenario: &'static str,
+    /// One row per (config, trial) cell, grid order.
+    pub rows: Vec<Row>,
+    /// Number of configs in the sweep (rows = configs × trials).
+    pub configs: usize,
+    /// Trials per config.
+    pub trials: usize,
+}
+
+impl SweepReport {
+    /// Builds the report from a scenario's sweep cells.
+    pub fn from_cells<S: Scenario>(
+        scenario: &S,
+        configs: &[S::Config],
+        cells: &[SweepCell<S::Record>],
+    ) -> Self {
+        let trials = cells.first().map(|c| c.runs.len()).unwrap_or(0);
+        let mut rows = Vec::with_capacity(configs.len() * trials);
+        for cell in cells {
+            let config = &configs[cell.config_index];
+            let config_fields = scenario.config_fields(config);
+            for run in &cell.runs {
+                let record_fields = scenario.record_fields(&run.record);
+                let mut fields: Fields =
+                    Vec::with_capacity(config_fields.len() + record_fields.len() + 3);
+                fields.push(("scenario", Value::Str(scenario.name().into())));
+                fields.extend(config_fields.iter().cloned());
+                fields.push(("trial", Value::U64(run.trial as u64)));
+                fields.push(("seed", Value::U64(run.seed)));
+                fields.extend(record_fields);
+                rows.push(Row { fields });
+            }
+        }
+        Self {
+            scenario: scenario.name(),
+            rows,
+            configs: configs.len(),
+            trials,
+        }
+    }
+
+    /// Renders in the requested format.
+    pub fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::JsonLines => self.to_jsonl(),
+            ReportFormat::Csv => self.to_csv(),
+            ReportFormat::Table => self.to_table(),
+        }
+    }
+
+    /// One JSON object per row, newline separated.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push('{');
+            for (i, (key, value)) in row.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_json_string(key, &mut out);
+                out.push_str(": ");
+                value.write_json(&mut out);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// CSV with a header row; all rows must share the header's keys.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let Some(first) = self.rows.first() else {
+            return out;
+        };
+        for (i, (key, _)) in first.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_csv_cell(key, &mut out);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            debug_assert!(
+                row.fields
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .eq(first.fields.iter().map(|(k, _)| *k)),
+                "all rows of a sweep share one schema"
+            );
+            for (i, (_, value)) in row.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_csv_cell(&value.to_string(), &mut out);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A fixed-width table with one line per row.
+    pub fn to_table(&self) -> String {
+        let Some(first) = self.rows.first() else {
+            return String::new();
+        };
+        let keys: Vec<&str> = first.fields.iter().map(|(k, _)| *k).collect();
+        let mut widths: Vec<usize> = keys.iter().map(|k| k.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.fields
+                    .iter()
+                    .map(|(_, v)| v.to_string())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for row in &cells {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (key, w) in keys.iter().zip(&widths) {
+            let _ = write!(out, "{key:>w$}  ");
+        }
+        out.push('\n');
+        for (key, w) in keys.iter().zip(&widths) {
+            let _ = write!(out, "{:>w$}  ", "-".repeat(key.len().min(*w)));
+        }
+        out.push('\n');
+        for row in &cells {
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(out, "{cell:>w$}  ");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Aggregates every numeric field across all rows into a mergeable
+    /// [`MetricAccumulator`], in first-seen field order.
+    ///
+    /// Aggregation is built per config cell and then merged — exercising
+    /// the associative-merge contract the parallel runner relies on.
+    pub fn aggregate(&self) -> Vec<(&'static str, MetricAccumulator)> {
+        let mut acc: Vec<(&'static str, MetricAccumulator)> = Vec::new();
+        let trials = self.trials.max(1);
+        for chunk in self.rows.chunks(trials) {
+            // Per-cell partial aggregate...
+            let mut partial: Vec<(&'static str, MetricAccumulator)> = Vec::new();
+            for row in chunk {
+                for (key, value) in &row.fields {
+                    let Some(x) = value.as_f64() else { continue };
+                    match partial.iter_mut().find(|(k, _)| k == key) {
+                        Some((_, m)) => m.push(x),
+                        None => {
+                            let mut m = MetricAccumulator::new();
+                            m.push(x);
+                            partial.push((key, m));
+                        }
+                    }
+                }
+            }
+            // ...merged into the running total.
+            for (key, m) in partial {
+                match acc.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, total)) => total.merge_from(&m),
+                    None => acc.push((key, m)),
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Appends a CSV cell, quoting when the value contains a comma, quote, or
+/// newline (quotes doubled per RFC 4180).
+fn push_csv_cell(cell: &str, out: &mut String) {
+    if cell.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(cell);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::validate_json;
+
+    fn sample_report() -> SweepReport {
+        let mk = |a: u64, t: u64, y: f64, label: &'static str| Row {
+            fields: vec![
+                ("scenario", Value::Str("toy".into())),
+                ("a", Value::U64(a)),
+                ("trial", Value::U64(t)),
+                ("seed", Value::U64(100 + t)),
+                ("label", Value::Str(label.into())),
+                ("y", Value::F64(y)),
+            ],
+        };
+        SweepReport {
+            scenario: "toy",
+            rows: vec![
+                mk(1, 0, 0.5, "plain"),
+                mk(1, 1, 1.5, "with,comma"),
+                mk(2, 0, 2.5, "with\"quote"),
+                mk(2, 1, 3.5, "plain"),
+            ],
+            configs: 2,
+            trials: 2,
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_validate() {
+        let report = sample_report();
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in lines {
+            validate_json(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(line.contains("\"scenario\": \"toy\""));
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_quoting() {
+        let report = sample_report();
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("scenario,a,trial,seed,label,y"));
+        let row1 = lines.next().unwrap();
+        assert!(row1.starts_with("toy,1,0,100,plain,0.5"));
+        let row2 = lines.next().unwrap();
+        assert!(row2.contains("\"with,comma\""), "{row2}");
+        let row3 = lines.next().unwrap();
+        assert!(row3.contains("\"with\"\"quote\""), "{row3}");
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let report = sample_report();
+        let table = report.to_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2 + 4);
+        assert!(lines[0].contains("scenario"));
+        let width = lines[0].len();
+        for l in &lines[2..] {
+            assert_eq!(l.len(), width, "misaligned row: {l:?}");
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        let report = SweepReport {
+            scenario: "toy",
+            rows: vec![],
+            configs: 0,
+            trials: 0,
+        };
+        assert_eq!(report.to_jsonl(), "");
+        assert_eq!(report.to_csv(), "");
+        assert_eq!(report.to_table(), "");
+        assert!(report.aggregate().is_empty());
+    }
+
+    #[test]
+    fn aggregate_covers_numeric_fields_only() {
+        let report = sample_report();
+        let agg = report.aggregate();
+        let keys: Vec<&str> = agg.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["a", "trial", "seed", "y"]);
+        let y = &agg.iter().find(|(k, _)| *k == "y").unwrap().1;
+        assert_eq!(y.count(), 4);
+        assert_eq!(y.mean(), 2.0);
+        assert_eq!(y.min(), Some(0.5));
+        assert_eq!(y.max(), Some(3.5));
+    }
+
+    #[test]
+    fn format_from_str() {
+        assert_eq!("jsonl".parse::<ReportFormat>(), Ok(ReportFormat::JsonLines));
+        assert_eq!("csv".parse::<ReportFormat>(), Ok(ReportFormat::Csv));
+        assert_eq!("table".parse::<ReportFormat>(), Ok(ReportFormat::Table));
+        assert!("yaml".parse::<ReportFormat>().is_err());
+    }
+}

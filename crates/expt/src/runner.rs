@@ -1,0 +1,260 @@
+//! The parallel (config × trial) sweep runner.
+//!
+//! One work-stealing executor for every experiment family in the
+//! workspace. Jobs are cells of the `configs × trials` grid, distributed
+//! through an atomic queue so heterogeneous configs (a 2¹⁰-bin run next
+//! to a 2²⁰-bin run, or a 100-job cluster next to a 20 000-job one) keep
+//! all cores busy; results land in their grid slot, so output order —
+//! and, through derived per-trial seeds, every result — is independent
+//! of thread count and scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use kdchoice_prng::derive_seed;
+
+use crate::scenario::Scenario;
+
+/// The outcome of one trial: its grid coordinates, derived seed, and
+/// record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRun<R> {
+    /// Index of the trial within its config cell.
+    pub trial: usize,
+    /// The derived seed the run used.
+    pub seed: u64,
+    /// The scenario's record.
+    pub record: R,
+}
+
+/// All trials of one config, in trial order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell<R> {
+    /// Index of the config in the sweep's config list.
+    pub config_index: usize,
+    /// The per-trial runs, ordered by trial index.
+    pub runs: Vec<TrialRun<R>>,
+}
+
+/// A deterministic parallel executor over a (config × trial) grid.
+///
+/// ```
+/// use kdchoice_expt::SweepRunner;
+///
+/// let configs = [10u64, 20, 30];
+/// let cells = SweepRunner::new().run_grid(&configs, 2, |&c, _i, t| c + t as u64);
+/// assert_eq!(cells.len(), 3);
+/// assert_eq!(cells[2], vec![30, 31]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepRunner {
+    threads: Option<usize>,
+}
+
+impl SweepRunner {
+    /// A runner using all available cores.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the worker count (`0` means "use all cores").
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = (threads > 0).then_some(threads);
+        self
+    }
+
+    /// The number of workers the runner would launch for `jobs` jobs.
+    fn worker_count(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.threads.unwrap_or(hw).min(jobs).max(1)
+    }
+
+    /// Runs `job(&configs[c], c, t)` for every cell of the grid in
+    /// parallel, returning results grouped per config, in `(c, t)` order.
+    ///
+    /// The job function must be deterministic in its arguments; the
+    /// output is then independent of thread count.
+    pub fn run_grid<C, R, F>(&self, configs: &[C], trials: usize, job: F) -> Vec<Vec<R>>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(&C, usize, usize) -> R + Sync,
+    {
+        let total = configs.len() * trials;
+        if total == 0 {
+            return configs.iter().map(|_| Vec::new()).collect();
+        }
+        let workers = self.worker_count(total);
+        let next_job = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..total).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job = &job;
+                let next_job = &next_job;
+                let results = &results;
+                scope.spawn(move || loop {
+                    let slot = next_job.fetch_add(1, Ordering::Relaxed);
+                    if slot >= total {
+                        break;
+                    }
+                    let config_idx = slot / trials;
+                    let trial = slot % trials;
+                    let out = job(&configs[config_idx], config_idx, trial);
+                    results.lock().expect("no poisoned sweeps")[slot] = Some(out);
+                });
+            }
+        });
+        let mut flat = results
+            .into_inner()
+            .expect("no poisoned sweeps")
+            .into_iter()
+            .map(|r| r.expect("all sweep jobs completed"));
+        configs
+            .iter()
+            .map(|_| flat.by_ref().take(trials).collect())
+            .collect()
+    }
+
+    /// Runs `trials` trials of every config of `scenario` in parallel.
+    ///
+    /// Trial `t` of config `c` uses the derived seed
+    /// `derive_seed(scenario.base_seed(&configs[c]), t)` — the same
+    /// scheme as `kdchoice_core::run_trials`, so every cell reproduces a
+    /// standalone serial loop bit for bit.
+    pub fn run_scenario<S: Scenario>(
+        &self,
+        scenario: &S,
+        configs: &[S::Config],
+        trials: usize,
+    ) -> Vec<SweepCell<S::Record>> {
+        let cells = self.run_grid(configs, trials, |config, _c, trial| {
+            let seed = derive_seed(scenario.base_seed(config), trial as u64);
+            TrialRun {
+                trial,
+                seed,
+                record: scenario.run(config, seed),
+            }
+        });
+        cells
+            .into_iter()
+            .enumerate()
+            .map(|(config_index, runs)| SweepCell { config_index, runs })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Axis, GridError, GridSpec, Params};
+    use crate::scenario::Fields;
+    use crate::value::Value;
+
+    /// A toy deterministic scenario for runner tests.
+    struct Doubler;
+
+    #[derive(Clone)]
+    struct DoublerConfig {
+        x: u64,
+        seed: u64,
+    }
+
+    impl Scenario for Doubler {
+        type Config = DoublerConfig;
+        type Record = u64;
+
+        fn name(&self) -> &'static str {
+            "doubler"
+        }
+        fn description(&self) -> &'static str {
+            "doubles x and mixes the seed"
+        }
+        fn run(&self, config: &Self::Config, seed: u64) -> u64 {
+            config.x * 2 + seed % 7
+        }
+        fn base_seed(&self, config: &Self::Config) -> u64 {
+            config.seed
+        }
+        fn config_fields(&self, config: &Self::Config) -> Fields {
+            vec![("x", Value::U64(config.x))]
+        }
+        fn record_fields(&self, record: &Self::Record) -> Fields {
+            vec![("y", Value::U64(*record))]
+        }
+        fn axes(&self) -> &'static [Axis] {
+            const AXES: &[Axis] = &[Axis::new("x", "input"), Axis::new("seed", "master seed")];
+            AXES
+        }
+        fn config_from_params(&self, params: &Params) -> Result<Self::Config, GridError> {
+            Ok(DoublerConfig {
+                x: params.get_u64("x", 1)?,
+                seed: params.get_u64("seed", 0)?,
+            })
+        }
+        fn smoke_grid(&self) -> GridSpec {
+            GridSpec::parse_str("x=1,2").expect("static grid")
+        }
+    }
+
+    #[test]
+    fn grid_results_are_ordered_and_complete() {
+        let configs: Vec<u32> = (0..5).collect();
+        let cells = SweepRunner::new().run_grid(&configs, 3, |&c, ci, t| {
+            assert_eq!(c as usize, ci);
+            (c, t)
+        });
+        assert_eq!(cells.len(), 5);
+        for (c, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.len(), 3);
+            for (t, &(rc, rt)) in cell.iter().enumerate() {
+                assert_eq!((rc as usize, rt), (c, t));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_trials_and_zero_configs() {
+        let cells = SweepRunner::new().run_grid(&[1, 2], 0, |&c: &i32, _, _| c);
+        assert_eq!(cells, vec![Vec::<i32>::new(), Vec::new()]);
+        let none = SweepRunner::new().run_grid(&[] as &[i32], 4, |&c, _, _| c);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let configs: Vec<u64> = (0..7).collect();
+        let wide = SweepRunner::new().run_grid(&configs, 5, |&c, _, t| c * 100 + t as u64);
+        let narrow = SweepRunner::new()
+            .with_threads(1)
+            .run_grid(&configs, 5, |&c, _, t| c * 100 + t as u64);
+        assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    fn scenario_seeds_match_serial_derivation() {
+        let configs = vec![
+            DoublerConfig { x: 3, seed: 11 },
+            DoublerConfig { x: 4, seed: 12 },
+        ];
+        let cells = SweepRunner::new().run_scenario(&Doubler, &configs, 4);
+        assert_eq!(cells.len(), 2);
+        for (c, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.config_index, c);
+            for (t, run) in cell.runs.iter().enumerate() {
+                assert_eq!(run.trial, t);
+                let expect_seed = derive_seed(configs[c].seed, t as u64);
+                assert_eq!(run.seed, expect_seed);
+                assert_eq!(run.record, Doubler.run(&configs[c], expect_seed));
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_zero_means_all_cores() {
+        let r = SweepRunner::new().with_threads(0);
+        assert!(r.worker_count(8) >= 1);
+    }
+}

@@ -32,9 +32,11 @@
 #![forbid(unsafe_code)]
 
 mod placement;
+mod scenario;
 mod workload;
 
 pub use placement::{select_k_least_loaded, PlacementStrategy};
+pub use scenario::{SchedulerExperiment, SchedulerScenario};
 pub use workload::ServiceDistribution;
 
 use std::collections::VecDeque;
@@ -350,7 +352,7 @@ pub fn simulate(config: &ClusterConfig, strategy: PlacementStrategy) -> Schedule
         [0.0; 3]
     };
     SchedulerReport {
-        strategy: strategy.name(),
+        strategy: strategy.name().into_owned(),
         jobs_measured: responses.len(),
         response,
         response_percentiles: percentiles,

@@ -1,5 +1,7 @@
 //! Worker-selection strategies for job scheduling.
 
+use std::borrow::Cow;
+
 use kdchoice_prng::sample::fill_with_replacement;
 use rand::RngCore;
 
@@ -50,16 +52,21 @@ pub enum PlacementStrategy {
 
 impl PlacementStrategy {
     /// Display name used in reports.
-    pub fn name(&self) -> String {
+    ///
+    /// Parameter-free strategies return a borrowed `&'static str` — no
+    /// allocation on reporting paths; parameterized ones format once per
+    /// call, so callers that report per run should cache the name per run
+    /// (as [`crate::SchedulerReport`] does), not fetch it per event.
+    pub fn name(&self) -> Cow<'static, str> {
         match self {
-            PlacementStrategy::Random => "random".to_string(),
-            PlacementStrategy::PerTaskDChoice { d } => format!("per-task {d}-choice"),
+            PlacementStrategy::Random => Cow::Borrowed("random"),
+            PlacementStrategy::PerTaskDChoice { d } => Cow::Owned(format!("per-task {d}-choice")),
             PlacementStrategy::BatchSampling { probes_per_task } => {
-                format!("batch-sampling x{probes_per_task}")
+                Cow::Owned(format!("batch-sampling x{probes_per_task}"))
             }
-            PlacementStrategy::KdChoice { d } => format!("(k,{d})-choice"),
+            PlacementStrategy::KdChoice { d } => Cow::Owned(format!("(k,{d})-choice")),
             PlacementStrategy::LateBinding { probes_per_task } => {
-                format!("late-binding x{probes_per_task}")
+                Cow::Owned(format!("late-binding x{probes_per_task}"))
             }
         }
     }
@@ -88,7 +95,15 @@ impl PlacementStrategy {
     /// worker loads (queue lengths). Returns `(workers, probe_messages)`;
     /// the same worker may appear multiple times (it then receives several
     /// of the job's tasks).
-    pub(crate) fn choose_workers<R: RngCore + ?Sized>(
+    ///
+    /// Public so the equivalence tests can couple this kernel against the
+    /// core (k,d)-choice process on a shared RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`PlacementStrategy::LateBinding`], which is
+    /// event-driven and has no one-shot worker choice.
+    pub fn choose_workers<R: RngCore + ?Sized>(
         &self,
         loads: &[u32],
         k: usize,
@@ -208,7 +223,7 @@ mod tests {
             PlacementStrategy::KdChoice { d: 5 },
         ]
         .iter()
-        .map(|s| s.name())
+        .map(|s| s.name().into_owned())
         .collect();
         let mut dedup = names.clone();
         dedup.sort();

@@ -18,13 +18,21 @@ use std::fmt;
 /// assert_eq!(s.max(), Some(4.0));
 /// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Summary {
+    /// Same as [`Summary::new`]. (A derived `Default` would zero the
+    /// min/max sentinels and corrupt every later `push`.)
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Summary {

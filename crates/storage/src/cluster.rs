@@ -1,6 +1,8 @@
 //! The storage cluster: servers, chunk placement, reads, and failure
 //! recovery.
 
+use std::borrow::Cow;
+
 use kdchoice_prng::sample::UniformBin;
 use rand::{Rng, RngCore};
 
@@ -27,12 +29,23 @@ pub enum PlacementPolicy {
 
 impl PlacementPolicy {
     /// Display name.
-    pub fn name(&self) -> String {
+    ///
+    /// Parameter-free policies return a borrowed `&'static str` — no
+    /// allocation on reporting paths; `KdChoice` formats once per call,
+    /// so report builders cache it per run (as
+    /// [`crate::StorageReport`] does) rather than fetching per event.
+    pub fn name(&self) -> Cow<'static, str> {
         match self {
-            PlacementPolicy::KdChoice { d } => format!("(k,{d})-choice"),
-            PlacementPolicy::PerChunkTwoChoice => "per-chunk 2-choice".to_string(),
-            PlacementPolicy::Random => "random".to_string(),
+            PlacementPolicy::KdChoice { d } => Cow::Owned(format!("(k,{d})-choice")),
+            PlacementPolicy::PerChunkTwoChoice => Cow::Borrowed("per-chunk 2-choice"),
+            PlacementPolicy::Random => Cow::Borrowed("random"),
         }
+    }
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
     }
 }
 

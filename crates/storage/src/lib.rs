@@ -19,7 +19,9 @@
 #![forbid(unsafe_code)]
 
 mod cluster;
+mod scenario;
 mod workload;
 
 pub use cluster::{PlacementPolicy, StorageCluster, StorageStats};
+pub use scenario::StorageScenario;
 pub use workload::{run_workload, StorageReport, WorkloadConfig};

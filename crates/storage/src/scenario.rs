@@ -1,0 +1,172 @@
+//! The create/read/fail storage workload as a
+//! [`kdchoice_expt::Scenario`] named `storage`.
+
+use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
+
+use crate::cluster::PlacementPolicy;
+use crate::workload::{run_workload, StorageReport, WorkloadConfig};
+
+/// The §1.3 distributed-storage experiment family. The config is the
+/// crate's [`WorkloadConfig`] unchanged — the master seed lives inside
+/// it, and the runner overrides it per trial.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StorageScenario;
+
+impl Scenario for StorageScenario {
+    type Config = WorkloadConfig;
+    type Record = StorageReport;
+
+    fn name(&self) -> &'static str {
+        "storage"
+    }
+
+    fn description(&self) -> &'static str {
+        "distributed storage: chunk placement, Zipf reads, failure recovery (section 1.3)"
+    }
+
+    fn run(&self, config: &Self::Config, seed: u64) -> StorageReport {
+        run_workload(&config.clone().with_seed(seed))
+    }
+
+    fn base_seed(&self, config: &Self::Config) -> u64 {
+        config.seed
+    }
+
+    fn config_fields(&self, config: &Self::Config) -> Fields {
+        vec![
+            ("servers", Value::U64(config.servers as u64)),
+            ("k", Value::U64(config.chunks_per_file as u64)),
+            ("policy", Value::Str(config.policy.name())),
+            ("files", Value::U64(config.files as u64)),
+            ("reads", Value::U64(config.reads as u64)),
+            ("zipf", Value::F64(config.zipf_exponent)),
+            ("failures", Value::U64(config.failures as u64)),
+        ]
+    }
+
+    fn record_fields(&self, record: &Self::Record) -> Fields {
+        let s = &record.stats;
+        vec![
+            ("alive_servers", Value::U64(s.alive_servers as u64)),
+            ("total_chunks", Value::U64(s.total_chunks)),
+            ("max_load", Value::U64(u64::from(s.max_load))),
+            ("mean_load", Value::F64(s.mean_load)),
+            ("imbalance", Value::F64(s.imbalance)),
+            ("p50_load", Value::F64(record.load_percentiles[0])),
+            ("p90_load", Value::F64(record.load_percentiles[1])),
+            ("p99_load", Value::F64(record.load_percentiles[2])),
+            ("placement_messages", Value::U64(s.placement_messages)),
+            ("read_messages", Value::U64(s.read_messages)),
+            (
+                "create_cost_per_file",
+                Value::F64(record.create_cost_per_file),
+            ),
+            ("read_cost_per_op", Value::F64(record.read_cost_per_op)),
+            ("recovered_chunks", Value::U64(s.recovered_chunks)),
+            ("recovery_messages", Value::U64(s.recovery_messages)),
+        ]
+    }
+
+    fn axes(&self) -> &'static [Axis] {
+        const AXES: &[Axis] = &[
+            Axis::new("servers", "storage servers (default 100)"),
+            Axis::new("k", "chunks/replicas per file (default 4)"),
+            Axis::new("policy", "kd | two-choice | random (default kd)"),
+            Axis::new("d", "probes per file creation for kd (default 2k)"),
+            Axis::new("files", "files to create (default servers*10)"),
+            Axis::new("reads", "Zipf-popular reads to issue (default servers*20)"),
+            Axis::new("zipf", "read popularity exponent (default 0.9)"),
+            Axis::new("failures", "servers failed mid-create (default 0)"),
+            Axis::new("seed", "master seed (default: --seed)"),
+        ];
+        AXES
+    }
+
+    fn config_from_params(&self, params: &Params) -> Result<Self::Config, GridError> {
+        let servers = params.get_usize("servers", 100)?;
+        let k = params.get_usize("k", 4)?;
+        if servers == 0 || k == 0 {
+            return Err(params.bad_value("servers", "servers and k both >= 1"));
+        }
+        let policy = match params.get_raw("policy").unwrap_or("kd") {
+            "kd" => {
+                let d = params.get_usize("d", 2 * k)?;
+                if d < k {
+                    return Err(params.bad_value("d", &format!("d >= k (k={k})")));
+                }
+                PlacementPolicy::KdChoice { d }
+            }
+            "two-choice" => PlacementPolicy::PerChunkTwoChoice,
+            "random" => PlacementPolicy::Random,
+            _ => return Err(params.bad_value("policy", "kd | two-choice | random")),
+        };
+        let mut config = WorkloadConfig::new(servers, k, policy);
+        config.files = params.get_usize("files", config.files)?;
+        config.reads = params.get_usize("reads", config.reads)?;
+        config.zipf_exponent = params.get_f64("zipf", config.zipf_exponent)?;
+        config.failures = params.get_usize("failures", 0)?;
+        if config.failures >= servers {
+            return Err(params.bad_value("failures", "fewer failures than servers"));
+        }
+        config.seed = params.get_u64("seed", 0)?;
+        Ok(config)
+    }
+
+    fn smoke_grid(&self) -> GridSpec {
+        GridSpec::parse_str("servers=20 k=2 files=100 reads=50 policy=kd,random failures=1")
+            .expect("storage smoke grid")
+    }
+
+    fn throughput_unit(&self) -> &'static str {
+        "ops/sec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_expt::{configs_from_grid, SweepReport, SweepRunner};
+    use kdchoice_prng::derive_seed;
+
+    #[test]
+    fn storage_sweep_is_bit_identical_to_serial_run_workload() {
+        let grid =
+            GridSpec::parse_str("servers=30 k=3 policy=kd,two-choice,random failures=2").unwrap();
+        let configs = configs_from_grid(&StorageScenario, &grid, 5).unwrap();
+        assert_eq!(configs.len(), 3);
+        let cells = SweepRunner::new().run_scenario(&StorageScenario, &configs, 3);
+        for (cell, config) in cells.iter().zip(&configs) {
+            for run in &cell.runs {
+                let seed = derive_seed(config.seed, run.trial as u64);
+                let serial = run_workload(&config.clone().with_seed(seed));
+                assert_eq!(run.record.stats, serial.stats);
+                assert_eq!(run.record.policy, serial.policy);
+                assert_eq!(run.record.load_percentiles, serial.load_percentiles);
+                assert_eq!(run.record.read_cost_per_op, serial.read_cost_per_op);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_validates_policy_and_failures() {
+        let bad_policy = GridSpec::parse_str("policy=raid5").unwrap();
+        assert!(configs_from_grid(&StorageScenario, &bad_policy, 0).is_err());
+        let too_many = GridSpec::parse_str("servers=4 failures=4").unwrap();
+        assert!(configs_from_grid(&StorageScenario, &too_many, 0).is_err());
+        let short_d = GridSpec::parse_str("k=4 d=2").unwrap();
+        assert!(configs_from_grid(&StorageScenario, &short_d, 0).is_err());
+    }
+
+    #[test]
+    fn report_fields_render_valid_json() {
+        let grid = GridSpec::parse_str("servers=15 k=2 files=60 reads=30").unwrap();
+        let configs = configs_from_grid(&StorageScenario, &grid, 2).unwrap();
+        let cells = SweepRunner::new().run_scenario(&StorageScenario, &configs, 2);
+        let report = SweepReport::from_cells(&StorageScenario, &configs, &cells);
+        for line in report.to_jsonl().lines() {
+            kdchoice_expt::validate_json(line).unwrap();
+            assert!(line.contains("\"scenario\": \"storage\""));
+            assert!(line.contains("\"imbalance\""));
+        }
+    }
+}

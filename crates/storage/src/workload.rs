@@ -137,7 +137,7 @@ pub fn run_workload(config: &WorkloadConfig) -> StorageReport {
         [0.0; 3]
     };
     StorageReport {
-        policy: config.policy.name(),
+        policy: config.policy.name().into_owned(),
         stats,
         load_percentiles,
         read_cost_per_op: if config.reads > 0 {

@@ -22,6 +22,9 @@
 //! * [`prng`] — deterministic xoshiro256++ generator, samplers, workload
 //!   distributions.
 //! * [`sim`] — a small discrete-event simulation engine.
+//! * [`expt`] — the experiment layer: the `Scenario` trait, the parallel
+//!   `SweepRunner`, mergeable accumulators, grid parsing, and the
+//!   JSONL/CSV/table reporters shared by every experiment family.
 //! * [`scheduler`] — parallel job scheduling application (§1.3 of the paper).
 //! * [`storage`] — distributed storage application (§1.3 of the paper).
 //!
@@ -44,6 +47,7 @@ pub mod cli;
 
 pub use kdchoice_baselines as baselines;
 pub use kdchoice_core as kd;
+pub use kdchoice_expt as expt;
 pub use kdchoice_prng as prng;
 pub use kdchoice_scheduler as scheduler;
 pub use kdchoice_sim as sim;
