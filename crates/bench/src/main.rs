@@ -5,8 +5,10 @@
 //! kdchoice-bench list                          # registered scenarios + axes
 //! kdchoice-bench run static --grid k=2,3 d=4 n=2^16 --trials 8 --format table
 //! kdchoice-bench run scheduler --grid strategy=kd,batch rho=0.7,0.9 --format jsonl
+//! kdchoice-bench run service --grid threads=1,2,4,8 window=256 --format table
 //! kdchoice-bench smoke                         # tiny grid per scenario; JSON validated
-//! kdchoice-bench throughput [--quick]          # writes BENCH_results.json
+//! kdchoice-bench throughput [--quick]          # engine + scenario + service
+//!                                              # thread-scaling rows -> BENCH_results.json
 //! kdchoice-bench                               # = throughput (back-compat)
 //! ```
 //!
@@ -26,15 +28,17 @@ use kdchoice_expt::{
     configs_from_grid, GridSpec, Registry, ReportFormat, Scenario, SweepRunner, Value,
 };
 use kdchoice_scheduler::SchedulerScenario;
+use kdchoice_service::{run_service_workload, ServiceScenario, ServiceWorkloadConfig};
 use kdchoice_storage::StorageScenario;
 
-/// Builds the workspace scenario registry: all four experiment families.
+/// Builds the workspace scenario registry: all five experiment families.
 fn registry() -> Registry {
     Registry::new()
         .with(Box::new(StaticScenario))
         .with(Box::new(DynamicScenario))
         .with(Box::new(SchedulerScenario))
         .with(Box::new(StorageScenario))
+        .with(Box::new(ServiceScenario))
 }
 
 fn usage() -> &'static str {
@@ -234,6 +238,71 @@ struct ScenarioThroughput {
     rate: f64,
 }
 
+/// One thread-scaling row of the concurrent placement service: a fixed
+/// total request budget split across `threads` closed-loop clients.
+struct ServiceScaling {
+    threads: usize,
+    bins: usize,
+    k: usize,
+    d: usize,
+    shards: usize,
+    requests: u64,
+    balls_placed: u64,
+    wall_secs: f64,
+    balls_per_sec: f64,
+    placements_per_sec: f64,
+    max_load: u32,
+    gap: f64,
+    conserved: bool,
+}
+
+/// Client thread counts swept by the service thread-scaling mode.
+const SERVICE_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Measures placement throughput of the sharded service at each thread
+/// count, holding the total work fixed so rows are comparable: every row
+/// statically fills the same ball count, so final max-load/gap are
+/// directly comparable across thread counts (the release path is
+/// exercised by the `service` smoke grid and the stress tests).
+fn measure_service_scaling(quick: bool) -> Vec<ServiceScaling> {
+    let (bins, total_requests) = if quick {
+        (1 << 13, 100_000usize)
+    } else {
+        (1 << 16, 1_500_000usize)
+    };
+    SERVICE_THREADS
+        .iter()
+        .map(|&threads| {
+            let cfg = ServiceWorkloadConfig {
+                bins,
+                k: 2,
+                d: 4,
+                shards: 16,
+                threads,
+                requests_per_thread: total_requests / threads,
+                window: 0,
+                seed: 0xBE7C4,
+            };
+            let report = run_service_workload(&cfg);
+            ServiceScaling {
+                threads,
+                bins,
+                k: cfg.k,
+                d: cfg.d,
+                shards: cfg.shards,
+                requests: report.placements,
+                balls_placed: report.balls_placed,
+                wall_secs: report.wall_secs,
+                balls_per_sec: report.balls_per_sec,
+                placements_per_sec: report.placements_per_sec,
+                max_load: report.max_load,
+                gap: report.gap,
+                conserved: report.conserved,
+            }
+        })
+        .collect()
+}
+
 /// How many times each measurement repeats; the best rate is reported
 /// (standard practice for throughput: the minimum-interference run).
 const REPS: usize = 3;
@@ -316,7 +385,11 @@ fn measure_scenario<S: Scenario>(
     }
 }
 
-fn render_json(measurements: &[Measurement], scenarios: &[ScenarioThroughput]) -> String {
+fn render_json(
+    measurements: &[Measurement],
+    scenarios: &[ScenarioThroughput],
+    service: &[ServiceScaling],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"harness\": \"kdchoice-bench throughput\",\n");
@@ -359,6 +432,31 @@ fn render_json(measurements: &[Measurement], scenarios: &[ScenarioThroughput]) -
             s.scenario, s.unit, grid_json, s.trials, s.work_items, s.wall_secs, s.rate,
         );
         out.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"service_thread_scaling_note\": \"closed-loop clients on the sharded (k,d)-choice PlacementService; fixed total request budget split across threads, static fill so max_load/gap are comparable across rows\",\n",
+    );
+    out.push_str("  \"service_thread_scaling\": [\n");
+    for (i, s) in service.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"scenario\": \"service\",\n      \"threads\": {},\n      \"n\": {},\n      \"k\": {},\n      \"d\": {},\n      \"shards\": {},\n      \"requests\": {},\n      \"balls_placed\": {},\n      \"wall_secs\": {:.3},\n      \"balls_per_sec\": {:.0},\n      \"placements_per_sec\": {:.0},\n      \"max_load\": {},\n      \"gap\": {:.3},\n      \"conserved\": {}\n    }}",
+            s.threads,
+            s.bins,
+            s.k,
+            s.d,
+            s.shards,
+            s.requests,
+            s.balls_placed,
+            s.wall_secs,
+            s.balls_per_sec,
+            s.placements_per_sec,
+            s.max_load,
+            s.gap,
+            s.conserved,
+        );
+        out.push_str(if i + 1 < service.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -439,8 +537,26 @@ fn cmd_throughput(quick: bool) {
         );
     }
 
+    // Thread scaling of the concurrent placement service.
+    println!();
+    let service = measure_service_scaling(quick);
+    for s in &service {
+        println!(
+            "service    {:>2} thread{} {:>7.2} Mballs/s ({} requests in {:.2}s, max load {}, gap {:.2}{})",
+            s.threads,
+            if s.threads == 1 { " " } else { "s" },
+            s.balls_per_sec / 1e6,
+            s.requests,
+            s.wall_secs,
+            s.max_load,
+            s.gap,
+            if s.conserved { "" } else { ", NOT CONSERVED" },
+        );
+        assert!(s.conserved, "service workload must conserve balls");
+    }
+
     if !quick {
-        let json = render_json(&measurements, &scenarios);
+        let json = render_json(&measurements, &scenarios, &service);
         kdchoice_expt::validate_json(&json).expect("harness emits well-formed JSON");
         std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
         println!("\nwrote BENCH_results.json");

@@ -22,7 +22,10 @@
 //! * [`SerializedKdChoice`] — the serialization Aσ of Definition 1, used to
 //!   validate Property (i) (`Aσ ≡ A` in distribution).
 //! * [`LoadVector`] — the bin-state substrate with O(1) max-load and ν_y
-//!   queries.
+//!   queries, including [`LoadVector::remove_ball`] departures for the §7
+//!   dynamic process.
+//! * [`BinStore`] — the substrate trait naming that observable surface,
+//!   shared by the scheduler, storage, and concurrent-service layers.
 //! * [`run_once`] / [`run_trials`] / [`run_sweep`] — deterministic,
 //!   seedable drivers; trials and sweep grids run in parallel threads with
 //!   per-trial derived seeds, histogramming ball heights inline.
@@ -58,6 +61,7 @@ mod process;
 pub mod scenario;
 mod serialized;
 mod state;
+mod store;
 mod trace;
 
 pub use driver::{
@@ -72,4 +76,5 @@ pub use process::{BallsIntoBins, HeightSink, RoundProcess, RoundStats};
 pub use scenario::{DynamicScenario, StaticScenario};
 pub use serialized::{SerializedKdChoice, SigmaSchedule};
 pub use state::LoadVector;
+pub use store::BinStore;
 pub use trace::{run_with_trace, TracePoint};

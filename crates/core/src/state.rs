@@ -103,6 +103,41 @@ impl LoadVector {
         new
     }
 
+    /// Removes one ball from bin `bin` and returns the removed ball's
+    /// **height** (the bin's load immediately before removal).
+    ///
+    /// This is the departure primitive of the §7 infinite/dynamic process
+    /// and of the service layer's release requests; all cached observables
+    /// (`count_by_load`, `max_load`, `ν_1`, `ν_2`, `total_balls`) are
+    /// maintained in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n` or the bin is empty.
+    #[inline]
+    pub fn remove_ball(&mut self, bin: usize) -> u32 {
+        let old = self.loads[bin];
+        assert!(old > 0, "cannot remove a ball from empty bin {bin}");
+        let new = old - 1;
+        self.loads[bin] = new;
+        self.count_by_load[old as usize] -= 1;
+        self.count_by_load[new as usize] += 1;
+        self.total_balls -= 1;
+        // If the last bin at the maximum emptied a level, the new maximum
+        // is exactly `old - 1`: every other bin was ≤ old, the ones at
+        // `old` are gone, and this bin now sits at `old - 1`.
+        if old == self.max_load && self.count_by_load[old as usize] == 0 {
+            self.max_load = new;
+            // Drop the now-empty top level so that add-then-remove is a
+            // bit-exact identity (the shape equality the 1-shard/-
+            // `LoadVector` equivalence tests rely on).
+            self.count_by_load.truncate(old as usize);
+        }
+        self.nu1 -= u64::from(old == 1);
+        self.nu2 -= u64::from(old == 2);
+        old
+    }
+
     /// The current maximum load.
     #[inline]
     pub fn max_load(&self) -> u32 {
@@ -316,6 +351,100 @@ mod tests {
         }
         assert_eq!(s.load_histogram()[10], 1);
         assert_eq!(s.nu(10), 1);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn remove_ball_returns_height_and_restores_state() {
+        let mut s = LoadVector::new(3);
+        s.add_ball(0);
+        s.add_ball(0);
+        s.add_ball(1);
+        let snapshot = s.clone();
+        assert_eq!(s.add_ball(0), 3);
+        assert_eq!(s.remove_ball(0), 3);
+        assert_eq!(s, snapshot, "add then remove must round-trip exactly");
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn remove_ball_decrements_max_load_only_when_level_empties() {
+        let mut s = LoadVector::new(3);
+        // loads [2, 2, 0]: two bins at the max.
+        s.add_ball(0);
+        s.add_ball(0);
+        s.add_ball(1);
+        s.add_ball(1);
+        assert_eq!(s.max_load(), 2);
+        assert_eq!(s.remove_ball(0), 2); // a max-load peer survives
+        assert_eq!(s.max_load(), 2);
+        assert_eq!(s.remove_ball(1), 2); // last bin at the max
+        assert_eq!(s.max_load(), 1);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn remove_ball_from_tall_bin_drops_max_by_exactly_one() {
+        // loads [5, 1]: the gap below the max is empty levels 2..=4, but a
+        // single removal can only land at height max-1.
+        let mut s = LoadVector::new(2);
+        for _ in 0..5 {
+            s.add_ball(0);
+        }
+        s.add_ball(1);
+        assert_eq!(s.remove_ball(0), 5);
+        assert_eq!(s.max_load(), 4);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn remove_ball_maintains_nu_caches() {
+        let mut s = LoadVector::new(4);
+        // loads [2, 1, 0, 0]: nu1 = 2, nu2 = 1.
+        s.add_ball(0);
+        s.add_ball(0);
+        s.add_ball(1);
+        assert_eq!((s.nu(1), s.nu(2)), (2, 1));
+        s.remove_ball(0); // 2 -> 1: nu2 drops, nu1 unchanged
+        assert_eq!((s.nu(1), s.nu(2)), (2, 0));
+        s.remove_ball(0); // 1 -> 0: nu1 drops
+        assert_eq!((s.nu(1), s.nu(2)), (1, 0));
+        s.remove_ball(1); // last ball out
+        assert_eq!((s.nu(1), s.nu(2)), (0, 0));
+        assert_eq!(s.total_balls(), 0);
+        assert_eq!(s.max_load(), 0);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bin")]
+    fn remove_ball_from_empty_bin_panics() {
+        let mut s = LoadVector::new(2);
+        s.add_ball(0);
+        let _ = s.remove_ball(1);
+    }
+
+    #[test]
+    fn add_remove_churn_keeps_invariants() {
+        let mut s = LoadVector::new(32);
+        let mut rng = Xoshiro256PlusPlus::from_u64(9);
+        use rand::Rng;
+        let mut live: Vec<usize> = Vec::new();
+        for step in 0..20_000 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let b = rng.gen_range(0..32);
+                s.add_ball(b);
+                live.push(b);
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let b = live.swap_remove(i);
+                s.remove_ball(b);
+            }
+            if step % 4096 == 0 {
+                assert!(s.check_invariants(), "corrupted at step {step}");
+            }
+        }
+        assert_eq!(s.total_balls(), live.len() as u64);
         assert!(s.check_invariants());
     }
 

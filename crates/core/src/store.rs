@@ -1,0 +1,161 @@
+//! [`BinStore`]: the shared bin-load substrate interface.
+//!
+//! The (k,d)-choice process, the §1.3 cluster scheduler, the §1.3 storage
+//! cluster, and the concurrent placement service (`kdchoice-service`) all
+//! observe the same state: `n` bins, per-bin loads, and the paper's
+//! observables (`max load`, `ν_y`, `gap`). This trait names that surface
+//! once, so every application tracks load through one substrate —
+//! [`LoadVector`] single-threaded, `ShardedStore` under concurrency —
+//! instead of each keeping a private counter array.
+
+use crate::state::LoadVector;
+
+/// The observable surface of a bin-load store: arrivals, departures, and
+/// the paper's load observables.
+///
+/// Implementations must keep every observable consistent with the load
+/// vector after each mutation. [`LoadVector`] is the canonical
+/// single-threaded implementation; `kdchoice-service`'s `ShardedStore`
+/// implements the same surface over lock-striped shards, merging the
+/// observables on demand.
+///
+/// All methods are object-safe, so harnesses can hold
+/// `Box<dyn BinStore>` when they need substrate-heterogeneous
+/// collections.
+pub trait BinStore {
+    /// The number of bins.
+    fn n(&self) -> usize;
+
+    /// The load of bin `bin` (0-based index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n`.
+    fn load(&self, bin: usize) -> u32;
+
+    /// Places one ball into `bin`; returns the ball's height (the bin's
+    /// load immediately after placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n`.
+    fn add_ball(&mut self, bin: usize) -> u32;
+
+    /// Removes one ball from `bin`; returns the removed ball's height
+    /// (the bin's load immediately before removal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n` or the bin is empty.
+    fn remove_ball(&mut self, bin: usize) -> u32;
+
+    /// The current maximum load.
+    fn max_load(&self) -> u32;
+
+    /// The total number of balls currently stored.
+    fn total_balls(&self) -> u64;
+
+    /// `ν_y`: the number of bins with load at least `y`.
+    fn nu(&self, y: u32) -> u64;
+
+    /// The average load `total_balls / n`.
+    fn average_load(&self) -> f64 {
+        self.total_balls() as f64 / self.n() as f64
+    }
+
+    /// The gap `max load − average load` (Theorem 2's quantity).
+    fn gap(&self) -> f64 {
+        f64::from(self.max_load()) - self.average_load()
+    }
+
+    /// Overwrites `out` with the per-bin loads in bin-index order.
+    ///
+    /// Snapshot-style accessor shared by probing schedulers: a borrowed
+    /// `&[u32]` cannot be returned here because sharded implementations
+    /// materialize the global view on demand.
+    fn copy_loads_into(&self, out: &mut Vec<u32>);
+
+    /// The count-by-load histogram (entry `l` = bins holding exactly `l`
+    /// balls); trailing entries may be 0.
+    fn histogram(&self) -> Vec<u64>;
+}
+
+impl BinStore for LoadVector {
+    #[inline]
+    fn n(&self) -> usize {
+        LoadVector::n(self)
+    }
+
+    #[inline]
+    fn load(&self, bin: usize) -> u32 {
+        LoadVector::load(self, bin)
+    }
+
+    #[inline]
+    fn add_ball(&mut self, bin: usize) -> u32 {
+        LoadVector::add_ball(self, bin)
+    }
+
+    #[inline]
+    fn remove_ball(&mut self, bin: usize) -> u32 {
+        LoadVector::remove_ball(self, bin)
+    }
+
+    #[inline]
+    fn max_load(&self) -> u32 {
+        LoadVector::max_load(self)
+    }
+
+    #[inline]
+    fn total_balls(&self) -> u64 {
+        LoadVector::total_balls(self)
+    }
+
+    #[inline]
+    fn nu(&self, y: u32) -> u64 {
+        LoadVector::nu(self, y)
+    }
+
+    fn copy_loads_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(self.loads());
+    }
+
+    fn histogram(&self) -> Vec<u64> {
+        self.load_histogram().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a store through the trait only — the object-safety and
+    /// default-method check.
+    fn exercise(store: &mut dyn BinStore) {
+        assert_eq!(store.n(), 4);
+        assert_eq!(store.add_ball(1), 1);
+        assert_eq!(store.add_ball(1), 2);
+        assert_eq!(store.add_ball(3), 1);
+        assert_eq!(store.load(1), 2);
+        assert_eq!(store.max_load(), 2);
+        assert_eq!(store.total_balls(), 3);
+        assert_eq!(store.nu(1), 2);
+        assert_eq!(store.nu(2), 1);
+        assert!((store.average_load() - 0.75).abs() < 1e-12);
+        assert!((store.gap() - 1.25).abs() < 1e-12);
+        assert_eq!(store.remove_ball(1), 2);
+        assert_eq!(store.max_load(), 1);
+        let mut loads = Vec::new();
+        store.copy_loads_into(&mut loads);
+        assert_eq!(loads, vec![0, 1, 0, 1]);
+        assert_eq!(store.histogram()[..2], [2, 2]);
+    }
+
+    #[test]
+    fn load_vector_implements_the_trait() {
+        let mut store = LoadVector::new(4);
+        exercise(&mut store);
+        assert!(store.check_invariants());
+    }
+}

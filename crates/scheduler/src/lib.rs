@@ -41,6 +41,7 @@ pub use workload::ServiceDistribution;
 
 use std::collections::VecDeque;
 
+use kdchoice_core::{BinStore, LoadVector};
 use kdchoice_prng::dist::Exponential;
 use kdchoice_prng::Xoshiro256PlusPlus;
 use kdchoice_sim::{Clock, EventQueue, TimeWeighted};
@@ -156,15 +157,18 @@ enum Entry {
 }
 
 /// One worker: a FIFO queue of entries plus the running task.
+///
+/// The worker's queue *length* (including the running task and pending
+/// reservations — the probed "load", as in Sparrow) is not stored here:
+/// it lives in the shared [`BinStore`] substrate, one bin per worker, so
+/// the scheduler tracks load through the same interface as the core
+/// process, the storage cluster, and the concurrent placement service.
 #[derive(Debug, Default)]
 struct Worker {
     /// Pending entries, not including the one in service.
     pending: VecDeque<Entry>,
     /// Job id of the task in service, if busy.
     running: Option<u32>,
-    /// Queue length including the running task — the probed "load"
-    /// (reservations count, as in Sparrow).
-    queue_len: u32,
 }
 
 /// Simulation events.
@@ -193,6 +197,28 @@ enum Event {
 /// ```
 pub fn simulate(config: &ClusterConfig, strategy: PlacementStrategy) -> SchedulerReport {
     assert!(config.workers > 0, "need at least one worker");
+    // Worker queue lengths live in the shared bin-load substrate; any
+    // `BinStore` implementation slots in via `simulate_on`.
+    let queue_lens = LoadVector::new(config.workers);
+    simulate_on(config, strategy, queue_lens)
+}
+
+/// [`simulate`] over an explicit [`BinStore`] tracking worker queue
+/// lengths (one bin per worker; must start empty).
+///
+/// This is the substrate seam of the service-layer refactor: the
+/// default [`simulate`] plugs in a [`LoadVector`], and any other
+/// implementation — e.g. `kdchoice-service`'s `ShardedStore` — produces
+/// the identical simulation, since the store is driven through the
+/// trait surface only (locked by a cross-substrate test).
+pub fn simulate_on<B: BinStore>(
+    config: &ClusterConfig,
+    strategy: PlacementStrategy,
+    mut queue_lens: B,
+) -> SchedulerReport {
+    assert!(config.workers > 0, "need at least one worker");
+    assert_eq!(queue_lens.n(), config.workers, "one bin per worker");
+    assert_eq!(queue_lens.total_balls(), 0, "store must start empty");
     assert!(config.tasks_per_job > 0, "need at least one task per job");
     assert!(config.jobs > 0, "need at least one job");
     assert!(
@@ -245,13 +271,11 @@ pub fn simulate(config: &ClusterConfig, strategy: PlacementStrategy) -> Schedule
                             launched[job_idx] += 1;
                             let service = config.service.sample(&mut rng);
                             worker.running = Some(job);
-                            worker.queue_len += 1;
-                            max_queue_len = max_queue_len.max(worker.queue_len);
+                            max_queue_len = max_queue_len.max(queue_lens.add_ball(w));
                             queue.push(t + service, Event::TaskComplete(w as u32));
                         } else if launched[job_idx] < k as u32 {
                             worker.pending.push_back(Entry::Reservation(job));
-                            worker.queue_len += 1;
-                            max_queue_len = max_queue_len.max(worker.queue_len);
+                            max_queue_len = max_queue_len.max(queue_lens.add_ball(w));
                         }
                     }
                     // Degenerate safety net: if every probe hit the same few
@@ -262,8 +286,7 @@ pub fn simulate(config: &ClusterConfig, strategy: PlacementStrategy) -> Schedule
                         launched[job_idx] += 1;
                         let service = config.service.sample(&mut rng);
                         let worker = &mut workers[w];
-                        worker.queue_len += 1;
-                        max_queue_len = max_queue_len.max(worker.queue_len);
+                        max_queue_len = max_queue_len.max(queue_lens.add_ball(w));
                         if worker.running.is_none() {
                             worker.running = Some(job);
                             queue.push(t + service, Event::TaskComplete(w as u32));
@@ -275,8 +298,7 @@ pub fn simulate(config: &ClusterConfig, strategy: PlacementStrategy) -> Schedule
                     // Probe and choose workers for the k tasks up front,
                     // reading the (possibly stale) snapshot.
                     if jobs_since_refresh == 0 {
-                        snapshot.clear();
-                        snapshot.extend(workers.iter().map(|w| w.queue_len));
+                        queue_lens.copy_loads_into(&mut snapshot);
                     }
                     jobs_since_refresh = (jobs_since_refresh + 1) % config.scheduler_batch;
                     let (chosen, probes) = strategy.choose_workers(&snapshot, k, &mut rng);
@@ -285,8 +307,7 @@ pub fn simulate(config: &ClusterConfig, strategy: PlacementStrategy) -> Schedule
                     for &w in &chosen {
                         let service = config.service.sample(&mut rng);
                         let worker = &mut workers[w];
-                        worker.queue_len += 1;
-                        max_queue_len = max_queue_len.max(worker.queue_len);
+                        max_queue_len = max_queue_len.max(queue_lens.add_ball(w));
                         if worker.running.is_none() {
                             worker.running = Some(job);
                             queue.push(t + service, Event::TaskComplete(w as u32));
@@ -308,7 +329,7 @@ pub fn simulate(config: &ClusterConfig, strategy: PlacementStrategy) -> Schedule
             Event::TaskComplete(w) => {
                 let widx = w as usize;
                 let finished_job = workers[widx].running.take().expect("worker was busy");
-                workers[widx].queue_len -= 1;
+                queue_lens.remove_ball(widx);
                 outstanding_now -= 1;
                 outstanding.update(t, outstanding_now as f64);
                 // Pull the next runnable entry: concrete tasks run as-is;
@@ -331,7 +352,7 @@ pub fn simulate(config: &ClusterConfig, strategy: PlacementStrategy) -> Schedule
                                 break;
                             }
                             // Cancelled reservation: drop and keep looking.
-                            workers[widx].queue_len -= 1;
+                            queue_lens.remove_ball(widx);
                         }
                     }
                 }
@@ -541,6 +562,28 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_scheduler_batch_rejected() {
         let _ = base_config(13).with_scheduler_batch(0);
+    }
+
+    #[test]
+    fn sharded_store_substrate_reproduces_load_vector_run() {
+        // The substrate seam holds: driving the identical simulation on a
+        // ShardedStore instead of a LoadVector changes nothing — the
+        // store is consulted only through the BinStore surface and the
+        // RNG stream never touches it.
+        use kdchoice_service::ShardedStore;
+        let cfg = base_config(14);
+        for strategy in [
+            PlacementStrategy::KdChoice { d: 5 },
+            PlacementStrategy::LateBinding { probes_per_task: 2 },
+        ] {
+            let a = simulate(&cfg, strategy);
+            let b = simulate_on(&cfg, strategy, ShardedStore::new(cfg.workers, 4));
+            assert_eq!(a.response.mean(), b.response.mean());
+            assert_eq!(a.response_percentiles, b.response_percentiles);
+            assert_eq!(a.probe_messages, b.probe_messages);
+            assert_eq!(a.max_queue_len, b.max_queue_len);
+            assert_eq!(a.mean_outstanding, b.mean_outstanding);
+        }
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Concurrent placement service for the (k,d)-choice process.
+//!
+//! The paper pitches (k,d)-choice as a primitive for real cluster
+//! schedulers and storage systems (§1.3); this crate is the layer that
+//! makes the primitive *servable*: a shared bin-load substrate that many
+//! client threads can hit concurrently, behind the same
+//! [`kdchoice_core::BinStore`] surface the single-threaded applications
+//! use.
+//!
+//! * [`ShardedStore`] — `n` bins striped across power-of-two lock-striped
+//!   shards (per-shard [`kdchoice_core::LoadVector`] + histogram),
+//!   observables merged on demand. One shard, one thread ⇒ bit-identical
+//!   to a plain `LoadVector` (locked by the equivalence proptest).
+//! * [`PlacementService`] — the (k,d)-choice frontend: a placement
+//!   request samples `d` bins across shards, takes the involved shard
+//!   locks in canonical ascending order, and commits balls into the `k`
+//!   least-loaded tentative slots atomically; release requests remove
+//!   balls for departures (the §7 infinite/dynamic process).
+//! * [`run_service_workload`] — closed-loop clients hammering the
+//!   service; [`ServiceScenario`] plugs it into the workspace experiment
+//!   registry as `service`.
+//!
+//! **Determinism under concurrency:** each client thread's probe/tie-key
+//! stream is a pure function of `derive_seed(seed, client)`; the
+//! interleaving of commits is not reproducible. Conservation (balls in =
+//! balls held + balls released) and per-shard invariants hold under any
+//! interleaving and are asserted by the stress tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod scenario;
+mod service;
+mod sharded;
+
+pub use scenario::ServiceScenario;
+pub use service::{
+    run_service_workload, PlacementService, ServiceError, ServiceReport, ServiceWorkloadConfig,
+};
+pub use sharded::{Placement, ShardedStore};

@@ -1,0 +1,182 @@
+//! The closed-loop placement-service workload as a
+//! [`kdchoice_expt::Scenario`] named `service`.
+
+use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
+
+use crate::service::{run_service_workload, ServiceReport, ServiceWorkloadConfig};
+
+/// The concurrent placement-service experiment family: closed-loop
+/// clients hammering a sharded (k,d)-choice service, measuring placement
+/// throughput and max-load/gap under contention.
+///
+/// **Determinism caveat** (documented deviation from the experiment
+/// layer's pure-function contract): each client's request stream is a
+/// pure function of `(config, seed)`, but with `threads > 1` the
+/// *interleaving* of commits — and therefore throughput and, slightly,
+/// the final load shape — is scheduler-driven. Conservation and shard
+/// invariants are re-checked on every run and reported in the
+/// `conserved` column.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceScenario;
+
+impl Scenario for ServiceScenario {
+    type Config = ServiceWorkloadConfig;
+    type Record = ServiceReport;
+
+    fn name(&self) -> &'static str {
+        "service"
+    }
+
+    fn description(&self) -> &'static str {
+        "concurrent placement service: closed-loop clients on a sharded (k,d)-choice store"
+    }
+
+    fn run(&self, config: &Self::Config, seed: u64) -> ServiceReport {
+        let mut config = config.clone();
+        config.seed = seed;
+        run_service_workload(&config)
+    }
+
+    fn base_seed(&self, config: &Self::Config) -> u64 {
+        config.seed
+    }
+
+    fn config_fields(&self, config: &Self::Config) -> Fields {
+        vec![
+            ("n", Value::U64(config.bins as u64)),
+            ("k", Value::U64(config.k as u64)),
+            ("d", Value::U64(config.d as u64)),
+            ("shards", Value::U64(config.shards as u64)),
+            ("threads", Value::U64(config.threads as u64)),
+            ("requests", Value::U64(config.requests_per_thread as u64)),
+            ("window", Value::U64(config.window as u64)),
+        ]
+    }
+
+    fn record_fields(&self, record: &Self::Record) -> Fields {
+        vec![
+            ("placements", Value::U64(record.placements)),
+            ("balls_placed", Value::U64(record.balls_placed)),
+            ("balls_released", Value::U64(record.balls_released)),
+            ("live_balls", Value::U64(record.live_balls)),
+            ("balls_per_sec", Value::F64(record.balls_per_sec)),
+            ("max_load", Value::U64(u64::from(record.max_load))),
+            ("gap", Value::F64(record.gap)),
+            ("nu1", Value::U64(record.nu1)),
+            ("conserved", Value::Bool(record.conserved)),
+        ]
+    }
+
+    fn axes(&self) -> &'static [Axis] {
+        const AXES: &[Axis] = &[
+            Axis::new("n", "bins (default 2^14)"),
+            Axis::new("k", "balls per placement request (default 2)"),
+            Axis::new("d", "probes per placement request, d >= k (default 4)"),
+            Axis::new(
+                "shards",
+                "lock-striped shards, power of two <= n (default 8)",
+            ),
+            Axis::new("threads", "concurrent client threads (default 4)"),
+            Axis::new("requests", "placement requests per client (default 10000)"),
+            Axis::new(
+                "window",
+                "live placements per client before the oldest is released; 0 = static (default 0)",
+            ),
+            Axis::new("seed", "master seed (default: --seed)"),
+        ];
+        AXES
+    }
+
+    fn config_from_params(&self, params: &Params) -> Result<Self::Config, GridError> {
+        let bins = params.get_usize("n", 1 << 14)?;
+        if bins == 0 {
+            return Err(params.bad_value("n", "at least one bin"));
+        }
+        let k = params.get_usize("k", 2)?;
+        let d = params.get_usize("d", 4)?;
+        if k == 0 || d < k {
+            return Err(params.bad_value("d", &format!("d >= k >= 1 (k={k})")));
+        }
+        let shards = params.get_usize("shards", 8.min(crate::service::prev_power_of_two(bins)))?;
+        if !shards.is_power_of_two() || shards > bins {
+            return Err(params.bad_value("shards", "a power of two <= n"));
+        }
+        let threads = params.get_usize("threads", 4)?;
+        if threads == 0 {
+            return Err(params.bad_value("threads", "at least one client thread"));
+        }
+        Ok(ServiceWorkloadConfig {
+            bins,
+            k,
+            d,
+            shards,
+            threads,
+            requests_per_thread: params.get_usize("requests", 10_000)?,
+            window: params.get_usize("window", 0)?,
+            seed: params.get_u64("seed", 0)?,
+        })
+    }
+
+    fn smoke_grid(&self) -> GridSpec {
+        GridSpec::parse_str("n=2^10 k=2 d=4 shards=4 threads=1,2 requests=1500 window=0,32")
+            .expect("service smoke grid")
+    }
+
+    fn throughput_unit(&self) -> &'static str {
+        "balls/sec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_expt::{configs_from_grid, SweepReport, SweepRunner};
+
+    #[test]
+    fn grid_builds_configs_with_defaults_and_validation() {
+        let grid = GridSpec::parse_str("threads=1,2,4 n=2^10 requests=100").unwrap();
+        let configs = configs_from_grid(&ServiceScenario, &grid, 3).unwrap();
+        assert_eq!(configs.len(), 3);
+        assert_eq!(configs[2].threads, 4);
+        assert_eq!(configs[0].bins, 1024);
+        assert_eq!(configs[0].seed, 3);
+
+        // Small non-power-of-two n: the shard default must round *down*
+        // so the unspecified-shards config stays valid.
+        for bins in [1usize, 3, 5, 6, 7, 100] {
+            let grid = GridSpec::parse_str(&format!("n={bins} requests=1")).unwrap();
+            let configs = configs_from_grid(&ServiceScenario, &grid, 0)
+                .unwrap_or_else(|e| panic!("n={bins} must be accepted: {e}"));
+            assert!(
+                configs[0].shards.is_power_of_two() && configs[0].shards <= bins,
+                "n={bins} got shards={}",
+                configs[0].shards
+            );
+        }
+
+        for bad in ["shards=3", "d=1 k=2", "threads=0", "n=0"] {
+            let grid = GridSpec::parse_str(bad).unwrap();
+            assert!(
+                configs_from_grid(&ServiceScenario, &grid, 0).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_grid_runs_and_renders_valid_json() {
+        let scenario = ServiceScenario;
+        let grid = GridSpec::parse_str("n=2^8 shards=2 threads=2 requests=300 window=8").unwrap();
+        let configs = configs_from_grid(&scenario, &grid, 1).unwrap();
+        let cells = SweepRunner::new()
+            .with_threads(1)
+            .run_scenario(&scenario, &configs, 2);
+        let report = SweepReport::from_cells(&scenario, &configs, &cells);
+        assert_eq!(report.rows.len(), 2);
+        for line in report.to_jsonl().lines() {
+            kdchoice_expt::validate_json(line).unwrap();
+            assert!(line.contains("\"scenario\": \"service\""));
+            assert!(line.contains("\"conserved\": true"));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! [`PlacementService`]: the (k,d)-choice placement/release frontend,
+//! plus the closed-loop multi-client workload used by the `service`
+//! scenario and the thread-scaling throughput harness.
+
+use std::time::Instant;
+
+use kdchoice_core::BinStore;
+use kdchoice_prng::sample::UniformBin;
+use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
+use rand::RngCore;
+
+use crate::sharded::{Placement, ShardedStore};
+
+/// Errors constructing a [`PlacementService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// `k` was zero.
+    ZeroK,
+    /// `d < k`: a request cannot place `k` balls on fewer probed slots.
+    TooFewProbes {
+        /// Requested balls per placement.
+        k: usize,
+        /// Requested probes per placement.
+        d: usize,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::ZeroK => write!(f, "k must be at least 1"),
+            ServiceError::TooFewProbes { k, d } => {
+                write!(f, "(k,d)-choice service needs d >= k (k={k}, d={d})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A concurrent (k,d)-choice placement service over a [`ShardedStore`].
+///
+/// Many client threads share one `&PlacementService`; each placement
+/// request samples `d` bins i.u.r. with replacement from the caller's
+/// own RNG (per-thread streams stay deterministic), then commits balls
+/// into the `k` least-loaded tentative slots atomically — probes span
+/// shards, shard locks are taken in canonical ascending order, and the
+/// read–decide–commit sequence holds every involved lock, so a request
+/// is one linearization point.
+///
+/// ```
+/// use kdchoice_service::{PlacementService, ShardedStore};
+/// use kdchoice_prng::Xoshiro256PlusPlus;
+///
+/// let service = PlacementService::new(ShardedStore::new(64, 8), 2, 4).unwrap();
+/// let mut rng = Xoshiro256PlusPlus::from_u64(7);
+/// let placement = service.place(&mut rng);
+/// assert_eq!(placement.bins.len(), 2);
+/// service.release(&placement);
+/// use kdchoice_core::BinStore;
+/// assert_eq!(service.store().total_balls(), 0);
+/// ```
+#[derive(Debug)]
+pub struct PlacementService {
+    store: ShardedStore,
+    sampler: UniformBin,
+    k: usize,
+    d: usize,
+}
+
+impl PlacementService {
+    /// Wraps `store` in a (k,d)-choice service frontend.
+    pub fn new(store: ShardedStore, k: usize, d: usize) -> Result<Self, ServiceError> {
+        if k == 0 {
+            return Err(ServiceError::ZeroK);
+        }
+        if d < k {
+            return Err(ServiceError::TooFewProbes { k, d });
+        }
+        let sampler = UniformBin::new(store.n());
+        Ok(Self {
+            store,
+            sampler,
+            k,
+            d,
+        })
+    }
+
+    /// Balls per placement request.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Probes per placement request.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The underlying store (merged observables on demand).
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Consumes the service, returning the store.
+    pub fn into_store(self) -> ShardedStore {
+        self.store
+    }
+
+    /// Serves one placement request: samples `d` bins from `rng`, commits
+    /// the `k` least-loaded tentative slots atomically.
+    pub fn place<R: RngCore + ?Sized>(&self, rng: &mut R) -> Placement {
+        let mut probes = [0usize; 16];
+        if self.d <= probes.len() {
+            let probes = &mut probes[..self.d];
+            for p in probes.iter_mut() {
+                *p = self.sampler.sample(rng);
+            }
+            self.store.place_k_least(probes, self.k, rng)
+        } else {
+            let probes: Vec<usize> = (0..self.d).map(|_| self.sampler.sample(rng)).collect();
+            self.store.place_k_least(&probes, self.k, rng)
+        }
+    }
+
+    /// Serves a release request for a previous placement.
+    pub fn release(&self, placement: &Placement) {
+        self.store.release(&placement.bins);
+    }
+}
+
+/// Configuration of one closed-loop service workload: `threads` clients
+/// each issue `requests_per_thread` placement requests back to back,
+/// optionally releasing their oldest live placement once more than
+/// `window` are outstanding (the §7 infinite/dynamic process; `window ==
+/// 0` disables releases and the run is the static process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceWorkloadConfig {
+    /// Number of bins.
+    pub bins: usize,
+    /// Balls per placement request.
+    pub k: usize,
+    /// Probes per placement request (`d ≥ k`).
+    pub d: usize,
+    /// Shard count (power of two, ≤ bins).
+    pub shards: usize,
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Placement requests issued by each client.
+    pub requests_per_thread: usize,
+    /// Live placements each client retains; 0 = never release.
+    pub window: usize,
+    /// Master seed; client `t` runs on `derive_seed(seed, t)`.
+    pub seed: u64,
+}
+
+impl ServiceWorkloadConfig {
+    /// A small default workload: `(2,4)`-choice over `bins` bins.
+    pub fn new(bins: usize, threads: usize, requests_per_thread: usize, seed: u64) -> Self {
+        Self {
+            bins,
+            k: 2,
+            d: 4,
+            shards: 8.min(prev_power_of_two(bins)),
+            threads,
+            requests_per_thread,
+            window: 0,
+            seed,
+        }
+    }
+}
+
+/// The largest power of two ≤ `n` (`n ≥ 1`) — the round-*down* helper
+/// shard defaults must use (`next_power_of_two` rounds up and can exceed
+/// `n`, which `ShardedStore::new` rejects).
+pub(crate) fn prev_power_of_two(n: usize) -> usize {
+    assert!(n >= 1);
+    if n.is_power_of_two() {
+        n
+    } else {
+        n.next_power_of_two() / 2
+    }
+}
+
+/// Aggregate results of one closed-loop service workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Placement requests served.
+    pub placements: u64,
+    /// Balls placed (`placements × k`).
+    pub balls_placed: u64,
+    /// Balls released.
+    pub balls_released: u64,
+    /// Balls still live at the end (`placed − released`).
+    pub live_balls: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Placement requests per second.
+    pub placements_per_sec: f64,
+    /// Balls placed per second — the thread-scaling headline number.
+    pub balls_per_sec: f64,
+    /// Final maximum load over all bins.
+    pub max_load: u32,
+    /// Final gap `max load − average load`.
+    pub gap: f64,
+    /// `ν_1` at the end (bins holding at least one ball).
+    pub nu1: u64,
+    /// Whether the merged store passed `check_invariants` and conserved
+    /// balls (`total == placed − released`).
+    pub conserved: bool,
+}
+
+/// Runs one closed-loop workload: spawns `threads` clients hammering a
+/// shared [`PlacementService`], then reads the merged observables.
+///
+/// Each client's request stream (its sampled probes and tie keys) is a
+/// pure function of `derive_seed(config.seed, client_index)`; the
+/// *interleaving* of commits across clients — and therefore wall-clock
+/// throughput and (slightly) the final load shape — is scheduler-driven
+/// and not reproducible across runs. Conservation and per-shard
+/// invariants hold regardless, and are re-checked on every run.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (zero threads/bins, `d < k`,
+/// non-power-of-two shards).
+pub fn run_service_workload(config: &ServiceWorkloadConfig) -> ServiceReport {
+    assert!(config.threads > 0, "need at least one client thread");
+    let store = ShardedStore::new(config.bins, config.shards);
+    let service = PlacementService::new(store, config.k, config.d)
+        .unwrap_or_else(|e| panic!("invalid service config: {e}"));
+
+    let start = Instant::now();
+    let released_counts: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|t| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut rng = Xoshiro256PlusPlus::from_u64(derive_seed(config.seed, t as u64));
+                    let mut live: std::collections::VecDeque<Placement> =
+                        std::collections::VecDeque::new();
+                    let mut released = 0u64;
+                    for _ in 0..config.requests_per_thread {
+                        let placement = service.place(&mut rng);
+                        if config.window > 0 {
+                            live.push_back(placement);
+                            if live.len() > config.window {
+                                let oldest = live.pop_front().expect("window > 0");
+                                released += oldest.bins.len() as u64;
+                                service.release(&oldest);
+                            }
+                        }
+                    }
+                    released
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread must not panic"))
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let placements = (config.threads * config.requests_per_thread) as u64;
+    let balls_placed = placements * config.k as u64;
+    let balls_released: u64 = released_counts.iter().sum();
+    let store = service.into_store();
+    let live_balls = store.total_balls();
+    let conserved = live_balls == balls_placed - balls_released && store.check_invariants();
+    ServiceReport {
+        placements,
+        balls_placed,
+        balls_released,
+        live_balls,
+        wall_secs,
+        placements_per_sec: placements as f64 / wall_secs,
+        balls_per_sec: balls_placed as f64 / wall_secs,
+        max_load: store.max_load(),
+        gap: store.gap(),
+        nu1: store.nu(1),
+        conserved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_validates_k_and_d() {
+        assert_eq!(
+            PlacementService::new(ShardedStore::new(8, 2), 0, 3).unwrap_err(),
+            ServiceError::ZeroK
+        );
+        assert_eq!(
+            PlacementService::new(ShardedStore::new(8, 2), 3, 2).unwrap_err(),
+            ServiceError::TooFewProbes { k: 3, d: 2 }
+        );
+        assert!(PlacementService::new(ShardedStore::new(8, 2), 2, 2).is_ok());
+    }
+
+    #[test]
+    fn single_thread_workload_is_exact() {
+        let cfg = ServiceWorkloadConfig {
+            bins: 64,
+            k: 2,
+            d: 4,
+            shards: 4,
+            threads: 1,
+            requests_per_thread: 500,
+            window: 0,
+            seed: 11,
+        };
+        let report = run_service_workload(&cfg);
+        assert_eq!(report.placements, 500);
+        assert_eq!(report.balls_placed, 1000);
+        assert_eq!(report.balls_released, 0);
+        assert_eq!(report.live_balls, 1000);
+        assert!(report.conserved);
+        assert!(report.max_load >= 16, "1000 balls over 64 bins");
+        assert!(report.gap >= 0.0);
+    }
+
+    #[test]
+    fn windowed_workload_releases_and_conserves() {
+        let cfg = ServiceWorkloadConfig {
+            bins: 32,
+            k: 2,
+            d: 4,
+            shards: 4,
+            threads: 4,
+            requests_per_thread: 300,
+            window: 10,
+            seed: 5,
+        };
+        let report = run_service_workload(&cfg);
+        assert_eq!(report.placements, 1200);
+        assert!(report.balls_released > 0);
+        // Each client retains at most `window` live placements of k balls.
+        assert!(report.live_balls <= (4 * 10 * 2) as u64);
+        assert!(report.conserved);
+    }
+
+    #[test]
+    fn large_d_takes_the_heap_path() {
+        let service = PlacementService::new(ShardedStore::new(64, 8), 4, 32).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        let p = service.place(&mut rng);
+        assert_eq!(p.bins.len(), 4);
+        assert_eq!(service.store().total_balls(), 4);
+    }
+
+    #[test]
+    fn default_config_shards_are_valid() {
+        for bins in [1usize, 2, 3, 7, 8, 9, 100, 1024] {
+            let cfg = ServiceWorkloadConfig::new(bins, 1, 1, 0);
+            assert!(
+                cfg.shards.is_power_of_two() && cfg.shards <= bins,
+                "bins={bins}"
+            );
+            let _ = run_service_workload(&cfg);
+        }
+    }
+}

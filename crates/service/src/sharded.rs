@@ -1,0 +1,430 @@
+//! [`ShardedStore`]: `n` bins split across power-of-two lock-striped
+//! shards, each shard a [`LoadVector`], observables merged on demand.
+
+use std::sync::{Mutex, MutexGuard};
+
+use kdchoice_core::{BinStore, LoadVector};
+use rand::RngCore;
+
+/// One committed placement: the bins that received balls (with
+/// multiplicity) and the tallest resulting ball height.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Destination bins, one entry per placed ball (a bin sampled `m`
+    /// times may appear up to `m` times).
+    pub bins: Vec<usize>,
+    /// The maximum height among the placed balls — the job-completion
+    /// proxy of §1.3.
+    pub max_height: u32,
+}
+
+/// A concurrent bin store: `n` bins striped across a power-of-two number
+/// of shards, shard `s` holding the bins with `bin % shards == s`, each
+/// shard a mutex-guarded [`LoadVector`].
+///
+/// * **Concurrent surface** — [`ShardedStore::place_k_least`] and
+///   [`ShardedStore::release`] take `&self`, lock only the shards a
+///   request touches (in canonical ascending order, so concurrent
+///   requests cannot deadlock), and commit atomically with respect to
+///   other requests.
+/// * **[`BinStore`] surface** — `&mut self` mutators go through
+///   `Mutex::get_mut` (no lock overhead when exclusively owned), and
+///   `&self` observables lock shard by shard and merge, so a
+///   single-threaded caller can use a `ShardedStore` exactly like a
+///   [`LoadVector`].
+///
+/// With one shard and a single thread, every operation is bit-identical
+/// to the same operations on a plain [`LoadVector`] (locked by the
+/// equivalence proptest in `tests/store_equivalence.rs`).
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Mutex<LoadVector>>,
+    /// `shards.len() - 1`; shard of `bin` is `bin & mask`.
+    mask: usize,
+    /// `log2(shards.len())`; local index of `bin` is `bin >> bits`.
+    bits: u32,
+    n: usize,
+}
+
+impl ShardedStore {
+    /// Creates `n` empty bins striped over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two, or `shards > n`.
+    pub fn new(n: usize, shards: usize) -> Self {
+        assert!(
+            shards > 0 && shards.is_power_of_two(),
+            "shard count must be a power of two, got {shards}"
+        );
+        assert!(
+            shards <= n,
+            "cannot stripe {n} bins over {shards} shards (need shards <= n)"
+        );
+        let bits = shards.trailing_zeros();
+        let shard_vecs = (0..shards)
+            .map(|s| {
+                // Bins congruent to s mod shards that are < n.
+                let local_bins = (n - s).div_ceil(shards);
+                Mutex::new(LoadVector::new(local_bins))
+            })
+            .collect();
+        Self {
+            shards: shard_vecs,
+            mask: shards - 1,
+            bits,
+            n,
+        }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, bin: usize) -> usize {
+        bin & self.mask
+    }
+
+    #[inline]
+    fn local_of(&self, bin: usize) -> usize {
+        bin >> self.bits
+    }
+
+    #[inline]
+    fn global_of(&self, shard: usize, local: usize) -> usize {
+        (local << self.bits) | shard
+    }
+
+    /// Locks the given shard ids (must be sorted ascending and deduped —
+    /// the canonical order that makes concurrent requests deadlock-free)
+    /// and returns the guards in the same order.
+    fn lock_in_order(&self, shard_ids: &[usize]) -> Vec<MutexGuard<'_, LoadVector>> {
+        debug_assert!(shard_ids.windows(2).all(|w| w[0] < w[1]));
+        shard_ids
+            .iter()
+            .map(|&s| self.shards[s].lock().expect("no poisoned shard"))
+            .collect()
+    }
+
+    /// Serves one (k,d)-choice placement request: given `probes` (bin
+    /// indices sampled with replacement by the caller), commits one ball
+    /// into each of the `k` least-loaded tentative slots — a bin probed
+    /// `m` times contributes `m` slots of heights `L+1, …, L+m`, exactly
+    /// the paper's multiplicity rule — with ties broken by random keys
+    /// drawn from `rng`.
+    ///
+    /// All shards the probes touch are locked (ascending shard order)
+    /// before any load is read and released only after every ball is
+    /// committed, so the decision and the commit are one atomic step
+    /// relative to concurrent requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k > probes.len()`, or any probe is out of
+    /// range.
+    pub fn place_k_least<R: RngCore + ?Sized>(
+        &self,
+        probes: &[usize],
+        k: usize,
+        rng: &mut R,
+    ) -> Placement {
+        assert!(k >= 1, "a placement request must place at least one ball");
+        assert!(
+            k <= probes.len(),
+            "cannot place {k} balls on {} probed slots",
+            probes.len()
+        );
+        assert!(
+            probes.iter().all(|&b| b < self.n),
+            "probe out of range (n = {})",
+            self.n
+        );
+        let mut sorted = probes.to_vec();
+        sorted.sort_unstable();
+        let mut shard_ids: Vec<usize> = sorted.iter().map(|&b| self.shard_of(b)).collect();
+        shard_ids.sort_unstable();
+        shard_ids.dedup();
+        let mut guards = self.lock_in_order(&shard_ids);
+
+        // Tentative slots (height, tie key, bin), multiplicities expanded.
+        let mut slots: Vec<(u32, u64, usize)> = Vec::with_capacity(sorted.len());
+        let mut i = 0;
+        while i < sorted.len() {
+            let bin = sorted[i];
+            let pos = shard_ids
+                .binary_search(&self.shard_of(bin))
+                .expect("shard was locked");
+            let base = guards[pos].load(self.local_of(bin));
+            let mut occ = 0u32;
+            while i < sorted.len() && sorted[i] == bin {
+                occ += 1;
+                slots.push((base + occ, rng.next_u64(), bin));
+                i += 1;
+            }
+        }
+        if k < slots.len() {
+            slots.select_nth_unstable_by(k - 1, |a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        }
+
+        // Commit the k winners while still holding every involved lock.
+        let mut bins = Vec::with_capacity(k);
+        let mut max_height = 0u32;
+        for &(_, _, bin) in &slots[..k] {
+            let pos = shard_ids
+                .binary_search(&self.shard_of(bin))
+                .expect("shard was locked");
+            let height = guards[pos].add_ball(self.local_of(bin));
+            max_height = max_height.max(height);
+            bins.push(bin);
+        }
+        Placement { bins, max_height }
+    }
+
+    /// Serves a release request: removes one ball from every bin in
+    /// `bins` (with multiplicity), atomically with respect to concurrent
+    /// requests. Shards are locked in the same canonical ascending order
+    /// as [`ShardedStore::place_k_least`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bin is out of range or has no ball to remove.
+    pub fn release(&self, bins: &[usize]) {
+        assert!(
+            bins.iter().all(|&b| b < self.n),
+            "release out of range (n = {})",
+            self.n
+        );
+        let mut shard_ids: Vec<usize> = bins.iter().map(|&b| self.shard_of(b)).collect();
+        shard_ids.sort_unstable();
+        shard_ids.dedup();
+        let mut guards = self.lock_in_order(&shard_ids);
+        for &bin in bins {
+            let pos = shard_ids
+                .binary_search(&self.shard_of(bin))
+                .expect("shard was locked");
+            guards[pos].remove_ball(self.local_of(bin));
+        }
+    }
+
+    /// Verifies every shard's internal invariants plus the merged-view
+    /// bookkeeping: the merged histogram sums to `n` and agrees with the
+    /// merged per-bin loads and ball total. O(n); for tests.
+    pub fn check_invariants(&self) -> bool {
+        let mut shard_ok = true;
+        let mut histogram_total = 0u64;
+        let mut balls_from_loads = 0u64;
+        let mut loads = Vec::new();
+        self.copy_loads_into(&mut loads);
+        for shard in &self.shards {
+            let guard = shard.lock().expect("no poisoned shard");
+            shard_ok &= guard.check_invariants();
+        }
+        let histogram = self.histogram();
+        for (load, &count) in histogram.iter().enumerate() {
+            histogram_total += count;
+            balls_from_loads += count * load as u64;
+        }
+        let mut counted = vec![0u64; histogram.len()];
+        for &l in &loads {
+            counted[l as usize] += 1;
+        }
+        shard_ok
+            && loads.len() == self.n
+            && histogram_total == self.n as u64
+            && balls_from_loads == self.total_balls()
+            && counted == histogram
+    }
+}
+
+impl BinStore for ShardedStore {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn load(&self, bin: usize) -> u32 {
+        assert!(bin < self.n, "bin {bin} out of range (n = {})", self.n);
+        let local = self.local_of(bin);
+        self.shards[self.shard_of(bin)]
+            .lock()
+            .expect("no poisoned shard")
+            .load(local)
+    }
+
+    fn add_ball(&mut self, bin: usize) -> u32 {
+        assert!(bin < self.n, "bin {bin} out of range (n = {})", self.n);
+        let (shard, local) = (self.shard_of(bin), self.local_of(bin));
+        self.shards[shard]
+            .get_mut()
+            .expect("no poisoned shard")
+            .add_ball(local)
+    }
+
+    fn remove_ball(&mut self, bin: usize) -> u32 {
+        assert!(bin < self.n, "bin {bin} out of range (n = {})", self.n);
+        let (shard, local) = (self.shard_of(bin), self.local_of(bin));
+        self.shards[shard]
+            .get_mut()
+            .expect("no poisoned shard")
+            .remove_ball(local)
+    }
+
+    fn max_load(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("no poisoned shard").max_load())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn total_balls(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("no poisoned shard").total_balls())
+            .sum()
+    }
+
+    fn nu(&self, y: u32) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("no poisoned shard").nu(y))
+            .sum()
+    }
+
+    fn copy_loads_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.n, 0);
+        for (shard_id, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock().expect("no poisoned shard");
+            for (local, &load) in guard.loads().iter().enumerate() {
+                out[self.global_of(shard_id, local)] = load;
+            }
+        }
+    }
+
+    fn histogram(&self) -> Vec<u64> {
+        let mut merged = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock().expect("no poisoned shard");
+            let hist = guard.load_histogram();
+            if hist.len() > merged.len() {
+                merged.resize(hist.len(), 0);
+            }
+            for (l, &c) in hist.iter().enumerate() {
+                merged[l] += c;
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn striping_covers_every_bin_exactly_once() {
+        for (n, shards) in [(8, 4), (13, 4), (1, 1), (17, 8), (64, 64)] {
+            let store = ShardedStore::new(n, shards);
+            assert_eq!(store.n(), n);
+            assert_eq!(store.shard_count(), shards);
+            let sizes: usize = store.shards.iter().map(|s| s.lock().unwrap().n()).sum();
+            assert_eq!(sizes, n, "n={n} shards={shards}");
+            // global -> (shard, local) -> global round-trips.
+            for bin in 0..n {
+                assert_eq!(
+                    store.global_of(store.shard_of(bin), store.local_of(bin)),
+                    bin
+                );
+            }
+            assert!(store.check_invariants());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = ShardedStore::new(16, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards <= n")]
+    fn more_shards_than_bins_rejected() {
+        let _ = ShardedStore::new(2, 4);
+    }
+
+    #[test]
+    fn bin_store_surface_matches_mutations() {
+        let mut store = ShardedStore::new(13, 4);
+        assert_eq!(store.add_ball(5), 1);
+        assert_eq!(store.add_ball(5), 2);
+        assert_eq!(store.add_ball(12), 1);
+        assert_eq!(store.load(5), 2);
+        assert_eq!(store.max_load(), 2);
+        assert_eq!(store.total_balls(), 3);
+        assert_eq!(store.nu(1), 2);
+        assert_eq!(store.nu(2), 1);
+        assert_eq!(store.remove_ball(5), 2);
+        assert_eq!(store.max_load(), 1);
+        let mut loads = Vec::new();
+        store.copy_loads_into(&mut loads);
+        assert_eq!(loads[5], 1);
+        assert_eq!(loads[12], 1);
+        assert_eq!(loads.iter().map(|&l| u64::from(l)).sum::<u64>(), 2);
+        assert!(store.check_invariants());
+    }
+
+    #[test]
+    fn place_respects_multiplicity_and_prefers_cold_bins() {
+        let store = ShardedStore::new(8, 2);
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        // Preload bin 0 heavily.
+        for _ in 0..10 {
+            store.place_k_least(&[0], 1, &mut rng);
+        }
+        // Probes {0, 3, 3}: picking 2 must take both slots of bin 3
+        // (heights 1, 2) over bin 0 (height 11).
+        let p = store.place_k_least(&[0, 3, 3], 2, &mut rng);
+        let mut bins = p.bins.clone();
+        bins.sort_unstable();
+        assert_eq!(bins, vec![3, 3]);
+        assert_eq!(p.max_height, 2);
+        assert!(store.check_invariants());
+    }
+
+    #[test]
+    fn release_undoes_place() {
+        let store = ShardedStore::new(16, 4);
+        let mut rng = Xoshiro256PlusPlus::from_u64(2);
+        let mut placements = Vec::new();
+        for _ in 0..50 {
+            let probes: Vec<usize> = (0..4).map(|_| rng.next_u64() as usize % 16).collect();
+            placements.push(store.place_k_least(&probes, 2, &mut rng));
+        }
+        assert_eq!(store.total_balls(), 100);
+        for p in &placements {
+            store.release(&p.bins);
+        }
+        assert_eq!(store.total_balls(), 0);
+        assert_eq!(store.max_load(), 0);
+        assert!(store.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn place_rejects_out_of_range_probe() {
+        let store = ShardedStore::new(4, 2);
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        let _ = store.place_k_least(&[4], 1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ball")]
+    fn place_rejects_zero_k() {
+        let store = ShardedStore::new(4, 2);
+        let mut rng = Xoshiro256PlusPlus::from_u64(4);
+        let _ = store.place_k_least(&[1, 2], 0, &mut rng);
+    }
+}

@@ -48,6 +48,44 @@ proptest! {
         }
     }
 
+    /// FIFO tie-breaking at equal timestamps survives interleaved pops:
+    /// the seq-number disambiguation is global across the queue's
+    /// lifetime, not per-batch, so events pushed at the same time *after*
+    /// earlier ties were drained still pop behind nothing they followed.
+    /// The scheduler migration rewired its event wiring around this exact
+    /// guarantee; this test locks it.
+    #[test]
+    fn fifo_ties_survive_interleaved_pops(
+        batch_sizes in prop::collection::vec(1usize..8, 1..30),
+        pops_between in prop::collection::vec(0usize..6, 1..30),
+    ) {
+        let mut q = EventQueue::new();
+        let t = 42.0f64; // every event at the same timestamp
+        let mut next_label = 0u32;
+        let mut expected = 0u32;
+        for (batch, pops) in batch_sizes.iter().zip(&pops_between) {
+            for _ in 0..*batch {
+                q.push(t, next_label);
+                next_label += 1;
+            }
+            for _ in 0..*pops {
+                match q.pop() {
+                    Some((time, label)) => {
+                        prop_assert_eq!(time, t);
+                        prop_assert_eq!(label, expected, "tie order must be global FIFO");
+                        expected += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        while let Some((_, label)) = q.pop() {
+            prop_assert_eq!(label, expected);
+            expected += 1;
+        }
+        prop_assert_eq!(expected, next_label, "every event popped exactly once");
+    }
+
     /// Time-weighted average is bracketed by the min and max values.
     #[test]
     fn time_weighted_average_bracketed(steps in prop::collection::vec((0.01f64..10.0, 0.0f64..100.0), 1..50)) {

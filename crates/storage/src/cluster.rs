@@ -3,6 +3,7 @@
 
 use std::borrow::Cow;
 
+use kdchoice_core::LoadVector;
 use kdchoice_prng::sample::UniformBin;
 use rand::{Rng, RngCore};
 
@@ -102,6 +103,13 @@ pub struct StorageStats {
 #[derive(Debug)]
 pub struct StorageCluster {
     servers: Vec<Server>,
+    /// Per-server chunk counts in the shared bin-load substrate (one bin
+    /// per server, dead servers pinned at zero) — the same
+    /// [`kdchoice_core::BinStore`] surface the core process, the
+    /// scheduler, and the concurrent placement service track load
+    /// through. `Server::chunks` keeps the chunk *identities* for
+    /// recovery enumeration; the *counts* probed by placement live here.
+    loads: LoadVector,
     /// Indices of alive servers (for uniform sampling among the living).
     alive: Vec<usize>,
     /// `alive_pos[s]` = position of server `s` in `alive`, or `usize::MAX`.
@@ -141,6 +149,7 @@ impl StorageCluster {
                     capacity: 1.0,
                 })
                 .collect(),
+            loads: LoadVector::new(servers),
             alive: (0..servers).collect(),
             alive_pos: (0..servers).collect(),
             files: Vec::new(),
@@ -200,12 +209,12 @@ impl StorageCluster {
 
     /// The chunk count of an alive server (its "load").
     fn load(&self, server: usize) -> u32 {
-        self.servers[server].chunks.len() as u32
+        self.loads.load(server)
     }
 
     /// The capacity-normalized load `chunks/capacity` used for placement.
     fn effective_load(&self, server: usize) -> f64 {
-        self.servers[server].chunks.len() as f64 / self.servers[server].capacity
+        f64::from(self.loads.load(server)) / self.servers[server].capacity
     }
 
     /// Places `count` chunks on servers chosen by the policy among the
@@ -291,6 +300,7 @@ impl StorageCluster {
         self.placement_messages += probes;
         for (c, &server) in dest.iter().enumerate() {
             self.servers[server].chunks.push((file, c as u16));
+            self.loads.add_ball(server);
         }
         self.files.push(dest);
         file
@@ -334,6 +344,11 @@ impl StorageCluster {
         self.alive_pos[server] = usize::MAX;
         self.servers[server].alive = false;
         let lost = std::mem::take(&mut self.servers[server].chunks);
+        // The dead server's balls leave the substrate before re-placement
+        // so probed loads never count lost chunks.
+        for _ in 0..lost.len() {
+            self.loads.remove_ball(server);
+        }
         // Re-replicate chunk by chunk (a real system copies from surviving
         // replicas; here the chunk is reborn on a policy-chosen server).
         for (file, chunk) in &lost {
@@ -341,6 +356,7 @@ impl StorageCluster {
             self.recovery_messages += probes.max(1);
             let d = dest[0];
             self.servers[d].chunks.push((*file, *chunk));
+            self.loads.add_ball(d);
             self.files[*file as usize][*chunk as usize] = d;
         }
         self.recovered_chunks += lost.len() as u64;
@@ -387,7 +403,8 @@ impl StorageCluster {
     }
 
     /// Verifies internal consistency: every file chunk is on the server the
-    /// directory says, alive bookkeeping matches, chunk counts add up.
+    /// directory says, alive bookkeeping matches, chunk counts add up, and
+    /// the bin-load substrate agrees with the chunk lists.
     pub fn check_invariants(&self) -> bool {
         let mut counted = 0u64;
         for (s, server) in self.servers.iter().enumerate() {
@@ -402,9 +419,14 @@ impl StorageCluster {
                     return false;
                 }
             }
+            if self.loads.load(s) as usize != server.chunks.len() {
+                return false;
+            }
             counted += server.chunks.len() as u64;
         }
-        counted == (self.files.len() * self.chunks_per_file) as u64
+        self.loads.check_invariants()
+            && self.loads.total_balls() == counted
+            && counted == (self.files.len() * self.chunks_per_file) as u64
     }
 }
 

@@ -27,6 +27,8 @@
 //!   JSONL/CSV/table reporters shared by every experiment family.
 //! * [`scheduler`] — parallel job scheduling application (§1.3 of the paper).
 //! * [`storage`] — distributed storage application (§1.3 of the paper).
+//! * [`service`] — the concurrent placement service: sharded lock-striped
+//!   `BinStore` plus the (k,d)-choice placement/release frontend.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use kdchoice_core as kd;
 pub use kdchoice_expt as expt;
 pub use kdchoice_prng as prng;
 pub use kdchoice_scheduler as scheduler;
+pub use kdchoice_service as service;
 pub use kdchoice_sim as sim;
 pub use kdchoice_stats as stats;
 pub use kdchoice_storage as storage;
