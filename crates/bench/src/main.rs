@@ -6,9 +6,10 @@
 //! kdchoice-bench run static --grid k=2,3 d=4 n=2^16 --trials 8 --format table
 //! kdchoice-bench run scheduler --grid strategy=kd,batch rho=0.7,0.9 --format jsonl
 //! kdchoice-bench run service --grid threads=1,2,4,8 window=256 --format table
+//! kdchoice-bench run open_loop --grid lambda=0.9,1.2 threads=8 --format table
 //! kdchoice-bench smoke                         # tiny grid per scenario; JSON validated
-//! kdchoice-bench throughput [--quick]          # engine + scenario + service
-//!                                              # thread-scaling rows -> BENCH_results.json
+//! kdchoice-bench throughput [--quick]          # engine + scenario + service + open-loop
+//!                                              # λ×threads rows -> BENCH_results.json
 //! kdchoice-bench                               # = throughput (back-compat)
 //! ```
 //!
@@ -28,10 +29,13 @@ use kdchoice_expt::{
     configs_from_grid, GridSpec, Registry, ReportFormat, Scenario, SweepRunner, Value,
 };
 use kdchoice_scheduler::SchedulerScenario;
-use kdchoice_service::{run_service_workload, ServiceScenario, ServiceWorkloadConfig};
+use kdchoice_service::{
+    run_open_loop, run_service_workload, OpenLoopConfig, OpenLoopScenario, PipelineMode,
+    ServiceScenario, ServiceWorkloadConfig,
+};
 use kdchoice_storage::StorageScenario;
 
-/// Builds the workspace scenario registry: all five experiment families.
+/// Builds the workspace scenario registry: all six experiment families.
 fn registry() -> Registry {
     Registry::new()
         .with(Box::new(StaticScenario))
@@ -39,6 +43,7 @@ fn registry() -> Registry {
         .with(Box::new(SchedulerScenario))
         .with(Box::new(StorageScenario))
         .with(Box::new(ServiceScenario))
+        .with(Box::new(OpenLoopScenario))
 }
 
 fn usage() -> &'static str {
@@ -303,6 +308,97 @@ fn measure_service_scaling(quick: bool) -> Vec<ServiceScaling> {
         .collect()
 }
 
+/// One open-loop λ×threads row: the same traffic trace driven through
+/// both pipeline modes, so the batched-vs-per-request lock amortization
+/// is measured head to head on identical work.
+struct OpenLoopScaling {
+    lambda: f64,
+    threads: usize,
+    bins: usize,
+    ticks: u32,
+    committed: u64,
+    backlog: u64,
+    balls_placed: u64,
+    per_request_balls_per_sec: f64,
+    batched_balls_per_sec: f64,
+    latency_p50: f64,
+    latency_p99: f64,
+    max_load: u32,
+    gap: f64,
+    conserved: bool,
+}
+
+impl OpenLoopScaling {
+    fn speedup(&self) -> f64 {
+        self.batched_balls_per_sec / self.per_request_balls_per_sec
+    }
+}
+
+/// Offered-load factors swept by the open-loop mode (fractions of the
+/// service capacity; 1.2 is deliberate overload).
+const OPEN_LOOP_LAMBDAS: [f64; 4] = [0.5, 0.9, 0.99, 1.2];
+
+/// Measures the open-loop dynamic traffic engine over the λ×threads
+/// grid. The virtual-clock schedule (and therefore every latency
+/// number) is identical for the two pipeline modes at a given λ; the
+/// wall-clock rate is what separates them.
+fn measure_open_loop(quick: bool) -> Vec<OpenLoopScaling> {
+    // Short lifetimes keep the per-tick batch chunky (capacity =
+    // n/(k·mu) commits per tick), so the barrier cadence does not
+    // dominate the multi-thread rows.
+    let (bins, ticks, mu, reps) = if quick {
+        (1 << 12, 400u32, 8.0, 1usize)
+    } else {
+        (1 << 14, 1500, 16.0, 2)
+    };
+    let lambdas: &[f64] = if quick {
+        &[0.9, 1.2]
+    } else {
+        &OPEN_LOOP_LAMBDAS
+    };
+    let threads: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8] };
+
+    let mut rows = Vec::new();
+    for &lambda in lambdas {
+        for &t in threads {
+            let mut config = OpenLoopConfig::at_lambda(bins, 2, 4, lambda, mu, ticks, 0xBE7C4);
+            config.threads = t;
+            config.sample_every = 8;
+            let mut best = |mode: PipelineMode| {
+                config.mode = mode;
+                let mut best_rate = 0.0f64;
+                let mut last = None;
+                for _ in 0..reps {
+                    let report = run_open_loop(&config);
+                    assert!(report.conserved, "open-loop run must conserve balls");
+                    best_rate = best_rate.max(report.balls_per_sec);
+                    last = Some(report);
+                }
+                (best_rate, last.expect("reps >= 1"))
+            };
+            let (batched_rate, report) = best(PipelineMode::Batched);
+            let (per_request_rate, _) = best(PipelineMode::PerRequest);
+            rows.push(OpenLoopScaling {
+                lambda,
+                threads: t,
+                bins,
+                ticks,
+                committed: report.requests_committed,
+                backlog: report.backlog,
+                balls_placed: report.balls_placed,
+                per_request_balls_per_sec: per_request_rate,
+                batched_balls_per_sec: batched_rate,
+                latency_p50: report.latency_p50,
+                latency_p99: report.latency_p99,
+                max_load: report.final_max_load,
+                gap: report.final_gap,
+                conserved: report.conserved,
+            });
+        }
+    }
+    rows
+}
+
 /// How many times each measurement repeats; the best rate is reported
 /// (standard practice for throughput: the minimum-interference run).
 const REPS: usize = 3;
@@ -389,6 +485,7 @@ fn render_json(
     measurements: &[Measurement],
     scenarios: &[ScenarioThroughput],
     service: &[ServiceScaling],
+    open_loop: &[OpenLoopScaling],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -457,6 +554,33 @@ fn render_json(
             s.conserved,
         );
         out.push_str(if i + 1 < service.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"open_loop_sweep_note\": \"open-loop dynamic traffic: Poisson arrivals at lambda x capacity, exponential ball lifetimes, FIFO queue drained at the service rate; identical virtual-clock trace driven through the per-request and batched placement pipelines, latency in virtual ticks\",\n",
+    );
+    out.push_str("  \"open_loop_sweep\": [\n");
+    for (i, r) in open_loop.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"scenario\": \"open_loop\",\n      \"lambda\": {:.2},\n      \"threads\": {},\n      \"n\": {},\n      \"ticks\": {},\n      \"committed\": {},\n      \"backlog\": {},\n      \"balls_placed\": {},\n      \"per_request_balls_per_sec\": {:.0},\n      \"batched_balls_per_sec\": {:.0},\n      \"batched_speedup\": {:.3},\n      \"latency_p50_ticks\": {:.1},\n      \"latency_p99_ticks\": {:.1},\n      \"max_load\": {},\n      \"gap\": {:.3},\n      \"conserved\": {}\n    }}",
+            r.lambda,
+            r.threads,
+            r.bins,
+            r.ticks,
+            r.committed,
+            r.backlog,
+            r.balls_placed,
+            r.per_request_balls_per_sec,
+            r.batched_balls_per_sec,
+            r.speedup(),
+            r.latency_p50,
+            r.latency_p99,
+            r.max_load,
+            r.gap,
+            r.conserved,
+        );
+        out.push_str(if i + 1 < open_loop.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -555,8 +679,39 @@ fn cmd_throughput(quick: bool) {
         assert!(s.conserved, "service workload must conserve balls");
     }
 
+    // Open-loop dynamic traffic: λ × threads, batched vs per-request.
+    println!();
+    let open_loop = measure_open_loop(quick);
+    for r in &open_loop {
+        println!(
+            "open_loop  λ={:<4} {:>2} thread{} per-request {:>6.2} | batched {:>6.2} Mballs/s ({:.2}x) | p50/p99 latency {:>5.1}/{:>6.1} ticks | max load {} gap {:.2} backlog {}",
+            r.lambda,
+            r.threads,
+            if r.threads == 1 { " " } else { "s" },
+            r.per_request_balls_per_sec / 1e6,
+            r.batched_balls_per_sec / 1e6,
+            r.speedup(),
+            r.latency_p50,
+            r.latency_p99,
+            r.max_load,
+            r.gap,
+            r.backlog,
+        );
+    }
+    if let Some(best) = open_loop
+        .iter()
+        .filter(|r| r.threads == 8)
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+    {
+        println!(
+            "open_loop  best 8-thread batched speedup: {:.2}x at λ={}",
+            best.speedup(),
+            best.lambda
+        );
+    }
+
     if !quick {
-        let json = render_json(&measurements, &scenarios, &service);
+        let json = render_json(&measurements, &scenarios, &service, &open_loop);
         kdchoice_expt::validate_json(&json).expect("harness emits well-formed JSON");
         std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
         println!("\nwrote BENCH_results.json");

@@ -1,0 +1,133 @@
+//! Open-loop-churn coverage for [`LoadVector::remove_ball`]: under a
+//! high-rate interleaving of arrivals and departures, the O(1)-maintained
+//! caches (`nu1`, `nu2`, `max_load`, `total_balls`, the count-by-load
+//! histogram) must never drift from an oracle recomputed from scratch
+//! out of the raw per-bin loads.
+//!
+//! This is the property the service layer's release path leans on: the
+//! dynamic traffic engine removes balls millions of times per run and
+//! reads the cached observables after every tick.
+
+use kdchoice_core::LoadVector;
+use proptest::prelude::*;
+
+/// The from-scratch oracle: every cached observable recomputed from the
+/// raw loads alone.
+struct Oracle {
+    histogram: Vec<u64>,
+    max_load: u32,
+    total: u64,
+    nu1: u64,
+    nu2: u64,
+}
+
+fn recompute(loads: &[u32]) -> Oracle {
+    let max_load = loads.iter().copied().max().unwrap_or(0);
+    let mut histogram = vec![0u64; max_load as usize + 1];
+    let mut total = 0u64;
+    for &l in loads {
+        histogram[l as usize] += 1;
+        total += u64::from(l);
+    }
+    let nu = |y: u32| -> u64 {
+        histogram
+            .get(y as usize..)
+            .map_or(0, |tail| tail.iter().sum())
+    };
+    Oracle {
+        nu1: nu(1),
+        nu2: nu(2),
+        histogram,
+        max_load,
+        total,
+    }
+}
+
+fn assert_matches_oracle(state: &LoadVector, step: usize) {
+    let oracle = recompute(state.loads());
+    assert_eq!(state.max_load(), oracle.max_load, "max_load drift @ {step}");
+    assert_eq!(state.total_balls(), oracle.total, "total drift @ {step}");
+    assert_eq!(state.nu(1), oracle.nu1, "nu1 drift @ {step}");
+    assert_eq!(state.nu(2), oracle.nu2, "nu2 drift @ {step}");
+    for y in 3..=oracle.max_load + 2 {
+        let expect: u64 = oracle
+            .histogram
+            .get(y as usize..)
+            .map_or(0, |tail| tail.iter().sum());
+        assert_eq!(state.nu(y), expect, "nu({y}) drift @ {step}");
+    }
+    // The histogram is kept canonical: exactly max_load + 1 entries, so
+    // add-then-remove round-trips bit for bit.
+    assert_eq!(
+        state.load_histogram(),
+        &oracle.histogram[..],
+        "histogram drift @ {step}"
+    );
+    assert!(state.check_invariants(), "invariants broken @ {step}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Random high-rate add/remove interleavings: `bias` skews each case
+    /// toward growth, churn, or drain so the max-load level empties and
+    /// refills many times.
+    #[test]
+    fn caches_never_drift_under_churn(
+        n in 1usize..24,
+        bias in 2u8..9,
+        ops in prop::collection::vec((0u8..=255, 0u16..=u16::MAX), 1..300),
+    ) {
+        let mut state = LoadVector::new(n);
+        let mut live: Vec<usize> = Vec::new();
+        for (step, (kind, which)) in ops.into_iter().enumerate() {
+            if live.is_empty() || kind % 10 < bias {
+                let bin = which as usize % n;
+                state.add_ball(bin);
+                live.push(bin);
+            } else {
+                // Departures target an arbitrary live ball, not the
+                // oldest, so removals hit interior and top histogram
+                // levels alike.
+                let i = which as usize % live.len();
+                let bin = live.swap_remove(i);
+                state.remove_ball(bin);
+            }
+            assert_matches_oracle(&state, step);
+        }
+        prop_assert_eq!(state.total_balls(), live.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Drain-to-empty: removing every live ball in random order must
+    /// walk the caches all the way back to the pristine empty state.
+    #[test]
+    fn full_drain_restores_the_empty_state(
+        n in 1usize..16,
+        adds in prop::collection::vec(0u16..=u16::MAX, 1..120),
+        drain_seed in any::<u64>(),
+    ) {
+        let mut state = LoadVector::new(n);
+        let mut live: Vec<usize> = Vec::new();
+        for a in adds {
+            let bin = a as usize % n;
+            state.add_ball(bin);
+            live.push(bin);
+        }
+        let mut order = drain_seed;
+        while !live.is_empty() {
+            // Cheap deterministic shuffle-by-LCG over the live list.
+            order = order.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (order >> 33) as usize % live.len();
+            let bin = live.swap_remove(i);
+            state.remove_ball(bin);
+            assert_matches_oracle(&state, live.len());
+        }
+        prop_assert_eq!(state.max_load(), 0);
+        prop_assert_eq!(state.nu(1), 0);
+        prop_assert_eq!(state.nu(2), 0);
+        prop_assert_eq!(state.total_balls(), 0);
+        prop_assert_eq!(state.load_histogram(), &[n as u64][..]);
+    }
+}

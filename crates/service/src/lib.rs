@@ -19,22 +19,46 @@
 //! * [`run_service_workload`] — closed-loop clients hammering the
 //!   service; [`ServiceScenario`] plugs it into the workspace experiment
 //!   registry as `service`.
+//! * **Open-loop traffic engine** — the opposite of closed-loop clients:
+//!   requests arrive on their own virtual-clock schedule
+//!   ([`TrafficSchedule`]: Poisson / burst / on-off arrivals,
+//!   exponential / deterministic ball lifetimes), queue FIFO behind a
+//!   bounded service rate, and are drained by a **batched placement
+//!   pipeline** ([`run_open_loop`]) that commits a whole batch with one
+//!   lock acquisition per shard ([`ShardedStore::place_batch`]).
+//!   Queueing latency is accounted per request in virtual ticks;
+//!   [`OpenLoopScenario`] registers the workload as `open_loop`.
 //!
 //! **Determinism under concurrency:** each client thread's probe/tie-key
 //! stream is a pure function of `derive_seed(seed, client)`; the
 //! interleaving of commits is not reproducible. Conservation (balls in =
 //! balls held + balls released) and per-shard invariants hold under any
-//! interleaving and are asserted by the stress tests.
+//! interleaving and are asserted by the stress tests. The open-loop
+//! engine is stronger: its arrival/commit/departure event stream and all
+//! latency statistics are bit-identical across batch sizes and thread
+//! counts (locked by `tests/traffic_determinism.rs`), and a
+//! single-threaded batched run is bit-identical to the per-request path
+//! (locked by `tests/store_equivalence.rs`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod open_loop;
+mod pipeline;
 mod scenario;
 mod service;
 mod sharded;
+pub mod traffic;
 
+pub use open_loop::OpenLoopScenario;
+pub use pipeline::{
+    churn_capacity, run_open_loop, OpenLoopConfig, OpenLoopReport, PipelineMode, TickSample,
+};
 pub use scenario::ServiceScenario;
 pub use service::{
     run_service_workload, PlacementService, ServiceError, ServiceReport, ServiceWorkloadConfig,
 };
 pub use sharded::{Placement, ShardedStore};
+pub use traffic::{
+    ArrivalProcess, Lifetime, RequestTiming, TrafficConfig, TrafficError, TrafficSchedule,
+};

@@ -1,0 +1,593 @@
+//! The open-loop placement pipeline: executes a [`TrafficSchedule`]
+//! against a [`ShardedStore`], batching commits and releases, and
+//! accounts per-request latency plus instantaneous load over the run.
+//!
+//! Division of labor with [`crate::traffic`]: the traffic module fixes
+//! *when* every request arrives, commits, and departs (a pure function
+//! of `(TrafficConfig, seed)`); this module decides *where* the balls go
+//! — (k,d)-choice placement — and *how fast* the wall clock can chew
+//! through the virtual clock, which is what the λ×threads throughput
+//! sweep measures.
+
+use std::sync::{Barrier, OnceLock};
+use std::time::Instant;
+
+use kdchoice_core::BinStore;
+use kdchoice_prng::sample::UniformBin;
+use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
+use kdchoice_stats::Histogram;
+
+use crate::service::prev_power_of_two;
+use crate::sharded::{Placement, ShardedStore};
+use crate::traffic::{ArrivalProcess, Lifetime, RequestTiming, TrafficConfig, TrafficSchedule};
+
+/// Seed-stream tag for the traffic generator (see [`derive_seed`]).
+const TRAFFIC_STREAM: u64 = 0;
+/// Seed-stream tag that per-request placement RNGs derive under.
+const PLACEMENT_STREAM: u64 = 1;
+
+/// How the pipeline turns committed requests into store operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// One `place_k_least` / `release` call per request: the PR 3 lock
+    /// choreography, up to `min(d, shards)` lock acquisitions per
+    /// request.
+    PerRequest,
+    /// Requests are grouped into batches of up to
+    /// [`OpenLoopConfig::max_batch`]; each batch commits through
+    /// [`ShardedStore::place_batch`] (one lock acquisition per involved
+    /// shard per batch) and departures release through one bulk
+    /// `release` call per batch.
+    Batched,
+}
+
+impl PipelineMode {
+    /// The report label (`"batched"` / `"per_request"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineMode::PerRequest => "per_request",
+            PipelineMode::Batched => "batched",
+        }
+    }
+}
+
+/// Configuration of one open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Number of bins.
+    pub bins: usize,
+    /// Balls per placement request.
+    pub k: usize,
+    /// Probes per placement request (`d ≥ k`).
+    pub d: usize,
+    /// Shard count (power of two, ≤ bins).
+    pub shards: usize,
+    /// Worker threads draining the pipeline.
+    pub threads: usize,
+    /// Commit/release batching strategy.
+    pub mode: PipelineMode,
+    /// Max requests per batch in [`PipelineMode::Batched`] (`≥ 1`).
+    pub max_batch: usize,
+    /// The traffic trace (arrivals, lifetimes, clock length, capacity).
+    pub traffic: TrafficConfig,
+    /// Sample the load time series every this many ticks (`≥ 1`; the
+    /// final tick is always sampled).
+    pub sample_every: u32,
+    /// Attach the full per-request event stream to the report (tests).
+    pub record_events: bool,
+    /// Master seed. The traffic stream and every request's placement
+    /// stream derive from it under distinct tags, so the event schedule
+    /// and each request's probes/tie keys are independent pure functions
+    /// of `(config, seed)` — batch size and thread count cannot perturb
+    /// either.
+    pub seed: u64,
+}
+
+/// The **churn capacity** `bins / (k · mean_lifetime)` in commits per
+/// tick, rounded to at least 1: the service rate at which the
+/// steady-state average load is one ball per bin. Every λ sweep in the
+/// workspace (the `at_lambda` constructor, the `open_loop` scenario's
+/// `rate` default, the bench sweep, the examples) normalizes against
+/// this one definition.
+pub fn churn_capacity(bins: usize, k: usize, mean_lifetime: f64) -> u32 {
+    ((bins as f64 / (k as f64 * mean_lifetime)).round() as u32).max(1)
+}
+
+impl OpenLoopConfig {
+    /// A λ-normalized Poisson/exponential workload: the service rate is
+    /// set to [`churn_capacity`] and requests arrive at `λ ×` that rate.
+    pub fn at_lambda(
+        bins: usize,
+        k: usize,
+        d: usize,
+        lambda: f64,
+        mean_lifetime: f64,
+        ticks: u32,
+        seed: u64,
+    ) -> Self {
+        let service_rate = churn_capacity(bins, k, mean_lifetime);
+        Self {
+            bins,
+            k,
+            d,
+            shards: 16.min(prev_power_of_two(bins)),
+            threads: 1,
+            mode: PipelineMode::Batched,
+            max_batch: 64,
+            traffic: TrafficConfig {
+                arrivals: ArrivalProcess::Poisson {
+                    rate: lambda * f64::from(service_rate),
+                },
+                lifetime: Lifetime::Exponential {
+                    mean: mean_lifetime,
+                },
+                ticks,
+                service_rate,
+            },
+            sample_every: 1,
+            record_events: false,
+            seed,
+        }
+    }
+
+    /// The seed the traffic schedule is generated from — a distinct
+    /// stream of the master seed, so traffic and placement randomness
+    /// never alias.
+    pub fn traffic_seed(&self) -> u64 {
+        derive_seed(self.seed, TRAFFIC_STREAM)
+    }
+
+    /// The seed request `id`'s placement RNG (probes, then tie keys) is
+    /// built from. Pure in `(master seed, id)` — this is what makes the
+    /// pipeline's placement stream independent of batching and
+    /// threading, and lets tests replay a run request by request.
+    pub fn request_seed(&self, id: u32) -> u64 {
+        derive_seed(derive_seed(self.seed, PLACEMENT_STREAM), u64::from(id))
+    }
+}
+
+/// One sampled point of the instantaneous-load time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickSample {
+    /// The virtual tick the sample was taken at (end of tick).
+    pub tick: u32,
+    /// Balls currently held across all bins.
+    pub live_balls: u64,
+    /// Current maximum bin load.
+    pub max_load: u32,
+    /// Current gap `max load − average load`.
+    pub gap: f64,
+}
+
+/// Aggregate results of one open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopReport {
+    /// Virtual ticks simulated.
+    pub ticks: u32,
+    /// Offered load λ (mean arrival rate / service rate).
+    pub lambda: f64,
+    /// Requests that arrived.
+    pub requests_arrived: u64,
+    /// Requests committed before the clock stopped.
+    pub requests_committed: u64,
+    /// Requests still queued at the end (overload backlog).
+    pub backlog: u64,
+    /// Balls placed (`committed × k`).
+    pub balls_placed: u64,
+    /// Balls released by departures.
+    pub balls_released: u64,
+    /// Balls still live at the end.
+    pub live_balls: u64,
+    /// Median queueing latency in ticks (committed requests).
+    pub latency_p50: f64,
+    /// 99th-percentile queueing latency in ticks.
+    pub latency_p99: f64,
+    /// Mean queueing latency in ticks.
+    pub latency_mean: f64,
+    /// Worst observed queueing latency in ticks.
+    pub latency_max: u32,
+    /// Peak of the live-ball time series.
+    pub peak_live_balls: u64,
+    /// Peak of the max-load time series.
+    pub peak_max_load: u32,
+    /// Final maximum load.
+    pub final_max_load: u32,
+    /// Final gap `max load − average load`.
+    pub final_gap: f64,
+    /// Mean gap over the second half of the run — the steady-state
+    /// statistic the O(log log n) regression envelope is asserted on.
+    pub steady_gap_mean: f64,
+    /// Wall-clock seconds for the drive loop (schedule generation
+    /// excluded — it is identical across modes and thread counts).
+    pub wall_secs: f64,
+    /// Balls placed per wall-clock second — the pipeline headline.
+    pub balls_per_sec: f64,
+    /// Whether the store conserved balls and passed `check_invariants`.
+    pub conserved: bool,
+    /// The final count-by-load histogram (entry `l` = bins holding
+    /// exactly `l` balls) — the bit-exact state the equivalence tests
+    /// compare.
+    pub final_histogram: Vec<u64>,
+    /// The sampled load time series.
+    pub series: Vec<TickSample>,
+    /// The full per-request event stream, when
+    /// [`OpenLoopConfig::record_events`] was set.
+    pub events: Option<Vec<RequestTiming>>,
+}
+
+/// A half-open request-id range `[start, end)`.
+type IdRange = (u32, u32);
+
+/// The contiguous sub-range worker `w` of `workers` owns.
+fn worker_slice(range: IdRange, workers: usize, w: usize) -> IdRange {
+    let len = (range.1 - range.0) as usize;
+    let lo = range.0 as usize + len * w / workers;
+    let hi = range.0 as usize + len * (w + 1) / workers;
+    (lo as u32, hi as u32)
+}
+
+/// Everything a worker needs, shared read-only across threads.
+struct Pipeline<'a> {
+    store: &'a ShardedStore,
+    sampler: UniformBin,
+    schedule: &'a TrafficSchedule,
+    slots: &'a [OnceLock<Placement>],
+    k: usize,
+    d: usize,
+    mode: PipelineMode,
+    max_batch: usize,
+    place_base: u64,
+}
+
+impl Pipeline<'_> {
+    /// The placement RNG of request `id` (pure in `(seed, id)`).
+    fn request_rng(&self, id: u32) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::from_u64(derive_seed(self.place_base, u64::from(id)))
+    }
+
+    /// Commits the requests in `[range.0, range.1)` in id order.
+    fn commit(&self, range: IdRange, probes: &mut Vec<usize>, rngs: &mut Vec<Xoshiro256PlusPlus>) {
+        match self.mode {
+            PipelineMode::PerRequest => {
+                for id in range.0..range.1 {
+                    let mut rng = self.request_rng(id);
+                    probes.clear();
+                    probes.extend((0..self.d).map(|_| self.sampler.sample(&mut rng)));
+                    let placement = self.store.place_k_least(probes, self.k, &mut rng);
+                    assert!(self.slots[id as usize].set(placement).is_ok());
+                }
+            }
+            PipelineMode::Batched => {
+                let mut start = range.0;
+                while start < range.1 {
+                    let end = range.1.min(start + self.max_batch as u32);
+                    rngs.clear();
+                    probes.clear();
+                    for id in start..end {
+                        let mut rng = self.request_rng(id);
+                        probes.extend((0..self.d).map(|_| self.sampler.sample(&mut rng)));
+                        rngs.push(rng);
+                    }
+                    let placements = self.store.place_batch(probes, self.d, self.k, rngs);
+                    for (id, placement) in (start..end).zip(placements) {
+                        assert!(self.slots[id as usize].set(placement).is_ok());
+                    }
+                    start = end;
+                }
+            }
+        }
+    }
+
+    /// Releases the departures in `ids[range]` (indices into the tick's
+    /// departure list).
+    fn release(&self, ids: &[u32], bins: &mut Vec<usize>) {
+        match self.mode {
+            PipelineMode::PerRequest => {
+                for &id in ids {
+                    let placement = self.slots[id as usize]
+                        .get()
+                        .expect("departure precedes commit");
+                    self.store.release(&placement.bins);
+                }
+            }
+            PipelineMode::Batched => {
+                for batch in ids.chunks(self.max_batch) {
+                    bins.clear();
+                    for &id in batch {
+                        let placement = self.slots[id as usize]
+                            .get()
+                            .expect("departure precedes commit");
+                        bins.extend_from_slice(&placement.bins);
+                    }
+                    self.store.release(bins);
+                }
+            }
+        }
+    }
+
+    /// One worker's share of one tick's departures (`bins` is scratch).
+    fn release_slice(&self, tick: usize, workers: usize, w: usize, bins: &mut Vec<usize>) {
+        let departures = &self.schedule.departures[tick];
+        let (lo, hi) = worker_slice((0, departures.len() as u32), workers, w);
+        self.release(&departures[lo as usize..hi as usize], bins);
+    }
+}
+
+/// One combined lock round over the shards: live balls and max load.
+fn snapshot(store: &ShardedStore, tick: u32) -> TickSample {
+    let histogram = store.histogram();
+    let mut live = 0u64;
+    let mut max = 0u32;
+    for (load, &count) in histogram.iter().enumerate() {
+        live += count * load as u64;
+        if count > 0 {
+            max = load as u32;
+        }
+    }
+    let gap = f64::from(max) - live as f64 / store.n() as f64;
+    TickSample {
+        tick,
+        live_balls: live,
+        max_load: max,
+        gap,
+    }
+}
+
+/// Runs one open-loop workload: generates the traffic schedule, drives
+/// it through the placement pipeline tick by tick, and reports latency
+/// quantiles, load time series, throughput, and conservation.
+///
+/// With `threads == 1` the run is fully deterministic in `(config,
+/// seed)` — including the final load shape — for **both** pipeline
+/// modes, and the two modes are bit-identical to each other (locked by
+/// `tests/store_equivalence.rs`). With `threads > 1` the event stream,
+/// latencies, and conservation are still exact; only the load shape
+/// depends on commit interleaving, as in the closed-loop service.
+///
+/// # Panics
+///
+/// Panics on invalid configuration.
+pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
+    assert!(config.threads >= 1, "need at least one worker thread");
+    assert!(config.max_batch >= 1, "max_batch must be at least 1");
+    assert!(config.sample_every >= 1, "sample_every must be at least 1");
+    assert!(config.k >= 1 && config.k <= config.d, "need 1 <= k <= d");
+    let schedule = TrafficSchedule::generate(&config.traffic, config.traffic_seed())
+        .unwrap_or_else(|e| panic!("invalid open-loop config: {e}"));
+
+    let store = ShardedStore::new(config.bins, config.shards);
+    let slots: Vec<OnceLock<Placement>> = (0..schedule.timings.len())
+        .map(|_| OnceLock::new())
+        .collect();
+    let pipeline = Pipeline {
+        store: &store,
+        sampler: UniformBin::new(config.bins),
+        schedule: &schedule,
+        slots: &slots,
+        k: config.k,
+        d: config.d,
+        mode: config.mode,
+        max_batch: config.max_batch,
+        place_base: derive_seed(config.seed, PLACEMENT_STREAM),
+    };
+
+    let ticks = config.traffic.ticks as usize;
+    let mut series: Vec<TickSample> = Vec::with_capacity(ticks / config.sample_every as usize + 2);
+    let want_sample = |t: usize| t.is_multiple_of(config.sample_every as usize) || t + 1 == ticks;
+
+    let start = Instant::now();
+    if config.threads == 1 {
+        let mut probes = Vec::new();
+        let mut rngs = Vec::new();
+        for t in 0..ticks {
+            pipeline.release_slice(t, 1, 0, &mut probes);
+            pipeline.commit(schedule.commit_ranges[t], &mut probes, &mut rngs);
+            if want_sample(t) {
+                series.push(snapshot(&store, t as u32));
+            }
+        }
+    } else {
+        // Persistent workers with a 3-phase barrier per tick: releases,
+        // then commits (departures must free load before the tick's
+        // placements probe it), then a quiescent window in which the
+        // coordinator samples the time series.
+        let barrier = Barrier::new(config.threads + 1);
+        std::thread::scope(|scope| {
+            for w in 0..config.threads {
+                let pipeline = &pipeline;
+                let barrier = &barrier;
+                let schedule = &schedule;
+                let workers = config.threads;
+                scope.spawn(move || {
+                    let mut probes = Vec::new();
+                    let mut rngs = Vec::new();
+                    for t in 0..ticks {
+                        barrier.wait();
+                        pipeline.release_slice(t, workers, w, &mut probes);
+                        barrier.wait();
+                        let range = worker_slice(schedule.commit_ranges[t], workers, w);
+                        pipeline.commit(range, &mut probes, &mut rngs);
+                        barrier.wait();
+                    }
+                });
+            }
+            for t in 0..ticks {
+                barrier.wait(); // workers release tick t's departures
+                barrier.wait(); // workers commit tick t's requests
+                barrier.wait(); // tick t fully applied
+                if want_sample(t) {
+                    // Workers are parked at the next tick's first barrier
+                    // (or done), so the store is quiescent here.
+                    series.push(snapshot(&store, t as u32));
+                }
+            }
+        });
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    // Latency accounting from the schedule (virtual-clock quantities are
+    // schedule properties; the wall clock never perturbs them).
+    let mut latencies = Histogram::new();
+    for timing in &schedule.timings {
+        if let Some(latency) = timing.latency() {
+            latencies.add(latency);
+        }
+    }
+    let committed = schedule.committed();
+    let balls_placed = committed * config.k as u64;
+    let released_requests: u64 = schedule.departures.iter().map(|d| d.len() as u64).sum();
+    let balls_released = released_requests * config.k as u64;
+    let live_balls = store.total_balls();
+    let conserved = live_balls == balls_placed - balls_released && store.check_invariants();
+    let final_histogram = store.histogram();
+
+    let half = config.traffic.ticks / 2;
+    let steady: Vec<&TickSample> = series.iter().filter(|s| s.tick >= half).collect();
+    let steady_gap_mean = if steady.is_empty() {
+        0.0
+    } else {
+        steady.iter().map(|s| s.gap).sum::<f64>() / steady.len() as f64
+    };
+    let final_sample = series.last().copied();
+
+    OpenLoopReport {
+        ticks: config.traffic.ticks,
+        lambda: config.traffic.lambda_factor(),
+        requests_arrived: schedule.arrived(),
+        requests_committed: committed,
+        backlog: schedule.backlog(),
+        balls_placed,
+        balls_released,
+        live_balls,
+        latency_p50: latencies.quantile(0.5).map_or(0.0, f64::from),
+        latency_p99: latencies.quantile(0.99).map_or(0.0, f64::from),
+        latency_mean: latencies.mean(),
+        latency_max: latencies.max_value().unwrap_or(0),
+        peak_live_balls: series.iter().map(|s| s.live_balls).max().unwrap_or(0),
+        peak_max_load: series.iter().map(|s| s.max_load).max().unwrap_or(0),
+        final_max_load: final_sample.map_or(0, |s| s.max_load),
+        final_gap: final_sample.map_or(0.0, |s| s.gap),
+        steady_gap_mean,
+        wall_secs,
+        balls_per_sec: balls_placed as f64 / wall_secs,
+        conserved,
+        final_histogram,
+        series,
+        events: config.record_events.then(|| schedule.timings.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(mode: PipelineMode, threads: usize, lambda: f64) -> OpenLoopConfig {
+        let mut cfg = OpenLoopConfig::at_lambda(64, 2, 4, lambda, 8.0, 120, 0xA11CE);
+        cfg.shards = 4;
+        cfg.threads = threads;
+        cfg.mode = mode;
+        cfg.max_batch = 7;
+        cfg
+    }
+
+    #[test]
+    fn at_lambda_normalizes_capacity() {
+        let cfg = OpenLoopConfig::at_lambda(1 << 10, 2, 4, 0.9, 16.0, 100, 0);
+        // capacity = 1024 / (2 * 16) = 32 commits/tick.
+        assert_eq!(cfg.traffic.service_rate, 32);
+        assert!((cfg.traffic.lambda_factor() - 0.9).abs() < 1e-12);
+        assert!(cfg.shards.is_power_of_two() && cfg.shards <= cfg.bins);
+    }
+
+    #[test]
+    fn worker_slices_partition_any_range() {
+        for &(start, end) in &[(0u32, 0u32), (3, 17), (0, 100), (5, 6)] {
+            for workers in 1..6 {
+                let mut covered = start;
+                for w in 0..workers {
+                    let (lo, hi) = worker_slice((start, end), workers, w);
+                    assert_eq!(lo, covered, "workers={workers} w={w}");
+                    assert!(hi >= lo);
+                    covered = hi;
+                }
+                assert_eq!(covered, end);
+            }
+        }
+    }
+
+    #[test]
+    fn underloaded_run_has_low_latency_and_conserves() {
+        let report = run_open_loop(&small_config(PipelineMode::Batched, 1, 0.5));
+        assert!(report.conserved);
+        assert_eq!(report.backlog, 0);
+        // At λ=0.5 the typical request is served the tick it arrives;
+        // Poisson bursts may still queue a few for a tick or two.
+        assert_eq!(report.latency_p50, 0.0);
+        assert!(report.latency_max < 10, "max {}", report.latency_max);
+        assert_eq!(
+            report.live_balls,
+            report.balls_placed - report.balls_released
+        );
+        assert!(report.balls_placed > 0);
+        assert!(report.balls_released > 0);
+        assert!(!report.series.is_empty());
+        assert_eq!(report.series.last().unwrap().tick, 119);
+    }
+
+    #[test]
+    fn overloaded_run_builds_backlog_and_latency() {
+        let report = run_open_loop(&small_config(PipelineMode::Batched, 1, 1.5));
+        assert!(report.conserved);
+        assert!(report.backlog > 0, "λ=1.5 must leave a backlog");
+        assert!(report.latency_max > 5, "overload must build latency");
+        assert!(report.latency_p99 >= report.latency_p50);
+        // Live balls are capacity-bounded, not arrival-bounded.
+        assert!(report.peak_live_balls <= report.balls_placed);
+    }
+
+    #[test]
+    fn single_thread_modes_are_bit_identical() {
+        for lambda in [0.6, 1.2] {
+            let batched = run_open_loop(&small_config(PipelineMode::Batched, 1, lambda));
+            let per_request = run_open_loop(&small_config(PipelineMode::PerRequest, 1, lambda));
+            // Wall-clock fields differ; everything deterministic matches.
+            assert_eq!(batched.series, per_request.series, "lambda={lambda}");
+            assert_eq!(batched.final_max_load, per_request.final_max_load);
+            assert_eq!(batched.live_balls, per_request.live_balls);
+            assert_eq!(batched.requests_committed, per_request.requests_committed);
+        }
+    }
+
+    #[test]
+    fn multi_thread_run_conserves_and_keeps_the_event_stream() {
+        let mut base = small_config(PipelineMode::Batched, 1, 1.1);
+        base.record_events = true;
+        let reference = run_open_loop(&base);
+        for (threads, mode) in [(2, PipelineMode::Batched), (4, PipelineMode::PerRequest)] {
+            let mut cfg = small_config(mode, threads, 1.1);
+            cfg.record_events = true;
+            let report = run_open_loop(&cfg);
+            assert!(report.conserved, "threads={threads}");
+            assert_eq!(report.events, reference.events, "threads={threads}");
+            assert_eq!(report.latency_p99, reference.latency_p99);
+            assert_eq!(report.requests_committed, reference.requests_committed);
+            assert_eq!(report.live_balls, reference.live_balls);
+        }
+    }
+
+    #[test]
+    fn sample_every_thins_the_series_but_keeps_the_last_tick() {
+        let mut cfg = small_config(PipelineMode::Batched, 1, 0.8);
+        cfg.sample_every = 16;
+        let report = run_open_loop(&cfg);
+        assert!(report.series.len() < 120 / 8);
+        assert_eq!(report.series.last().unwrap().tick, 119);
+        assert!(report.conserved);
+    }
+
+    #[test]
+    fn pipeline_mode_names() {
+        assert_eq!(PipelineMode::Batched.name(), "batched");
+        assert_eq!(PipelineMode::PerRequest.name(), "per_request");
+    }
+}

@@ -147,18 +147,32 @@ impl ShardedStore {
         shard_ids.sort_unstable();
         shard_ids.dedup();
         let mut guards = self.lock_in_order(&shard_ids);
+        self.serve_on_guards(&mut guards, &shard_ids, &sorted, k, rng)
+    }
 
+    /// The read–decide–commit kernel shared by [`ShardedStore::place_k_least`]
+    /// and [`ShardedStore::place_batch`]: `sorted_probes` are the request's
+    /// probes in ascending order, `guards` hold (at least) every shard they
+    /// touch, keyed by the sorted `shard_ids`.
+    fn serve_on_guards<R: RngCore + ?Sized>(
+        &self,
+        guards: &mut [MutexGuard<'_, LoadVector>],
+        shard_ids: &[usize],
+        sorted_probes: &[usize],
+        k: usize,
+        rng: &mut R,
+    ) -> Placement {
         // Tentative slots (height, tie key, bin), multiplicities expanded.
-        let mut slots: Vec<(u32, u64, usize)> = Vec::with_capacity(sorted.len());
+        let mut slots: Vec<(u32, u64, usize)> = Vec::with_capacity(sorted_probes.len());
         let mut i = 0;
-        while i < sorted.len() {
-            let bin = sorted[i];
+        while i < sorted_probes.len() {
+            let bin = sorted_probes[i];
             let pos = shard_ids
                 .binary_search(&self.shard_of(bin))
                 .expect("shard was locked");
             let base = guards[pos].load(self.local_of(bin));
             let mut occ = 0u32;
-            while i < sorted.len() && sorted[i] == bin {
+            while i < sorted_probes.len() && sorted_probes[i] == bin {
                 occ += 1;
                 slots.push((base + occ, rng.next_u64(), bin));
                 i += 1;
@@ -180,6 +194,64 @@ impl ShardedStore {
             bins.push(bin);
         }
         Placement { bins, max_height }
+    }
+
+    /// Serves a whole batch of same-shaped placement requests with **one
+    /// lock acquisition per involved shard**: request `i` probes
+    /// `probes[i*d..(i+1)*d]` and draws its tie keys from `rngs[i]`.
+    ///
+    /// The union of shards touched by any probe in the batch is locked
+    /// once (canonical ascending order, same as
+    /// [`ShardedStore::place_k_least`]), then the requests are decided and
+    /// committed **sequentially in batch order** under the held locks —
+    /// each request sees every earlier request's balls, exactly as if the
+    /// batch had been issued one `place_k_least` call at a time. On a
+    /// single thread the two paths are therefore bit-identical (locked by
+    /// `tests/store_equivalence.rs`); the batch just amortizes the lock
+    /// choreography: `batch · min(d, shards)` acquisitions collapse into
+    /// at most `shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k > d`, `probes.len() != rngs.len() * d`, or
+    /// any probe is out of range.
+    pub fn place_batch<R: RngCore>(
+        &self,
+        probes: &[usize],
+        d: usize,
+        k: usize,
+        rngs: &mut [R],
+    ) -> Vec<Placement> {
+        assert!(k >= 1, "a placement request must place at least one ball");
+        assert!(k <= d, "cannot place {k} balls on {d} probed slots");
+        assert_eq!(
+            probes.len(),
+            rngs.len() * d,
+            "batch needs exactly d probes per request"
+        );
+        assert!(
+            probes.iter().all(|&b| b < self.n),
+            "probe out of range (n = {})",
+            self.n
+        );
+        if rngs.is_empty() {
+            return Vec::new();
+        }
+        let mut shard_ids: Vec<usize> = probes.iter().map(|&b| self.shard_of(b)).collect();
+        shard_ids.sort_unstable();
+        shard_ids.dedup();
+        let mut guards = self.lock_in_order(&shard_ids);
+
+        let mut sorted = Vec::with_capacity(d);
+        rngs.iter_mut()
+            .enumerate()
+            .map(|(i, rng)| {
+                sorted.clear();
+                sorted.extend_from_slice(&probes[i * d..(i + 1) * d]);
+                sorted.sort_unstable();
+                self.serve_on_guards(&mut guards, &shard_ids, &sorted, k, rng)
+            })
+            .collect()
     }
 
     /// Serves a release request: removes one ball from every bin in
@@ -322,6 +394,7 @@ impl BinStore for ShardedStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kdchoice_prng::sample::UniformBin;
     use kdchoice_prng::Xoshiro256PlusPlus;
 
     #[test]
@@ -410,6 +483,57 @@ mod tests {
         assert_eq!(store.total_balls(), 0);
         assert_eq!(store.max_load(), 0);
         assert!(store.check_invariants());
+    }
+
+    #[test]
+    fn place_batch_matches_sequential_place_k_least() {
+        let (n, d, k) = (23, 4, 2);
+        let batched = ShardedStore::new(n, 4);
+        let sequential = ShardedStore::new(n, 4);
+        let sampler = UniformBin::new(n);
+        // Per-request RNG pairs with identical streams on both sides.
+        for round in 0..12 {
+            let count = 1 + round % 5;
+            let mut rngs_a: Vec<_> = (0..count)
+                .map(|i| Xoshiro256PlusPlus::from_u64(round * 100 + i))
+                .collect();
+            let mut rngs_b = rngs_a.clone();
+            let probes: Vec<usize> = rngs_a
+                .iter_mut()
+                .flat_map(|rng| (0..d).map(|_| sampler.sample(rng)).collect::<Vec<_>>())
+                .collect();
+            for (i, rng) in rngs_b.iter_mut().enumerate() {
+                let req: Vec<usize> = (0..d).map(|_| sampler.sample(rng)).collect();
+                assert_eq!(req, probes[i * d..(i + 1) * d], "probe streams agree");
+            }
+            let batch = batched.place_batch(&probes, d, k, &mut rngs_a);
+            for (i, rng) in rngs_b.iter_mut().enumerate() {
+                let one = sequential.place_k_least(&probes[i * d..(i + 1) * d], k, rng);
+                assert_eq!(one, batch[i], "round {round} request {i}");
+            }
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        batched.copy_loads_into(&mut a);
+        sequential.copy_loads_into(&mut b);
+        assert_eq!(a, b);
+        assert!(batched.check_invariants());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let store = ShardedStore::new(8, 2);
+        let mut rngs: Vec<Xoshiro256PlusPlus> = Vec::new();
+        assert!(store.place_batch(&[], 3, 2, &mut rngs).is_empty());
+        assert_eq!(store.total_balls(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "d probes per request")]
+    fn place_batch_rejects_ragged_input() {
+        let store = ShardedStore::new(8, 2);
+        let mut rngs = vec![Xoshiro256PlusPlus::from_u64(1)];
+        let _ = store.place_batch(&[1, 2, 3], 2, 1, &mut rngs);
     }
 
     #[test]

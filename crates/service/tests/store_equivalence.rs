@@ -9,11 +9,19 @@
 //!    `check_invariants`) after concurrent placements and releases —
 //!    including requests whose probes span every shard, exercising the
 //!    canonical lock order.
+//! 3. The **batched open-loop pipeline** is pinned to the per-request
+//!    [`PlacementService`] path: replaying the identical request stream
+//!    (same traffic schedule, same per-request RNGs) one `place` call at
+//!    a time on a single thread reproduces the batched run's final
+//!    histogram bit for bit, with balls conserved on both sides.
 
 use kdchoice_core::{BinStore, LoadVector};
 use kdchoice_prng::sample::UniformBin;
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
-use kdchoice_service::{Placement, ShardedStore};
+use kdchoice_service::{
+    run_open_loop, OpenLoopConfig, PipelineMode, Placement, PlacementService, ShardedStore,
+    TrafficSchedule,
+};
 use proptest::prelude::*;
 use rand::RngCore;
 
@@ -117,6 +125,67 @@ proptest! {
             }
             assert_states_match(&store, &reference);
         }
+    }
+}
+
+/// Replays an open-loop schedule through the per-request
+/// [`PlacementService`] path (`place`/`release`, one lock round per
+/// request) and returns the final store.
+fn replay_per_request(config: &OpenLoopConfig) -> ShardedStore {
+    let schedule = TrafficSchedule::generate(&config.traffic, config.traffic_seed()).unwrap();
+    let service = PlacementService::new(
+        ShardedStore::new(config.bins, config.shards),
+        config.k,
+        config.d,
+    )
+    .unwrap();
+    let mut placements: Vec<Option<Placement>> = vec![None; schedule.timings.len()];
+    for t in 0..config.traffic.ticks as usize {
+        for &id in &schedule.departures[t] {
+            let placement = placements[id as usize]
+                .as_ref()
+                .expect("departure precedes commit");
+            service.release(placement);
+        }
+        let (start, end) = schedule.commit_ranges[t];
+        for id in start..end {
+            let mut rng = Xoshiro256PlusPlus::from_u64(config.request_seed(id));
+            placements[id as usize] = Some(service.place(&mut rng));
+        }
+    }
+    service.into_store()
+}
+
+/// The batched pipeline on one thread is bit-identical to serving the
+/// same request stream through `PlacementService::place`/`release`.
+#[test]
+fn batched_pipeline_matches_per_request_placement_service() {
+    for (lambda, max_batch, seed) in [(0.7, 5, 0x5EED_0001u64), (1.2, 32, 0x5EED_0002)] {
+        let mut config = OpenLoopConfig::at_lambda(96, 2, 4, lambda, 8.0, 150, seed);
+        config.shards = 8;
+        config.threads = 1;
+        config.mode = PipelineMode::Batched;
+        config.max_batch = max_batch;
+        let report = run_open_loop(&config);
+        assert!(report.conserved, "λ={lambda}");
+
+        let store = replay_per_request(&config);
+        assert_eq!(
+            store.histogram(),
+            report.final_histogram,
+            "λ={lambda}: final histogram diverged"
+        );
+        assert_eq!(store.total_balls(), report.live_balls, "λ={lambda}");
+        assert_eq!(
+            store.total_balls(),
+            report.balls_placed - report.balls_released,
+            "λ={lambda}: ball conservation"
+        );
+        assert_eq!(
+            u64::from(store.max_load()),
+            u64::from(report.final_max_load)
+        );
+        assert!(store.check_invariants());
     }
 }
 

@@ -104,6 +104,56 @@ impl Histogram {
         sum as f64 / self.total as f64
     }
 
+    /// The nearest-rank `q`-quantile (`0 ≤ q ≤ 1`): the smallest observed
+    /// value `v` such that at least `⌈q · total⌉` observations are `≤ v`.
+    /// This is the natural quantile for integer observables (latencies in
+    /// ticks, loads, heights) — no interpolation between values that can
+    /// never occur.
+    ///
+    /// Returns `None` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    ///
+    /// ```
+    /// use kdchoice_stats::Histogram;
+    ///
+    /// let h = Histogram::from_pairs([(1, 90), (7, 9), (40, 1)]);
+    /// assert_eq!(h.quantile(0.5), Some(1));
+    /// assert_eq!(h.quantile(0.95), Some(7));
+    /// assert_eq!(h.quantile(1.0), Some(40));
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (v, c) in self.iter() {
+            seen += c;
+            if seen >= rank {
+                return Some(v);
+            }
+        }
+        // The non-zero counts sum to exactly `total >= rank`, so the loop
+        // always returns.
+        unreachable!("rank {rank} exceeds histogram total {}", self.total)
+    }
+
+    /// [`Histogram::quantile`] at several points, as `f64`s (for reports).
+    ///
+    /// Returns an empty vector when the histogram is empty.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        qs.iter()
+            .map(|&q| f64::from(self.quantile(q).expect("non-empty")))
+            .collect()
+    }
+
     /// Iterates over `(value, count)` pairs with non-zero counts.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
         self.counts
@@ -230,6 +280,46 @@ mod tests {
         let h = Histogram::from_pairs([(0, 1), (5, 2)]);
         let pairs: Vec<_> = h.iter().collect();
         assert_eq!(pairs, vec![(0, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        // 10 observations: 1..=10, one each.
+        let h: Histogram = (1u32..=10).collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.1), Some(1));
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(0.55), Some(6));
+        assert_eq!(h.quantile(0.99), Some(10));
+        assert_eq!(h.quantile(1.0), Some(10));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        assert!(Histogram::new().quantiles(&[0.5]).is_empty());
+        assert_eq!(h.quantiles(&[0.5, 1.0]), vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn quantile_heavy_head() {
+        let h = Histogram::from_pairs([(0, 990), (100, 10)]);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(0.99), Some(0));
+        assert_eq!(h.quantile(0.995), Some(100));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histogram::from_pairs([(2, 3), (5, 7), (9, 1), (30, 4)]);
+        let mut prev = 0u32;
+        for i in 0..=50 {
+            let v = h.quantile(i as f64 / 50.0).unwrap();
+            assert!(v >= prev, "quantile not monotone at {i}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        let _ = Histogram::from_pairs([(1, 1)]).quantile(1.5);
     }
 
     #[test]
