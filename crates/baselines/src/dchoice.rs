@@ -1,7 +1,9 @@
 //! Greedy[d]: the standard d-choice process of Azar et al.
 
-use kdchoice_core::{ConfigError, HeightSink, LoadVector, RoundProcess, RoundStats};
-use rand::{Rng, RngCore};
+use kdchoice_core::{
+    ConfigError, HeightSink, LoadVector, ProbeDistribution, RoundProcess, RoundStats,
+};
+use rand::RngCore;
 
 /// The d-choice (Greedy\[d\]) process of Azar, Broder, Karlin & Upfal: each
 /// ball samples `d` bins i.u.r. with replacement and joins the least loaded,
@@ -25,6 +27,7 @@ use rand::{Rng, RngCore};
 #[derive(Debug, Clone)]
 pub struct DChoice {
     d: usize,
+    probes: ProbeDistribution,
     samples: Vec<usize>,
 }
 
@@ -40,8 +43,24 @@ impl DChoice {
         }
         Ok(Self {
             d,
+            probes: ProbeDistribution::Uniform,
             samples: Vec::with_capacity(d),
         })
+    }
+
+    /// Switches the probe distribution (builder style) — the weighted
+    /// variant of greedy\[d\], for free via the distribution seam. The
+    /// uniform default draws the identical generator stream as before
+    /// the seam existed.
+    #[must_use]
+    pub fn with_probes(mut self, probes: ProbeDistribution) -> Self {
+        self.probes = probes;
+        self
+    }
+
+    /// The active probe distribution.
+    pub fn probes(&self) -> &ProbeDistribution {
+        &self.probes
     }
 
     /// The number of choices per ball.
@@ -52,7 +71,11 @@ impl DChoice {
 
 impl RoundProcess for DChoice {
     fn name(&self) -> String {
-        format!("greedy[{}]", self.d)
+        if matches!(self.probes, ProbeDistribution::Uniform) {
+            format!("greedy[{}]", self.d)
+        } else {
+            format!("greedy[{}]@{}", self.d, self.probes.label())
+        }
     }
 
     fn run_round<R, S>(
@@ -68,8 +91,10 @@ impl RoundProcess for DChoice {
     {
         let n = state.n();
         self.samples.clear();
+        // ProbeDistribution::sample's uniform arm is stream-identical to
+        // the former `rng.gen_range(0..n)` draws.
         for _ in 0..self.d {
-            self.samples.push(rng.gen_range(0..n));
+            self.samples.push(self.probes.sample(rng, n));
         }
         let idx = kdchoice_prng::sample::random_argmin(rng, &self.samples, |&b| state.load(b))
             .expect("d >= 1");
@@ -129,6 +154,43 @@ mod tests {
             two.mean_max_load(),
             one.mean_max_load()
         );
+    }
+
+    #[test]
+    fn weighted_variant_skews_placements() {
+        // greedy[1] with two-tier probing: hot bins collect the boost.
+        let mut p = DChoice::new(1)
+            .unwrap()
+            .with_probes(ProbeDistribution::two_tier(16, 4, 9).unwrap());
+        assert_eq!(RoundProcess::name(&p), "greedy[1]@weighted");
+        let (r, state) =
+            kdchoice_core::run_once_with_state(&mut p, &RunConfig::new(16, 3).with_balls(4000));
+        assert_eq!(r.balls_placed, 4000);
+        // Hot bins (0, 4, 8, 12) carry 36/48 = 3/4 of the probe mass;
+        // under single choice their load share matches it. Uniform
+        // probing would give them 1/4, so this cleanly separates.
+        let hot: u64 = [0usize, 4, 8, 12]
+            .iter()
+            .map(|&b| u64::from(state.load(b)))
+            .sum();
+        let share = hot as f64 / 4000.0;
+        assert!((share - 0.75).abs() < 0.05, "hot-bin load share {share}");
+    }
+
+    #[test]
+    fn equal_weights_match_uniform_stream() {
+        let uniform = {
+            let mut p = DChoice::new(3).unwrap();
+            run_once(&mut p, &RunConfig::new(128, 9))
+        };
+        let weighted = {
+            let mut p = DChoice::new(3)
+                .unwrap()
+                .with_probes(ProbeDistribution::weighted(&vec![2.0; 128]).unwrap());
+            run_once(&mut p, &RunConfig::new(128, 9))
+        };
+        assert_eq!(weighted.load_histogram, uniform.load_histogram);
+        assert_eq!(weighted.height_histogram, uniform.height_histogram);
     }
 
     #[test]

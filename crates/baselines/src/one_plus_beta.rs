@@ -1,6 +1,8 @@
 //! The (1+β)-choice process of Peres, Talwar & Wieder.
 
-use kdchoice_core::{ConfigError, HeightSink, LoadVector, RoundProcess, RoundStats};
+use kdchoice_core::{
+    ConfigError, HeightSink, LoadVector, ProbeDistribution, RoundProcess, RoundStats,
+};
 use rand::{Rng, RngCore};
 
 /// The (1+β)-choice process (the paper's reference \[14\]): each ball flips
@@ -29,6 +31,7 @@ use rand::{Rng, RngCore};
 #[derive(Debug, Clone)]
 pub struct OnePlusBeta {
     beta: f64,
+    probes: ProbeDistribution,
 }
 
 impl OnePlusBeta {
@@ -41,7 +44,26 @@ impl OnePlusBeta {
         if !(0.0..=1.0).contains(&beta) || beta.is_nan() {
             return Err(ConfigError::BadProbability("beta"));
         }
-        Ok(Self { beta })
+        Ok(Self {
+            beta,
+            probes: ProbeDistribution::Uniform,
+        })
+    }
+
+    /// Switches the probe distribution (builder style) — the weighted
+    /// (1+β) variant of the multidimensional-allocation reports, for
+    /// free via the distribution seam. Both the single-choice arm and
+    /// the two-choice arm probe through it; the uniform default draws
+    /// the identical generator stream as before the seam existed.
+    #[must_use]
+    pub fn with_probes(mut self, probes: ProbeDistribution) -> Self {
+        self.probes = probes;
+        self
+    }
+
+    /// The active probe distribution.
+    pub fn probes(&self) -> &ProbeDistribution {
+        &self.probes
     }
 
     /// The mixing probability β.
@@ -52,7 +74,11 @@ impl OnePlusBeta {
 
 impl RoundProcess for OnePlusBeta {
     fn name(&self) -> String {
-        format!("(1+{})-choice", self.beta)
+        if matches!(self.probes, ProbeDistribution::Uniform) {
+            format!("(1+{})-choice", self.beta)
+        } else {
+            format!("(1+{})-choice@{}", self.beta, self.probes.label())
+        }
     }
 
     fn run_round<R, S>(
@@ -68,9 +94,11 @@ impl RoundProcess for OnePlusBeta {
     {
         let n = state.n();
         let two_choice = rng.gen_bool(self.beta);
+        // ProbeDistribution::sample's uniform arm is stream-identical to
+        // the former `rng.gen_range(0..n)` draws.
         let (bin, probes) = if two_choice {
-            let a = rng.gen_range(0..n);
-            let b = rng.gen_range(0..n);
+            let a = self.probes.sample(rng, n);
+            let b = self.probes.sample(rng, n);
             let la = state.load(a);
             let lb = state.load(b);
             let chosen = if la < lb {
@@ -84,7 +112,7 @@ impl RoundProcess for OnePlusBeta {
             };
             (chosen, 2)
         } else {
-            (rng.gen_range(0..n), 1)
+            (self.probes.sample(rng, n), 1)
         };
         let h = state.add_ball(bin);
         heights_out.record(h);
@@ -124,6 +152,42 @@ mod tests {
         let r = run_once(&mut p, &RunConfig::new(1 << 12, 3));
         assert_eq!(r.messages, 2 << 12);
         assert!(r.max_load <= 6, "should look like two-choice");
+    }
+
+    #[test]
+    fn weighted_variant_is_stream_identical_with_equal_weights() {
+        let uniform = {
+            let mut p = OnePlusBeta::new(0.5).unwrap();
+            run_once(&mut p, &RunConfig::new(256, 4))
+        };
+        let weighted = {
+            let mut p = OnePlusBeta::new(0.5)
+                .unwrap()
+                .with_probes(ProbeDistribution::weighted(&vec![3.0; 256]).unwrap());
+            assert_eq!(RoundProcess::name(&p), "(1+0.5)-choice@weighted");
+            run_once(&mut p, &RunConfig::new(256, 4))
+        };
+        assert_eq!(weighted.load_histogram, uniform.load_histogram);
+        assert_eq!(weighted.height_histogram, uniform.height_histogram);
+        assert_eq!(weighted.messages, uniform.messages);
+    }
+
+    #[test]
+    fn zipf_probing_concentrates_load() {
+        let n = 1 << 10;
+        let balls = 8 * n as u64;
+        let run = |probes: ProbeDistribution, seed| {
+            let mut p = OnePlusBeta::new(0.5).unwrap().with_probes(probes);
+            run_once(&mut p, &RunConfig::new(n, seed).with_balls(balls))
+        };
+        let uniform = run(ProbeDistribution::Uniform, 6);
+        let zipf = run(ProbeDistribution::zipf(n, 1.0).unwrap(), 6);
+        assert!(
+            zipf.max_load > uniform.max_load + 4,
+            "zipf {} vs uniform {}",
+            zipf.max_load,
+            uniform.max_load
+        );
     }
 
     #[test]

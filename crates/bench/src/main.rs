@@ -23,11 +23,14 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use kdchoice_core::{
-    run_once, BallsIntoBins, DynamicScenario, EngineVersion, KdChoice, RunConfig, StaticScenario,
+    run_once, BallsIntoBins, DynamicScenario, EngineVersion, HeteroScenario, KdChoice, RunConfig,
+    StaticScenario,
 };
 use kdchoice_expt::{
     configs_from_grid, GridSpec, Registry, ReportFormat, Scenario, SweepRunner, Value,
 };
+use kdchoice_prng::sample::{fill_weighted, fill_with_replacement, WeightedBin};
+use kdchoice_prng::Xoshiro256PlusPlus;
 use kdchoice_scheduler::SchedulerScenario;
 use kdchoice_service::{
     run_open_loop, run_service_workload, OpenLoopConfig, OpenLoopScenario, PipelineMode,
@@ -35,11 +38,12 @@ use kdchoice_service::{
 };
 use kdchoice_storage::StorageScenario;
 
-/// Builds the workspace scenario registry: all six experiment families.
+/// Builds the workspace scenario registry: all seven experiment families.
 fn registry() -> Registry {
     Registry::new()
         .with(Box::new(StaticScenario))
         .with(Box::new(DynamicScenario))
+        .with(Box::new(HeteroScenario))
         .with(Box::new(SchedulerScenario))
         .with(Box::new(StorageScenario))
         .with(Box::new(ServiceScenario))
@@ -399,6 +403,86 @@ fn measure_open_loop(quick: bool) -> Vec<OpenLoopScaling> {
     rows
 }
 
+/// The uniform-vs-weighted sampling race: the same draw budget pulled
+/// through the uniform batch sampler, the equal-weights alias sampler
+/// (which degenerates to the uniform stream), and a Zipf(1.0) alias
+/// table. The acceptance bar for the heterogeneous tentpole is
+/// `uniform / zipf ≤ 1.3` — weighted sampling must not fall off the
+/// hardware-speed path.
+struct SamplingRace {
+    n: usize,
+    draws: u64,
+    uniform_per_sec: f64,
+    weighted_equal_per_sec: f64,
+    weighted_zipf_per_sec: f64,
+}
+
+impl SamplingRace {
+    /// How much slower Zipf-weighted draws are than uniform draws
+    /// (1.0 = parity; the acceptance bar is ≤ 1.3).
+    fn uniform_over_zipf(&self) -> f64 {
+        self.uniform_per_sec / self.weighted_zipf_per_sec
+    }
+}
+
+/// Times one batched sampling closure over `draws` values pulled in
+/// chunks of 2^16 (the buffer-reuse pattern of the round engines),
+/// returning the best of [`REPS`] runs in draws/sec.
+fn time_sampling<F: FnMut(&mut Xoshiro256PlusPlus, usize, &mut Vec<usize>)>(
+    draws: u64,
+    mut fill: F,
+) -> f64 {
+    const CHUNK: usize = 1 << 16;
+    let mut best = 0.0f64;
+    for rep in 0..REPS {
+        let mut rng = Xoshiro256PlusPlus::from_u64(0xBE7C4 + rep as u64);
+        let mut out = Vec::with_capacity(CHUNK);
+        let mut sink = 0usize;
+        let start = Instant::now();
+        let mut remaining = draws;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK as u64) as usize;
+            fill(&mut rng, take, &mut out);
+            sink = sink.wrapping_add(out.last().copied().unwrap_or(0));
+            remaining -= take as u64;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(sink);
+        best = best.max(draws as f64 / secs);
+    }
+    best
+}
+
+/// Races the samplers at two table sizes: `n = 2^16` (the workspace's
+/// canonical bin count; the 512 KiB packed alias table is cache-resident
+/// and the ≤ 1.3× acceptance bar applies) and `n = 2^20` (the table
+/// spills to DRAM, so the gap is memory latency, not sampler
+/// arithmetic — recorded for honesty, not gated).
+fn measure_sampling_race(quick: bool) -> Vec<SamplingRace> {
+    let draws: u64 = if quick { 1 << 22 } else { 1 << 25 };
+    [1usize << 16, 1 << 20]
+        .into_iter()
+        .map(|n| {
+            let equal = WeightedBin::new(&vec![1.0; n]).expect("valid weights");
+            assert!(equal.is_uniform());
+            let zipf = WeightedBin::zipf(n, 1.0).expect("valid zipf");
+            SamplingRace {
+                n,
+                draws,
+                uniform_per_sec: time_sampling(draws, |rng, take, out| {
+                    fill_with_replacement(rng, n, take, out)
+                }),
+                weighted_equal_per_sec: time_sampling(draws, |rng, take, out| {
+                    fill_weighted(rng, &equal, take, out)
+                }),
+                weighted_zipf_per_sec: time_sampling(draws, |rng, take, out| {
+                    fill_weighted(rng, &zipf, take, out)
+                }),
+            }
+        })
+        .collect()
+}
+
 /// How many times each measurement repeats; the best rate is reported
 /// (standard practice for throughput: the minimum-interference run).
 const REPS: usize = 3;
@@ -486,6 +570,7 @@ fn render_json(
     scenarios: &[ScenarioThroughput],
     service: &[ServiceScaling],
     open_loop: &[OpenLoopScaling],
+    sampling: &[SamplingRace],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -582,6 +667,24 @@ fn render_json(
         );
         out.push_str(if i + 1 < open_loop.len() { ",\n" } else { "\n" });
     }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"weighted_sampling_note\": \"uniform vs weighted batch sampling race: the same draw budget through fill_with_replacement, the equal-weights alias sampler (bit-identical uniform stream), and a Zipf(1.0) packed alias table; uniform_over_zipf is the weighted slowdown factor. The n=2^16 row (cache-resident 512KiB table) is the <= 1.3x acceptance bar; the n=2^20 row spills the table to DRAM and its gap is memory latency, not sampler arithmetic\",\n",
+    );
+    out.push_str("  \"weighted_sampling\": [\n");
+    for (i, s) in sampling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"n\": {},\n      \"draws\": {},\n      \"uniform_draws_per_sec\": {:.0},\n      \"weighted_equal_draws_per_sec\": {:.0},\n      \"weighted_zipf_draws_per_sec\": {:.0},\n      \"uniform_over_zipf\": {:.3}\n    }}",
+            s.n,
+            s.draws,
+            s.uniform_per_sec,
+            s.weighted_equal_per_sec,
+            s.weighted_zipf_per_sec,
+            s.uniform_over_zipf(),
+        );
+        out.push_str(if i + 1 < sampling.len() { ",\n" } else { "\n" });
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -650,9 +753,15 @@ fn cmd_throughput(quick: bool) {
             8,
         )
     };
+    let (hetero_grid, hetero_balls, hetero_trials) = if quick {
+        ("n=2^12 d=4 skew=uniform,zipf lambda=2", 2 * (1u64 << 12), 4)
+    } else {
+        ("n=2^16 d=4 skew=uniform,zipf lambda=4", 4 * (1u64 << 16), 8)
+    };
     let scenarios = vec![
         measure_scenario(&SchedulerScenario, sched_grid, sched_trials, sched_jobs),
         measure_scenario(&StorageScenario, storage_grid, storage_trials, storage_ops),
+        measure_scenario(&HeteroScenario, hetero_grid, hetero_trials, hetero_balls),
     ];
     for s in &scenarios {
         println!(
@@ -710,8 +819,22 @@ fn cmd_throughput(quick: bool) {
         );
     }
 
+    // Uniform vs weighted batch sampling on the raw prng layer.
+    println!();
+    let sampling = measure_sampling_race(quick);
+    for s in &sampling {
+        println!(
+            "sampling   n=2^{:<2} uniform {:>6.1} Mdraws/s | weighted(equal) {:>6.1} | weighted(zipf) {:>6.1} Mdraws/s | uniform/zipf {:.2}x",
+            s.n.trailing_zeros(),
+            s.uniform_per_sec / 1e6,
+            s.weighted_equal_per_sec / 1e6,
+            s.weighted_zipf_per_sec / 1e6,
+            s.uniform_over_zipf(),
+        );
+    }
+
     if !quick {
-        let json = render_json(&measurements, &scenarios, &service, &open_loop);
+        let json = render_json(&measurements, &scenarios, &service, &open_loop, &sampling);
         kdchoice_expt::validate_json(&json).expect("harness emits well-formed JSON");
         std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
         println!("\nwrote BENCH_results.json");

@@ -180,8 +180,27 @@ pub fn run_once_with_state<P: RoundProcess + ?Sized>(
     process: &mut P,
     config: &RunConfig,
 ) -> (RunResult, LoadVector) {
+    run_once_on(process, config, LoadVector::new(config.n))
+}
+
+/// Like [`run_once_with_state`], but runs on a caller-supplied **empty**
+/// state — the hook the heterogeneous scenarios use to drive a process
+/// over [`LoadVector::with_capacities`] bins while keeping every driver
+/// invariant (per-round progress, inline height histogramming, the
+/// determinism contract) in one place.
+///
+/// # Panics
+///
+/// Panics if `state.n() != config.n` or `state` already holds balls, and
+/// under the same conditions as [`run_once_with_state`].
+pub fn run_once_on<P: RoundProcess + ?Sized>(
+    process: &mut P,
+    config: &RunConfig,
+    mut state: LoadVector,
+) -> (RunResult, LoadVector) {
+    assert_eq!(state.n(), config.n, "state/config bin-count mismatch");
+    assert_eq!(state.total_balls(), 0, "state must start empty");
     process.reset();
-    let mut state = LoadVector::new(config.n);
     let mut rng = Xoshiro256PlusPlus::from_u64(config.seed);
     let mut heights = HeightHistogram::new();
     let mut thrown = 0u64;

@@ -5,6 +5,7 @@ use rand::{Rng, RngCore};
 
 use crate::error::ConfigError;
 use crate::policy::RoundPolicy;
+use crate::probes::ProbeDistribution;
 use crate::process::{HeightSink, RoundProcess, RoundStats};
 use crate::state::LoadVector;
 
@@ -93,6 +94,7 @@ pub struct KdChoice {
     d: usize,
     policy: RoundPolicy,
     engine: EngineVersion,
+    probes: ProbeDistribution,
     // Reusable scratch buffers for the d > SMALL_D paths (hot path:
     // billions of rounds in benches).
     samples: Vec<usize>,
@@ -119,6 +121,7 @@ impl KdChoice {
             d,
             policy: RoundPolicy::Multiplicity,
             engine: EngineVersion::default(),
+            probes: ProbeDistribution::Uniform,
             samples: Vec::with_capacity(d),
             tentative: Vec::with_capacity(d),
             candidates: Vec::with_capacity(d),
@@ -155,6 +158,31 @@ impl KdChoice {
     pub fn with_engine(mut self, engine: EngineVersion) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Switches the probe distribution (builder style) — the weighted /
+    /// heterogeneous seam. Uniform (the default) and any distribution
+    /// whose weights degenerate to equal keep the engines on their
+    /// uniform fast paths, drawing the **identical** generator stream as
+    /// before this seam existed.
+    ///
+    /// ```
+    /// use kdchoice_core::{KdChoice, ProbeDistribution, RoundProcess};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = KdChoice::new(2, 3)?.with_probes(ProbeDistribution::zipf(64, 1.0)?);
+    /// assert_eq!(p.name(), "(2,3)-choice@zipf(1)");
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn with_probes(mut self, probes: ProbeDistribution) -> Self {
+        self.probes = probes;
+        self
+    }
+
+    /// The active probe distribution.
+    pub fn probes(&self) -> &ProbeDistribution {
+        &self.probes
     }
 
     /// The number of balls per round, `k`.
@@ -579,11 +607,16 @@ fn round_small_grouped<const D: usize, R, S>(
 
 impl RoundProcess for KdChoice {
     fn name(&self) -> String {
-        match self.policy {
+        let base = match self.policy {
             RoundPolicy::Multiplicity => format!("({},{})-choice", self.k, self.d),
             RoundPolicy::Unrestricted => {
                 format!("({},{})-choice[unrestricted]", self.k, self.d)
             }
+        };
+        if matches!(self.probes, ProbeDistribution::Uniform) {
+            base
+        } else {
+            format!("{base}@{}", self.probes.label())
         }
     }
 
@@ -601,36 +634,59 @@ impl RoundProcess for KdChoice {
         // Truncate the final round if fewer than k balls remain (the paper
         // assumes k | n; this keeps the driver total-ball-exact anyway).
         let balls = (self.k as u64).min(balls_remaining.max(1)) as usize;
+        // Exactly-uniform distributions (including weighted ones whose
+        // weights degenerated to equal) route onto the uniform engine
+        // paths, whose generator consumption predates the probe seam —
+        // uniform runs are bit-identical with or without it.
+        let uniform = self.probes.is_uniform();
         match (self.policy, self.engine) {
-            (RoundPolicy::Multiplicity, EngineVersion::Batched) if self.d <= SMALL_D => {
+            (RoundPolicy::Multiplicity, EngineVersion::Batched) if uniform && self.d <= SMALL_D => {
                 self.round_batched_small(state, rng, heights, balls);
             }
             (RoundPolicy::Multiplicity, EngineVersion::Batched) => {
                 let n = state.n();
-                kdchoice_prng::sample::fill_with_replacement(rng, n, self.d, &mut self.samples);
+                if uniform {
+                    kdchoice_prng::sample::fill_with_replacement(rng, n, self.d, &mut self.samples);
+                } else {
+                    self.probes.fill(rng, n, self.d, &mut self.samples);
+                }
                 self.commit_multiplicity_lazy(state, balls, rng, heights);
             }
             (RoundPolicy::Multiplicity, EngineVersion::Legacy) => {
                 let n = state.n();
                 self.samples.clear();
-                for _ in 0..self.d {
-                    self.samples.push(rng.gen_range(0..n));
+                if uniform {
+                    for _ in 0..self.d {
+                        self.samples.push(rng.gen_range(0..n));
+                    }
+                } else {
+                    for _ in 0..self.d {
+                        self.samples.push(self.probes.sample(rng, n));
+                    }
                 }
                 self.commit_multiplicity_eager(state, balls, rng, heights);
             }
             (RoundPolicy::Unrestricted, engine) => {
                 let n = state.n();
                 self.samples.clear();
-                match engine {
-                    EngineVersion::Batched => kdchoice_prng::sample::fill_with_replacement(
+                match (engine, uniform) {
+                    (EngineVersion::Batched, true) => kdchoice_prng::sample::fill_with_replacement(
                         rng,
                         n,
                         self.d,
                         &mut self.samples,
                     ),
-                    EngineVersion::Legacy => {
+                    (EngineVersion::Batched, false) => {
+                        self.probes.fill(rng, n, self.d, &mut self.samples)
+                    }
+                    (EngineVersion::Legacy, true) => {
                         for _ in 0..self.d {
                             self.samples.push(rng.gen_range(0..n));
+                        }
+                    }
+                    (EngineVersion::Legacy, false) => {
+                        for _ in 0..self.d {
+                            self.samples.push(self.probes.sample(rng, n));
                         }
                     }
                 }

@@ -57,6 +57,7 @@ mod dynamic;
 mod error;
 mod kd;
 mod policy;
+pub mod probes;
 mod process;
 pub mod scenario;
 mod serialized;
@@ -65,15 +66,16 @@ mod store;
 mod trace;
 
 pub use driver::{
-    run_once, run_once_with_state, run_sweep, run_trials, HeightHistogram, RunConfig, RunResult,
-    TrialSet,
+    run_once, run_once_on, run_once_with_state, run_sweep, run_trials, HeightHistogram, RunConfig,
+    RunResult, TrialSet,
 };
 pub use dynamic::DynamicKChoice;
 pub use error::ConfigError;
 pub use kd::{EngineVersion, KdChoice};
 pub use policy::RoundPolicy;
+pub use probes::{two_tier_capacities, ProbeDistribution};
 pub use process::{BallsIntoBins, HeightSink, RoundProcess, RoundStats};
-pub use scenario::{DynamicScenario, StaticScenario};
+pub use scenario::{DynamicScenario, HeteroScenario, StaticScenario};
 pub use serialized::{SerializedKdChoice, SigmaSchedule};
 pub use state::LoadVector;
 pub use store::BinStore;

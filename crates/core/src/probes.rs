@@ -1,0 +1,305 @@
+//! [`ProbeDistribution`]: where a round's `d` probes come from.
+//!
+//! The paper's process samples probes **uniformly** with replacement; the
+//! tight-bounds line of work (Park's analysis, Godfrey-style non-uniform
+//! choice sets, the (1+β) multidimensional allocation report) and every
+//! realistic scheduler/storage deployment need **skewed** sampling over
+//! unequal servers. This module is the seam that opens that workload
+//! family to every layer at once: the round engines ([`crate::KdChoice`]),
+//! the baselines (greedy\[d\], (1+β)), the concurrent placement service,
+//! and the open-loop pipeline all draw probes through a `ProbeDistribution`,
+//! so a weighted variant of any of them is a constructor argument, not a
+//! fork of the engine.
+//!
+//! **Uniform stays exact.** [`ProbeDistribution::Uniform`] draws the
+//! *identical* generator stream as the pre-existing uniform paths
+//! (`UniformBin` / `fill_with_replacement` / `gen_range`), and a
+//! [`ProbeDistribution::Weighted`] built from all-equal weights
+//! degenerates to that same stream (see
+//! [`kdchoice_prng::sample::WeightedBin`]) — so uniform experiments are
+//! bit-identical whether or not they route through this seam, which is
+//! the equivalence the `hetero` scenario locks by test.
+
+use std::borrow::Cow;
+
+use kdchoice_prng::dist::ParamError;
+use kdchoice_prng::sample::{fill_weighted, fill_with_replacement, UniformBin, WeightedBin};
+use rand::RngCore;
+
+/// The distribution the `d` probes of a round are drawn from (always with
+/// replacement).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ProbeDistribution {
+    /// Uniform over `0..n` — the paper's model. Carries no state: the
+    /// bound `n` comes from the state being probed, so one `Uniform`
+    /// value serves any `n`.
+    #[default]
+    Uniform,
+    /// Arbitrary non-negative weights via a batched alias sampler
+    /// (O(n) construction, O(1) divisionless draws).
+    Weighted(WeightedBin),
+    /// Zipf-weighted probing, `P(bin i) ∝ 1/(i+1)^s` — the canonical
+    /// popularity skew. Keeps the exponent for reports; sampling goes
+    /// through the same alias table as [`ProbeDistribution::Weighted`].
+    Zipf {
+        /// The Zipf exponent `s ≥ 0` (`s = 0` is uniform).
+        s: f64,
+        /// The alias sampler realizing the Zipf weights over `0..n`.
+        sampler: WeightedBin,
+    },
+}
+
+impl ProbeDistribution {
+    /// A weighted distribution from raw weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for empty/negative/non-finite/all-zero
+    /// weights.
+    pub fn weighted(weights: &[f64]) -> Result<Self, ParamError> {
+        Ok(Self::Weighted(WeightedBin::new(weights)?))
+    }
+
+    /// Zipf(s) probing over `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `n == 0` or `s` is not finite and ≥ 0.
+    pub fn zipf(n: usize, s: f64) -> Result<Self, ParamError> {
+        Ok(Self::Zipf {
+            s,
+            sampler: WeightedBin::zipf(n, s)?,
+        })
+    }
+
+    /// Two-tier probing over `0..n`: every `every`-th bin (indices
+    /// `≡ 0 mod every`) is probed `ratio×` as often as the rest — the
+    /// "few hot frontends" skew.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `n == 0`, `every == 0`, or `ratio == 0`.
+    pub fn two_tier(n: usize, every: usize, ratio: u32) -> Result<Self, ParamError> {
+        if n == 0 || every == 0 || ratio == 0 {
+            return Err(ParamError::new(
+                "two-tier probing needs n >= 1, every >= 1, ratio >= 1",
+            ));
+        }
+        // One definition of the two-tier stride/ratio pattern: the probe
+        // weights are exactly the two-tier capacity map.
+        Self::proportional_to(&two_tier_capacities(n, every, ratio))
+    }
+
+    /// Capacity-proportional probing: `P(bin) ∝ c_bin`, the natural
+    /// sampling for heterogeneous servers (probe where the capacity is).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `capacities` is empty.
+    pub fn proportional_to(capacities: &[u32]) -> Result<Self, ParamError> {
+        let weights: Vec<f64> = capacities.iter().map(|&c| f64::from(c)).collect();
+        Self::weighted(&weights)
+    }
+
+    /// Whether draws are exactly uniform — true for
+    /// [`ProbeDistribution::Uniform`] and for weighted/Zipf variants whose
+    /// weights degenerated to equal (their stream is bit-identical to
+    /// uniform). Engines use this to route onto their uniform fast paths.
+    pub fn is_uniform(&self) -> bool {
+        match self {
+            ProbeDistribution::Uniform => true,
+            ProbeDistribution::Weighted(w) => w.is_uniform(),
+            ProbeDistribution::Zipf { sampler, .. } => sampler.is_uniform(),
+        }
+    }
+
+    /// The support size a non-uniform distribution was built for
+    /// (`None` for [`ProbeDistribution::Uniform`], which adapts to any
+    /// `n`).
+    pub fn expected_n(&self) -> Option<usize> {
+        match self {
+            ProbeDistribution::Uniform => None,
+            ProbeDistribution::Weighted(w) => Some(w.n()),
+            ProbeDistribution::Zipf { sampler, .. } => Some(sampler.n()),
+        }
+    }
+
+    /// A short label for process names and report rows: `"uniform"`,
+    /// `"weighted"`, or `"zipf(s)"`.
+    pub fn label(&self) -> Cow<'static, str> {
+        match self {
+            ProbeDistribution::Uniform => Cow::Borrowed("uniform"),
+            ProbeDistribution::Weighted(_) => Cow::Borrowed("weighted"),
+            ProbeDistribution::Zipf { s, .. } => Cow::Owned(format!("zipf({s})")),
+        }
+    }
+
+    /// Draws one probe from `0..n`.
+    ///
+    /// The uniform arm consumes the generator exactly like
+    /// `UniformBin::sample` / `gen_range(0..n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-uniform distribution was built for a different
+    /// `n` — a hard assert even in release builds, since sampling a
+    /// wrong-sized support would silently confine probes to a subrange
+    /// (the check is one predicted compare next to a table load).
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R, n: usize) -> usize {
+        match self {
+            ProbeDistribution::Uniform => UniformBin::new(n).sample(rng),
+            ProbeDistribution::Weighted(w) => {
+                assert_eq!(w.n(), n, "weighted distribution built for wrong n");
+                w.sample(rng)
+            }
+            ProbeDistribution::Zipf { sampler, .. } => {
+                assert_eq!(sampler.n(), n, "zipf distribution built for wrong n");
+                sampler.sample(rng)
+            }
+        }
+    }
+
+    /// Fills `out` with `count` probes from `0..n` (batch API; block-pulls
+    /// generator outputs, see [`fill_with_replacement`] /
+    /// [`fill_weighted`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-uniform distribution was built for a different `n`.
+    pub fn fill<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+        count: usize,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            ProbeDistribution::Uniform => fill_with_replacement(rng, n, count, out),
+            ProbeDistribution::Weighted(w) => {
+                assert_eq!(w.n(), n, "weighted distribution built for wrong n");
+                fill_weighted(rng, w, count, out);
+            }
+            ProbeDistribution::Zipf { sampler, .. } => {
+                assert_eq!(sampler.n(), n, "zipf distribution built for wrong n");
+                fill_weighted(rng, sampler, count, out);
+            }
+        }
+    }
+}
+
+/// A two-tier capacity map over `n` bins: every `every`-th bin (indices
+/// `≡ 0 mod every`) has capacity `ratio`, the rest capacity 1 — the
+/// "two-tier 10×" heterogeneous cluster. Fat bins are interleaved by
+/// index, so the modulo shard striping of `ShardedStore` spreads them
+/// (and therefore total capacity) evenly across shards.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `every == 0`, or `ratio == 0`.
+pub fn two_tier_capacities(n: usize, every: usize, ratio: u32) -> Vec<u32> {
+    assert!(
+        n > 0 && every > 0 && ratio > 0,
+        "two-tier capacities need n >= 1, every >= 1, ratio >= 1"
+    );
+    (0..n)
+        .map(|i| if i % every == 0 { ratio } else { 1 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+    use rand::Rng;
+
+    #[test]
+    fn default_is_uniform() {
+        let d = ProbeDistribution::default();
+        assert!(d.is_uniform());
+        assert_eq!(d.expected_n(), None);
+        assert_eq!(d.label(), "uniform");
+    }
+
+    #[test]
+    fn uniform_sample_matches_gen_range_stream() {
+        let d = ProbeDistribution::Uniform;
+        let mut a = Xoshiro256PlusPlus::from_u64(3);
+        let mut b = Xoshiro256PlusPlus::from_u64(3);
+        for _ in 0..500 {
+            assert_eq!(d.sample(&mut a, 1000), b.gen_range(0..1000));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_and_expected_n() {
+        let w = ProbeDistribution::weighted(&[1.0, 2.0]).unwrap();
+        assert_eq!(w.label(), "weighted");
+        assert_eq!(w.expected_n(), Some(2));
+        assert!(!w.is_uniform());
+        let z = ProbeDistribution::zipf(8, 1.5).unwrap();
+        assert_eq!(z.label(), "zipf(1.5)");
+        assert_eq!(z.expected_n(), Some(8));
+        // Equal weights / zero exponent degenerate to uniform sampling.
+        assert!(ProbeDistribution::weighted(&[2.0, 2.0])
+            .unwrap()
+            .is_uniform());
+        assert!(ProbeDistribution::zipf(8, 0.0).unwrap().is_uniform());
+    }
+
+    #[test]
+    fn two_tier_probing_boosts_hot_bins() {
+        let d = ProbeDistribution::two_tier(10, 5, 9).unwrap();
+        // Bins 0 and 5 carry weight 9 each, the rest 1: hot mass 18/26.
+        let mut rng = Xoshiro256PlusPlus::from_u64(4);
+        let mut hot = 0u32;
+        let trials = 40_000;
+        let mut out = Vec::new();
+        d.fill(&mut rng, 10, trials, &mut out);
+        for &b in &out {
+            hot += u32::from(b == 0 || b == 5);
+        }
+        let f = f64::from(hot) / trials as f64;
+        assert!((f - 18.0 / 26.0).abs() < 0.02, "hot mass {f}");
+    }
+
+    #[test]
+    fn proportional_to_capacities() {
+        let caps = two_tier_capacities(8, 4, 3);
+        assert_eq!(caps, vec![3, 1, 1, 1, 3, 1, 1, 1]);
+        let d = ProbeDistribution::proportional_to(&caps).unwrap();
+        assert!(!d.is_uniform());
+        assert_eq!(d.expected_n(), Some(8));
+        // All-equal capacities degenerate to uniform.
+        assert!(ProbeDistribution::proportional_to(&[2, 2, 2])
+            .unwrap()
+            .is_uniform());
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(ProbeDistribution::weighted(&[]).is_err());
+        assert!(ProbeDistribution::weighted(&[-1.0]).is_err());
+        assert!(ProbeDistribution::zipf(0, 1.0).is_err());
+        assert!(ProbeDistribution::two_tier(0, 1, 1).is_err());
+        assert!(ProbeDistribution::two_tier(8, 0, 1).is_err());
+        assert!(ProbeDistribution::two_tier(8, 1, 0).is_err());
+        assert!(ProbeDistribution::proportional_to(&[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong n")]
+    fn fill_rejects_mismatched_n() {
+        let d = ProbeDistribution::zipf(8, 1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        let mut out = Vec::new();
+        d.fill(&mut rng, 9, 4, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-tier capacities")]
+    fn two_tier_capacities_reject_zero_ratio() {
+        let _ = two_tier_capacities(4, 2, 0);
+    }
+}

@@ -7,9 +7,11 @@
 
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
 
-use crate::driver::{run_once, RunConfig, RunResult};
+use crate::driver::{run_once, run_once_on, RunConfig, RunResult};
 use crate::dynamic::DynamicKChoice;
 use crate::kd::{EngineVersion, KdChoice};
+use crate::probes::{two_tier_capacities, ProbeDistribution};
+use crate::state::LoadVector;
 
 /// The report fields shared by every [`RunResult`]-producing scenario.
 fn run_result_fields(r: &RunResult) -> Fields {
@@ -218,6 +220,305 @@ impl Scenario for DynamicScenario {
     }
 }
 
+/// The probe skew of one `hetero` cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeSkew {
+    /// Uniform probing — the paper's model (and the bit-identical
+    /// baseline the equivalence test pins).
+    Uniform,
+    /// Zipf(s) probing, `P(bin i) ∝ 1/(i+1)^s`.
+    Zipf(f64),
+    /// Two-tier probing: every `every`-th bin is probed `ratio×` as
+    /// often.
+    TwoTier,
+    /// Capacity-proportional probing `P(bin) ∝ c_bin` (uniform when the
+    /// capacity spread is flat).
+    Capacity,
+}
+
+impl ProbeSkew {
+    /// The report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProbeSkew::Uniform => "uniform",
+            ProbeSkew::Zipf(_) => "zipf",
+            ProbeSkew::TwoTier => "two_tier",
+            ProbeSkew::Capacity => "capacity",
+        }
+    }
+}
+
+/// The capacity spread of one `hetero` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacitySpread {
+    /// Every bin has capacity 1 (homogeneous — the paper's model).
+    One,
+    /// Every `every`-th bin has capacity `ratio`, the rest capacity 1
+    /// (the "two-tier 10×" cluster).
+    TwoTier,
+}
+
+impl CapacitySpread {
+    /// The report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CapacitySpread::One => "one",
+            CapacitySpread::TwoTier => "two_tier",
+        }
+    }
+}
+
+/// Config of one heterogeneous cell: probe skew × capacity spread ×
+/// (k, d) × offered load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroConfig {
+    /// Balls per round, `k`.
+    pub k: usize,
+    /// Probes per round, `d ≥ k`.
+    pub d: usize,
+    /// Number of bins.
+    pub n: usize,
+    /// How probes are skewed across bins.
+    pub skew: ProbeSkew,
+    /// How capacities are spread across bins.
+    pub spread: CapacitySpread,
+    /// The two-tier boost: probe weight and/or capacity of the hot/fat
+    /// bins.
+    pub ratio: u32,
+    /// The two-tier stride: bins `≡ 0 mod every` are hot/fat.
+    pub every: usize,
+    /// Offered load in balls **per unit capacity**: the run throws
+    /// `round(lambda × total_capacity)` balls, so `lambda = 1` fills the
+    /// cluster to one ball per capacity unit regardless of the spread.
+    pub lambda: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl HeteroConfig {
+    /// The per-bin capacity map of this cell (`None` = all 1).
+    pub fn capacities(&self) -> Option<Vec<u32>> {
+        match self.spread {
+            CapacitySpread::One => None,
+            CapacitySpread::TwoTier => Some(two_tier_capacities(self.n, self.every, self.ratio)),
+        }
+    }
+
+    /// The probe distribution of this cell.
+    pub fn probe_distribution(&self) -> ProbeDistribution {
+        match self.skew {
+            ProbeSkew::Uniform => ProbeDistribution::Uniform,
+            ProbeSkew::Zipf(s) => {
+                ProbeDistribution::zipf(self.n, s).expect("validated at config construction")
+            }
+            ProbeSkew::TwoTier => ProbeDistribution::two_tier(self.n, self.every, self.ratio)
+                .expect("validated at config construction"),
+            ProbeSkew::Capacity => match self.capacities() {
+                Some(caps) => ProbeDistribution::proportional_to(&caps)
+                    .expect("validated at config construction"),
+                None => ProbeDistribution::Uniform,
+            },
+        }
+    }
+
+    /// `Σ c_bin` of this cell.
+    pub fn total_capacity(&self) -> u64 {
+        self.capacities()
+            .map_or(self.n as u64, |c| c.iter().map(|&x| u64::from(x)).sum())
+    }
+
+    /// Balls thrown by this cell: `round(lambda × total_capacity)`, at
+    /// least 1.
+    pub fn balls(&self) -> u64 {
+        ((self.lambda * self.total_capacity() as f64).round() as u64).max(1)
+    }
+}
+
+/// The record of one heterogeneous run: the usual [`RunResult`] plus the
+/// capacity-normalized observables read off the final state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroRecord {
+    /// The standard run observables (max load, load gap, histograms, …).
+    pub result: RunResult,
+    /// Final `max_bin load_bin / c_bin`.
+    pub max_utilization: f64,
+    /// Final capacity-normalized gap `max utilization − balls /
+    /// total_capacity`.
+    pub utilization_gap: f64,
+    /// `Σ c_bin` of the cell.
+    pub total_capacity: u64,
+}
+
+/// Heterogeneous bins & weighted probing as a registry scenario named
+/// `hetero`: (k,d)-choice under skewed probe distributions (Zipf,
+/// two-tier, capacity-proportional) over unequal-capacity bins, reporting
+/// both the raw load observables and their capacity-normalized analogues.
+///
+/// With `skew=uniform` and `spread=one` the cell runs the **identical
+/// generator stream** as the `static` scenario at the same `(k, d, n,
+/// balls, seed)` — locked bit-for-bit by test — so the heterogeneous
+/// family is a strict superset of the paper's setting, not a parallel
+/// implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeteroScenario;
+
+impl Scenario for HeteroScenario {
+    type Config = HeteroConfig;
+    type Record = HeteroRecord;
+
+    fn name(&self) -> &'static str {
+        "hetero"
+    }
+
+    fn description(&self) -> &'static str {
+        "heterogeneous bins: weighted/Zipf/two-tier probing over unequal capacities, capacity-normalized gap"
+    }
+
+    fn run(&self, config: &Self::Config, seed: u64) -> HeteroRecord {
+        let state = match config.capacities() {
+            None => LoadVector::new(config.n),
+            Some(caps) => LoadVector::with_capacities(&caps),
+        };
+        let mut process = KdChoice::new(config.k, config.d)
+            .expect("validated at config construction")
+            .with_probes(config.probe_distribution());
+        let run = RunConfig::new(config.n, seed).with_balls(config.balls());
+        let (result, final_state) = run_once_on(&mut process, &run, state);
+        HeteroRecord {
+            result,
+            max_utilization: final_state.max_utilization(),
+            utilization_gap: final_state.utilization_gap(),
+            total_capacity: final_state.total_capacity(),
+        }
+    }
+
+    fn base_seed(&self, config: &Self::Config) -> u64 {
+        config.seed
+    }
+
+    fn config_fields(&self, config: &Self::Config) -> Fields {
+        let s = match config.skew {
+            ProbeSkew::Zipf(s) => s,
+            _ => 0.0,
+        };
+        vec![
+            ("k", Value::U64(config.k as u64)),
+            ("d", Value::U64(config.d as u64)),
+            ("n", Value::U64(config.n as u64)),
+            ("skew", Value::Str(config.skew.label().into())),
+            ("s", Value::F64(s)),
+            ("spread", Value::Str(config.spread.label().into())),
+            ("ratio", Value::U64(u64::from(config.ratio))),
+            ("every", Value::U64(config.every as u64)),
+            ("lambda", Value::F64(config.lambda)),
+            ("balls", Value::U64(config.balls())),
+        ]
+    }
+
+    fn record_fields(&self, record: &Self::Record) -> Fields {
+        let mut fields = run_result_fields(&record.result);
+        fields.push(("max_util", Value::F64(record.max_utilization)));
+        fields.push(("util_gap", Value::F64(record.utilization_gap)));
+        fields.push(("capacity", Value::U64(record.total_capacity)));
+        fields
+    }
+
+    fn axes(&self) -> &'static [Axis] {
+        const AXES: &[Axis] = &[
+            Axis::new(
+                "skew",
+                "probe skew: uniform | zipf | two_tier | capacity (default uniform)",
+            ),
+            Axis::new("s", "zipf exponent, skew=zipf only (default 1.0)"),
+            Axis::new(
+                "spread",
+                "capacity spread: one | two_tier (default one = all capacities 1)",
+            ),
+            Axis::new(
+                "ratio",
+                "two-tier boost: hot-bin probe weight / fat-bin capacity (default 10)",
+            ),
+            Axis::new(
+                "every",
+                "two-tier stride: bins = 0 mod every are hot/fat (default 10)",
+            ),
+            Axis::new("k", "balls per round (default 2)"),
+            Axis::new("d", "probes per round, d >= k (default 4)"),
+            Axis::new("n", "bins (default 2^12; accepts 2^k)"),
+            Axis::new(
+                "lambda",
+                "balls per unit capacity; throws round(lambda * total capacity) balls (default 1.0)",
+            ),
+            Axis::new("seed", "master seed (default: --seed)"),
+        ];
+        AXES
+    }
+
+    fn config_from_params(&self, params: &Params) -> Result<Self::Config, GridError> {
+        let k = params.get_usize("k", 2)?;
+        let d = params.get_usize("d", 4)?;
+        if k == 0 || k > d {
+            return Err(params.bad_value("d", &format!("1 <= k <= d (got k={k}, d={d})")));
+        }
+        let n = params.get_usize("n", 1 << 12)?;
+        if n == 0 {
+            return Err(params.bad_value("n", "at least one bin"));
+        }
+        let s = params.get_f64("s", 1.0)?;
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(params.bad_value("s", "a finite zipf exponent >= 0"));
+        }
+        let skew = match params.get_raw("skew").unwrap_or("uniform") {
+            "uniform" => ProbeSkew::Uniform,
+            "zipf" => ProbeSkew::Zipf(s),
+            "two_tier" => ProbeSkew::TwoTier,
+            "capacity" => ProbeSkew::Capacity,
+            _ => {
+                return Err(params.bad_value("skew", "uniform | zipf | two_tier | capacity"));
+            }
+        };
+        let spread = match params.get_raw("spread").unwrap_or("one") {
+            "one" => CapacitySpread::One,
+            "two_tier" => CapacitySpread::TwoTier,
+            _ => return Err(params.bad_value("spread", "one | two_tier")),
+        };
+        let ratio = params.get_u32("ratio", 10)?;
+        if ratio == 0 {
+            return Err(params.bad_value("ratio", "a boost of at least 1"));
+        }
+        let every = params.get_usize("every", 10)?;
+        if every == 0 {
+            return Err(params.bad_value("every", "a stride of at least 1"));
+        }
+        let lambda = params.get_f64("lambda", 1.0)?;
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(params.bad_value("lambda", "a positive load factor"));
+        }
+        Ok(HeteroConfig {
+            k,
+            d,
+            n,
+            skew,
+            spread,
+            ratio,
+            every,
+            lambda,
+            seed: params.get_u64("seed", 0)?,
+        })
+    }
+
+    fn smoke_grid(&self) -> GridSpec {
+        GridSpec::parse_str(
+            "n=2^8 k=2 d=4 skew=uniform,zipf,two_tier,capacity spread=one,two_tier lambda=1 every=8",
+        )
+        .expect("hetero smoke grid")
+    }
+
+    fn throughput_unit(&self) -> &'static str {
+        "balls/sec"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,12 +596,152 @@ mod tests {
         for scenario in [
             &StaticScenario as &dyn kdchoice_expt::RunnableScenario,
             &DynamicScenario,
+            &HeteroScenario,
         ] {
             let report = scenario
                 .run_grid(&scenario.smoke_grid(), 1, 0, &SweepRunner::new())
                 .unwrap();
             assert!(!report.rows.is_empty());
             assert!(report.rows.len() <= 8, "smoke grid too large");
+        }
+    }
+
+    /// The acceptance criterion of the heterogeneous tentpole: with all
+    /// weights equal and all capacities 1, the `hetero` cell's event
+    /// stream — and therefore its entire result, histograms included —
+    /// is **bit-identical** to the pre-existing uniform `static` path.
+    #[test]
+    fn hetero_uniform_is_bit_identical_to_static() {
+        let grid = GridSpec::parse_str("k=1,2 d=2,4 n=256 lambda=1 seed=13").unwrap();
+        let hetero_configs = configs_from_grid(&HeteroScenario, &grid, 13).unwrap();
+        assert_eq!(hetero_configs.len(), 4);
+        for cfg in &hetero_configs {
+            assert_eq!(cfg.balls(), 256);
+            for trial in 0..3u64 {
+                let seed = derive_seed(cfg.seed, trial);
+                let hetero = HeteroScenario.run(cfg, seed);
+                let static_cfg = StaticConfig {
+                    k: cfg.k,
+                    d: cfg.d,
+                    engine: EngineVersion::Batched,
+                    run: RunConfig::new(cfg.n, 13).with_balls(256),
+                };
+                let uniform = StaticScenario.run(&static_cfg, seed);
+                assert_eq!(
+                    hetero.result, uniform,
+                    "k={} d={} trial={trial}",
+                    cfg.k, cfg.d
+                );
+                // Homogeneous capacities: the normalized observables
+                // coincide with the raw ones.
+                assert_eq!(hetero.total_capacity, 256);
+                assert_eq!(hetero.max_utilization, f64::from(uniform.max_load));
+                assert!((hetero.utilization_gap - uniform.gap).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// An equal-weight `Weighted` distribution degenerates to the same
+    /// stream: the seam itself cannot perturb uniform results.
+    #[test]
+    fn equal_weight_process_matches_uniform_process() {
+        use crate::driver::run_once;
+        let cfg = RunConfig::new(512, 77).with_balls(1024);
+        let mut uniform = KdChoice::new(2, 4).unwrap();
+        let want = run_once(&mut uniform, &cfg);
+        let mut weighted = KdChoice::new(2, 4)
+            .unwrap()
+            .with_probes(ProbeDistribution::weighted(&vec![5.0; 512]).unwrap());
+        let mut got = run_once(&mut weighted, &cfg);
+        // The name advertises the declared distribution ("@weighted");
+        // everything observable is identical.
+        assert_eq!(got.name, "(2,4)-choice@weighted");
+        got.name = want.name.clone();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hetero_grid_validates_parameters() {
+        for bad in [
+            "skew=psychic",
+            "spread=lumpy",
+            "s=-1",
+            "ratio=0",
+            "every=0",
+            "lambda=0",
+            "lambda=-2",
+            "k=3 d=2",
+            "n=0",
+        ] {
+            let grid = GridSpec::parse_str(bad).unwrap();
+            assert!(
+                configs_from_grid(&HeteroScenario, &grid, 0).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+        let grid = GridSpec::parse_str("skew=zipf s=1.5 spread=two_tier n=100").unwrap();
+        let cfg = &configs_from_grid(&HeteroScenario, &grid, 0).unwrap()[0];
+        assert_eq!(cfg.skew, ProbeSkew::Zipf(1.5));
+        assert_eq!(cfg.spread, CapacitySpread::TwoTier);
+        // 10 fat bins of capacity 10 + 90 of capacity 1.
+        assert_eq!(cfg.total_capacity(), 190);
+        assert_eq!(cfg.balls(), 190);
+    }
+
+    /// Zipf probing concentrates load: the head bin must end far above
+    /// average, and the capacity-normalized gap must exceed the uniform
+    /// cell's.
+    #[test]
+    fn zipf_skew_produces_a_worse_gap_than_uniform() {
+        let grid = GridSpec::parse_str("skew=uniform,zipf s=1.0 n=2^10 d=4 lambda=4").unwrap();
+        let configs = configs_from_grid(&HeteroScenario, &grid, 3).unwrap();
+        let uniform = HeteroScenario.run(&configs[0], 3);
+        let zipf = HeteroScenario.run(&configs[1], 3);
+        assert_eq!(uniform.result.balls_placed, zipf.result.balls_placed);
+        assert!(
+            zipf.utilization_gap > uniform.utilization_gap + 1.0,
+            "zipf gap {} vs uniform gap {}",
+            zipf.utilization_gap,
+            uniform.utilization_gap
+        );
+        assert!(zipf.result.name.contains("zipf"), "{}", zipf.result.name);
+    }
+
+    /// Capacity-proportional probing over a two-tier cluster keeps
+    /// utilization far more balanced than probing it uniformly. Single
+    /// choice (k = d = 1) isolates the sampling effect: with d > 1 the
+    /// least-loaded rule compares **raw** loads, which actively steers
+    /// balls away from fat bins and cancels much of the capacity skew.
+    #[test]
+    fn capacity_proportional_probing_balances_utilization() {
+        let grid = GridSpec::parse_str(
+            "skew=uniform,capacity spread=two_tier ratio=10 every=4 n=2^10 k=1 d=1 lambda=8",
+        )
+        .unwrap();
+        let configs = configs_from_grid(&HeteroScenario, &grid, 5).unwrap();
+        let blind = HeteroScenario.run(&configs[0], 5);
+        let matched = HeteroScenario.run(&configs[1], 5);
+        assert_eq!(blind.total_capacity, matched.total_capacity);
+        assert!(
+            matched.utilization_gap < blind.utilization_gap,
+            "capacity-aware {} vs capacity-blind {}",
+            matched.utilization_gap,
+            blind.utilization_gap
+        );
+    }
+
+    #[test]
+    fn hetero_reports_render_valid_json() {
+        let grid = GridSpec::parse_str("skew=two_tier spread=two_tier n=128 every=8").unwrap();
+        let configs = configs_from_grid(&HeteroScenario, &grid, 1).unwrap();
+        let cells = SweepRunner::new().run_scenario(&HeteroScenario, &configs, 2);
+        let report = SweepReport::from_cells(&HeteroScenario, &configs, &cells);
+        assert_eq!(report.rows.len(), 2);
+        for line in report.to_jsonl().lines() {
+            kdchoice_expt::validate_json(line).unwrap();
+            assert!(line.contains("\"scenario\": \"hetero\""));
+            assert!(line.contains("\"util_gap\""));
+            assert!(line.contains("\"max_util\""));
         }
     }
 }

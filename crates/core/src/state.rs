@@ -2,6 +2,35 @@
 
 use rand::{Rng, RngCore};
 
+/// One capacity class of a heterogeneous bin set: all bins sharing one
+/// capacity value, with their own count-by-load histogram and max load —
+/// the structure that keeps capacity-normalized observables cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CapacityClass {
+    /// The shared capacity `c` of every bin in this class.
+    capacity: u32,
+    /// `count_by_load[l]` = bins of this class with load exactly `l`
+    /// (same shape and truncation discipline as the global histogram).
+    count_by_load: Vec<u64>,
+    /// The maximum load within the class.
+    max_load: u32,
+}
+
+/// The heterogeneous extension of [`LoadVector`]: per-bin capacities plus
+/// per-capacity-class histograms. Boxed and optional so the homogeneous
+/// case (the paper's model) pays nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Hetero {
+    /// `capacity[bin]` = the bin's capacity `c_bin ≥ 1`.
+    capacity: Vec<u32>,
+    /// `Σ capacity` — the denominator of the average utilization.
+    total_capacity: u64,
+    /// `class_of[bin]` = index into `classes`.
+    class_of: Vec<u32>,
+    /// One entry per distinct capacity value, ascending by capacity.
+    classes: Vec<CapacityClass>,
+}
+
 /// The state of `n` bins: per-bin loads plus a count-by-load histogram that
 /// makes the paper's observables cheap:
 ///
@@ -14,6 +43,27 @@ use rand::{Rng, RngCore};
 /// The sorted order itself ("bin x = x-th most loaded") is never maintained
 /// explicitly; every query that the paper phrases on the sorted vector is
 /// answered from the histogram.
+///
+/// ## Heterogeneous capacities
+///
+/// [`LoadVector::with_capacities`] attaches a per-bin capacity `c_bin ≥ 1`
+/// — the unequal-servers setting of the §1.3 applications. Bins are
+/// grouped into **capacity classes** (one per distinct capacity value),
+/// each maintaining its own count-by-load histogram and max load with the
+/// same O(1)-per-mutation bookkeeping as the global caches, so the
+/// normalized observables are cheap too:
+///
+/// * [`LoadVector::utilization`] — `load_bin / c_bin`;
+/// * [`LoadVector::max_utilization`] — `max_bin load_bin / c_bin`, read in
+///   O(#distinct capacities) (a handful in any realistic spread);
+/// * [`LoadVector::utilization_gap`] — `max utilization − total_balls /
+///   total_capacity`, the capacity-normalized analogue of [`LoadVector::gap`]
+///   (and equal to it when every capacity is 1).
+///
+/// Capacities of all 1 construct the exact homogeneous representation, so
+/// `with_capacities(&[1; n])` is bit-identical to `new(n)`; the add/remove
+/// round-trip identity holds in every case (class histograms truncate
+/// empty top levels exactly like the global one).
 ///
 /// ```
 /// use kdchoice_core::LoadVector;
@@ -41,6 +91,9 @@ pub struct LoadVector {
     nu1: u64,
     /// Cached `ν_2` (bins with load ≥ 2).
     nu2: u64,
+    /// Per-bin capacities and capacity-class histograms; `None` for the
+    /// homogeneous (all capacities 1) case, which pays nothing.
+    hetero: Option<Box<Hetero>>,
 }
 
 impl LoadVector {
@@ -58,7 +111,56 @@ impl LoadVector {
             total_balls: 0,
             nu1: 0,
             nu2: 0,
+            hetero: None,
         }
+    }
+
+    /// Creates empty bins with the given per-bin capacities — the
+    /// heterogeneous-cluster setting (unequal servers, §1.3).
+    ///
+    /// All capacities 1 is detected and constructs the exact homogeneous
+    /// representation (bit-identical to [`LoadVector::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or any capacity is 0.
+    pub fn with_capacities(capacities: &[u32]) -> Self {
+        assert!(!capacities.is_empty(), "need at least one bin");
+        assert!(
+            capacities.iter().all(|&c| c > 0),
+            "every bin needs capacity >= 1"
+        );
+        let mut state = Self::new(capacities.len());
+        if capacities.iter().all(|&c| c == 1) {
+            return state;
+        }
+        // One class per distinct capacity value, ascending.
+        let mut distinct: Vec<u32> = capacities.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut classes: Vec<CapacityClass> = distinct
+            .iter()
+            .map(|&capacity| CapacityClass {
+                capacity,
+                count_by_load: vec![0],
+                max_load: 0,
+            })
+            .collect();
+        let class_of: Vec<u32> = capacities
+            .iter()
+            .map(|c| {
+                let idx = distinct.binary_search(c).expect("capacity is distinct");
+                classes[idx].count_by_load[0] += 1;
+                idx as u32
+            })
+            .collect();
+        state.hetero = Some(Box::new(Hetero {
+            capacity: capacities.to_vec(),
+            total_capacity: capacities.iter().map(|&c| u64::from(c)).sum(),
+            class_of,
+            classes,
+        }));
+        state
     }
 
     /// The number of bins.
@@ -100,6 +202,17 @@ impl LoadVector {
         // Keep the ν_1/ν_2 suffix counts current (branchless increments).
         self.nu1 += u64::from(new == 1);
         self.nu2 += u64::from(new == 2);
+        if let Some(h) = &mut self.hetero {
+            let class = &mut h.classes[h.class_of[bin] as usize];
+            class.count_by_load[old as usize] -= 1;
+            if new as usize >= class.count_by_load.len() {
+                class.count_by_load.push(0);
+            }
+            class.count_by_load[new as usize] += 1;
+            if new > class.max_load {
+                class.max_load = new;
+            }
+        }
         new
     }
 
@@ -135,6 +248,17 @@ impl LoadVector {
         }
         self.nu1 -= u64::from(old == 1);
         self.nu2 -= u64::from(old == 2);
+        if let Some(h) = &mut self.hetero {
+            let class = &mut h.classes[h.class_of[bin] as usize];
+            class.count_by_load[old as usize] -= 1;
+            class.count_by_load[new as usize] += 1;
+            // Same top-level discipline as the global histogram: truncate
+            // the emptied level so add-then-remove round-trips bit-exactly.
+            if old == class.max_load && class.count_by_load[old as usize] == 0 {
+                class.max_load = new;
+                class.count_by_load.truncate(old as usize);
+            }
+        }
         old
     }
 
@@ -159,6 +283,76 @@ impl LoadVector {
     /// heavily-loaded-case results (Theorem 2).
     pub fn gap(&self) -> f64 {
         self.max_load as f64 - self.average_load()
+    }
+
+    /// The capacity of `bin` (1 for homogeneous state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n`.
+    #[inline]
+    pub fn capacity(&self, bin: usize) -> u32 {
+        assert!(bin < self.loads.len(), "bin {bin} out of range");
+        self.hetero.as_ref().map_or(1, |h| h.capacity[bin])
+    }
+
+    /// The total capacity `Σ c_bin` (`n` for homogeneous state).
+    #[inline]
+    pub fn total_capacity(&self) -> u64 {
+        self.hetero
+            .as_ref()
+            .map_or(self.loads.len() as u64, |h| h.total_capacity)
+    }
+
+    /// Whether any bin has capacity ≠ 1.
+    #[inline]
+    pub fn is_heterogeneous(&self) -> bool {
+        self.hetero.is_some()
+    }
+
+    /// The per-bin capacities, or `None` for homogeneous state.
+    pub fn capacities(&self) -> Option<&[u32]> {
+        self.hetero.as_ref().map(|h| h.capacity.as_slice())
+    }
+
+    /// The **normalized load** (utilization) of `bin`: `load_bin / c_bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= n`.
+    #[inline]
+    pub fn utilization(&self, bin: usize) -> f64 {
+        f64::from(self.loads[bin]) / f64::from(self.capacity(bin))
+    }
+
+    /// The maximum utilization `max_bin load_bin / c_bin` — the
+    /// heterogeneous analogue of [`LoadVector::max_load`].
+    ///
+    /// Answered from the per-capacity-class max loads: O(#distinct
+    /// capacities) per query, O(1) maintenance per mutation. Equals
+    /// `max_load` when every capacity is 1.
+    pub fn max_utilization(&self) -> f64 {
+        match &self.hetero {
+            None => f64::from(self.max_load),
+            Some(h) => h
+                .classes
+                .iter()
+                .map(|c| f64::from(c.max_load) / f64::from(c.capacity))
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// The average utilization `total_balls / total_capacity`.
+    pub fn average_utilization(&self) -> f64 {
+        self.total_balls as f64 / self.total_capacity() as f64
+    }
+
+    /// The **capacity-normalized gap** `max utilization − average
+    /// utilization` — the heterogeneous analogue of [`LoadVector::gap`]
+    /// (equal to it when every capacity is 1), and the balance statistic
+    /// the `hetero` scenario reports.
+    pub fn utilization_gap(&self) -> f64 {
+        self.max_utilization() - self.average_utilization()
     }
 
     /// `ν_y`: the number of bins with load at least `y`.
@@ -234,12 +428,40 @@ impl LoadVector {
         }
         let ge1: u64 = hist[1..].iter().sum();
         let ge2: u64 = hist.get(2..).map(|t| t.iter().sum()).unwrap_or(0);
+        let hetero_ok = match &self.hetero {
+            None => true,
+            Some(h) => {
+                let mut ok = h.capacity.len() == n
+                    && h.class_of.len() == n
+                    && h.total_capacity == h.capacity.iter().map(|&c| u64::from(c)).sum::<u64>();
+                for (idx, class) in h.classes.iter().enumerate() {
+                    let mut class_hist = vec![0u64; class.count_by_load.len()];
+                    let mut class_max = 0u32;
+                    for bin in 0..n {
+                        if h.class_of[bin] as usize != idx {
+                            continue;
+                        }
+                        ok &= h.capacity[bin] == class.capacity;
+                        let l = self.loads[bin] as usize;
+                        if l >= class_hist.len() {
+                            ok = false;
+                            continue;
+                        }
+                        class_hist[l] += 1;
+                        class_max = class_max.max(self.loads[bin]);
+                    }
+                    ok &= class_hist == class.count_by_load && class_max == class.max_load;
+                }
+                ok
+            }
+        };
         hist == self.count_by_load
             && total == self.total_balls
             && max == self.max_load
             && self.count_by_load.iter().sum::<u64>() == n as u64
             && ge1 == self.nu1
             && ge2 == self.nu2
+            && hetero_ok
     }
 }
 
@@ -445,6 +667,109 @@ mod tests {
             }
         }
         assert_eq!(s.total_balls(), live.len() as u64);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn unit_capacities_are_bit_identical_to_new() {
+        let a = LoadVector::new(7);
+        let b = LoadVector::with_capacities(&[1; 7]);
+        assert_eq!(a, b);
+        assert!(!b.is_heterogeneous());
+        assert_eq!(b.capacity(3), 1);
+        assert_eq!(b.total_capacity(), 7);
+        assert!(b.capacities().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = LoadVector::with_capacities(&[2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn empty_capacities_rejected() {
+        let _ = LoadVector::with_capacities(&[]);
+    }
+
+    #[test]
+    fn utilization_observables_track_capacities() {
+        // Two-tier: bin 0 is a 4× server.
+        let mut s = LoadVector::with_capacities(&[4, 1, 1, 1]);
+        assert!(s.is_heterogeneous());
+        assert_eq!(s.capacity(0), 4);
+        assert_eq!(s.total_capacity(), 7);
+        assert_eq!(s.capacities(), Some(&[4, 1, 1, 1][..]));
+        assert_eq!(s.max_utilization(), 0.0);
+
+        for _ in 0..4 {
+            s.add_ball(0);
+        }
+        // Bin 0 is at load 4 but utilization 1.0.
+        assert_eq!(s.max_load(), 4);
+        assert_eq!(s.utilization(0), 1.0);
+        assert_eq!(s.max_utilization(), 1.0);
+        s.add_ball(1);
+        s.add_ball(1);
+        // Bin 1 (capacity 1, load 2) now dominates utilization.
+        assert_eq!(s.max_utilization(), 2.0);
+        assert!((s.average_utilization() - 6.0 / 7.0).abs() < 1e-12);
+        assert!((s.utilization_gap() - (2.0 - 6.0 / 7.0)).abs() < 1e-12);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn homogeneous_utilization_gap_equals_gap() {
+        let mut s = LoadVector::new(4);
+        s.add_ball(2);
+        s.add_ball(2);
+        s.add_ball(0);
+        assert_eq!(s.max_utilization(), f64::from(s.max_load()));
+        assert!((s.utilization_gap() - s.gap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_add_remove_round_trips_exactly() {
+        let mut s = LoadVector::with_capacities(&[1, 10, 3, 10, 1]);
+        s.add_ball(1);
+        s.add_ball(3);
+        s.add_ball(3);
+        let snapshot = s.clone();
+        s.add_ball(3);
+        s.add_ball(0);
+        assert_eq!(s.remove_ball(0), 1);
+        assert_eq!(s.remove_ball(3), 3);
+        assert_eq!(s, snapshot, "add then remove must round-trip exactly");
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn capacity_churn_keeps_class_invariants() {
+        use rand::Rng;
+        let caps: Vec<u32> = (0..24).map(|i| if i % 8 == 0 { 10 } else { 1 }).collect();
+        let mut s = LoadVector::with_capacities(&caps);
+        let mut rng = Xoshiro256PlusPlus::from_u64(12);
+        let mut live: Vec<usize> = Vec::new();
+        for step in 0..10_000 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let b = rng.gen_range(0..24);
+                s.add_ball(b);
+                live.push(b);
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let b = live.swap_remove(i);
+                s.remove_ball(b);
+            }
+            if step % 2048 == 0 {
+                assert!(s.check_invariants(), "corrupted at step {step}");
+                // Brute-force max utilization cross-check.
+                let want = (0..24)
+                    .map(|b| f64::from(s.load(b)) / f64::from(caps[b]))
+                    .fold(0.0, f64::max);
+                assert!((s.max_utilization() - want).abs() < 1e-12);
+            }
+        }
         assert!(s.check_invariants());
     }
 

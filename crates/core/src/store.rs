@@ -68,6 +68,31 @@ pub trait BinStore {
         f64::from(self.max_load()) - self.average_load()
     }
 
+    /// The capacity of `bin`. Defaults to 1 (homogeneous bins, the
+    /// paper's model); heterogeneous stores override.
+    fn capacity(&self, bin: usize) -> u32 {
+        assert!(bin < self.n(), "bin {bin} out of range");
+        1
+    }
+
+    /// The total capacity `Σ c_bin` (defaults to `n`).
+    fn total_capacity(&self) -> u64 {
+        self.n() as u64
+    }
+
+    /// The maximum utilization `max_bin load_bin / c_bin` (defaults to
+    /// `max_load`, its value when every capacity is 1).
+    fn max_utilization(&self) -> f64 {
+        f64::from(self.max_load())
+    }
+
+    /// The capacity-normalized gap `max utilization − total_balls /
+    /// total_capacity` — equal to [`BinStore::gap`] when every capacity
+    /// is 1.
+    fn utilization_gap(&self) -> f64 {
+        self.max_utilization() - self.total_balls() as f64 / self.total_capacity() as f64
+    }
+
     /// Overwrites `out` with the per-bin loads in bin-index order.
     ///
     /// Snapshot-style accessor shared by probing schedulers: a borrowed
@@ -114,6 +139,26 @@ impl BinStore for LoadVector {
     #[inline]
     fn nu(&self, y: u32) -> u64 {
         LoadVector::nu(self, y)
+    }
+
+    #[inline]
+    fn capacity(&self, bin: usize) -> u32 {
+        LoadVector::capacity(self, bin)
+    }
+
+    #[inline]
+    fn total_capacity(&self) -> u64 {
+        LoadVector::total_capacity(self)
+    }
+
+    #[inline]
+    fn max_utilization(&self) -> f64 {
+        LoadVector::max_utilization(self)
+    }
+
+    #[inline]
+    fn utilization_gap(&self) -> f64 {
+        LoadVector::utilization_gap(self)
     }
 
     fn copy_loads_into(&self, out: &mut Vec<u32>) {

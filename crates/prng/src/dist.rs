@@ -19,7 +19,10 @@ pub struct ParamError {
 }
 
 impl ParamError {
-    fn new(what: &'static str) -> Self {
+    /// Creates a parameter error with a static description — public so
+    /// downstream distribution adapters (e.g. the probe-distribution
+    /// seam in `kdchoice-core`) report constructor misuse uniformly.
+    pub fn new(what: &'static str) -> Self {
         Self { what }
     }
 }

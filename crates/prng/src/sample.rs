@@ -81,6 +81,305 @@ impl UniformBin {
     }
 }
 
+/// A precomputed **weighted** sampler over `0..n` — the non-uniform probe
+/// distribution of the heterogeneous-bins extension — built on a
+/// Walker/Vose alias table with integer thresholds: O(n) construction,
+/// O(1) divisionless draws, one generator output per draw.
+///
+/// Each draw pulls a single `u64` and splits it with one widening
+/// multiply: the high half selects the alias slot, the low half (the
+/// fractional part of `raw · n / 2⁶⁴`) is the accept/alias coin compared
+/// against a 32-bit threshold packed next to the alias index in **one**
+/// table word. No division, no `f64` arithmetic, no second generator
+/// output, one table load — the weighted draw costs the same generator
+/// traffic as [`UniformBin`] plus a single cache-line access, which is
+/// what keeps the batched round engine's inner loop shape intact under
+/// weighted probing (raced in `BENCH_results.json`,
+/// `weighted_sampling`).
+///
+/// **Exactness.** Reusing the low product half as the coin and
+/// quantizing thresholds to 32 bits introduces a per-category bias of at
+/// most `≈ 2⁻³² + n/2⁶⁴`, statistically invisible at any simulation
+/// scale; the chi-square goodness-of-fit suite in
+/// `tests/weighted_sampling.rs` bounds it empirically.
+///
+/// **Uniform degeneration.** When every weight is equal the constructor
+/// degenerates to a [`UniformBin`] internally, so the draw stream is
+/// **bit-identical** to `UniformBin` on the same generator state (locked
+/// by test) — uniform experiments cannot drift by switching to the
+/// weighted API.
+///
+/// ```
+/// use kdchoice_prng::{sample::WeightedBin, Xoshiro256PlusPlus};
+///
+/// # fn main() -> Result<(), kdchoice_prng::dist::ParamError> {
+/// let bins = WeightedBin::new(&[1.0, 0.0, 3.0])?;
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// for _ in 0..100 {
+///     let b = bins.sample(&mut rng);
+///     assert!(b < 3 && b != 1, "zero-weight bin drawn");
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedBin {
+    kind: WeightedKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum WeightedKind {
+    /// All weights equal: delegate to the uniform sampler (bit-identical
+    /// stream to [`UniformBin`]).
+    Uniform(UniformBin),
+    /// Walker/Vose alias table, one packed `u64` per slot:
+    /// `(accept threshold as u32) << 32 | alias index`. Packing keeps a
+    /// draw to exactly **one** table load (one cache line), which is what
+    /// the uniform/weighted throughput race in `BENCH_results.json`
+    /// measures — at two separate arrays the second dependent load
+    /// roughly doubles the miss cost at large `n`.
+    Alias {
+        /// `packed[i]`: accept slot `i` when the top 32 coin bits are
+        /// `< packed[i] >> 32`, else jump to `packed[i] & 0xFFFF_FFFF`.
+        /// Always-accept slots store threshold `u32::MAX` with a
+        /// self-alias, so the `2⁻³²` miss resolves to the same slot.
+        packed: Vec<u64>,
+    },
+}
+
+impl WeightedBin {
+    /// Builds the sampler from non-negative weights (not necessarily
+    /// normalized): bin `i` is drawn with probability
+    /// `weights[i] / Σ weights`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::dist::ParamError`] if `weights` is empty, longer
+    /// than `u32::MAX`, contains a negative or non-finite value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, crate::dist::ParamError> {
+        use crate::dist::ParamError;
+        if weights.is_empty() {
+            return Err(ParamError::new(
+                "weighted sampler needs at least one weight",
+            ));
+        }
+        if weights.len() > u32::MAX as usize {
+            return Err(ParamError::new(
+                "weighted sampler supports at most 2^32 bins",
+            ));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(ParamError::new(
+                "weighted sampler weights must be finite and non-negative",
+            ));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ParamError::new(
+                "weighted sampler weights must not all be zero",
+            ));
+        }
+        if weights.iter().all(|&w| w == weights[0]) {
+            return Ok(Self {
+                kind: WeightedKind::Uniform(UniformBin::new(weights.len())),
+            });
+        }
+        let n = weights.len();
+        // Walker/Vose: split slots into sub-unit ("small") and super-unit
+        // ("large") scaled probabilities, then pair each small slot with a
+        // large donor.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut packed: Vec<u64> = (0..n as u64).map(pack_always_accept).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            packed[s] = (prob_to_u32(scaled[s]) << 32) | l as u64;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers hold probability 1 (up to round-off): they keep their
+        // initial always-accept self-alias entry.
+        Ok(Self {
+            kind: WeightedKind::Alias { packed },
+        })
+    }
+
+    /// A Zipf(s)-weighted sampler over `0..n`
+    /// (`P(i) ∝ 1/(i+1)^s`; `s = 0` degenerates to uniform) — the skewed
+    /// probe distribution of the heterogeneous scenarios, with O(1) draws
+    /// instead of the O(log n) CDF search of [`crate::dist::Zipf`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::dist::ParamError`] if `n == 0` or `s` is not
+    /// finite and ≥ 0.
+    pub fn zipf(n: usize, s: f64) -> Result<Self, crate::dist::ParamError> {
+        use crate::dist::ParamError;
+        if n == 0 {
+            return Err(ParamError::new(
+                "weighted sampler support must be non-empty",
+            ));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ParamError::new("zipf exponent must be finite and >= 0"));
+        }
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        Self::new(&weights)
+    }
+
+    /// The exclusive upper bound `n` (the number of categories).
+    pub fn n(&self) -> usize {
+        match &self.kind {
+            WeightedKind::Uniform(u) => u.n(),
+            WeightedKind::Alias { packed } => packed.len(),
+        }
+    }
+
+    /// Whether the weights were all equal, i.e. the sampler draws the
+    /// exact [`UniformBin`] stream.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self.kind, WeightedKind::Uniform(_))
+    }
+
+    /// Draws one index with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let raw = rng.next_u64();
+        self.map_raw(raw, rng)
+    }
+
+    /// Maps one raw generator output to an index — the widening-multiply
+    /// step the batched [`fill_weighted`] applies to pre-pulled blocks.
+    ///
+    /// In the uniform degeneration this is exactly
+    /// [`UniformBin::map_raw`] (with its rare rejection fallback drawing
+    /// from `rng`); in the alias case no fallback exists and `rng` is
+    /// never touched.
+    #[inline]
+    pub fn map_raw<R: RngCore + ?Sized>(&self, raw: u64, rng: &mut R) -> usize {
+        match &self.kind {
+            WeightedKind::Uniform(u) => u.map_raw(raw, rng),
+            WeightedKind::Alias { packed } => {
+                let m = u128::from(raw) * (packed.len() as u128);
+                let i = (m >> 64) as usize;
+                // The low product half is the fractional part of
+                // raw·n/2⁶⁴ scaled to u64; its top 32 bits are the
+                // accept/alias coin.
+                let coin = (m as u64) >> 32;
+                let entry = packed[i];
+                if coin < entry >> 32 {
+                    i
+                } else {
+                    (entry & 0xFFFF_FFFF) as usize
+                }
+            }
+        }
+    }
+}
+
+/// The packed always-accept entry for slot `i`: threshold `u32::MAX`
+/// with a self-alias (the `2⁻³²` coin miss resolves to the same slot).
+#[inline]
+fn pack_always_accept(i: u64) -> u64 {
+    (u64::from(u32::MAX) << 32) | i
+}
+
+/// Scales an accept probability in `[0, 1)` to a 32-bit threshold in the
+/// high half of a packed entry (Rust float→int casts saturate).
+#[inline]
+fn prob_to_u32(p: f64) -> u64 {
+    (p * (u32::MAX as f64 + 1.0)) as u64 & 0xFFFF_FFFF
+}
+
+/// Fills `out` with `count` indices drawn **with replacement** from the
+/// weighted distribution — the batch API mirroring
+/// [`fill_with_replacement`], and the weighted hot path of the batched
+/// round engine.
+///
+/// `out` is cleared first; its capacity is reused across calls. Generator
+/// outputs are pulled in blocks of 32 and mapped through
+/// [`WeightedBin::map_raw`], so the per-value work is one widening
+/// multiply, one compare, and (on the alias branch) one table load — no
+/// division and no branch on the block-pull loop.
+///
+/// The emitted indices are identical to `count` successive
+/// [`WeightedBin::sample`] draws on the same generator state; with all
+/// weights equal both are additionally bit-identical to
+/// [`fill_with_replacement`] (outside its ~`n/2^64` rejection band).
+///
+/// ```
+/// use kdchoice_prng::{sample::{fill_weighted, WeightedBin}, Xoshiro256PlusPlus};
+///
+/// # fn main() -> Result<(), kdchoice_prng::dist::ParamError> {
+/// let bins = WeightedBin::new(&[1.0, 2.0, 3.0])?;
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// let mut out = Vec::new();
+/// fill_weighted(&mut rng, &bins, 5, &mut out);
+/// assert_eq!(out.len(), 5);
+/// assert!(out.iter().all(|&b| b < 3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn fill_weighted<R: RngCore + ?Sized>(
+    rng: &mut R,
+    bins: &WeightedBin,
+    count: usize,
+    out: &mut Vec<usize>,
+) {
+    // The uniform degeneration takes the exact uniform batch path
+    // (bit-identical stream, see the struct docs).
+    if let WeightedKind::Uniform(u) = &bins.kind {
+        return fill_with_replacement(rng, u.n(), count, out);
+    }
+    out.clear();
+    if count == 0 {
+        return;
+    }
+    out.reserve(count);
+    let WeightedKind::Alias { packed } = &bins.kind else {
+        unreachable!("uniform handled above");
+    };
+    let n = packed.len() as u128;
+    let mut raw = [0u64; BLOCK];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(BLOCK);
+        for slot in raw[..take].iter_mut() {
+            *slot = rng.next_u64();
+        }
+        // The branchless map of `WeightedBin::map_raw`, with the kind
+        // dispatch hoisted out of the block loop: one widening multiply,
+        // one table load, one cmov per value (`extend` over the exact-
+        // size block iterator skips the per-value capacity check).
+        out.extend(raw[..take].iter().map(|&r| {
+            let m = u128::from(r) * n;
+            let i = (m >> 64) as usize;
+            let coin = (m as u64) >> 32;
+            let entry = packed[i];
+            if coin < entry >> 32 {
+                i
+            } else {
+                (entry & 0xFFFF_FFFF) as usize
+            }
+        }));
+        remaining -= take;
+    }
+}
+
 /// Fills `out` with `count` indices drawn uniformly at random **with
 /// replacement** from `0..n`.
 ///
@@ -394,6 +693,105 @@ mod tests {
             let f = c as f64 / trials as f64;
             assert!((f - 1.0 / 6.0).abs() < 0.03, "permutation frequency {f}");
         }
+    }
+
+    #[test]
+    fn weighted_bin_rejects_bad_weights() {
+        assert!(WeightedBin::new(&[]).is_err());
+        assert!(WeightedBin::new(&[1.0, -0.5]).is_err());
+        assert!(WeightedBin::new(&[0.0, 0.0]).is_err());
+        assert!(WeightedBin::new(&[f64::NAN]).is_err());
+        assert!(WeightedBin::new(&[f64::INFINITY, 1.0]).is_err());
+        assert!(WeightedBin::zipf(0, 1.0).is_err());
+        assert!(WeightedBin::zipf(4, -1.0).is_err());
+        assert!(WeightedBin::zipf(4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn weighted_bin_equal_weights_degenerates_to_uniform() {
+        for weights in [vec![1.0; 7], vec![0.25; 3], vec![42.0]] {
+            let w = WeightedBin::new(&weights).unwrap();
+            assert!(w.is_uniform(), "{weights:?}");
+            assert_eq!(w.n(), weights.len());
+        }
+        assert!(WeightedBin::zipf(5, 0.0).unwrap().is_uniform());
+        assert!(!WeightedBin::new(&[1.0, 2.0]).unwrap().is_uniform());
+        assert!(!WeightedBin::zipf(5, 1.0).unwrap().is_uniform());
+    }
+
+    #[test]
+    fn weighted_bin_equal_weights_matches_uniform_bin_stream() {
+        // The uniform degeneration must consume and map the generator
+        // exactly like UniformBin — the contract the engine-level
+        // uniform/weighted equivalence rests on.
+        let n = 12_345;
+        let w = WeightedBin::new(&vec![3.0; n]).unwrap();
+        let u = UniformBin::new(n);
+        let mut a = Xoshiro256PlusPlus::from_u64(77);
+        let mut b = Xoshiro256PlusPlus::from_u64(77);
+        for _ in 0..2000 {
+            assert_eq!(w.sample(&mut a), u.sample(&mut b));
+        }
+        assert_eq!(a, b, "generator states must coincide");
+    }
+
+    #[test]
+    fn fill_weighted_matches_scalar_draws() {
+        let w = WeightedBin::new(&[0.5, 1.5, 3.0, 0.0, 2.0]).unwrap();
+        let mut a = Xoshiro256PlusPlus::from_u64(8);
+        let mut b = Xoshiro256PlusPlus::from_u64(8);
+        let mut out = Vec::new();
+        fill_weighted(&mut a, &w, 500, &mut out);
+        let scalar: Vec<usize> = (0..500).map(|_| w.sample(&mut b)).collect();
+        assert_eq!(out, scalar);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fill_weighted_zero_count_clears() {
+        let w = WeightedBin::new(&[1.0, 2.0]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(8);
+        let mut out = vec![9, 9];
+        fill_weighted(&mut rng, &w, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn weighted_bin_matches_weights_empirically() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let w = WeightedBin::new(&weights).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(21);
+        let mut counts = [0u64; 4];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let f = c as f64 / trials as f64;
+            let want = weights[i] / 10.0;
+            assert!((f - want).abs() < 0.01, "index {i}: {f} vs {want}");
+        }
+    }
+
+    #[test]
+    fn weighted_bin_never_draws_zero_weight() {
+        let w = WeightedBin::new(&[0.0, 1.0, 0.0, 2.0, 0.0]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(22);
+        let mut out = Vec::new();
+        fill_weighted(&mut rng, &w, 50_000, &mut out);
+        assert!(out.iter().all(|&b| b == 1 || b == 3));
+    }
+
+    #[test]
+    fn weighted_bin_zipf_is_head_heavy() {
+        let w = WeightedBin::zipf(100, 1.0).unwrap();
+        assert_eq!(w.n(), 100);
+        let mut rng = Xoshiro256PlusPlus::from_u64(23);
+        let trials = 30_000;
+        let zero_hits = (0..trials).filter(|_| w.sample(&mut rng) == 0).count();
+        // P(0) = 1/H_100 ≈ 0.193.
+        let f = zero_hits as f64 / trials as f64;
+        assert!((f - 0.193).abs() < 0.02, "rank-0 frequency {f}");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Statistical and stream-equivalence locks on [`WeightedBin`]:
+//!
+//! * chi-square goodness-of-fit of the alias sampler against its target
+//!   distribution, over proptest-generated random weight vectors (all
+//!   seeded: the vendored proptest draws cases from a deterministic
+//!   per-test stream, so these are regression tests, not flaky ones);
+//! * the uniform degeneration pinned **bit-identical** to the existing
+//!   [`UniformBin`] / [`fill_with_replacement`] stream — switching a
+//!   uniform experiment onto the weighted API cannot perturb any result.
+
+use kdchoice_prng::sample::{fill_weighted, fill_with_replacement, UniformBin, WeightedBin};
+use kdchoice_prng::Xoshiro256PlusPlus;
+use proptest::prelude::*;
+
+/// Upper critical value of the chi-square distribution with `df` degrees
+/// of freedom at `z` standard-normal quantiles, via the Wilson–Hilferty
+/// cube approximation (accurate to a few percent for df ≥ 2, which is
+/// plenty for a pass/fail gate set at z = 3.89 ⇒ p ≈ 5·10⁻⁵).
+fn chi_square_critical(df: f64, z: f64) -> f64 {
+    let a = 2.0 / (9.0 * df);
+    df * (1.0 - a + z * a.sqrt()).powi(3)
+}
+
+/// The chi-square statistic of observed counts against expected
+/// probabilities (categories with zero probability must have zero
+/// observations and are excluded from the statistic). Returns
+/// `(statistic, degrees_of_freedom)`.
+fn chi_square(counts: &[u64], probs: &[f64], draws: u64) -> (f64, f64) {
+    assert_eq!(counts.len(), probs.len());
+    let mut stat = 0.0;
+    let mut categories = 0usize;
+    for (&c, &p) in counts.iter().zip(probs) {
+        if p == 0.0 {
+            assert_eq!(c, 0, "zero-probability category was drawn");
+            continue;
+        }
+        let expected = p * draws as f64;
+        let diff = c as f64 - expected;
+        stat += diff * diff / expected;
+        categories += 1;
+    }
+    (stat, (categories - 1) as f64)
+}
+
+fn goodness_of_fit(weights: &[f64], seed: u64, draws: u64) -> (f64, f64) {
+    let total: f64 = weights.iter().sum();
+    let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    let sampler = WeightedBin::new(weights).expect("valid weights");
+    let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+    let mut counts = vec![0u64; weights.len()];
+    let mut out = Vec::new();
+    fill_weighted(&mut rng, &sampler, draws as usize, &mut out);
+    for &b in &out {
+        counts[b] += 1;
+    }
+    chi_square(&counts, &probs, draws)
+}
+
+proptest! {
+    /// Random positive weight vectors: the empirical distribution of the
+    /// alias sampler fits the target at p ≈ 5e-5 per case.
+    #[test]
+    fn alias_sampler_fits_random_weights(
+        weights in prop::collection::vec(0.05f64..20.0, 2..32),
+        seed in any::<u64>(),
+    ) {
+        let (stat, df) = goodness_of_fit(&weights, seed, 20_000);
+        let critical = chi_square_critical(df, 3.89);
+        prop_assert!(
+            stat < critical,
+            "chi-square {stat:.1} >= critical {critical:.1} (df {df}) for {weights:?}"
+        );
+    }
+
+    /// Weight vectors with hard zeros: zero-weight categories are never
+    /// drawn and the fit over the support still holds.
+    #[test]
+    fn alias_sampler_fits_sparse_weights(
+        mask in prop::collection::vec(0u8..3, 3..24),
+        seed in any::<u64>(),
+    ) {
+        // Map the mask to weights {0, 1, 4}; skip all-zero vectors.
+        let weights: Vec<f64> = mask.iter().map(|&m| match m {
+            0 => 0.0,
+            1 => 1.0,
+            _ => 4.0,
+        }).collect();
+        prop_assume!(weights.iter().filter(|&&w| w > 0.0).count() >= 2);
+        let (stat, df) = goodness_of_fit(&weights, seed, 20_000);
+        let critical = chi_square_critical(df, 3.89);
+        prop_assert!(
+            stat < critical,
+            "chi-square {stat:.1} >= critical {critical:.1} (df {df}) for {weights:?}"
+        );
+    }
+
+    /// The equal-weights degeneration is bit-identical to UniformBin:
+    /// same outputs *and* same generator state afterwards, for both the
+    /// scalar and the batched API.
+    #[test]
+    fn equal_weights_are_bit_identical_to_uniform_bin(
+        n in 1usize..5000,
+        weight in 0.1f64..100.0,
+        count in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let weighted = WeightedBin::new(&vec![weight; n]).expect("valid weights");
+        prop_assert!(weighted.is_uniform());
+        let uniform = UniformBin::new(n);
+
+        // Scalar draws.
+        let mut a = Xoshiro256PlusPlus::from_u64(seed);
+        let mut b = Xoshiro256PlusPlus::from_u64(seed);
+        for _ in 0..count {
+            prop_assert_eq!(weighted.sample(&mut a), uniform.sample(&mut b));
+        }
+        prop_assert_eq!(&a, &b, "scalar draws must consume the stream identically");
+
+        // Batched fills.
+        let mut wa = Vec::new();
+        let mut wb = Vec::new();
+        let mut a = Xoshiro256PlusPlus::from_u64(seed);
+        let mut b = Xoshiro256PlusPlus::from_u64(seed);
+        fill_weighted(&mut a, &weighted, count, &mut wa);
+        fill_with_replacement(&mut b, n, count, &mut wb);
+        prop_assert_eq!(wa, wb);
+        prop_assert_eq!(&a, &b, "batched fills must consume the stream identically");
+    }
+}
+
+/// A fixed, seeded chi-square regression on the Zipf(1.0) construction —
+/// the skew the `hetero` scenario ships by default.
+#[test]
+fn zipf_alias_sampler_fits_target() {
+    let n = 64;
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+    let (stat, df) = goodness_of_fit(&weights, 0xC0FFEE, 200_000);
+    let critical = chi_square_critical(df, 3.89);
+    assert!(stat < critical, "chi-square {stat:.1} >= {critical:.1}");
+    // Cross-check against WeightedBin::zipf: identical construction.
+    let a = WeightedBin::zipf(n, 1.0).unwrap();
+    let b = WeightedBin::new(&weights).unwrap();
+    let mut ra = Xoshiro256PlusPlus::from_u64(5);
+    let mut rb = Xoshiro256PlusPlus::from_u64(5);
+    for _ in 0..1000 {
+        assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+    }
+}

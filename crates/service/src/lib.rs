@@ -29,6 +29,15 @@
 //!   Queueing latency is accounted per request in virtual ticks;
 //!   [`OpenLoopScenario`] registers the workload as `open_loop`.
 //!
+//! * **Heterogeneous serving** — every request path draws probes
+//!   through `kdchoice_core::ProbeDistribution` (uniform, weighted,
+//!   Zipf), and stores carry optional per-bin capacities
+//!   ([`ShardedStore::with_capacities`], capacity-proportional striping)
+//!   with capacity-normalized observables (`max_utilization`,
+//!   `utilization_gap`) merged like every other observable. Uniform
+//!   probing draws the identical generator stream as before the seam
+//!   existed, so all determinism locks below are unchanged by it.
+//!
 //! **Determinism under concurrency:** each client thread's probe/tie-key
 //! stream is a pure function of `derive_seed(seed, client)`; the
 //! interleaving of commits is not reproducible. Conservation (balls in =
@@ -38,9 +47,12 @@
 //! latency statistics are bit-identical across batch sizes and thread
 //! counts (locked by `tests/traffic_determinism.rs`), and a
 //! single-threaded batched run is bit-identical to the per-request path
-//! (locked by `tests/store_equivalence.rs`).
+//! (locked by `tests/store_equivalence.rs`). The per-module docs spell
+//! the guarantees out: [`traffic`] (virtual-clock semantics), `pipeline`
+//! (the 3-phase tick barrier and the exact survives-concurrency table),
+//! `sharded` (striping and lock discipline).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod open_loop;

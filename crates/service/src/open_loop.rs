@@ -1,6 +1,7 @@
 //! The open-loop dynamic traffic workload as a
 //! [`kdchoice_expt::Scenario`] named `open_loop`.
 
+use kdchoice_core::{two_tier_capacities, ProbeDistribution};
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
 
 use crate::pipeline::{run_open_loop, OpenLoopConfig, OpenLoopReport, PipelineMode};
@@ -58,6 +59,18 @@ impl Scenario for OpenLoopScenario {
             ("mu", Value::F64(config.traffic.lifetime.mean_ticks())),
             ("rate", Value::U64(u64::from(config.traffic.service_rate))),
             ("ticks", Value::U64(u64::from(config.traffic.ticks))),
+            (
+                "skew",
+                Value::Str(config.probes.label().into_owned().into()),
+            ),
+            (
+                "caps",
+                Value::Str(if config.capacities.is_some() {
+                    "two_tier".into()
+                } else {
+                    "one".into()
+                }),
+            ),
         ]
     }
 
@@ -77,6 +90,7 @@ impl Scenario for OpenLoopScenario {
             ("peak_max_load", Value::U64(u64::from(record.peak_max_load))),
             ("max_load", Value::U64(u64::from(record.final_max_load))),
             ("gap", Value::F64(record.final_gap)),
+            ("util_gap", Value::F64(record.final_util_gap)),
             ("steady_gap", Value::F64(record.steady_gap_mean)),
             ("balls_per_sec", Value::F64(record.balls_per_sec)),
             ("conserved", Value::Bool(record.conserved)),
@@ -117,6 +131,15 @@ impl Scenario for OpenLoopScenario {
             ),
             Axis::new("ticks", "virtual clock length (default 1000)"),
             Axis::new("sample", "time-series sampling stride in ticks (default 1)"),
+            Axis::new(
+                "skew",
+                "probe skew: uniform | zipf (Zipf(s) weighted probing; default uniform)",
+            ),
+            Axis::new("s", "zipf exponent, skew=zipf only (default 1.0)"),
+            Axis::new(
+                "caps",
+                "capacity spread: one | two_tier (every 10th bin 10x; default one)",
+            ),
             Axis::new("seed", "master seed (default: --seed)"),
         ];
         AXES
@@ -201,6 +224,21 @@ impl Scenario for OpenLoopScenario {
         if sample_every == 0 {
             return Err(params.bad_value("sample", "a stride of at least 1"));
         }
+        let s = params.get_f64("s", 1.0)?;
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(params.bad_value("s", "a finite zipf exponent >= 0"));
+        }
+        let probes = match params.get_raw("skew").unwrap_or("uniform") {
+            "uniform" => ProbeDistribution::Uniform,
+            "zipf" => ProbeDistribution::zipf(bins, s)
+                .map_err(|_| params.bad_value("s", "a valid zipf exponent"))?,
+            _ => return Err(params.bad_value("skew", "uniform | zipf")),
+        };
+        let capacities = match params.get_raw("caps").unwrap_or("one") {
+            "one" => None,
+            "two_tier" => Some(two_tier_capacities(bins, 10, 10)),
+            _ => return Err(params.bad_value("caps", "one | two_tier")),
+        };
         Ok(OpenLoopConfig {
             bins,
             k,
@@ -215,6 +253,8 @@ impl Scenario for OpenLoopScenario {
                 ticks,
                 service_rate,
             },
+            probes,
+            capacities,
             sample_every,
             record_events: false,
             seed: params.get_u64("seed", 0)?,
@@ -265,6 +305,9 @@ mod tests {
             "d=1 k=2",
             "shards=3",
             "n=0",
+            "skew=psychic",
+            "s=-1",
+            "caps=lumpy",
         ] {
             let grid = GridSpec::parse_str(bad).unwrap();
             assert!(
@@ -272,6 +315,20 @@ mod tests {
                 "{bad} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn hetero_axes_build_weighted_configs() {
+        let grid = GridSpec::parse_str("skew=zipf s=1.5 caps=two_tier n=2^7 ticks=80").unwrap();
+        let cfg = &configs_from_grid(&OpenLoopScenario, &grid, 2).unwrap()[0];
+        assert!(!cfg.probes.is_uniform());
+        assert_eq!(cfg.probes.expected_n(), Some(128));
+        let caps = cfg.capacities.as_ref().unwrap();
+        assert_eq!(caps.len(), 128);
+        assert_eq!(caps.iter().filter(|&&c| c == 10).count(), 13);
+        let report = run_open_loop(cfg);
+        assert!(report.conserved);
+        assert_eq!(report.total_capacity, 115 + 13 * 10);
     }
 
     #[test]

@@ -4,16 +4,48 @@
 //!
 //! Division of labor with [`crate::traffic`]: the traffic module fixes
 //! *when* every request arrives, commits, and departs (a pure function
-//! of `(TrafficConfig, seed)`); this module decides *where* the balls go
-//! — (k,d)-choice placement — and *how fast* the wall clock can chew
-//! through the virtual clock, which is what the λ×threads throughput
-//! sweep measures.
+//! of `(TrafficConfig, seed)` on the **virtual clock** — integer ticks,
+//! wall time never consulted); this module decides *where* the balls go
+//! — (k,d)-choice placement, uniform or weighted through
+//! [`ProbeDistribution`], over homogeneous or capacity-annotated bins —
+//! and *how fast* the wall clock can chew through the virtual clock,
+//! which is what the λ×threads throughput sweep measures.
+//!
+//! ## The 3-phase tick barrier
+//!
+//! With `threads > 1`, [`run_open_loop`] spawns persistent workers that
+//! all walk the tick sequence in lockstep, separated by a shared
+//! [`Barrier`] crossed **three times per tick**:
+//!
+//! 1. **Releases** — each worker releases its contiguous slice of the
+//!    tick's departures. Departures must free load *before* the tick's
+//!    commits probe it, or a commit could observe balls that the
+//!    schedule says are already gone.
+//! 2. **Commits** — each worker commits its slice of the tick's
+//!    committed-request id range (per-request RNGs derived from
+//!    `(seed, id)`, so slicing cannot change any request's probes or tie
+//!    keys).
+//! 3. **Quiescent sample** — every worker is parked at the next
+//!    barrier, so the coordinator can snapshot the store (live balls,
+//!    max load, gap) for the time series without racing any commit.
+//!
+//! ## Which determinism guarantees survive batching / concurrency
+//!
+//! | Quantity | 1 thread | any threads / batch size |
+//! |---|---|---|
+//! | arrival/commit/departure event stream, latency quantiles, backlog | exact | **exact** (schedule is precomputed) |
+//! | per-request probes and tie keys | exact | **exact** (pure in `(seed, id)`) |
+//! | ball conservation, shard invariants | exact | **exact** (checked every run) |
+//! | final load shape / histogram | exact (both modes bit-identical) | interleaving-dependent |
+//!
+//! The first three rows are locked by proptests in
+//! `tests/traffic_determinism.rs`; the single-thread bit-identity of
+//! batched vs per-request pipelines by `tests/store_equivalence.rs`.
 
 use std::sync::{Barrier, OnceLock};
 use std::time::Instant;
 
-use kdchoice_core::BinStore;
-use kdchoice_prng::sample::UniformBin;
+use kdchoice_core::{BinStore, ProbeDistribution};
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 use kdchoice_stats::Histogram;
 
@@ -70,6 +102,14 @@ pub struct OpenLoopConfig {
     pub max_batch: usize,
     /// The traffic trace (arrivals, lifetimes, clock length, capacity).
     pub traffic: TrafficConfig,
+    /// The probe distribution placement requests sample bins from.
+    /// Uniform (the default) draws the identical generator stream as
+    /// before the weighted seam existed, so uniform runs are
+    /// bit-identical either way.
+    pub probes: ProbeDistribution,
+    /// Per-bin capacities (`None` = all 1). Only the capacity-normalized
+    /// observables change; placement still compares raw loads.
+    pub capacities: Option<Vec<u32>>,
     /// Sample the load time series every this many ticks (`≥ 1`; the
     /// final tick is always sampled).
     pub sample_every: u32,
@@ -124,6 +164,8 @@ impl OpenLoopConfig {
                 ticks,
                 service_rate,
             },
+            probes: ProbeDistribution::Uniform,
+            capacities: None,
             sample_every: 1,
             record_events: false,
             seed,
@@ -202,6 +244,11 @@ pub struct OpenLoopReport {
     pub wall_secs: f64,
     /// Balls placed per wall-clock second — the pipeline headline.
     pub balls_per_sec: f64,
+    /// Final capacity-normalized gap `max utilization − live_balls /
+    /// total_capacity` (equal to `final_gap` when every capacity is 1).
+    pub final_util_gap: f64,
+    /// `Σ c_bin` of the store (`bins` when homogeneous).
+    pub total_capacity: u64,
     /// Whether the store conserved balls and passed `check_invariants`.
     pub conserved: bool,
     /// The final count-by-load histogram (entry `l` = bins holding
@@ -229,7 +276,8 @@ fn worker_slice(range: IdRange, workers: usize, w: usize) -> IdRange {
 /// Everything a worker needs, shared read-only across threads.
 struct Pipeline<'a> {
     store: &'a ShardedStore,
-    sampler: UniformBin,
+    probes: &'a ProbeDistribution,
+    n: usize,
     schedule: &'a TrafficSchedule,
     slots: &'a [OnceLock<Placement>],
     k: usize,
@@ -252,7 +300,7 @@ impl Pipeline<'_> {
                 for id in range.0..range.1 {
                     let mut rng = self.request_rng(id);
                     probes.clear();
-                    probes.extend((0..self.d).map(|_| self.sampler.sample(&mut rng)));
+                    probes.extend((0..self.d).map(|_| self.probes.sample(&mut rng, self.n)));
                     let placement = self.store.place_k_least(probes, self.k, &mut rng);
                     assert!(self.slots[id as usize].set(placement).is_ok());
                 }
@@ -265,7 +313,7 @@ impl Pipeline<'_> {
                     probes.clear();
                     for id in start..end {
                         let mut rng = self.request_rng(id);
-                        probes.extend((0..self.d).map(|_| self.sampler.sample(&mut rng)));
+                        probes.extend((0..self.d).map(|_| self.probes.sample(&mut rng, self.n)));
                         rngs.push(rng);
                     }
                     let placements = self.store.place_batch(probes, self.d, self.k, rngs);
@@ -352,16 +400,26 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
     assert!(config.max_batch >= 1, "max_batch must be at least 1");
     assert!(config.sample_every >= 1, "sample_every must be at least 1");
     assert!(config.k >= 1 && config.k <= config.d, "need 1 <= k <= d");
+    if let Some(probes_n) = config.probes.expected_n() {
+        assert_eq!(
+            probes_n, config.bins,
+            "probe distribution built for wrong bin count"
+        );
+    }
     let schedule = TrafficSchedule::generate(&config.traffic, config.traffic_seed())
         .unwrap_or_else(|e| panic!("invalid open-loop config: {e}"));
 
-    let store = ShardedStore::new(config.bins, config.shards);
+    let store = match &config.capacities {
+        None => ShardedStore::new(config.bins, config.shards),
+        Some(caps) => ShardedStore::with_capacities(config.bins, config.shards, caps),
+    };
     let slots: Vec<OnceLock<Placement>> = (0..schedule.timings.len())
         .map(|_| OnceLock::new())
         .collect();
     let pipeline = Pipeline {
         store: &store,
-        sampler: UniformBin::new(config.bins),
+        probes: &config.probes,
+        n: config.bins,
         schedule: &schedule,
         slots: &slots,
         k: config.k,
@@ -440,6 +498,8 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
     let live_balls = store.total_balls();
     let conserved = live_balls == balls_placed - balls_released && store.check_invariants();
     let final_histogram = store.histogram();
+    let final_util_gap = store.utilization_gap();
+    let total_capacity = store.total_capacity();
 
     let half = config.traffic.ticks / 2;
     let steady: Vec<&TickSample> = series.iter().filter(|s| s.tick >= half).collect();
@@ -467,6 +527,8 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
         peak_max_load: series.iter().map(|s| s.max_load).max().unwrap_or(0),
         final_max_load: final_sample.map_or(0, |s| s.max_load),
         final_gap: final_sample.map_or(0.0, |s| s.gap),
+        final_util_gap,
+        total_capacity,
         steady_gap_mean,
         wall_secs,
         balls_per_sec: balls_placed as f64 / wall_secs,
@@ -583,6 +645,39 @@ mod tests {
         assert!(report.series.len() < 120 / 8);
         assert_eq!(report.series.last().unwrap().tick, 119);
         assert!(report.conserved);
+    }
+
+    #[test]
+    fn weighted_pipeline_conserves_and_modes_agree() {
+        let mut base = small_config(PipelineMode::Batched, 1, 0.9);
+        base.probes = ProbeDistribution::zipf(base.bins, 1.0).unwrap();
+        base.capacities = Some(kdchoice_core::two_tier_capacities(base.bins, 8, 10));
+        let batched = run_open_loop(&base);
+        assert!(batched.conserved);
+        assert_eq!(batched.total_capacity, 64 + 8 * 9);
+        assert!(batched.final_util_gap <= f64::from(batched.final_max_load));
+        let mut per_request = base.clone();
+        per_request.mode = PipelineMode::PerRequest;
+        let per_request = run_open_loop(&per_request);
+        // The weighted placement stream is also pure in (seed, id):
+        // single-threaded modes stay bit-identical.
+        assert_eq!(batched.series, per_request.series);
+        assert_eq!(batched.final_histogram, per_request.final_histogram);
+    }
+
+    #[test]
+    fn homogeneous_util_gap_matches_load_gap() {
+        let report = run_open_loop(&small_config(PipelineMode::Batched, 1, 0.7));
+        assert_eq!(report.total_capacity, 64);
+        assert!((report.final_util_gap - report.final_gap).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong bin count")]
+    fn mismatched_probe_support_is_rejected() {
+        let mut cfg = small_config(PipelineMode::Batched, 1, 0.5);
+        cfg.probes = ProbeDistribution::zipf(cfg.bins + 1, 1.0).unwrap();
+        let _ = run_open_loop(&cfg);
     }
 
     #[test]

@@ -4,8 +4,7 @@
 
 use std::time::Instant;
 
-use kdchoice_core::BinStore;
-use kdchoice_prng::sample::UniformBin;
+use kdchoice_core::{BinStore, ProbeDistribution};
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 use rand::RngCore;
 
@@ -23,6 +22,14 @@ pub enum ServiceError {
         /// Requested probes per placement.
         d: usize,
     },
+    /// A weighted probe distribution was built for a different number of
+    /// bins than the store holds.
+    ProbeMismatch {
+        /// Bins in the store.
+        store_n: usize,
+        /// Support size the distribution was built for.
+        probes_n: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -32,6 +39,10 @@ impl std::fmt::Display for ServiceError {
             ServiceError::TooFewProbes { k, d } => {
                 write!(f, "(k,d)-choice service needs d >= k (k={k}, d={d})")
             }
+            ServiceError::ProbeMismatch { store_n, probes_n } => write!(
+                f,
+                "probe distribution built for {probes_n} bins, store holds {store_n}"
+            ),
         }
     }
 }
@@ -63,13 +74,14 @@ impl std::error::Error for ServiceError {}
 #[derive(Debug)]
 pub struct PlacementService {
     store: ShardedStore,
-    sampler: UniformBin,
+    probes: ProbeDistribution,
     k: usize,
     d: usize,
 }
 
 impl PlacementService {
-    /// Wraps `store` in a (k,d)-choice service frontend.
+    /// Wraps `store` in a (k,d)-choice service frontend with uniform
+    /// probing (the paper's model).
     pub fn new(store: ShardedStore, k: usize, d: usize) -> Result<Self, ServiceError> {
         if k == 0 {
             return Err(ServiceError::ZeroK);
@@ -77,13 +89,40 @@ impl PlacementService {
         if d < k {
             return Err(ServiceError::TooFewProbes { k, d });
         }
-        let sampler = UniformBin::new(store.n());
         Ok(Self {
             store,
-            sampler,
+            probes: ProbeDistribution::Uniform,
             k,
             d,
         })
+    }
+
+    /// Switches the probe distribution (builder style) — the weighted /
+    /// heterogeneous service. The uniform default (and any distribution
+    /// whose weights degenerate to equal) draws the identical generator
+    /// stream as before the seam existed, so existing per-client streams
+    /// are unperturbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::ProbeMismatch`] when a non-uniform
+    /// distribution was built for a different bin count.
+    pub fn with_probes(mut self, probes: ProbeDistribution) -> Result<Self, ServiceError> {
+        if let Some(probes_n) = probes.expected_n() {
+            if probes_n != self.store.n() {
+                return Err(ServiceError::ProbeMismatch {
+                    store_n: self.store.n(),
+                    probes_n,
+                });
+            }
+        }
+        self.probes = probes;
+        Ok(self)
+    }
+
+    /// The active probe distribution.
+    pub fn probes(&self) -> &ProbeDistribution {
+        &self.probes
     }
 
     /// Balls per placement request.
@@ -106,18 +145,20 @@ impl PlacementService {
         self.store
     }
 
-    /// Serves one placement request: samples `d` bins from `rng`, commits
-    /// the `k` least-loaded tentative slots atomically.
+    /// Serves one placement request: samples `d` bins from `rng` through
+    /// the probe distribution, commits the `k` least-loaded tentative
+    /// slots atomically.
     pub fn place<R: RngCore + ?Sized>(&self, rng: &mut R) -> Placement {
+        let n = self.store.n();
         let mut probes = [0usize; 16];
         if self.d <= probes.len() {
             let probes = &mut probes[..self.d];
             for p in probes.iter_mut() {
-                *p = self.sampler.sample(rng);
+                *p = self.probes.sample(rng, n);
             }
             self.store.place_k_least(probes, self.k, rng)
         } else {
-            let probes: Vec<usize> = (0..self.d).map(|_| self.sampler.sample(rng)).collect();
+            let probes: Vec<usize> = (0..self.d).map(|_| self.probes.sample(rng, n)).collect();
             self.store.place_k_least(&probes, self.k, rng)
         }
     }
@@ -339,6 +380,49 @@ mod tests {
         // Each client retains at most `window` live placements of k balls.
         assert!(report.live_balls <= (4 * 10 * 2) as u64);
         assert!(report.conserved);
+    }
+
+    #[test]
+    fn with_probes_validates_support_size() {
+        let service = PlacementService::new(ShardedStore::new(8, 2), 2, 4).unwrap();
+        assert_eq!(
+            service
+                .with_probes(ProbeDistribution::zipf(9, 1.0).unwrap())
+                .unwrap_err(),
+            ServiceError::ProbeMismatch {
+                store_n: 8,
+                probes_n: 9
+            }
+        );
+        let service = PlacementService::new(ShardedStore::new(8, 2), 2, 4)
+            .unwrap()
+            .with_probes(ProbeDistribution::zipf(8, 1.0).unwrap())
+            .unwrap();
+        assert!(!service.probes().is_uniform());
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        let p = service.place(&mut rng);
+        assert_eq!(p.bins.len(), 2);
+    }
+
+    #[test]
+    fn weighted_service_on_heterogeneous_store_conserves() {
+        use kdchoice_core::two_tier_capacities;
+        let n = 32;
+        let caps = two_tier_capacities(n, 4, 8);
+        let store = ShardedStore::with_capacities(n, 4, &caps);
+        let service = PlacementService::new(store, 2, 4)
+            .unwrap()
+            .with_probes(ProbeDistribution::proportional_to(&caps).unwrap())
+            .unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(6);
+        let placements: Vec<Placement> = (0..200).map(|_| service.place(&mut rng)).collect();
+        assert_eq!(service.store().total_balls(), 400);
+        assert!(service.store().max_utilization() > 0.0);
+        for p in &placements {
+            service.release(p);
+        }
+        assert_eq!(service.store().total_balls(), 0);
+        assert!(service.store().check_invariants());
     }
 
     #[test]

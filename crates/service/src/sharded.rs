@@ -1,5 +1,28 @@
 //! [`ShardedStore`]: `n` bins split across power-of-two lock-striped
 //! shards, each shard a [`LoadVector`], observables merged on demand.
+//!
+//! **Striping.** Bin `b` lives in shard `b mod shards` at local index
+//! `b div shards` (both computed with mask/shift, hence the
+//! power-of-two shard count). Index-interleaved striping is what makes
+//! the heterogeneous constructor capacity-proportional: the workspace's
+//! capacity maps interleave fat bins by index, so every shard carries a
+//! near-equal capacity share and no shard becomes the utilization hot
+//! spot by construction.
+//!
+//! **Lock discipline.** Every multi-shard operation (placement, batch
+//! placement, release) sorts and dedups the shard ids it touches and
+//! locks them in ascending order — the single global lock order that
+//! makes concurrent requests deadlock-free — and holds all of them from
+//! the first load read to the last commit, so each request is one
+//! linearization point.
+//!
+//! **Determinism.** One shard driven by one thread is bit-identical to a
+//! plain [`LoadVector`] (locked by the proptest in
+//! `tests/store_equivalence.rs`). Under concurrency, per-request probe
+//! and tie-key streams stay exact (they come from caller-owned RNGs);
+//! only the interleaving of commits — and therefore the final load
+//! shape — is scheduler-driven. Conservation and per-shard invariants
+//! hold under any interleaving.
 
 use std::sync::{Mutex, MutexGuard};
 
@@ -53,6 +76,29 @@ impl ShardedStore {
     ///
     /// Panics if `shards` is zero or not a power of two, or `shards > n`.
     pub fn new(n: usize, shards: usize) -> Self {
+        Self::build(n, shards, None)
+    }
+
+    /// Creates `n` empty bins with per-bin capacities, striped over
+    /// `shards` shards — the heterogeneous-cluster store.
+    ///
+    /// Striping stays index-interleaved (`shard = bin mod shards`), which
+    /// is exactly what makes it **capacity-proportional** for the
+    /// capacity maps this workspace generates: fat bins are interleaved
+    /// by index (see `kdchoice_core::two_tier_capacities`), so every
+    /// shard holds a near-equal slice of the total capacity and the
+    /// merged utilization observables stay contention-balanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ShardedStore::new`], or if
+    /// `capacities.len() != n` or any capacity is 0.
+    pub fn with_capacities(n: usize, shards: usize, capacities: &[u32]) -> Self {
+        assert_eq!(capacities.len(), n, "need exactly one capacity per bin");
+        Self::build(n, shards, Some(capacities))
+    }
+
+    fn build(n: usize, shards: usize, capacities: Option<&[u32]>) -> Self {
         assert!(
             shards > 0 && shards.is_power_of_two(),
             "shard count must be a power of two, got {shards}"
@@ -66,7 +112,16 @@ impl ShardedStore {
             .map(|s| {
                 // Bins congruent to s mod shards that are < n.
                 let local_bins = (n - s).div_ceil(shards);
-                Mutex::new(LoadVector::new(local_bins))
+                let vec = match capacities {
+                    None => LoadVector::new(local_bins),
+                    Some(caps) => {
+                        let local_caps: Vec<u32> = (0..local_bins)
+                            .map(|local| caps[(local << bits) | s])
+                            .collect();
+                        LoadVector::with_capacities(&local_caps)
+                    }
+                };
+                Mutex::new(vec)
             })
             .collect();
         Self {
@@ -364,6 +419,29 @@ impl BinStore for ShardedStore {
             .sum()
     }
 
+    fn capacity(&self, bin: usize) -> u32 {
+        assert!(bin < self.n, "bin {bin} out of range (n = {})", self.n);
+        let local = self.local_of(bin);
+        self.shards[self.shard_of(bin)]
+            .lock()
+            .expect("no poisoned shard")
+            .capacity(local)
+    }
+
+    fn total_capacity(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("no poisoned shard").total_capacity())
+            .sum()
+    }
+
+    fn max_utilization(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("no poisoned shard").max_utilization())
+            .fold(0.0, f64::max)
+    }
+
     fn copy_loads_into(&self, out: &mut Vec<u32>) {
         out.clear();
         out.resize(self.n, 0);
@@ -414,6 +492,60 @@ mod tests {
             }
             assert!(store.check_invariants());
         }
+    }
+
+    #[test]
+    fn capacity_striping_matches_single_load_vector() {
+        use kdchoice_core::two_tier_capacities;
+        let n = 29;
+        let caps = two_tier_capacities(n, 4, 10);
+        let store = ShardedStore::with_capacities(n, 4, &caps);
+        let mut reference = LoadVector::with_capacities(&caps);
+        let mut rng = Xoshiro256PlusPlus::from_u64(17);
+        for _ in 0..500 {
+            let bin = rng.next_u64() as usize % n;
+            store.place_k_least(&[bin], 1, &mut rng);
+            reference.add_ball(bin);
+        }
+        assert_eq!(store.total_capacity(), reference.total_capacity());
+        for (bin, &cap) in caps.iter().enumerate() {
+            assert_eq!(store.capacity(bin), cap, "bin {bin}");
+            assert_eq!(store.load(bin), reference.load(bin), "bin {bin}");
+        }
+        assert!((store.max_utilization() - reference.max_utilization()).abs() < 1e-12);
+        assert!((store.utilization_gap() - reference.utilization_gap()).abs() < 1e-12);
+        assert!(store.check_invariants());
+    }
+
+    #[test]
+    fn interleaved_fat_bins_balance_capacity_across_shards() {
+        // two_tier_capacities puts fat bins at indices = 0 mod every;
+        // modulo striping spreads them across shards when the stride and
+        // shard count are coprime-ish; here every=3 over 4 shards.
+        use kdchoice_core::two_tier_capacities;
+        let n = 48;
+        let caps = two_tier_capacities(n, 3, 10);
+        let store = ShardedStore::with_capacities(n, 4, &caps);
+        let per_shard: Vec<u64> = store
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().total_capacity())
+            .collect();
+        let (min, max) = (
+            *per_shard.iter().min().unwrap(),
+            *per_shard.iter().max().unwrap(),
+        );
+        assert_eq!(per_shard.iter().sum::<u64>(), store.total_capacity());
+        assert!(
+            max <= min + 9,
+            "capacity skewed across shards: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per bin")]
+    fn capacity_length_mismatch_rejected() {
+        let _ = ShardedStore::with_capacities(8, 2, &[1, 2, 3]);
     }
 
     #[test]

@@ -26,6 +26,8 @@ fn config(seed: u64, rate: f64, service_rate: u32, ticks: u32) -> OpenLoopConfig
             ticks,
             service_rate,
         },
+        probes: kdchoice_core::ProbeDistribution::Uniform,
+        capacities: None,
         sample_every: 1,
         record_events: true,
         seed,

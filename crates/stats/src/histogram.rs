@@ -110,19 +110,33 @@ impl Histogram {
     /// ticks, loads, heights) — no interpolation between values that can
     /// never occur.
     ///
-    /// Returns `None` for an empty histogram.
+    /// ## Edge cases (all pinned by tests)
+    ///
+    /// * **Empty histogram** — returns `None`; there is no observation to
+    ///   report, and a silent `0` would be indistinguishable from a real
+    ///   zero-valued quantile (callers that want a sentinel opt in with
+    ///   `map_or`).
+    /// * **`q = 0.0`** — the rank `⌈0 · total⌉ = 0` is clamped to 1, so
+    ///   the result is the **minimum** observed value
+    ///   ([`Histogram::min_value`]), matching the nearest-rank convention
+    ///   that every quantile is an observed value.
+    /// * **`q = 1.0`** — rank `total`, i.e. the **maximum** observed
+    ///   value ([`Histogram::max_value`]).
+    /// * **Single bucket** — every `q` returns that bucket's value.
     ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]` (including NaN).
     ///
     /// ```
     /// use kdchoice_stats::Histogram;
     ///
     /// let h = Histogram::from_pairs([(1, 90), (7, 9), (40, 1)]);
+    /// assert_eq!(h.quantile(0.0), Some(1));
     /// assert_eq!(h.quantile(0.5), Some(1));
     /// assert_eq!(h.quantile(0.95), Some(7));
     /// assert_eq!(h.quantile(1.0), Some(40));
+    /// assert_eq!(Histogram::new().quantile(0.5), None);
     /// ```
     pub fn quantile(&self, q: f64) -> Option<u32> {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
@@ -295,6 +309,43 @@ mod tests {
         assert_eq!(Histogram::new().quantile(0.5), None);
         assert!(Histogram::new().quantiles(&[0.5]).is_empty());
         assert_eq!(h.quantiles(&[0.5, 1.0]), vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn quantile_single_bucket_is_constant_in_q() {
+        // A single bucket (any multiplicity): every quantile is its value.
+        for count in [1u64, 7, 1000] {
+            let h = Histogram::from_pairs([(5, count)]);
+            for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), Some(5), "count={count} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_q0_is_min_and_q1_is_max() {
+        let h = Histogram::from_pairs([(3, 2), (9, 5), (17, 1)]);
+        assert_eq!(h.quantile(0.0), h.min_value());
+        assert_eq!(h.quantile(1.0), h.max_value());
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_none_not_zero() {
+        // The regression this API guards: an empty histogram must not
+        // report a silent 0 (indistinguishable from a real 0 quantile).
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        // ...while a histogram genuinely concentrated at 0 reports 0.
+        let zeros = Histogram::from_pairs([(0, 10)]);
+        assert_eq!(zeros.quantile(0.5), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_nan() {
+        let _ = Histogram::from_pairs([(1, 1)]).quantile(f64::NAN);
     }
 
     #[test]

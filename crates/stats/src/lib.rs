@@ -14,7 +14,7 @@
 //! * [`order`] — majorization and domination checks on load vectors
 //!   (Definition 2 of the paper).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ci;
