@@ -36,9 +36,12 @@ use kdchoice_service::{
     run_open_loop, run_service_workload, OpenLoopConfig, OpenLoopScenario, PipelineMode,
     ServiceScenario, ServiceWorkloadConfig,
 };
-use kdchoice_storage::StorageScenario;
+use kdchoice_storage::{
+    run_cluster_workload, ClusterConfig, ClusterScenario, ClusterWorkloadConfig, FaultPlan,
+    HeartbeatConfig, PlacementPolicy, RecoveryConfig, StorageScenario,
+};
 
-/// Builds the workspace scenario registry: all seven experiment families.
+/// Builds the workspace scenario registry: all eight experiment families.
 fn registry() -> Registry {
     Registry::new()
         .with(Box::new(StaticScenario))
@@ -46,6 +49,7 @@ fn registry() -> Registry {
         .with(Box::new(HeteroScenario))
         .with(Box::new(SchedulerScenario))
         .with(Box::new(StorageScenario))
+        .with(Box::new(ClusterScenario))
         .with(Box::new(ServiceScenario))
         .with(Box::new(OpenLoopScenario))
 }
@@ -483,6 +487,93 @@ fn measure_sampling_race(quick: bool) -> Vec<SamplingRace> {
         .collect()
 }
 
+/// One cell of the graceful-degradation sweep: a seeded crash storm
+/// against the fault-injected cluster at one recovery budget, measuring
+/// how deep the under-replication window gets, how long healing takes,
+/// and what the placement pipeline still sustains under churn.
+struct ClusterDegradation {
+    budget: u32,
+    failures: usize,
+    servers: usize,
+    k: usize,
+    files: usize,
+    peak_under_replicated: u64,
+    under_replicated_p99: u64,
+    under_replicated_area: u64,
+    ticks_to_heal: u64,
+    healed: bool,
+    detection_latency_mean: f64,
+    durability_losses: u64,
+    repair_attempts: u64,
+    replicas_placed: u64,
+    wall_secs: f64,
+    balls_per_sec: f64,
+}
+
+/// Sweeps recovery budget × failure count over a fixed storm seed. Every
+/// cell replays the same creates and crash schedule; only the repair
+/// rate differs, so the degradation curve isolates the budget's effect.
+fn measure_cluster_degradation(quick: bool) -> Vec<ClusterDegradation> {
+    let (servers, files, budgets, failure_counts): (usize, usize, &[u32], &[usize]) = if quick {
+        (50, 1_000, &[2, 0], &[4])
+    } else {
+        (200, 8_000, &[1, 4, 16, 0], &[4, 12])
+    };
+    let k = 3;
+    let mut rows = Vec::new();
+    for &failures in failure_counts {
+        for &budget in budgets {
+            let mut cluster =
+                ClusterConfig::new(servers, k, PlacementPolicy::KdChoice { d: 2 * k });
+            cluster.heartbeat = HeartbeatConfig::new(2, 1);
+            cluster.recovery = if budget == 0 {
+                RecoveryConfig::unbounded()
+            } else {
+                RecoveryConfig::budgeted(budget)
+            };
+            let mut config = ClusterWorkloadConfig::new(cluster);
+            config.files = files;
+            config.reads = 0;
+            config.sample_every = 1;
+            config.plan = FaultPlan::new().storm(failures, files as u64);
+            config.seed = 0xBE7C4;
+            let start = Instant::now();
+            let report = run_cluster_workload(&config);
+            let wall_secs = start.elapsed().as_secs_f64();
+            assert!(
+                report.degradation.healed,
+                "degradation sweep must heal (budget {budget}, failures {failures})"
+            );
+            let mut under: Vec<u32> = report.series.iter().map(|&(_, u)| u).collect();
+            under.sort_unstable();
+            let p99 = under
+                .get((under.len().saturating_sub(1)) * 99 / 100)
+                .copied()
+                .unwrap_or(0);
+            let replicas_placed = (files * k) as u64 + report.stats.recovered_chunks;
+            rows.push(ClusterDegradation {
+                budget,
+                failures,
+                servers,
+                k,
+                files,
+                peak_under_replicated: report.degradation.peak_under_replicated,
+                under_replicated_p99: u64::from(p99),
+                under_replicated_area: report.degradation.under_replicated_area,
+                ticks_to_heal: report.degradation.ticks_to_heal,
+                healed: report.degradation.healed,
+                detection_latency_mean: report.degradation.detection_latency_mean,
+                durability_losses: report.degradation.durability_losses,
+                repair_attempts: report.degradation.repair_attempts,
+                replicas_placed,
+                wall_secs,
+                balls_per_sec: replicas_placed as f64 / wall_secs,
+            });
+        }
+    }
+    rows
+}
+
 /// How many times each measurement repeats; the best rate is reported
 /// (standard practice for throughput: the minimum-interference run).
 const REPS: usize = 3;
@@ -571,6 +662,7 @@ fn render_json(
     service: &[ServiceScaling],
     open_loop: &[OpenLoopScaling],
     sampling: &[SamplingRace],
+    degradation: &[ClusterDegradation],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -684,6 +776,38 @@ fn render_json(
             s.uniform_over_zipf(),
         );
         out.push_str(if i + 1 < sampling.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"cluster_degradation_note\": \"graceful-degradation curve of the fault-injected replicated cluster: one seeded crash storm (heartbeat period 2, 1 tolerated miss, k=3 with d=6 probes) replayed at each recovery budget; budget 0 = unbounded (instantaneous legacy healing). under_replicated_p99 is the 99th percentile of the per-tick under-replicated chunk count, ticks_to_heal the span from first under-replication to full re-replication, balls_per_sec the replica placements (creates + repairs) per wall-clock second under churn\",\n",
+    );
+    out.push_str("  \"cluster_degradation\": [\n");
+    for (i, c) in degradation.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"scenario\": \"cluster\",\n      \"budget_per_tick\": {},\n      \"failures\": {},\n      \"servers\": {},\n      \"k\": {},\n      \"chunks\": {},\n      \"peak_under_replicated\": {},\n      \"under_replicated_p99\": {},\n      \"under_replicated_area\": {},\n      \"ticks_to_heal\": {},\n      \"healed\": {},\n      \"detection_latency_mean_ticks\": {:.2},\n      \"durability_losses\": {},\n      \"repair_attempts\": {},\n      \"replicas_placed\": {},\n      \"wall_secs\": {:.3},\n      \"balls_per_sec\": {:.0}\n    }}",
+            c.budget,
+            c.failures,
+            c.servers,
+            c.k,
+            c.files,
+            c.peak_under_replicated,
+            c.under_replicated_p99,
+            c.under_replicated_area,
+            c.ticks_to_heal,
+            c.healed,
+            c.detection_latency_mean,
+            c.durability_losses,
+            c.repair_attempts,
+            c.replicas_placed,
+            c.wall_secs,
+            c.balls_per_sec,
+        );
+        out.push_str(if i + 1 < degradation.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ]\n}\n");
     out
@@ -819,6 +943,30 @@ fn cmd_throughput(quick: bool) {
         );
     }
 
+    // Graceful degradation of the fault-injected replicated cluster.
+    println!();
+    let degradation = measure_cluster_degradation(quick);
+    for c in &degradation {
+        println!(
+            "cluster    budget={:<4} failures={:<3} peak under-replicated {:>5} (p99 {:>5}) | heal {:>6} ticks | {:>6.2} Mballs/s under churn{}",
+            if c.budget == 0 {
+                "inf".to_string()
+            } else {
+                c.budget.to_string()
+            },
+            c.failures,
+            c.peak_under_replicated,
+            c.under_replicated_p99,
+            c.ticks_to_heal,
+            c.balls_per_sec / 1e6,
+            if c.durability_losses > 0 {
+                format!(" ({} durability losses)", c.durability_losses)
+            } else {
+                String::new()
+            },
+        );
+    }
+
     // Uniform vs weighted batch sampling on the raw prng layer.
     println!();
     let sampling = measure_sampling_race(quick);
@@ -834,7 +982,14 @@ fn cmd_throughput(quick: bool) {
     }
 
     if !quick {
-        let json = render_json(&measurements, &scenarios, &service, &open_loop, &sampling);
+        let json = render_json(
+            &measurements,
+            &scenarios,
+            &service,
+            &open_loop,
+            &sampling,
+            &degradation,
+        );
         kdchoice_expt::validate_json(&json).expect("harness emits well-formed JSON");
         std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
         println!("\nwrote BENCH_results.json");

@@ -1,54 +1,58 @@
-//! The storage cluster: servers, chunk placement, reads, and failure
-//! recovery.
-
-use std::borrow::Cow;
+//! The legacy synchronous storage cluster: servers, chunk placement,
+//! reads, and instantaneous failure recovery.
+//!
+//! [`StorageCluster`] heals atomically: `fail_server` re-replicates every
+//! lost chunk before returning. The fault-injected, virtual-clock
+//! counterpart with heartbeats and bounded-rate recovery is
+//! [`crate::ChunkCluster`]; configured with zero heartbeat lag and an
+//! unbounded recovery budget it reproduces this cluster's RNG stream
+//! bit-identically (locked by the `legacy_equivalence` integration test).
 
 use kdchoice_core::LoadVector;
 use kdchoice_prng::sample::UniformBin;
-use rand::{Rng, RngCore};
+use rand::RngCore;
 
-/// How a file's `k` chunks pick their servers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub enum PlacementPolicy {
-    /// The paper's scheme: sample `d` alive servers i.u.r. (with
-    /// replacement) and store the `k` chunks on the `k` least loaded,
-    /// multiplicities respected. Placement costs `d` probe messages; a read
-    /// costs `k + 1` (one directory lookup + `k` fetches).
-    KdChoice {
-        /// Probes per file creation (`d ≥ k`).
-        d: usize,
+use crate::placement::{choose_destinations, PlacementPolicy};
+
+/// Errors from cluster fault operations.
+///
+/// Fault plans may legitimately target servers that another event already
+/// killed (overlapping rack outages, double crashes); these are reported
+/// as values so callers degrade gracefully instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The targeted server is already dead.
+    AlreadyDead {
+        /// The server in question.
+        server: usize,
     },
-    /// Each chunk independently picks the less loaded of 2 sampled servers.
-    /// Placement costs `2k` probes; §1.3 charges reads `2k` messages (two
-    /// candidate locations per chunk must be addressed).
-    PerChunkTwoChoice,
-    /// Each chunk goes to a uniformly random alive server; no probes; reads
-    /// cost `k + 1` via the directory.
-    Random,
+    /// The targeted server id is out of range.
+    UnknownServer {
+        /// The server in question.
+        server: usize,
+    },
+    /// No alive server is available for the operation (killing the last
+    /// chunk-holding server, or sampling a victim from an empty cluster).
+    NoAliveServers,
+    /// The targeted server is not down, so it cannot be recovered.
+    NotDown {
+        /// The server in question.
+        server: usize,
+    },
 }
 
-impl PlacementPolicy {
-    /// Display name.
-    ///
-    /// Parameter-free policies return a borrowed `&'static str` — no
-    /// allocation on reporting paths; `KdChoice` formats once per call,
-    /// so report builders cache it per run (as
-    /// [`crate::StorageReport`] does) rather than fetching per event.
-    pub fn name(&self) -> Cow<'static, str> {
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PlacementPolicy::KdChoice { d } => Cow::Owned(format!("(k,{d})-choice")),
-            PlacementPolicy::PerChunkTwoChoice => Cow::Borrowed("per-chunk 2-choice"),
-            PlacementPolicy::Random => Cow::Borrowed("random"),
+            ClusterError::AlreadyDead { server } => write!(f, "server {server} is already dead"),
+            ClusterError::UnknownServer { server } => write!(f, "unknown server {server}"),
+            ClusterError::NoAliveServers => write!(f, "no alive servers left"),
+            ClusterError::NotDown { server } => write!(f, "server {server} is not down"),
         }
     }
 }
 
-impl std::fmt::Display for PlacementPolicy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.name())
-    }
-}
+impl std::error::Error for ClusterError {}
 
 /// One stored chunk's identity: `(file, chunk index)`.
 type ChunkId = (u32, u16);
@@ -207,86 +211,27 @@ impl StorageCluster {
         self.files.len()
     }
 
+    /// Whether `server` is alive.
+    pub fn is_alive(&self, server: usize) -> bool {
+        self.servers.get(server).is_some_and(|s| s.alive)
+    }
+
     /// The chunk count of an alive server (its "load").
     fn load(&self, server: usize) -> u32 {
         self.loads.load(server)
     }
 
-    /// The capacity-normalized load `chunks/capacity` used for placement.
-    fn effective_load(&self, server: usize) -> f64 {
-        f64::from(self.loads.load(server)) / self.servers[server].capacity
-    }
-
     /// Places `count` chunks on servers chosen by the policy among the
     /// alive servers; returns `(destinations, probe_messages)`.
     fn place<R: RngCore + ?Sized>(&self, count: usize, rng: &mut R) -> (Vec<usize>, u64) {
-        let alive = &self.alive;
-        assert!(!alive.is_empty(), "no alive servers left");
-        match self.policy {
-            PlacementPolicy::Random => {
-                let pick = UniformBin::new(alive.len());
-                let dest = (0..count).map(|_| alive[pick.sample(rng)]).collect();
-                (dest, 0)
-            }
-            PlacementPolicy::PerChunkTwoChoice => {
-                let pick = UniformBin::new(alive.len());
-                let mut dest = Vec::with_capacity(count);
-                for _ in 0..count {
-                    let a = alive[pick.sample(rng)];
-                    let b = alive[pick.sample(rng)];
-                    let (la, lb) = (self.effective_load(a), self.effective_load(b));
-                    // Note: loads within a single file placement are read
-                    // once; simultaneous chunk placements of one file do not
-                    // see each other — matching independent per-chunk
-                    // placement.
-                    let chosen = if la < lb {
-                        a
-                    } else if lb < la {
-                        b
-                    } else if rng.gen_bool(0.5) {
-                        a
-                    } else {
-                        b
-                    };
-                    dest.push(chosen);
-                }
-                (dest, 2 * count as u64)
-            }
-            PlacementPolicy::KdChoice { d } => {
-                // Sample d alive servers with replacement; take the `count`
-                // least loaded slots with the multiplicity rule (tentative
-                // heights (load+occ)/capacity, ties broken randomly).
-                let pick = UniformBin::new(alive.len());
-                let mut sampled: Vec<usize> = (0..d).map(|_| alive[pick.sample(rng)]).collect();
-                sampled.sort_unstable();
-                let mut slots: Vec<(f64, u64, usize)> = Vec::with_capacity(d);
-                let mut i = 0;
-                while i < sampled.len() {
-                    let s = sampled[i];
-                    let base = self.load(s);
-                    let capacity = self.servers[s].capacity;
-                    let mut occ = 0u32;
-                    while i < sampled.len() && sampled[i] == s {
-                        occ += 1;
-                        slots.push((f64::from(base + occ) / capacity, rng.next_u64(), s));
-                        i += 1;
-                    }
-                }
-                assert!(
-                    count <= slots.len(),
-                    "placement needs at least k sampled slots"
-                );
-                if count < slots.len() {
-                    slots.select_nth_unstable_by(count - 1, |a, b| {
-                        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
-                    });
-                }
-                (
-                    slots[..count].iter().map(|&(_, _, s)| s).collect(),
-                    d as u64,
-                )
-            }
-        }
+        choose_destinations(
+            self.policy,
+            &self.alive,
+            |s| self.loads.load(s),
+            |s| self.servers[s].capacity,
+            count,
+            rng,
+        )
     }
 
     /// Creates a new file of `k` chunks, returning its id.
@@ -329,12 +274,27 @@ impl StorageCluster {
     /// servers via the placement policy. Returns the number of chunks
     /// moved.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the server is already dead, or if it held chunks and no
-    /// other server is alive.
-    pub fn fail_server<R: RngCore + ?Sized>(&mut self, server: usize, rng: &mut R) -> u64 {
-        assert!(self.servers[server].alive, "server {server} already dead");
+    /// [`ClusterError::UnknownServer`] for an out-of-range id,
+    /// [`ClusterError::AlreadyDead`] if the server is already dead, and
+    /// [`ClusterError::NoAliveServers`] if it holds chunks and no other
+    /// server is alive to receive them. On error the cluster is unchanged,
+    /// so fault plans with overlapping targets degrade gracefully.
+    pub fn fail_server<R: RngCore + ?Sized>(
+        &mut self,
+        server: usize,
+        rng: &mut R,
+    ) -> Result<u64, ClusterError> {
+        if server >= self.servers.len() {
+            return Err(ClusterError::UnknownServer { server });
+        }
+        if !self.servers[server].alive {
+            return Err(ClusterError::AlreadyDead { server });
+        }
+        if !self.servers[server].chunks.is_empty() && self.alive.len() == 1 {
+            return Err(ClusterError::NoAliveServers);
+        }
         // Remove from the alive set (swap-remove + position fixup).
         let pos = self.alive_pos[server];
         self.alive.swap_remove(pos);
@@ -360,14 +320,25 @@ impl StorageCluster {
             self.files[*file as usize][*chunk as usize] = d;
         }
         self.recovered_chunks += lost.len() as u64;
-        lost.len() as u64
+        Ok(lost.len() as u64)
     }
 
     /// Kills a uniformly random alive server. Returns `(server, moved)`.
-    pub fn fail_random_server<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> (usize, u64) {
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoAliveServers`] when no server is alive to kill
+    /// (or the victim would strand its chunks); see [`Self::fail_server`].
+    pub fn fail_random_server<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> Result<(usize, u64), ClusterError> {
+        if self.alive.is_empty() {
+            return Err(ClusterError::NoAliveServers);
+        }
         let server = self.alive[UniformBin::new(self.alive.len()).sample(rng)];
-        let moved = self.fail_server(server, rng);
-        (server, moved)
+        let moved = self.fail_server(server, rng)?;
+        Ok((server, moved))
     }
 
     /// The loads (chunk counts) of all alive servers.
@@ -525,7 +496,7 @@ mod tests {
             c.create_file(&mut rng);
         }
         let before = c.stats().total_chunks;
-        let (server, moved) = c.fail_random_server(&mut rng);
+        let (server, moved) = c.fail_random_server(&mut rng).unwrap();
         assert!(!c.servers[server].alive);
         assert_eq!(c.alive_servers(), 9);
         let after = c.stats();
@@ -541,12 +512,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already dead")]
-    fn double_failure_panics() {
+    fn fault_errors_are_values_not_panics() {
         let mut rng = Xoshiro256PlusPlus::from_u64(6);
         let mut c = StorageCluster::new(3, 1, PlacementPolicy::Random);
-        c.fail_server(0, &mut rng);
-        c.fail_server(0, &mut rng);
+
+        // Double failure: the second call reports AlreadyDead, changes
+        // nothing, and the cluster stays usable.
+        assert!(c.fail_server(0, &mut rng).is_ok());
+        assert_eq!(
+            c.fail_server(0, &mut rng),
+            Err(ClusterError::AlreadyDead { server: 0 })
+        );
+        assert_eq!(c.alive_servers(), 2);
+        assert!(c.check_invariants());
+
+        // Out-of-range target.
+        assert_eq!(
+            c.fail_server(17, &mut rng),
+            Err(ClusterError::UnknownServer { server: 17 })
+        );
+
+        // Draining the alive set: failing the last chunkless server is
+        // fine, then sampling a victim from an empty set reports
+        // NoAliveServers.
+        assert!(c.fail_server(1, &mut rng).is_ok());
+        assert!(c.fail_server(2, &mut rng).is_ok());
+        assert_eq!(
+            c.fail_random_server(&mut rng),
+            Err(ClusterError::NoAliveServers)
+        );
+    }
+
+    #[test]
+    fn failing_the_last_loaded_server_is_an_error_not_a_panic() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(7);
+        let mut c = StorageCluster::new(2, 1, PlacementPolicy::Random);
+        c.create_file(&mut rng);
+        c.create_file(&mut rng);
+        assert!(c.fail_server(0, &mut rng).is_ok());
+        // Server 1 now holds every chunk and is the only one alive.
+        assert_eq!(
+            c.fail_server(1, &mut rng),
+            Err(ClusterError::NoAliveServers)
+        );
+        // The refused failure left the cluster intact.
+        assert_eq!(c.alive_servers(), 1);
+        assert_eq!(c.stats().total_chunks, 2);
+        assert!(c.check_invariants());
     }
 
     #[test]
@@ -557,7 +569,7 @@ mod tests {
             c.create_file(&mut rng);
         }
         for _ in 0..12 {
-            c.fail_random_server(&mut rng);
+            c.fail_random_server(&mut rng).unwrap();
             assert!(c.check_invariants());
         }
         assert_eq!(c.alive_servers(), 4);

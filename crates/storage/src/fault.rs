@@ -1,0 +1,199 @@
+//! Declarative fault injection: a [`FaultPlan`] schedules crashes, rack
+//! outages, delayed recoveries, and node joins on the virtual clock, and
+//! the [`FaultInjector`] feeds them to [`crate::ChunkCluster::tick`].
+//!
+//! Events that turn out to be impossible when they fire (crashing an
+//! already-down server, recovering an up one) are *recorded*, not fatal:
+//! the cluster counts them as plan errors and keeps running, so plans
+//! with overlapping targets degrade gracefully.
+
+/// One scheduled fault event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Crash a specific server: it stops heartbeating and its replicas
+    /// become unreadable; the master notices only after the heartbeat
+    /// timeout.
+    Crash {
+        /// The server to crash.
+        server: usize,
+    },
+    /// Crash a uniformly random currently-up server (consumes one RNG
+    /// draw at fire time).
+    CrashRandom,
+    /// Crash every up server in a rack (a top-of-rack switch failure).
+    RackOutage {
+        /// The rack to take out.
+        rack: usize,
+    },
+    /// Bring a specific downed server back: a crashed-but-undetected
+    /// server returns with its replicas intact (a network blip); a
+    /// detected-dead one rejoins empty.
+    Recover {
+        /// The server to recover.
+        server: usize,
+    },
+    /// Recover the longest-down server, if any (FIFO over crash order) —
+    /// lets plans express "crash with delayed recovery" without knowing
+    /// random victims in advance.
+    RecoverOldest,
+    /// Add a brand-new empty server with the given relative capacity,
+    /// assigned to the next rack round-robin.
+    Join {
+        /// Relative capacity of the new server.
+        capacity: f64,
+    },
+}
+
+/// A schedule of fault events on the virtual clock. Events at the same
+/// tick fire in insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `tick` (builder style).
+    #[must_use]
+    pub fn at(mut self, tick: u64, event: FaultEvent) -> Self {
+        self.push(tick, event);
+        self
+    }
+
+    /// Schedules `event` at `tick`.
+    pub fn push(&mut self, tick: u64, event: FaultEvent) {
+        self.events.push((tick, event));
+    }
+
+    /// Schedules a crash at `tick` and the matching recovery of the
+    /// longest-down server `down_ticks` later.
+    #[must_use]
+    pub fn crash_with_recovery(self, tick: u64, server: usize, down_ticks: u64) -> Self {
+        self.at(tick, FaultEvent::Crash { server })
+            .at(tick + down_ticks, FaultEvent::Recover { server })
+    }
+
+    /// Schedules `count` random crashes spread evenly through ticks
+    /// `1..=span` (the classic re-replication storm driver): crash `i`
+    /// fires at `(i + 1) * span / (count + 1)`, clamped to at least 1.
+    #[must_use]
+    pub fn storm(mut self, count: usize, span: u64) -> Self {
+        for i in 0..count {
+            let tick = ((i as u64 + 1) * span / (count as u64 + 1)).max(1);
+            self.push(tick, FaultEvent::CrashRandom);
+        }
+        self
+    }
+
+    /// The number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The last tick any event fires at (0 for an empty plan).
+    pub fn last_tick(&self) -> u64 {
+        self.events.iter().map(|&(t, _)| t).max().unwrap_or(0)
+    }
+
+    /// The scheduled `(tick, event)` pairs in insertion order.
+    pub fn events(&self) -> &[(u64, FaultEvent)] {
+        &self.events
+    }
+}
+
+/// Replays a [`FaultPlan`] tick by tick. Events are delivered in
+/// schedule order (stable for equal ticks), independent of insertion
+/// order across different ticks.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Events sorted by tick (stable, so same-tick order is preserved).
+    events: Vec<(u64, FaultEvent)>,
+    next: usize,
+}
+
+impl FaultInjector {
+    /// Builds an injector from a plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut events = plan.events.clone();
+        events.sort_by_key(|&(t, _)| t);
+        Self { events, next: 0 }
+    }
+
+    /// All events scheduled at exactly `now`, advancing the cursor.
+    /// Events scheduled strictly before `now` that were never polled are
+    /// delivered too (late, but never dropped).
+    pub fn take_due(&mut self, now: u64) -> &[(u64, FaultEvent)] {
+        let start = self.next;
+        while self.next < self.events.len() && self.events[self.next].0 <= now {
+            self.next += 1;
+        }
+        &self.events[start..self.next]
+    }
+
+    /// Whether any events remain to fire after `now`.
+    pub fn pending(&self) -> bool {
+        self.next < self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_delivers_in_tick_order_stable_within_a_tick() {
+        let plan = FaultPlan::new()
+            .at(5, FaultEvent::CrashRandom)
+            .at(2, FaultEvent::Crash { server: 1 })
+            .at(5, FaultEvent::Join { capacity: 1.0 })
+            .at(2, FaultEvent::Recover { server: 1 });
+        let mut injector = FaultInjector::new(&plan);
+        assert!(injector.take_due(1).is_empty());
+        assert_eq!(
+            injector.take_due(2),
+            &[
+                (2, FaultEvent::Crash { server: 1 }),
+                (2, FaultEvent::Recover { server: 1 }),
+            ]
+        );
+        assert!(injector.take_due(3).is_empty());
+        assert!(injector.pending());
+        assert_eq!(
+            injector.take_due(5),
+            &[
+                (5, FaultEvent::CrashRandom),
+                (5, FaultEvent::Join { capacity: 1.0 }),
+            ]
+        );
+        assert!(!injector.pending());
+    }
+
+    #[test]
+    fn storm_spreads_crashes_evenly() {
+        let plan = FaultPlan::new().storm(3, 100);
+        let ticks: Vec<u64> = plan.events().iter().map(|&(t, _)| t).collect();
+        assert_eq!(ticks, vec![25, 50, 75]);
+        assert_eq!(plan.last_tick(), 75);
+    }
+
+    #[test]
+    fn crash_with_recovery_schedules_both_halves() {
+        let plan = FaultPlan::new().crash_with_recovery(10, 3, 40);
+        assert_eq!(
+            plan.events(),
+            &[
+                (10, FaultEvent::Crash { server: 3 }),
+                (50, FaultEvent::Recover { server: 3 }),
+            ]
+        );
+    }
+}

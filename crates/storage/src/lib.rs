@@ -12,16 +12,39 @@
 //! placed by a pluggable [`PlacementPolicy`]; reads retrieve all `k` chunks
 //! (cost `k+1` for directory-based (k,d) placement vs `2k` for per-chunk
 //! two-choice, per §1.3); servers can fail, triggering re-replication of
-//! their chunks. See [`StorageCluster`] for the operations and
-//! [`run_workload`] for a scripted create/read/fail experiment.
+//! their chunks.
+//!
+//! Two clusters share the placement machinery:
+//!
+//! - [`StorageCluster`]: the legacy synchronous model — failures are
+//!   announced, detection is instant, and recovery heals atomically inside
+//!   `fail_server`. See [`run_workload`] for its scripted experiment.
+//! - [`ChunkCluster`]: the fault-injected virtual-clock model — silent
+//!   crashes, heartbeat-lagged load views, missed-heartbeat death
+//!   detection, and bounded-rate re-replication driven by a declarative
+//!   [`FaultPlan`]. See [`run_cluster_workload`] for the degradation
+//!   experiment and [`ClusterScenario`] for the experiment-framework
+//!   binding.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod chunk_cluster;
 mod cluster;
+mod cluster_workload;
+mod fault;
+mod heartbeat;
+mod placement;
+mod replication;
 mod scenario;
 mod workload;
 
-pub use cluster::{PlacementPolicy, StorageCluster, StorageStats};
-pub use scenario::StorageScenario;
+pub use chunk_cluster::{ChunkCluster, ClusterConfig, DegradationReport, ReplicaDiscipline};
+pub use cluster::{ClusterError, StorageCluster, StorageStats};
+pub use cluster_workload::{run_cluster_workload, ClusterReport, ClusterWorkloadConfig};
+pub use fault::{FaultEvent, FaultInjector, FaultPlan};
+pub use heartbeat::{HeartbeatConfig, HeartbeatTable};
+pub use placement::PlacementPolicy;
+pub use replication::{RecoveryConfig, RecoveryQueue, Repair};
+pub use scenario::{ClusterScenario, StorageScenario};
 pub use workload::{run_workload, StorageReport, WorkloadConfig};

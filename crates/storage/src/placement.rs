@@ -1,0 +1,404 @@
+//! Placement policies and destination selection, shared by the legacy
+//! synchronous [`crate::StorageCluster`] and the fault-injected
+//! [`crate::ChunkCluster`].
+//!
+//! Two selection routines live here:
+//!
+//! - [`choose_destinations`] is the original §1.3 selection, *bit-exact*
+//!   with the pre-refactor `StorageCluster::place`: probes are drawn with
+//!   replacement and the multiplicity rule lets one server receive
+//!   several chunks of a file. Both clusters call it, so the legacy
+//!   `storage` scenario stream is reproducible from either.
+//! - [`choose_constrained`] enforces replica *distinctness* (no two
+//!   replicas of a chunk on one server, optionally no two on one rack)
+//!   by greedy selection over sorted probe slots with bounded re-probe
+//!   rounds — the hypergraph-probe model where probe sets are correlated
+//!   by rack.
+
+use std::borrow::Cow;
+
+use kdchoice_prng::sample::UniformBin;
+use rand::{Rng, RngCore};
+
+/// How a file's `k` chunks (or a chunk's `k` replicas) pick their servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PlacementPolicy {
+    /// The paper's scheme: sample `d` alive servers i.u.r. (with
+    /// replacement) and store the `k` chunks on the `k` least loaded,
+    /// multiplicities respected. Placement costs `d` probe messages; a read
+    /// costs `k + 1` (one directory lookup + `k` fetches).
+    KdChoice {
+        /// Probes per file creation (`d ≥ k`).
+        d: usize,
+    },
+    /// Each chunk independently picks the less loaded of 2 sampled servers.
+    /// Placement costs `2k` probes; §1.3 charges reads `2k` messages (two
+    /// candidate locations per chunk must be addressed).
+    PerChunkTwoChoice,
+    /// Each chunk goes to a uniformly random alive server; no probes; reads
+    /// cost `k + 1` via the directory.
+    Random,
+}
+
+impl PlacementPolicy {
+    /// Display name.
+    ///
+    /// Parameter-free policies return a borrowed `&'static str` — no
+    /// allocation on reporting paths; `KdChoice` formats once per call,
+    /// so report builders cache it per run (as
+    /// [`crate::StorageReport`] does) rather than fetching per event.
+    pub fn name(&self) -> Cow<'static, str> {
+        match self {
+            PlacementPolicy::KdChoice { d } => Cow::Owned(format!("(k,{d})-choice")),
+            PlacementPolicy::PerChunkTwoChoice => Cow::Borrowed("per-chunk 2-choice"),
+            PlacementPolicy::Random => Cow::Borrowed("random"),
+        }
+    }
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Places `count` chunks on servers chosen by `policy` among `alive`,
+/// reading per-server chunk counts through `load` and relative capacities
+/// through `capacity`; returns `(destinations, probe_messages)`.
+///
+/// This is the legacy multiplicity-respecting selection: the probe and
+/// tie-break RNG stream is identical to the original
+/// `StorageCluster::place`, which the bit-identical `storage`-scenario
+/// lock depends on.
+///
+/// # Panics
+///
+/// Panics if `alive` is empty or a `KdChoice` policy probes fewer than
+/// `count` slots.
+pub(crate) fn choose_destinations<R, L, C>(
+    policy: PlacementPolicy,
+    alive: &[usize],
+    load: L,
+    capacity: C,
+    count: usize,
+    rng: &mut R,
+) -> (Vec<usize>, u64)
+where
+    R: RngCore + ?Sized,
+    L: Fn(usize) -> u32,
+    C: Fn(usize) -> f64,
+{
+    assert!(!alive.is_empty(), "no alive servers left");
+    let effective = |s: usize| f64::from(load(s)) / capacity(s);
+    match policy {
+        PlacementPolicy::Random => {
+            let pick = UniformBin::new(alive.len());
+            let dest = (0..count).map(|_| alive[pick.sample(rng)]).collect();
+            (dest, 0)
+        }
+        PlacementPolicy::PerChunkTwoChoice => {
+            let pick = UniformBin::new(alive.len());
+            let mut dest = Vec::with_capacity(count);
+            for _ in 0..count {
+                let a = alive[pick.sample(rng)];
+                let b = alive[pick.sample(rng)];
+                let (la, lb) = (effective(a), effective(b));
+                // Note: loads within a single file placement are read
+                // once; simultaneous chunk placements of one file do not
+                // see each other — matching independent per-chunk
+                // placement.
+                let chosen = if la < lb {
+                    a
+                } else if lb < la {
+                    b
+                } else if rng.gen_bool(0.5) {
+                    a
+                } else {
+                    b
+                };
+                dest.push(chosen);
+            }
+            (dest, 2 * count as u64)
+        }
+        PlacementPolicy::KdChoice { d } => {
+            // Sample d alive servers with replacement; take the `count`
+            // least loaded slots with the multiplicity rule (tentative
+            // heights (load+occ)/capacity, ties broken randomly).
+            let pick = UniformBin::new(alive.len());
+            let mut sampled: Vec<usize> = (0..d).map(|_| alive[pick.sample(rng)]).collect();
+            sampled.sort_unstable();
+            let mut slots: Vec<(f64, u64, usize)> = Vec::with_capacity(d);
+            let mut i = 0;
+            while i < sampled.len() {
+                let s = sampled[i];
+                let base = load(s);
+                let cap = capacity(s);
+                let mut occ = 0u32;
+                while i < sampled.len() && sampled[i] == s {
+                    occ += 1;
+                    slots.push((f64::from(base + occ) / cap, rng.next_u64(), s));
+                    i += 1;
+                }
+            }
+            assert!(
+                count <= slots.len(),
+                "placement needs at least k sampled slots"
+            );
+            if count < slots.len() {
+                slots.select_nth_unstable_by(count - 1, |a, b| {
+                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+                });
+            }
+            (
+                slots[..count].iter().map(|&(_, _, s)| s).collect(),
+                d as u64,
+            )
+        }
+    }
+}
+
+/// How many fresh probe rounds [`choose_constrained`] spends before
+/// returning a shortfall (each round costs the policy's probe messages).
+const MAX_PROBE_ROUNDS: usize = 4;
+
+/// Places up to `count` replicas on *distinct* servers drawn from `alive`,
+/// skipping servers where `forbidden` holds and — when `rack_aware` —
+/// racks already occupied (`rack_used`) or picked earlier in this call.
+///
+/// Returns `(destinations, probe_messages)`; `destinations.len()` may be
+/// smaller than `count` when the constraints exhaust the eligible set
+/// (the caller keeps the missing replicas pending and retries later, so
+/// degradation is graceful rather than a panic).
+///
+/// Probe/message accounting mirrors [`choose_destinations`]: `Random`
+/// spends no probe messages, `PerChunkTwoChoice` spends 2 per replica,
+/// `KdChoice { d }` spends `d` per probe round.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn choose_constrained<R, L, C, F, K>(
+    policy: PlacementPolicy,
+    alive: &[usize],
+    load: L,
+    capacity: C,
+    rack_of: K,
+    rack_aware: bool,
+    forbidden: F,
+    rack_used: &[usize],
+    count: usize,
+    rng: &mut R,
+) -> (Vec<usize>, u64)
+where
+    R: RngCore + ?Sized,
+    L: Fn(usize) -> u32,
+    C: Fn(usize) -> f64,
+    F: Fn(usize) -> bool,
+    K: Fn(usize) -> usize,
+{
+    let mut chosen: Vec<usize> = Vec::with_capacity(count);
+    let mut racks_taken: Vec<usize> = rack_used.to_vec();
+    let mut messages = 0u64;
+    let effective = |s: usize| f64::from(load(s)) / capacity(s);
+    let eligible = |s: usize, chosen: &[usize], racks_taken: &[usize]| {
+        !forbidden(s) && !chosen.contains(&s) && (!rack_aware || !racks_taken.contains(&rack_of(s)))
+    };
+
+    match policy {
+        PlacementPolicy::Random => {
+            for _ in 0..count {
+                let pool: Vec<usize> = alive
+                    .iter()
+                    .copied()
+                    .filter(|&s| eligible(s, &chosen, &racks_taken))
+                    .collect();
+                if pool.is_empty() {
+                    break;
+                }
+                let s = pool[UniformBin::new(pool.len()).sample(rng)];
+                if rack_aware {
+                    racks_taken.push(rack_of(s));
+                }
+                chosen.push(s);
+            }
+        }
+        PlacementPolicy::PerChunkTwoChoice => {
+            for _ in 0..count {
+                let pool: Vec<usize> = alive
+                    .iter()
+                    .copied()
+                    .filter(|&s| eligible(s, &chosen, &racks_taken))
+                    .collect();
+                if pool.is_empty() {
+                    break;
+                }
+                messages += 2;
+                let pick = UniformBin::new(pool.len());
+                let a = pool[pick.sample(rng)];
+                let b = pool[pick.sample(rng)];
+                let (la, lb) = (effective(a), effective(b));
+                let s = if la < lb {
+                    a
+                } else if lb < la {
+                    b
+                } else if rng.gen_bool(0.5) {
+                    a
+                } else {
+                    b
+                };
+                if rack_aware {
+                    racks_taken.push(rack_of(s));
+                }
+                chosen.push(s);
+            }
+        }
+        PlacementPolicy::KdChoice { d } => {
+            for _ in 0..MAX_PROBE_ROUNDS {
+                if chosen.len() == count {
+                    break;
+                }
+                let pool: Vec<usize> = alive
+                    .iter()
+                    .copied()
+                    .filter(|&s| eligible(s, &chosen, &racks_taken))
+                    .collect();
+                if pool.is_empty() {
+                    break;
+                }
+                messages += d as u64;
+                let pick = UniformBin::new(pool.len());
+                let mut sampled: Vec<usize> = (0..d).map(|_| pool[pick.sample(rng)]).collect();
+                sampled.sort_unstable();
+                let mut slots: Vec<(f64, u64, usize)> = Vec::with_capacity(d);
+                let mut i = 0;
+                while i < sampled.len() {
+                    let s = sampled[i];
+                    let base = load(s);
+                    let cap = capacity(s);
+                    let mut occ = 0u32;
+                    while i < sampled.len() && sampled[i] == s {
+                        occ += 1;
+                        slots.push((f64::from(base + occ) / cap, rng.next_u64(), s));
+                        i += 1;
+                    }
+                }
+                slots.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for &(_, _, s) in &slots {
+                    if chosen.len() == count {
+                        break;
+                    }
+                    if eligible(s, &chosen, &racks_taken) {
+                        if rack_aware {
+                            racks_taken.push(rack_of(s));
+                        }
+                        chosen.push(s);
+                    }
+                }
+            }
+        }
+    }
+    (chosen, messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn constrained_kd_yields_distinct_servers() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        let alive: Vec<usize> = (0..10).collect();
+        for _ in 0..200 {
+            let (dest, msgs) = choose_constrained(
+                PlacementPolicy::KdChoice { d: 6 },
+                &alive,
+                |_| 0,
+                |_| 1.0,
+                |s| s,
+                false,
+                |_| false,
+                &[],
+                3,
+                &mut rng,
+            );
+            assert_eq!(dest.len(), 3);
+            let mut sorted = dest.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must land on distinct servers");
+            assert!(msgs >= 6);
+        }
+    }
+
+    #[test]
+    fn constrained_rack_aware_yields_distinct_racks() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(2);
+        let alive: Vec<usize> = (0..12).collect();
+        // 4 racks of 3 servers each: rack = s % 4.
+        for policy in [
+            PlacementPolicy::KdChoice { d: 8 },
+            PlacementPolicy::PerChunkTwoChoice,
+            PlacementPolicy::Random,
+        ] {
+            for _ in 0..100 {
+                let (dest, _) = choose_constrained(
+                    policy,
+                    &alive,
+                    |_| 0,
+                    |_| 1.0,
+                    |s| s % 4,
+                    true,
+                    |_| false,
+                    &[],
+                    3,
+                    &mut rng,
+                );
+                assert_eq!(dest.len(), 3, "{policy}");
+                let mut racks: Vec<usize> = dest.iter().map(|&s| s % 4).collect();
+                racks.sort_unstable();
+                racks.dedup();
+                assert_eq!(racks.len(), 3, "{policy}: replicas must span racks");
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_reports_shortfall_instead_of_panicking() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        // Only 2 eligible servers but 4 replicas wanted.
+        let alive: Vec<usize> = vec![0, 1, 2];
+        let (dest, _) = choose_constrained(
+            PlacementPolicy::KdChoice { d: 4 },
+            &alive,
+            |_| 0,
+            |_| 1.0,
+            |s| s,
+            false,
+            |s| s == 2,
+            &[],
+            4,
+            &mut rng,
+        );
+        assert_eq!(dest.len(), 2, "shortfall returned, not panicked");
+    }
+
+    #[test]
+    fn forbidden_servers_are_never_chosen() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(4);
+        let alive: Vec<usize> = (0..8).collect();
+        for _ in 0..100 {
+            let (dest, _) = choose_constrained(
+                PlacementPolicy::Random,
+                &alive,
+                |_| 0,
+                |_| 1.0,
+                |s| s,
+                false,
+                |s| s % 2 == 0,
+                &[],
+                2,
+                &mut rng,
+            );
+            assert!(dest.iter().all(|&s| s % 2 == 1), "{dest:?}");
+        }
+    }
+}

@@ -4,7 +4,8 @@ use kdchoice_prng::dist::Zipf;
 use kdchoice_prng::Xoshiro256PlusPlus;
 use kdchoice_stats::quantile::quantiles;
 
-use crate::cluster::{PlacementPolicy, StorageCluster, StorageStats};
+use crate::cluster::{StorageCluster, StorageStats};
+use crate::placement::PlacementPolicy;
 
 /// Configuration of a storage workload run.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,12 +107,16 @@ pub fn run_workload(config: &WorkloadConfig) -> StorageReport {
     for f in 0..config.files {
         cluster.create_file(&mut rng);
         if failures_done < config.failures && (f + 1) % failure_every == 0 {
-            cluster.fail_random_server(&mut rng);
+            cluster
+                .fail_random_server(&mut rng)
+                .expect("failures < servers, so a victim always exists");
             failures_done += 1;
         }
     }
     while failures_done < config.failures {
-        cluster.fail_random_server(&mut rng);
+        cluster
+            .fail_random_server(&mut rng)
+            .expect("failures < servers, so a victim always exists");
         failures_done += 1;
     }
 

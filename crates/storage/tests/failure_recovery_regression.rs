@@ -18,7 +18,7 @@ fn fixed_seed_failures_conserve_chunks_and_avoid_dead_servers() {
 
     let mut failed = Vec::new();
     for _ in 0..4 {
-        let (server, moved) = cluster.fail_random_server(&mut rng);
+        let (server, moved) = cluster.fail_random_server(&mut rng).unwrap();
         failed.push(server);
         assert!(moved > 0, "a loaded server must have had chunks to move");
         // Chunk conservation after every single failure.

@@ -1,0 +1,80 @@
+//! The acceptance lock for the fault-injected cluster: configured with a
+//! single-failure-style plan (random crashes at the legacy intervals),
+//! zero heartbeat lag (synchronous detection), an infinite recovery rate,
+//! and the legacy multiplicity placement rule, [`ChunkCluster`] must
+//! reproduce the legacy [`run_workload`] RNG stream — and therefore every
+//! statistic — bit-identically.
+
+use kdchoice_storage::{
+    run_cluster_workload, run_workload, ClusterWorkloadConfig, PlacementPolicy, WorkloadConfig,
+};
+
+fn assert_bit_identical(config: &WorkloadConfig) {
+    let legacy = run_workload(config);
+    let compat = run_cluster_workload(&ClusterWorkloadConfig::legacy_compat(config));
+    // StorageStats is PartialEq over every counter, including the message
+    // totals that expose the exact probe stream, and the f64 means that
+    // expose ordering of floating-point accumulation.
+    assert_eq!(legacy.stats, compat.stats, "stats diverged for {config:?}");
+    assert_eq!(legacy.load_percentiles, compat.load_percentiles);
+    assert_eq!(legacy.read_cost_per_op, compat.read_cost_per_op);
+    assert_eq!(legacy.create_cost_per_file, compat.create_cost_per_file);
+    assert_eq!(legacy.policy, compat.policy);
+    assert_eq!(compat.failed_creates, 0);
+    // Synchronous detection + unbounded recovery: every crash is detected
+    // in its own tick and healed in the same tick.
+    assert_eq!(compat.degradation.crashes, config.failures as u64);
+    assert_eq!(compat.degradation.detections, config.failures as u64);
+    assert_eq!(compat.degradation.detection_latency_max, 0);
+    assert_eq!(compat.degradation.final_under_replicated, 0);
+}
+
+#[test]
+fn compat_cluster_matches_legacy_workload_without_failures() {
+    for seed in [0, 1, 0xDEAD] {
+        let config = WorkloadConfig::new(40, 3, PlacementPolicy::KdChoice { d: 6 }).with_seed(seed);
+        assert_bit_identical(&config);
+    }
+}
+
+#[test]
+fn compat_cluster_matches_legacy_workload_with_failures_across_policies() {
+    for policy in [
+        PlacementPolicy::KdChoice { d: 8 },
+        PlacementPolicy::PerChunkTwoChoice,
+        PlacementPolicy::Random,
+    ] {
+        for failures in [1, 3, 7] {
+            for seed in [2, 2024] {
+                let config = WorkloadConfig::new(32, 4, policy)
+                    .with_failures(failures)
+                    .with_seed(seed);
+                assert_bit_identical(&config);
+            }
+        }
+    }
+}
+
+#[test]
+fn compat_cluster_matches_legacy_when_failures_outnumber_create_intervals() {
+    // files < failures forces the legacy trailing-failure loop (crashes
+    // with no create in between), which the compat plan must replicate at
+    // ticks files+1, files+2, ...
+    let mut config = WorkloadConfig::new(16, 2, PlacementPolicy::KdChoice { d: 4 })
+        .with_failures(9)
+        .with_seed(77);
+    config.files = 5;
+    config.reads = 40;
+    assert_bit_identical(&config);
+}
+
+#[test]
+fn compat_cluster_matches_legacy_with_zipf_variants() {
+    for zipf in [0.0, 0.9, 1.5] {
+        let mut config = WorkloadConfig::new(24, 3, PlacementPolicy::KdChoice { d: 6 })
+            .with_failures(2)
+            .with_seed(5);
+        config.zipf_exponent = zipf;
+        assert_bit_identical(&config);
+    }
+}

@@ -37,7 +37,9 @@ fn main() {
 
     println!("\nkilling 5 servers...");
     for _ in 0..5 {
-        let (server, moved) = cluster.fail_random_server(&mut rng);
+        let (server, moved) = cluster
+            .fail_random_server(&mut rng)
+            .expect("more servers than failures");
         println!("  server {server} died, {moved} chunks re-replicated");
     }
     let s = cluster.stats();
