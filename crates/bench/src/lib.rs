@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 
 pub mod plot;
+pub mod svg;
 pub mod table;
 pub mod table1_data;
 

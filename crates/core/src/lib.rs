@@ -61,6 +61,7 @@ pub mod probes;
 mod process;
 pub mod scenario;
 mod serialized;
+mod snapshot;
 mod state;
 mod store;
 mod trace;
@@ -77,6 +78,7 @@ pub use probes::{two_tier_capacities, ProbeDistribution};
 pub use process::{BallsIntoBins, HeightSink, RoundProcess, RoundStats};
 pub use scenario::{DynamicScenario, HeteroScenario, StaticScenario};
 pub use serialized::{SerializedKdChoice, SigmaSchedule};
+pub use snapshot::{decide_k_least, LoadView, SharedLoadSnapshot};
 pub use state::LoadVector;
 pub use store::BinStore;
 pub use trace::{run_with_trace, TracePoint};

@@ -160,6 +160,33 @@ impl ProbeDistribution {
         }
     }
 
+    /// Fills the slice `out` with sequential draws — the **same
+    /// generator stream** as calling [`ProbeDistribution::sample`] once
+    /// per slot, unlike the block-pulling [`ProbeDistribution::fill`].
+    ///
+    /// This is the shared-nothing engine's snapshot-read probe path:
+    /// `d` probes land in a caller-owned scratch slice with no
+    /// allocation, and the stream identity with the per-request striped
+    /// path is what makes cross-backend bit-equivalence possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-uniform distribution was built for a different `n`.
+    #[inline]
+    pub fn fill_each<R: RngCore + ?Sized>(&self, rng: &mut R, n: usize, out: &mut [usize]) {
+        match self {
+            ProbeDistribution::Uniform => UniformBin::new(n).fill_seq(rng, out),
+            ProbeDistribution::Weighted(w) => {
+                assert_eq!(w.n(), n, "weighted distribution built for wrong n");
+                w.fill_seq(rng, out);
+            }
+            ProbeDistribution::Zipf { sampler, .. } => {
+                assert_eq!(sampler.n(), n, "zipf distribution built for wrong n");
+                sampler.fill_seq(rng, out);
+            }
+        }
+    }
+
     /// Fills `out` with `count` probes from `0..n` (batch API; block-pulls
     /// generator outputs, see [`fill_with_replacement`] /
     /// [`fill_weighted`]).

@@ -1,0 +1,269 @@
+//! Relaxed-read load views and the shared (k,d)-choice decision kernel.
+//!
+//! The shared-nothing service backend (`kdchoice-service`) decides
+//! placements against **stale** per-bin load information: each shard's
+//! owner thread periodically publishes its loads into a
+//! [`SharedLoadSnapshot`], and probing threads read those counters with
+//! `Relaxed` atomics instead of taking cross-shard locks. That is
+//! exactly the regime the 1-2-3-Toolkit line of work analyzes (choices
+//! acting on outdated load values), and Park's Theorem 2 envelope is the
+//! yardstick the staleness sweep asserts against.
+//!
+//! [`LoadView`] names the one capability the decision step needs — "what
+//! is bin `b`'s load, as far as you know?" — so the same kernel,
+//! [`decide_k_least`], serves both the exact path (a [`LoadVector`]
+//! behind a lock) and the relaxed path (a snapshot refreshed every `R`
+//! commits). When the view is exact, the kernel is **bit-identical** to
+//! the lock-striped `ShardedStore::place_k_least` decision: same probe
+//! sort, same tentative-slot expansion under the multiplicity rule, same
+//! one-tie-key-per-slot RNG consumption, same `select_nth` pivot, same
+//! winner order. The cross-backend equivalence proptests in
+//! `kdchoice-service` lock that claim.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rand::RngCore;
+
+use crate::state::LoadVector;
+
+/// A read-only view of per-bin loads, possibly stale.
+///
+/// Implementations promise only that `view_load(bin)` is *some*
+/// previously published load of `bin` — an exact view ([`LoadVector`])
+/// returns the current load, a [`SharedLoadSnapshot`] returns the load
+/// as of the owner's last refresh.
+pub trait LoadView {
+    /// The number of bins visible through this view.
+    fn view_n(&self) -> usize;
+
+    /// The (possibly stale) load of `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= view_n()`.
+    fn view_load(&self, bin: usize) -> u32;
+}
+
+impl LoadView for LoadVector {
+    #[inline]
+    fn view_n(&self) -> usize {
+        self.n()
+    }
+
+    #[inline]
+    fn view_load(&self, bin: usize) -> u32 {
+        self.load(bin)
+    }
+}
+
+/// A lock-free array of published per-bin loads.
+///
+/// One `AtomicU32` per bin, read and written with `Relaxed` ordering:
+/// the snapshot carries no synchronization obligations of its own — each
+/// counter is an independent monotonically-published value, and the
+/// decision kernel tolerates any interleaving of per-bin staleness (that
+/// tolerance is the *measured* claim of the staleness-vs-gap sweep, not
+/// an assumption).
+///
+/// Writers are the shard owners (each bin has exactly one writer in the
+/// shared-nothing engine); readers are every probing thread.
+#[derive(Debug)]
+pub struct SharedLoadSnapshot {
+    loads: Vec<AtomicU32>,
+}
+
+impl SharedLoadSnapshot {
+    /// Creates an all-zero snapshot over `n` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "snapshot needs at least one bin");
+        Self {
+            loads: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// The number of bins.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Whether the snapshot has zero bins (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Reads the published load of `bin` (`Relaxed`).
+    #[inline]
+    pub fn get(&self, bin: usize) -> u32 {
+        self.loads[bin].load(Ordering::Relaxed)
+    }
+
+    /// Publishes `load` as the load of `bin` (`Relaxed`). Only the bin's
+    /// owner may call this in the shared-nothing engine.
+    #[inline]
+    pub fn set(&self, bin: usize, load: u32) {
+        self.loads[bin].store(load, Ordering::Relaxed);
+    }
+}
+
+impl LoadView for SharedLoadSnapshot {
+    #[inline]
+    fn view_n(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn view_load(&self, bin: usize) -> u32 {
+        self.get(bin)
+    }
+}
+
+/// The (k,d)-choice decision kernel over any [`LoadView`]: given the
+/// probed bins, pick the `k` tentative slots of least `(height, tie
+/// key)` under the paper's multiplicity rule.
+///
+/// `sorted_probes` **must already be sorted ascending** (duplicates
+/// allowed — a bin probed `m` times contributes tentative slots at
+/// heights `L+1..=L+m`). One `rng.next_u64()` tie key is drawn per
+/// tentative slot in sorted-probe order, exactly like
+/// `ShardedStore::place_k_least`, so a caller replaying the same RNG
+/// stream against an exact view reproduces the locked path bit for bit.
+///
+/// Winner bins are appended to `bins_out` in selection order; the return
+/// value is the maximum tentative height among the winners (equal to the
+/// committed maximum height when the view is exact, a snapshot-tentative
+/// estimate otherwise). `slots` is caller-provided scratch, cleared on
+/// entry.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > sorted_probes.len()`.
+pub fn decide_k_least<V, R>(
+    view: &V,
+    sorted_probes: &[usize],
+    k: usize,
+    rng: &mut R,
+    slots: &mut Vec<(u32, u64, usize)>,
+    bins_out: &mut Vec<usize>,
+) -> u32
+where
+    V: LoadView + ?Sized,
+    R: RngCore + ?Sized,
+{
+    assert!(
+        k >= 1 && k <= sorted_probes.len(),
+        "need 1 <= k <= d tentative slots (k={k}, d={})",
+        sorted_probes.len()
+    );
+    slots.clear();
+    let mut i = 0;
+    while i < sorted_probes.len() {
+        let bin = sorted_probes[i];
+        let base = view.view_load(bin);
+        let mut occ = 0u32;
+        while i < sorted_probes.len() && sorted_probes[i] == bin {
+            occ += 1;
+            slots.push((base + occ, rng.next_u64(), bin));
+            i += 1;
+        }
+    }
+    if k < slots.len() {
+        slots.select_nth_unstable_by(k - 1, |a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    }
+    let mut max_height = 0;
+    for &(height, _, bin) in &slots[..k] {
+        max_height = max_height.max(height);
+        bins_out.push(bin);
+    }
+    max_height
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdchoice_prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn snapshot_reads_back_published_loads() {
+        let snapshot = SharedLoadSnapshot::new(8);
+        assert_eq!(snapshot.len(), 8);
+        assert!(!snapshot.is_empty());
+        for bin in 0..8 {
+            assert_eq!(snapshot.get(bin), 0);
+        }
+        snapshot.set(3, 7);
+        snapshot.set(0, 2);
+        assert_eq!(snapshot.get(3), 7);
+        assert_eq!(snapshot.get(0), 2);
+        assert_eq!(snapshot.view_load(3), 7);
+        assert_eq!(snapshot.view_n(), 8);
+    }
+
+    /// The kernel against an exact `LoadVector` view consumes the RNG
+    /// and picks winners exactly like the reference expansion used by
+    /// the service-layer equivalence tests.
+    #[test]
+    fn kernel_matches_reference_expansion_on_exact_view() {
+        let mut state = LoadVector::new(6);
+        state.add_ball(2);
+        state.add_ball(2);
+        state.add_ball(4);
+
+        let probes = {
+            let mut p = vec![4, 2, 2, 0, 5];
+            p.sort_unstable();
+            p
+        };
+        let (mut slots, mut bins) = (Vec::new(), Vec::new());
+        let mut rng = Xoshiro256PlusPlus::from_u64(9);
+        let max = decide_k_least(&state, &probes, 2, &mut rng, &mut slots, &mut bins);
+
+        // Reference: expand tentative slots with an identically-seeded RNG.
+        let mut rng_ref = Xoshiro256PlusPlus::from_u64(9);
+        let mut expected: Vec<(u32, u64, usize)> = Vec::new();
+        let mut i = 0;
+        while i < probes.len() {
+            let bin = probes[i];
+            let base = state.load(bin);
+            let mut occ = 0;
+            while i < probes.len() && probes[i] == bin {
+                occ += 1;
+                expected.push((base + occ, rng_ref.next_u64(), bin));
+                i += 1;
+            }
+        }
+        expected.select_nth_unstable_by(1, |a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let expected_bins: Vec<usize> = expected[..2].iter().map(|s| s.2).collect();
+        let expected_max = expected[..2].iter().map(|s| s.0).max().unwrap();
+        assert_eq!(bins, expected_bins);
+        assert_eq!(max, expected_max);
+    }
+
+    /// A stale view changes the decision, not the mechanics: winners
+    /// still come from the probed set and heights reflect the snapshot.
+    #[test]
+    fn kernel_decides_from_the_stale_view_not_the_truth() {
+        let snapshot = SharedLoadSnapshot::new(4);
+        // Truth would say bin 0 is overloaded, but the snapshot is stale
+        // and still calls it empty — the kernel must pick bin 0 over a
+        // bin the snapshot reports as loaded.
+        snapshot.set(1, 5);
+        let probes = vec![0, 1];
+        let (mut slots, mut bins) = (Vec::new(), Vec::new());
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        let max = decide_k_least(&snapshot, &probes, 1, &mut rng, &mut slots, &mut bins);
+        assert_eq!(bins, vec![0]);
+        assert_eq!(max, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= d")]
+    fn kernel_rejects_k_larger_than_d() {
+        let state = LoadVector::new(2);
+        let mut rng = Xoshiro256PlusPlus::from_u64(0);
+        decide_k_least(&state, &[0], 2, &mut rng, &mut Vec::new(), &mut Vec::new());
+    }
+}

@@ -79,6 +79,22 @@ impl UniformBin {
         }
         rand::lemire_u64(rng, self.span) as usize
     }
+
+    /// Fills `out` with sequential draws — the **same generator stream**
+    /// as calling [`UniformBin::sample`] once per slot, unlike the
+    /// block-pulling [`fill_with_replacement`].
+    ///
+    /// This is the snapshot-read probe path of the shared-nothing
+    /// service engine: probes land in a caller-owned scratch slice (no
+    /// per-request allocation) while keeping bit-identical streams with
+    /// the scalar per-request path, so cross-backend equivalence is an
+    /// API guarantee rather than a coincidence.
+    #[inline]
+    pub fn fill_seq<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
+        }
+    }
 }
 
 /// A precomputed **weighted** sampler over `0..n` — the non-uniform probe
@@ -287,6 +303,16 @@ impl WeightedBin {
                     (entry & 0xFFFF_FFFF) as usize
                 }
             }
+        }
+    }
+
+    /// Fills `out` with sequential draws — the same generator stream as
+    /// calling [`WeightedBin::sample`] once per slot, mirroring
+    /// [`UniformBin::fill_seq`] for the snapshot-read probe path.
+    #[inline]
+    pub fn fill_seq<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [usize]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
         }
     }
 }
@@ -577,6 +603,30 @@ mod tests {
         let scalar: Vec<usize> = (0..1000).map(|_| bins.sample(&mut b)).collect();
         assert_eq!(out, scalar);
         assert_eq!(a, b, "generator states must coincide after the batch");
+    }
+
+    #[test]
+    fn fill_seq_matches_scalar_sample_stream() {
+        // The sequential slice fill is *defined* as repeated sample();
+        // lock the stream identity for both samplers so the snapshot-read
+        // probe path cannot drift from the per-request path.
+        let bins = UniformBin::new(509);
+        let mut a = Xoshiro256PlusPlus::from_u64(0xF111);
+        let mut b = Xoshiro256PlusPlus::from_u64(0xF111);
+        let mut out = [0usize; 97];
+        bins.fill_seq(&mut a, &mut out);
+        let scalar: Vec<usize> = (0..97).map(|_| bins.sample(&mut b)).collect();
+        assert_eq!(&out[..], &scalar[..]);
+        assert_eq!(a, b);
+
+        let weighted = WeightedBin::zipf(64, 1.1).unwrap();
+        let mut a = Xoshiro256PlusPlus::from_u64(0xF112);
+        let mut b = Xoshiro256PlusPlus::from_u64(0xF112);
+        let mut out = [0usize; 97];
+        weighted.fill_seq(&mut a, &mut out);
+        let scalar: Vec<usize> = (0..97).map(|_| weighted.sample(&mut b)).collect();
+        assert_eq!(&out[..], &scalar[..]);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -29,6 +29,19 @@
 //!   Queueing latency is accounted per request in virtual ticks;
 //!   [`OpenLoopScenario`] registers the workload as `open_loop`.
 //!
+//! * **Shared-nothing backend** — [`OwnedShardEngine`] replaces lock
+//!   striping with ownership: contiguous bin partitions owned by one
+//!   worker each, cross-shard commits routed over bounded SPSC rings,
+//!   probe decisions reading relaxed-atomic load snapshots
+//!   ([`kdchoice_core::SharedLoadSnapshot`]) that owners republish every
+//!   `snapshot_refresh` mutations. Selected per run via
+//!   [`ServiceBackend`] on [`ServiceWorkloadConfig`] / [`OpenLoopConfig`]
+//!   — same configs, same scenarios, same reports as the striped path.
+//!   At one thread with synchronous snapshots it is bit-identical to the
+//!   striped backend (locked by `tests/backend_equivalence.rs`); the
+//!   staleness-vs-gap envelope is pinned by
+//!   `tests/snapshot_staleness.rs`.
+//!
 //! * **Heterogeneous serving** — every request path draws probes
 //!   through `kdchoice_core::ProbeDistribution` (uniform, weighted,
 //!   Zipf), and stores carry optional per-bin capacities
@@ -55,6 +68,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod engine;
 mod open_loop;
 mod pipeline;
 mod scenario;
@@ -62,6 +76,7 @@ mod service;
 mod sharded;
 pub mod traffic;
 
+pub use engine::{OwnedShardEngine, ServiceBackend, ShardState};
 pub use open_loop::OpenLoopScenario;
 pub use pipeline::{
     churn_capacity, run_open_loop, OpenLoopConfig, OpenLoopReport, PipelineMode, TickSample,

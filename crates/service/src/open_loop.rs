@@ -4,6 +4,7 @@
 use kdchoice_core::{two_tier_capacities, ProbeDistribution};
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
 
+use crate::engine::ServiceBackend;
 use crate::pipeline::{run_open_loop, OpenLoopConfig, OpenLoopReport, PipelineMode};
 use crate::service::prev_power_of_two;
 use crate::traffic::{ArrivalProcess, Lifetime, TrafficConfig};
@@ -54,6 +55,8 @@ impl Scenario for OpenLoopScenario {
             ("shards", Value::U64(config.shards as u64)),
             ("threads", Value::U64(config.threads as u64)),
             ("mode", Value::Str(config.mode.name().into())),
+            ("backend", Value::Str(config.backend.name().into())),
+            ("refresh", Value::U64(config.snapshot_refresh as u64)),
             ("batch", Value::U64(config.max_batch as u64)),
             ("lambda", Value::F64(config.traffic.lambda_factor())),
             ("mu", Value::F64(config.traffic.lifetime.mean_ticks())),
@@ -109,7 +112,15 @@ impl Scenario for OpenLoopScenario {
             Axis::new("threads", "pipeline worker threads (default 4)"),
             Axis::new(
                 "mode",
-                "placement pipeline: batched | per_request (default batched)",
+                "placement pipeline: batched | per_request (default batched; striped backend only)",
+            ),
+            Axis::new(
+                "backend",
+                "concurrency backend: striped | shared_nothing (default striped)",
+            ),
+            Axis::new(
+                "refresh",
+                "shared_nothing snapshot republish period in mutations (default 1)",
             ),
             Axis::new("batch", "max requests per batched lock round (default 64)"),
             Axis::new(
@@ -168,6 +179,15 @@ impl Scenario for OpenLoopScenario {
             "per_request" => PipelineMode::PerRequest,
             _ => return Err(params.bad_value("mode", "batched | per_request")),
         };
+        let backend = ServiceBackend::parse(params.get_raw("backend").unwrap_or("striped"))
+            .ok_or_else(|| params.bad_value("backend", "striped | shared_nothing"))?;
+        if backend == ServiceBackend::SharedNothing && threads > bins {
+            return Err(params.bad_value("threads", "threads <= n for shared_nothing"));
+        }
+        let snapshot_refresh = params.get_usize("refresh", 1)?;
+        if snapshot_refresh == 0 {
+            return Err(params.bad_value("refresh", "a period of at least 1 mutation"));
+        }
         let max_batch = params.get_usize("batch", 64)?;
         if max_batch == 0 {
             return Err(params.bad_value("batch", "a batch of at least 1"));
@@ -246,6 +266,8 @@ impl Scenario for OpenLoopScenario {
             shards,
             threads,
             mode,
+            backend,
+            snapshot_refresh,
             max_batch,
             traffic: TrafficConfig {
                 arrivals,
@@ -263,7 +285,7 @@ impl Scenario for OpenLoopScenario {
 
     fn smoke_grid(&self) -> GridSpec {
         GridSpec::parse_str(
-            "n=2^8 shards=4 threads=1,2 mode=batched,per_request lambda=0.9,1.3 mu=16 ticks=160 arrivals=poisson,burst sample=8",
+            "n=2^8 shards=4 threads=1,2 mode=batched,per_request backend=striped,shared_nothing lambda=0.9,1.3 mu=16 ticks=160 arrivals=poisson,burst sample=8",
         )
         .expect("open_loop smoke grid")
     }
@@ -308,6 +330,9 @@ mod tests {
             "skew=psychic",
             "s=-1",
             "caps=lumpy",
+            "backend=psychic",
+            "refresh=0",
+            "backend=shared_nothing threads=4 n=2",
         ] {
             let grid = GridSpec::parse_str(bad).unwrap();
             assert!(

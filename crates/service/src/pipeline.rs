@@ -49,6 +49,7 @@ use kdchoice_core::{BinStore, ProbeDistribution};
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 use kdchoice_stats::Histogram;
 
+use crate::engine::ServiceBackend;
 use crate::service::prev_power_of_two;
 use crate::sharded::{Placement, ShardedStore};
 use crate::traffic::{ArrivalProcess, Lifetime, RequestTiming, TrafficConfig, TrafficSchedule};
@@ -110,6 +111,15 @@ pub struct OpenLoopConfig {
     /// Per-bin capacities (`None` = all 1). Only the capacity-normalized
     /// observables change; placement still compares raw loads.
     pub capacities: Option<Vec<u32>>,
+    /// Which concurrency backend drives the store: the lock-striped
+    /// `ShardedStore` or the shared-nothing `OwnedShardEngine`. The
+    /// striped default keeps every pre-seam config bit-identical.
+    pub backend: ServiceBackend,
+    /// Shared-nothing only: owners republish their load snapshot every
+    /// this many applied mutations (`≥ 1`). `1` on a single thread makes
+    /// the snapshot synchronous and the run bit-identical to the striped
+    /// backend; ignored by [`ServiceBackend::Striped`].
+    pub snapshot_refresh: usize,
     /// Sample the load time series every this many ticks (`≥ 1`; the
     /// final tick is always sampled).
     pub sample_every: u32,
@@ -166,6 +176,8 @@ impl OpenLoopConfig {
             },
             probes: ProbeDistribution::Uniform,
             capacities: None,
+            backend: ServiceBackend::Striped,
+            snapshot_refresh: 1,
             sample_every: 1,
             record_events: false,
             seed,
@@ -266,7 +278,7 @@ pub struct OpenLoopReport {
 type IdRange = (u32, u32);
 
 /// The contiguous sub-range worker `w` of `workers` owns.
-fn worker_slice(range: IdRange, workers: usize, w: usize) -> IdRange {
+pub(crate) fn worker_slice(range: IdRange, workers: usize, w: usize) -> IdRange {
     let len = (range.1 - range.0) as usize;
     let lo = range.0 as usize + len * w / workers;
     let hi = range.0 as usize + len * (w + 1) / workers;
@@ -361,6 +373,25 @@ impl Pipeline<'_> {
     }
 }
 
+/// Whether tick `t` of `ticks` is sampled into the time series.
+pub(crate) fn want_sample(t: usize, sample_every: u32, ticks: usize) -> bool {
+    t.is_multiple_of(sample_every as usize) || t + 1 == ticks
+}
+
+/// What a backend driver hands back to [`run_open_loop`]: the sampled
+/// series, the wall time of the drive loop, and the merged end-of-run
+/// store observables (every latency/backlog quantity is a schedule
+/// property and is accounted centrally).
+pub(crate) struct DriveOutcome {
+    pub(crate) series: Vec<TickSample>,
+    pub(crate) wall_secs: f64,
+    pub(crate) live_balls: u64,
+    pub(crate) final_histogram: Vec<u64>,
+    pub(crate) final_util_gap: f64,
+    pub(crate) total_capacity: u64,
+    pub(crate) invariants_ok: bool,
+}
+
 /// One combined lock round over the shards: live balls and max load.
 fn snapshot(store: &ShardedStore, tick: u32) -> TickSample {
     let histogram = store.histogram();
@@ -409,6 +440,17 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
     let schedule = TrafficSchedule::generate(&config.traffic, config.traffic_seed())
         .unwrap_or_else(|e| panic!("invalid open-loop config: {e}"));
 
+    let outcome = match config.backend {
+        ServiceBackend::Striped => drive_striped(config, &schedule),
+        ServiceBackend::SharedNothing => crate::engine::drive_open_loop_owned(config, &schedule),
+    };
+    assemble_report(config, &schedule, outcome)
+}
+
+/// Drives the schedule through the lock-striped [`ShardedStore`] (the
+/// original backend): single-thread inline, or persistent workers under
+/// the 3-phase tick barrier.
+fn drive_striped(config: &OpenLoopConfig, schedule: &TrafficSchedule) -> DriveOutcome {
     let store = match &config.capacities {
         None => ShardedStore::new(config.bins, config.shards),
         Some(caps) => ShardedStore::with_capacities(config.bins, config.shards, caps),
@@ -420,7 +462,7 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
         store: &store,
         probes: &config.probes,
         n: config.bins,
-        schedule: &schedule,
+        schedule,
         slots: &slots,
         k: config.k,
         d: config.d,
@@ -431,7 +473,6 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
 
     let ticks = config.traffic.ticks as usize;
     let mut series: Vec<TickSample> = Vec::with_capacity(ticks / config.sample_every as usize + 2);
-    let want_sample = |t: usize| t.is_multiple_of(config.sample_every as usize) || t + 1 == ticks;
 
     let start = Instant::now();
     if config.threads == 1 {
@@ -440,7 +481,7 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
         for t in 0..ticks {
             pipeline.release_slice(t, 1, 0, &mut probes);
             pipeline.commit(schedule.commit_ranges[t], &mut probes, &mut rngs);
-            if want_sample(t) {
+            if want_sample(t, config.sample_every, ticks) {
                 series.push(snapshot(&store, t as u32));
             }
         }
@@ -454,7 +495,6 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
             for w in 0..config.threads {
                 let pipeline = &pipeline;
                 let barrier = &barrier;
-                let schedule = &schedule;
                 let workers = config.threads;
                 scope.spawn(move || {
                     let mut probes = Vec::new();
@@ -463,7 +503,7 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
                         barrier.wait();
                         pipeline.release_slice(t, workers, w, &mut probes);
                         barrier.wait();
-                        let range = worker_slice(schedule.commit_ranges[t], workers, w);
+                        let range = worker_slice(pipeline.schedule.commit_ranges[t], workers, w);
                         pipeline.commit(range, &mut probes, &mut rngs);
                         barrier.wait();
                     }
@@ -473,7 +513,7 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
                 barrier.wait(); // workers release tick t's departures
                 barrier.wait(); // workers commit tick t's requests
                 barrier.wait(); // tick t fully applied
-                if want_sample(t) {
+                if want_sample(t, config.sample_every, ticks) {
                     // Workers are parked at the next tick's first barrier
                     // (or done), so the store is quiescent here.
                     series.push(snapshot(&store, t as u32));
@@ -483,8 +523,25 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
     }
     let wall_secs = start.elapsed().as_secs_f64();
 
-    // Latency accounting from the schedule (virtual-clock quantities are
-    // schedule properties; the wall clock never perturbs them).
+    DriveOutcome {
+        series,
+        wall_secs,
+        live_balls: store.total_balls(),
+        final_histogram: store.histogram(),
+        final_util_gap: store.utilization_gap(),
+        total_capacity: store.total_capacity(),
+        invariants_ok: store.check_invariants(),
+    }
+}
+
+/// Folds a backend's [`DriveOutcome`] and the schedule's virtual-clock
+/// quantities into the report (latency accounting is identical for both
+/// backends: the wall clock never perturbs virtual-clock statistics).
+fn assemble_report(
+    config: &OpenLoopConfig,
+    schedule: &TrafficSchedule,
+    outcome: DriveOutcome,
+) -> OpenLoopReport {
     let mut latencies = Histogram::new();
     for timing in &schedule.timings {
         if let Some(latency) = timing.latency() {
@@ -495,11 +552,16 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
     let balls_placed = committed * config.k as u64;
     let released_requests: u64 = schedule.departures.iter().map(|d| d.len() as u64).sum();
     let balls_released = released_requests * config.k as u64;
-    let live_balls = store.total_balls();
-    let conserved = live_balls == balls_placed - balls_released && store.check_invariants();
-    let final_histogram = store.histogram();
-    let final_util_gap = store.utilization_gap();
-    let total_capacity = store.total_capacity();
+    let DriveOutcome {
+        series,
+        wall_secs,
+        live_balls,
+        final_histogram,
+        final_util_gap,
+        total_capacity,
+        invariants_ok,
+    } = outcome;
+    let conserved = live_balls == balls_placed - balls_released && invariants_ok;
 
     let half = config.traffic.ticks / 2;
     let steady: Vec<&TickSample> = series.iter().filter(|s| s.tick >= half).collect();

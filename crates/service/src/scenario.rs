@@ -3,6 +3,7 @@
 
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
 
+use crate::engine::ServiceBackend;
 use crate::service::{run_service_workload, ServiceReport, ServiceWorkloadConfig};
 
 /// The concurrent placement-service experiment family: closed-loop
@@ -50,6 +51,8 @@ impl Scenario for ServiceScenario {
             ("threads", Value::U64(config.threads as u64)),
             ("requests", Value::U64(config.requests_per_thread as u64)),
             ("window", Value::U64(config.window as u64)),
+            ("backend", Value::Str(config.backend.name().into())),
+            ("refresh", Value::U64(config.snapshot_refresh as u64)),
         ]
     }
 
@@ -82,6 +85,14 @@ impl Scenario for ServiceScenario {
                 "window",
                 "live placements per client before the oldest is released; 0 = static (default 0)",
             ),
+            Axis::new(
+                "backend",
+                "concurrency backend: striped | shared_nothing (default striped)",
+            ),
+            Axis::new(
+                "refresh",
+                "shared_nothing snapshot republish period in mutations (default 1)",
+            ),
             Axis::new("seed", "master seed (default: --seed)"),
         ];
         AXES
@@ -105,6 +116,15 @@ impl Scenario for ServiceScenario {
         if threads == 0 {
             return Err(params.bad_value("threads", "at least one client thread"));
         }
+        let backend = ServiceBackend::parse(params.get_raw("backend").unwrap_or("striped"))
+            .ok_or_else(|| params.bad_value("backend", "striped | shared_nothing"))?;
+        if backend == ServiceBackend::SharedNothing && threads > bins {
+            return Err(params.bad_value("threads", "threads <= n for shared_nothing"));
+        }
+        let snapshot_refresh = params.get_usize("refresh", 1)?;
+        if snapshot_refresh == 0 {
+            return Err(params.bad_value("refresh", "a period of at least 1 mutation"));
+        }
         Ok(ServiceWorkloadConfig {
             bins,
             k,
@@ -113,13 +133,17 @@ impl Scenario for ServiceScenario {
             threads,
             requests_per_thread: params.get_usize("requests", 10_000)?,
             window: params.get_usize("window", 0)?,
+            backend,
+            snapshot_refresh,
             seed: params.get_u64("seed", 0)?,
         })
     }
 
     fn smoke_grid(&self) -> GridSpec {
-        GridSpec::parse_str("n=2^10 k=2 d=4 shards=4 threads=1,2 requests=1500 window=0,32")
-            .expect("service smoke grid")
+        GridSpec::parse_str(
+            "n=2^10 k=2 d=4 shards=4 threads=1,2 requests=1500 window=0,32 backend=striped,shared_nothing",
+        )
+        .expect("service smoke grid")
     }
 
     fn throughput_unit(&self) -> &'static str {
@@ -154,7 +178,15 @@ mod tests {
             );
         }
 
-        for bad in ["shards=3", "d=1 k=2", "threads=0", "n=0"] {
+        for bad in [
+            "shards=3",
+            "d=1 k=2",
+            "threads=0",
+            "n=0",
+            "backend=psychic",
+            "refresh=0",
+            "backend=shared_nothing threads=4 n=2",
+        ] {
             let grid = GridSpec::parse_str(bad).unwrap();
             assert!(
                 configs_from_grid(&ServiceScenario, &grid, 0).is_err(),

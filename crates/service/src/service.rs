@@ -8,6 +8,7 @@ use kdchoice_core::{BinStore, ProbeDistribution};
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 use rand::RngCore;
 
+use crate::engine::ServiceBackend;
 use crate::sharded::{Placement, ShardedStore};
 
 /// Errors constructing a [`PlacementService`].
@@ -190,6 +191,14 @@ pub struct ServiceWorkloadConfig {
     pub requests_per_thread: usize,
     /// Live placements each client retains; 0 = never release.
     pub window: usize,
+    /// Which concurrency backend serves the requests. With
+    /// [`ServiceBackend::SharedNothing`] the clients **are** the shard
+    /// owners (`shards` is ignored; ownership = threads) and `threads <=
+    /// bins` is required.
+    pub backend: ServiceBackend,
+    /// Shared-nothing only: snapshot republish period in mutations
+    /// (`>= 1`); ignored by the striped backend.
+    pub snapshot_refresh: usize,
     /// Master seed; client `t` runs on `derive_seed(seed, t)`.
     pub seed: u64,
 }
@@ -205,6 +214,8 @@ impl ServiceWorkloadConfig {
             threads,
             requests_per_thread,
             window: 0,
+            backend: ServiceBackend::Striped,
+            snapshot_refresh: 1,
             seed,
         }
     }
@@ -266,6 +277,9 @@ pub struct ServiceReport {
 /// non-power-of-two shards).
 pub fn run_service_workload(config: &ServiceWorkloadConfig) -> ServiceReport {
     assert!(config.threads > 0, "need at least one client thread");
+    if config.backend == ServiceBackend::SharedNothing {
+        return crate::engine::run_service_workload_owned(config);
+    }
     let store = ShardedStore::new(config.bins, config.shards);
     let service = PlacementService::new(store, config.k, config.d)
         .unwrap_or_else(|e| panic!("invalid service config: {e}"));
@@ -350,6 +364,8 @@ mod tests {
             threads: 1,
             requests_per_thread: 500,
             window: 0,
+            backend: ServiceBackend::Striped,
+            snapshot_refresh: 1,
             seed: 11,
         };
         let report = run_service_workload(&cfg);
@@ -372,6 +388,8 @@ mod tests {
             threads: 4,
             requests_per_thread: 300,
             window: 10,
+            backend: ServiceBackend::Striped,
+            snapshot_refresh: 1,
             seed: 5,
         };
         let report = run_service_workload(&cfg);

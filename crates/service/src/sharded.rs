@@ -24,10 +24,37 @@
 //! shape — is scheduler-driven. Conservation and per-shard invariants
 //! hold under any interleaving.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::{Mutex, MutexGuard};
 
 use kdchoice_core::{BinStore, LoadVector};
 use rand::RngCore;
+
+/// A shard slot padded out to a 64-byte cache line.
+///
+/// `Vec<Mutex<LoadVector>>` packs the mutex state words of neighbouring
+/// shards into the same line, so under contention every lock/unlock
+/// invalidates the line for threads hammering the *other* shards —
+/// false sharing. Aligning each slot to its own line keeps shard lock
+/// traffic independent (the `false_sharing_fix` section of
+/// `BENCH_results.json` records the before/after delta).
+#[derive(Debug)]
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
 
 /// One committed placement: the bins that received balls (with
 /// multiplicity) and the tallest resulting ball height.
@@ -61,7 +88,7 @@ pub struct Placement {
 /// equivalence proptest in `tests/store_equivalence.rs`).
 #[derive(Debug)]
 pub struct ShardedStore {
-    shards: Vec<Mutex<LoadVector>>,
+    shards: Vec<CachePadded<Mutex<LoadVector>>>,
     /// `shards.len() - 1`; shard of `bin` is `bin & mask`.
     mask: usize,
     /// `log2(shards.len())`; local index of `bin` is `bin >> bits`.
@@ -121,7 +148,7 @@ impl ShardedStore {
                         LoadVector::with_capacities(&local_caps)
                     }
                 };
-                Mutex::new(vec)
+                CachePadded(Mutex::new(vec))
             })
             .collect();
         Self {
@@ -474,6 +501,24 @@ mod tests {
     use super::*;
     use kdchoice_prng::sample::UniformBin;
     use kdchoice_prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn shard_slots_live_on_their_own_cache_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded<Mutex<LoadVector>>>(), 64);
+        assert!(std::mem::size_of::<CachePadded<Mutex<LoadVector>>>() >= 64);
+        // Vec elements are laid out at stride = size >= align, so no two
+        // shard slots can share a 64-byte line.
+        let store = ShardedStore::new(16, 4);
+        let addrs: Vec<usize> = store
+            .shards
+            .iter()
+            .map(|s| std::ptr::from_ref(s) as usize)
+            .collect();
+        for pair in addrs.windows(2) {
+            assert!(pair[1] - pair[0] >= 64);
+            assert_eq!(pair[0] % 64, 0);
+        }
+    }
 
     #[test]
     fn striping_covers_every_bin_exactly_once() {

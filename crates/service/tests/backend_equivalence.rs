@@ -1,0 +1,238 @@
+//! Cross-backend equivalence: the shared-nothing `OwnedShardEngine`
+//! against the lock-striped `ShardedStore`, driven through the same
+//! public entry points.
+//!
+//! The contract under test (see `kdchoice_service::engine`):
+//!
+//! * **Single thread + synchronous snapshots (`refresh = 1`)** — the
+//!   owned backend is **bit-identical** to the striped backend: same
+//!   probes, same tie keys, same winners, same final histogram, same
+//!   sampled time series. Locked by a proptest over random open-loop
+//!   traffic and by deterministic closed-loop runs.
+//! * **Any thread count** — the open-loop *event stream* (arrivals,
+//!   commits, departures, every latency statistic) is schedule-driven
+//!   and therefore identical across backends; only the load shape may
+//!   drift once decisions read stale snapshots.
+//! * **Concurrency safety** — an 8-thread owned run conserves balls and
+//!   passes the merged-histogram / snapshot-vs-truth invariants (they
+//!   are asserted inside the engine's merge step; `conserved` reports
+//!   the outcome).
+
+use kdchoice_service::{
+    run_open_loop, run_service_workload, OpenLoopConfig, ServiceBackend, ServiceWorkloadConfig,
+};
+use proptest::prelude::*;
+
+/// Runs `config` on both backends (single thread, synchronous
+/// snapshots) and asserts every deterministic observable matches bit
+/// for bit.
+fn assert_backends_match(mut config: OpenLoopConfig, label: &str) {
+    config.threads = 1;
+    config.snapshot_refresh = 1;
+    config.backend = ServiceBackend::Striped;
+    let striped = run_open_loop(&config);
+    config.backend = ServiceBackend::SharedNothing;
+    let owned = run_open_loop(&config);
+
+    assert!(striped.conserved, "{label}: striped run must conserve");
+    assert!(owned.conserved, "{label}: owned run must conserve");
+    assert_eq!(
+        striped.final_histogram, owned.final_histogram,
+        "{label}: final load histograms diverged"
+    );
+    assert_eq!(
+        striped.series, owned.series,
+        "{label}: time series diverged"
+    );
+    assert_eq!(striped.final_max_load, owned.final_max_load, "{label}");
+    assert_eq!(striped.live_balls, owned.live_balls, "{label}");
+    assert_eq!(striped.balls_placed, owned.balls_placed, "{label}");
+    assert_eq!(striped.balls_released, owned.balls_released, "{label}");
+    assert_eq!(
+        striped.requests_committed, owned.requests_committed,
+        "{label}"
+    );
+    assert_eq!(striped.backlog, owned.backlog, "{label}");
+    assert_eq!(striped.latency_p50, owned.latency_p50, "{label}");
+    assert_eq!(striped.latency_p99, owned.latency_p99, "{label}");
+    assert_eq!(striped.latency_max, owned.latency_max, "{label}");
+    assert_eq!(striped.final_gap, owned.final_gap, "{label}");
+    assert_eq!(striped.final_util_gap, owned.final_util_gap, "{label}");
+    assert_eq!(striped.steady_gap_mean, owned.steady_gap_mean, "{label}");
+    assert_eq!(striped.total_capacity, owned.total_capacity, "{label}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Random place/release streams (Poisson arrivals, exponential
+    /// lifetimes — every request is a place, every departure a release)
+    /// cannot tell the backends apart at `threads = 1`, `refresh = 1`.
+    #[test]
+    fn owned_backend_is_bit_identical_to_striped_single_thread(
+        bins in 16usize..160,
+        k in 1usize..=3,
+        extra_d in 0usize..=3,
+        lambda in 0.5f64..1.4,
+        seed in any::<u64>(),
+    ) {
+        let d = k + extra_d.max(if k == 1 { 1 } else { 0 });
+        let config = OpenLoopConfig::at_lambda(bins, k, d, lambda, 8.0, 120, seed);
+        assert_backends_match(config, "proptest");
+    }
+}
+
+/// The heterogeneous path — Zipf-weighted probes over two-tier
+/// capacities — goes through the same snapshot-read decision kernel, so
+/// it must be bit-identical too.
+#[test]
+fn weighted_probes_and_capacities_match_across_backends() {
+    let bins = 128;
+    let mut config = OpenLoopConfig::at_lambda(bins, 2, 4, 0.9, 16.0, 300, 0xE0_1111);
+    config.probes = kdchoice_core::ProbeDistribution::zipf(bins, 1.1).unwrap();
+    config.capacities = Some(kdchoice_core::two_tier_capacities(bins, 10, 10));
+    config.sample_every = 8;
+    assert_backends_match(config, "zipf + two_tier");
+}
+
+/// Staleness changes *decisions*, not the event stream: at `refresh >
+/// 1` the owned backend must still conserve balls and commit the exact
+/// schedule-driven request counts, even though the load shape is
+/// allowed to drift from the striped run.
+#[test]
+fn stale_snapshots_preserve_the_event_stream() {
+    let mut config = OpenLoopConfig::at_lambda(256, 2, 4, 0.9, 16.0, 400, 0xE0_2222);
+    config.threads = 1;
+    config.backend = ServiceBackend::Striped;
+    let striped = run_open_loop(&config);
+    config.backend = ServiceBackend::SharedNothing;
+    config.snapshot_refresh = 64;
+    let owned = run_open_loop(&config);
+    assert!(owned.conserved);
+    assert_eq!(striped.requests_committed, owned.requests_committed);
+    assert_eq!(striped.balls_placed, owned.balls_placed);
+    assert_eq!(striped.balls_released, owned.balls_released);
+    assert_eq!(striped.live_balls, owned.live_balls);
+    assert_eq!(striped.latency_p99, owned.latency_p99);
+}
+
+/// Closed-loop equivalence: one client thread issues the identical
+/// probe/tie-key stream to both backends, so the final merged load
+/// state must match exactly — including through the release window.
+#[test]
+fn closed_loop_single_client_matches_across_backends() {
+    for window in [0usize, 16] {
+        let mut config = ServiceWorkloadConfig {
+            bins: 512,
+            k: 2,
+            d: 4,
+            shards: 8,
+            threads: 1,
+            requests_per_thread: 4000,
+            window,
+            backend: ServiceBackend::Striped,
+            snapshot_refresh: 1,
+            seed: 0xE0_3333,
+        };
+        let striped = run_service_workload(&config);
+        config.backend = ServiceBackend::SharedNothing;
+        let owned = run_service_workload(&config);
+        assert!(striped.conserved && owned.conserved, "window={window}");
+        assert_eq!(striped.live_balls, owned.live_balls, "window={window}");
+        assert_eq!(
+            striped.balls_released, owned.balls_released,
+            "window={window}"
+        );
+        assert_eq!(striped.max_load, owned.max_load, "window={window}");
+        assert_eq!(striped.gap, owned.gap, "window={window}");
+        assert_eq!(striped.nu1, owned.nu1, "window={window}");
+    }
+}
+
+/// 8-thread stress on the owned engine, closed loop with a release
+/// window: `conserved` folds in ball conservation, per-shard
+/// `check_invariants`, the merged-histogram checks, and the
+/// snapshot-equals-truth assertion performed after the final flush.
+#[test]
+fn owned_engine_8_thread_stress_conserves_and_keeps_invariants() {
+    let config = ServiceWorkloadConfig {
+        bins: 509, // prime: uneven ownership slices
+        k: 2,
+        d: 4,
+        shards: 8, // ignored by the owned backend
+        threads: 8,
+        requests_per_thread: 3000,
+        window: 32,
+        backend: ServiceBackend::SharedNothing,
+        snapshot_refresh: 16,
+        seed: 0xE0_4444,
+    };
+    let report = run_service_workload(&config);
+    assert!(
+        report.conserved,
+        "owned 8-thread run lost balls or invariants"
+    );
+    assert_eq!(report.placements, 8 * 3000);
+    assert_eq!(report.balls_placed, 8 * 3000 * 2);
+    // Every client holds exactly `window` placements at the end.
+    assert_eq!(
+        report.live_balls,
+        8 * 32 * 2,
+        "release window must bound live placements"
+    );
+}
+
+/// Regression: per-tick cross-worker traffic far above the SPSC ring
+/// capacity (256). A worker that finishes its pushes must keep draining
+/// — not park at a barrier — or a neighbour stuck in the full-ring
+/// submit path waits forever (this deadlocked before the
+/// drain-while-waiting rendezvous; bins >= 2^12 at this λ/μ is exactly
+/// where a tick's traffic first overflows a ring).
+#[test]
+fn ring_overflow_under_heavy_per_tick_traffic_terminates_and_conserves() {
+    // ~460 arrivals (≈ 920 placed + 920 released balls) per tick across
+    // 2 workers: several ring-fills per (producer, consumer) pair.
+    let mut config = OpenLoopConfig::at_lambda(1 << 13, 2, 4, 0.9, 8.0, 60, 0xE0_6666);
+    config.sample_every = 8;
+    config.backend = ServiceBackend::SharedNothing;
+    config.snapshot_refresh = 64;
+    config.threads = 1;
+    let one = run_open_loop(&config);
+    for threads in [2, 8] {
+        config.threads = threads;
+        let many = run_open_loop(&config);
+        assert!(many.conserved, "{threads} threads");
+        assert_eq!(one.balls_placed, many.balls_placed, "{threads} threads");
+        assert_eq!(one.balls_released, many.balls_released, "{threads} threads");
+        assert_eq!(one.live_balls, many.live_balls, "{threads} threads");
+    }
+}
+
+/// 8-thread open-loop run on the owned backend: the event stream (and
+/// with it conservation totals and latency statistics) is pinned to the
+/// schedule regardless of threading.
+#[test]
+fn owned_open_loop_8_threads_conserves_and_pins_the_event_stream() {
+    let mut config = OpenLoopConfig::at_lambda(512, 2, 4, 0.9, 8.0, 300, 0xE0_5555);
+    config.sample_every = 16;
+    config.backend = ServiceBackend::SharedNothing;
+    config.snapshot_refresh = 32;
+    config.threads = 1;
+    let one = run_open_loop(&config);
+    config.threads = 8;
+    let eight = run_open_loop(&config);
+    assert!(one.conserved && eight.conserved);
+    assert_eq!(one.requests_committed, eight.requests_committed);
+    assert_eq!(one.backlog, eight.backlog);
+    assert_eq!(one.balls_placed, eight.balls_placed);
+    assert_eq!(one.balls_released, eight.balls_released);
+    assert_eq!(one.live_balls, eight.live_balls);
+    assert_eq!(one.latency_p50, eight.latency_p50);
+    assert_eq!(one.latency_p99, eight.latency_p99);
+    assert_eq!(one.latency_max, eight.latency_max);
+    // Sampled live-ball counts are schedule-driven too (max load is not
+    // once snapshots go stale, so compare only the live component).
+    for (a, b) in one.series.iter().zip(eight.series.iter()) {
+        assert_eq!(a.tick, b.tick);
+        assert_eq!(a.live_balls, b.live_balls);
+    }
+}

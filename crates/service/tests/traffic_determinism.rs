@@ -19,6 +19,8 @@ fn config(seed: u64, rate: f64, service_rate: u32, ticks: u32) -> OpenLoopConfig
         shards: 4,
         threads: 1,
         mode: PipelineMode::Batched,
+        backend: kdchoice_service::ServiceBackend::Striped,
+        snapshot_refresh: 1,
         max_batch: 8,
         traffic: TrafficConfig {
             arrivals: ArrivalProcess::Poisson { rate },
