@@ -23,8 +23,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use kdchoice_core::{
-    run_once, BallsIntoBins, DynamicScenario, EngineVersion, HeteroScenario, KdChoice, RunConfig,
-    StaticScenario,
+    decide_k_least, run_once, run_once_compact, BallsIntoBins, BinSlab, DynamicScenario,
+    EngineVersion, HeteroScenario, KdChoice, LoadView, ProbeDistribution, RunConfig,
+    StaticScenario, StoreKind,
 };
 use kdchoice_expt::{
     configs_from_grid, GridSpec, Registry, ReportFormat, Scenario, SweepRunner, Value,
@@ -61,6 +62,7 @@ fn usage() -> &'static str {
      kdchoice-bench smoke\n  \
      kdchoice-bench throughput [--quick]\n  \
      kdchoice-bench figures          (render BENCH_results.json curves into docs/*.svg)\n  \
+     kdchoice-bench decide-kernel    (re-measure the decide_k_least before/after points)\n  \
      kdchoice-bench [--quick]        (same as `throughput`)"
 }
 
@@ -87,6 +89,21 @@ fn main() -> ExitCode {
         },
         Some("throughput") => {
             cmd_throughput(args.iter().any(|a| a == "--quick"));
+            ExitCode::SUCCESS
+        }
+        Some("decide-kernel") => {
+            // Standalone run of the kernel-prefetch race (the same rows
+            // `throughput` records as `decide_prefetch`).
+            for p in measure_decide_prefetch() {
+                println!(
+                    "decide-kernel n={} d={} k=2: before {:.0} | after {:.0} decisions/sec ({:+.1}%)",
+                    p.n,
+                    p.d,
+                    p.before_decisions_per_sec,
+                    p.after_decisions_per_sec,
+                    p.delta() * 100.0,
+                );
+            }
             ExitCode::SUCCESS
         }
         Some("figures") => match cmd_figures() {
@@ -304,6 +321,7 @@ fn measure_service_scaling(quick: bool) -> Vec<ServiceScaling> {
                 window: 0,
                 backend: ServiceBackend::Striped,
                 snapshot_refresh: 1,
+                store: StoreKind::Exact,
                 seed: 0xBE7C4,
             };
             let report = run_service_workload(&cfg);
@@ -623,6 +641,264 @@ fn measure_sampling_race(quick: bool) -> Vec<SamplingRace> {
         .collect()
 }
 
+/// One cell of the memory-vs-balance frontier: a (2,4)-choice static
+/// fill through `run_once_compact` on one store kind, recording the
+/// bytes the decision state occupies per bin next to the gap it pays
+/// and the fill rate it sustains. Exact and (lossless) packed rows
+/// report the true gap of the identical decision stream; sketch rows
+/// report the gap of the count-min *estimates*, which includes the
+/// collision inflation ≈ balls/width — that fidelity cost is the
+/// frontier's honest third axis, not an artifact.
+struct GapVsBytes {
+    store: &'static str,
+    n: usize,
+    balls: u64,
+    bytes_per_bin: f64,
+    balls_per_sec: f64,
+    max_load: u32,
+    gap: f64,
+    lossless: bool,
+    reps: usize,
+}
+
+/// Store kinds swept by the frontier (all four representations).
+const GAP_STORE_KINDS: [StoreKind; 4] = [
+    StoreKind::Exact,
+    StoreKind::Packed4,
+    StoreKind::Packed8,
+    StoreKind::Sketch,
+];
+
+/// Runs one frontier cell `reps` times (best rate kept), returning the
+/// final slab's observables alongside the measured fill rate.
+fn measure_gap_vs_bytes_cell(kind: StoreKind, n: usize, balls: u64, reps: usize) -> GapVsBytes {
+    let cfg = RunConfig::new(n, 0xBE7C4).with_balls(balls);
+    let mut best_rate = 0.0f64;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (result, slab) = run_once_compact(kind, 2, 4, &ProbeDistribution::Uniform, None, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        best_rate = best_rate.max(balls as f64 / secs);
+        last = Some((result, slab));
+    }
+    let (result, slab) = last.expect("reps >= 1");
+    let lossless = match &slab {
+        BinSlab::Exact(_) => true,
+        BinSlab::Packed(p) => p.is_lossless(),
+        BinSlab::Sketch(_) => false,
+    };
+    GapVsBytes {
+        store: kind.name(),
+        n,
+        balls,
+        bytes_per_bin: slab.bytes_per_bin(),
+        balls_per_sec: best_rate,
+        max_load: result.max_load,
+        gap: result.gap,
+        lossless,
+        reps,
+    }
+}
+
+/// Sweeps store kind × n up to the 10^8-bin frontier. The largest grid
+/// point (n = 2^24 ≈ 1.7·10^7 bins) and the frontier rows put the exact
+/// store's u32 loads far past any cache (64 MB / 400 MB hot state); the
+/// packed rows shrink the same decision state 8×. Frontier rows run one
+/// fill each (recorded in `reps`).
+fn measure_gap_vs_bytes(quick: bool) -> Vec<GapVsBytes> {
+    let mut rows = Vec::new();
+    if quick {
+        for kind in GAP_STORE_KINDS {
+            rows.push(measure_gap_vs_bytes_cell(kind, 1 << 12, 4 << 12, 1));
+        }
+        return rows;
+    }
+    for (n, ratio) in [(1usize << 16, 4u64), (1 << 20, 4), (1 << 24, 2)] {
+        for kind in GAP_STORE_KINDS {
+            rows.push(measure_gap_vs_bytes_cell(kind, n, ratio * n as u64, REPS));
+        }
+    }
+    for kind in GAP_STORE_KINDS {
+        rows.push(measure_gap_vs_bytes_cell(kind, 100_000_000, 100_000_000, 1));
+    }
+    rows
+}
+
+/// The acceptance race for the compact tentpole: the identical n = 2^20
+/// static fill (same seed, same probes, same decide kernel) against the
+/// exact u32 store and the packed 4-bit store. The exact slab's hot
+/// loads span 4 MiB; the packed slab's 512 KiB, so the packed fill must
+/// win on balls/sec while replaying the exact decision stream bit for
+/// bit (the run stays lossless — renormalization slides the shared base
+/// under the ~15-ball spread).
+struct CompactStoreRace {
+    n: usize,
+    balls: u64,
+    exact_balls_per_sec: f64,
+    packed4_balls_per_sec: f64,
+    exact_bytes_per_bin: f64,
+    packed4_bytes_per_bin: f64,
+    max_load: u32,
+    identical_stream: bool,
+}
+
+impl CompactStoreRace {
+    fn speedup(&self) -> f64 {
+        self.packed4_balls_per_sec / self.exact_balls_per_sec
+    }
+}
+
+fn measure_compact_store(quick: bool) -> CompactStoreRace {
+    let n = if quick { 1 << 14 } else { 1 << 20 };
+    let balls = 16 * n as u64;
+    let cfg = RunConfig::new(n, 0xBE7C4).with_balls(balls);
+    let run_one = |kind: StoreKind| {
+        let start = Instant::now();
+        let (result, slab) = run_once_compact(kind, 2, 4, &ProbeDistribution::Uniform, None, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        (balls as f64 / secs, result, slab.bytes_per_bin())
+    };
+    // Interleave the two sides rep by rep: the host throttles under
+    // sustained load, so back-to-back blocks of reps would hand the
+    // side that runs first a systematic advantage.
+    let race_reps = if quick { 1 } else { REPS + 2 };
+    let mut exact_rate = 0.0f64;
+    let mut packed_rate = 0.0f64;
+    let mut exact_last = None;
+    let mut packed_last = None;
+    for _ in 0..race_reps {
+        let (rate, result, bpb) = run_one(StoreKind::Exact);
+        exact_rate = exact_rate.max(rate);
+        exact_last = Some((result, bpb));
+        let (rate, result, bpb) = run_one(StoreKind::Packed4);
+        packed_rate = packed_rate.max(rate);
+        packed_last = Some((result, bpb));
+    }
+    let (exact_result, exact_bpb) = exact_last.expect("reps >= 1");
+    let (packed_result, packed_bpb) = packed_last.expect("reps >= 1");
+    CompactStoreRace {
+        n,
+        balls,
+        exact_balls_per_sec: exact_rate,
+        packed4_balls_per_sec: packed_rate,
+        exact_bytes_per_bin: exact_bpb,
+        packed4_bytes_per_bin: packed_bpb,
+        max_load: packed_result.max_load,
+        identical_stream: exact_result.load_histogram == packed_result.load_histogram
+            && exact_result.height_histogram == packed_result.height_histogram
+            && exact_result.max_load == packed_result.max_load,
+    }
+}
+
+/// One before/after row of the kernel-prefetch microbench.
+struct DecidePrefetch {
+    n: usize,
+    d: usize,
+    decisions: u64,
+    before_decisions_per_sec: f64,
+    after_decisions_per_sec: f64,
+}
+
+impl DecidePrefetch {
+    fn delta(&self) -> f64 {
+        self.after_decisions_per_sec / self.before_decisions_per_sec - 1.0
+    }
+}
+
+/// A view adapter that drops the underlying view's `prefetch` back to
+/// the trait's no-op default. Driving `decide_k_least` through it
+/// reproduces the **pre-prefetch kernel exactly**: with nothing to
+/// issue, the kernel's prefetch pass folds away, leaving the original
+/// expand/select loop. That gives the before/after race a live "before"
+/// in the same process — rep-interleaved with the prefetching view, so
+/// host throttling drift hits both sides equally (which a committed
+/// before-constant cannot guarantee).
+struct NoPrefetch<'a, V: ?Sized>(&'a V);
+
+impl<V: LoadView + ?Sized> LoadView for NoPrefetch<'_, V> {
+    #[inline]
+    fn view_n(&self) -> usize {
+        self.0.view_n()
+    }
+
+    #[inline]
+    fn view_load(&self, bin: usize) -> u32 {
+        self.0.view_load(bin)
+    }
+}
+
+/// One timed pass of the decision kernel alone over `view`: random
+/// sorted probe batches of `d`, k = 2 winners, in decisions/sec. The
+/// probe stream and tie-key draws depend only on `seed` (prefetching
+/// consumes no RNG), so passes over the two views time identical work.
+fn decide_pass<V: LoadView + ?Sized>(view: &V, d: usize, decisions: u64, seed: u64) -> f64 {
+    let n = view.view_n();
+    let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+    let mut probes = vec![0usize; d];
+    let mut slots: Vec<(u32, u64, usize)> = Vec::with_capacity(d);
+    let mut winners: Vec<usize> = Vec::with_capacity(2);
+    let mut sink = 0u32;
+    let start = Instant::now();
+    for _ in 0..decisions {
+        fill_with_replacement(&mut rng, n, d, &mut probes);
+        probes.sort_unstable();
+        winners.clear();
+        sink = sink.wrapping_add(decide_k_least(
+            view,
+            &probes,
+            2,
+            &mut rng,
+            &mut slots,
+            &mut winners,
+        ));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    decisions as f64 / secs
+}
+
+/// Races the kernel with and without its probe-batch prefetch pass on
+/// an exact slab prefilled to mean load 2: `REPS` rep-interleaved
+/// (after, before) pass pairs, best of each side.
+fn time_decide_kernel(n: usize, d: usize, decisions: u64) -> DecidePrefetch {
+    let mut slab = StoreKind::Exact.new_slab(n);
+    {
+        let mut rng = Xoshiro256PlusPlus::from_u64(0x5EED);
+        let mut bins = vec![0usize; 1 << 16];
+        let mut placed = 0u64;
+        while placed < 2 * n as u64 {
+            fill_with_replacement(&mut rng, n, bins.len(), &mut bins);
+            for &b in &bins {
+                slab.add_ball(b);
+            }
+            placed += bins.len() as u64;
+        }
+    }
+    let mut best_before = 0.0f64;
+    let mut best_after = 0.0f64;
+    for rep in 0..REPS as u64 {
+        best_after = best_after.max(decide_pass(&slab, d, decisions, 0xBE7C4 ^ rep));
+        best_before = best_before.max(decide_pass(&NoPrefetch(&slab), d, decisions, 0xBE7C4 ^ rep));
+    }
+    DecidePrefetch {
+        n,
+        d,
+        decisions,
+        before_decisions_per_sec: best_before,
+        after_decisions_per_sec: best_after,
+    }
+}
+
+/// The kernel-prefetch race at the cache-boundary n = 2^20 table and
+/// the DRAM-resident n = 2^24 table.
+fn measure_decide_prefetch() -> Vec<DecidePrefetch> {
+    [1usize << 20, 1 << 24]
+        .into_iter()
+        .map(|n| time_decide_kernel(n, 8, 1 << 21))
+        .collect()
+}
+
 /// One cell of the graceful-degradation sweep: a seeded crash storm
 /// against the fault-injected cluster at one recovery budget, measuring
 /// how deep the under-replication window gets, how long healing takes,
@@ -792,6 +1068,31 @@ fn measure_scenario<S: Scenario>(
     }
 }
 
+/// Renders the `gap_vs_bytes` rows as a JSON array — shared between
+/// [`render_json`] and the quick-mode validation pass (the CI gate that
+/// keeps the section's shape honest at smoke scale).
+fn gap_rows_json(rows: &[GapVsBytes]) -> String {
+    let mut out = String::from("[\n");
+    for (i, g) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"store\": \"{}\",\n      \"n\": {},\n      \"balls\": {},\n      \"bytes_per_bin\": {:.3},\n      \"balls_per_sec\": {:.0},\n      \"max_load\": {},\n      \"gap\": {:.3},\n      \"lossless\": {},\n      \"reps\": {}\n    }}",
+            g.store,
+            g.n,
+            g.balls,
+            g.bytes_per_bin,
+            g.balls_per_sec,
+            g.max_load,
+            g.gap,
+            g.lossless,
+            g.reps,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     measurements: &[Measurement],
@@ -802,6 +1103,9 @@ fn render_json(
     staleness: &[StalenessGap],
     sampling: &[SamplingRace],
     degradation: &[ClusterDegradation],
+    gap: &[GapVsBytes],
+    compact: &CompactStoreRace,
+    prefetch: &[DecidePrefetch],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -1034,6 +1338,47 @@ fn render_json(
             "\n"
         });
     }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"gap_vs_bytes_note\": \"memory-vs-balance frontier: (2,4)-choice static fills through the identical decide kernel on each bin-store representation, up to the 10^8-bin frontier. bytes_per_bin is the decision-path state (u32 loads = 4.0; 4/8-bit packed lanes = 0.5/1.0; count-min counters ~0.5 at width n/16 x 2 rows). Exact and lossless packed rows pay zero gap penalty (bit-identical decision stream); sketch rows report the gap of the estimates, which includes count-min collision inflation ~ balls/width — the honest fidelity cost of sub-linear state. Frontier rows (n = 10^8) run one fill each (see reps); all rows single-threaded\",\n",
+    );
+    out.push_str("  \"gap_vs_bytes\": ");
+    out.push_str(&gap_rows_json(gap));
+    out.push_str(",\n");
+    out.push_str(
+        "  \"compact_store_note\": \"the n=2^20 acceptance race: identical static fill (same seed, probes, decide kernel) on the exact u32 store (4 MiB hot loads) vs the packed 4-bit store (512 KiB); the packed fill must beat the exact fill on balls/sec while replaying its decision stream bit for bit (identical_stream checks load histogram, height histogram, and max load)\",\n",
+    );
+    let _ = write!(
+        out,
+        "  \"compact_store\": {{\n    \"n\": {},\n    \"balls\": {},\n    \"exact_balls_per_sec\": {:.0},\n    \"packed4_balls_per_sec\": {:.0},\n    \"exact_bytes_per_bin\": {:.3},\n    \"packed4_bytes_per_bin\": {:.3},\n    \"packed4_speedup\": {:.3},\n    \"max_load\": {},\n    \"identical_stream\": {},\n    \"target_met\": {}\n  }},\n",
+        compact.n,
+        compact.balls,
+        compact.exact_balls_per_sec,
+        compact.packed4_balls_per_sec,
+        compact.exact_bytes_per_bin,
+        compact.packed4_bytes_per_bin,
+        compact.speedup(),
+        compact.max_load,
+        compact.identical_stream,
+        compact.speedup() > 1.0 && compact.identical_stream,
+    );
+    out.push_str(
+        "  \"decide_prefetch_note\": \"probe-batch software prefetch in the batched decide_k_least kernel: the whole sorted probe batch is prefetched before the first load read, so the batch's cache misses resolve in parallel instead of serially in probe order. before = the identical kernel driven through a view whose prefetch is the trait's no-op default, which folds the pass away and reproduces the pre-prefetch kernel exactly; the two sides run rep-interleaved on identical probe/tie-key streams (d=8, k=2, exact slab at mean load 2), so throttling drift hits both equally. The n=2^20 table sits at the cache boundary, the n=2^24 table is DRAM-resident\",\n",
+    );
+    out.push_str("  \"decide_prefetch\": [\n");
+    for (i, p) in prefetch.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"n\": {},\n      \"d\": {},\n      \"decisions\": {},\n      \"before_decisions_per_sec\": {:.0},\n      \"after_decisions_per_sec\": {:.0},\n      \"delta\": {:.3}\n    }}",
+            p.n,
+            p.d,
+            p.decisions,
+            p.before_decisions_per_sec,
+            p.after_decisions_per_sec,
+            p.delta(),
+        );
+        out.push_str(if i + 1 < prefetch.len() { ",\n" } else { "\n" });
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -1110,10 +1455,46 @@ fn cmd_figures() -> Result<(), String> {
         ],
     };
 
+    let gap_rows = extract_objects(&json, "gap_vs_bytes");
+    if gap_rows.is_empty() {
+        return Err("BENCH_results.json has no gap_vs_bytes section — regenerate it".into());
+    }
+    let mut ns: Vec<u64> = gap_rows
+        .iter()
+        .filter_map(|row| get_f64(row, "n").map(|v| v as u64))
+        .collect();
+    ns.sort_unstable();
+    ns.dedup();
+    const PALETTE: [&str; 5] = ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd"];
+    let gap_chart = Chart {
+        title: "Balance gap vs decision-state bytes per bin (static fill, k=2 d=4)".into(),
+        x_label: "bytes per bin (exact=4, packed8=1, packed4=0.5, sketch<0.6)".into(),
+        y_label: "gap (balls; sketch rows include estimate inflation)".into(),
+        log2_x: false,
+        series: ns
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mut points: Vec<(f64, f64)> = gap_rows
+                    .iter()
+                    .filter(|row| get_f64(row, "n").map(|v| v as u64) == Some(n))
+                    .filter_map(|row| Some((get_f64(row, "bytes_per_bin")?, get_f64(row, "gap")?)))
+                    .collect();
+                points.sort_by(|a, b| a.0.total_cmp(&b.0));
+                Series {
+                    label: format!("n = {n}"),
+                    points,
+                    color: PALETTE[i % PALETTE.len()],
+                }
+            })
+            .collect(),
+    };
+
     std::fs::create_dir_all("docs").map_err(|e| format!("create docs/: {e}"))?;
     for (path, chart) in [
         ("docs/fig_backend_scaling.svg", &scaling),
         ("docs/fig_staleness_gap.svg", &staleness_chart),
+        ("docs/fig_gap_vs_bytes.svg", &gap_chart),
     ] {
         std::fs::write(path, chart.render()).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
@@ -1345,7 +1726,67 @@ fn cmd_throughput(quick: bool) {
         );
     }
 
-    if !quick {
+    // Memory-bounded stores: the gap-vs-bytes frontier.
+    println!();
+    let gap = measure_gap_vs_bytes(quick);
+    for g in &gap {
+        println!(
+            "compact    {:<7} n=10^{:<4.1} {:>7.2} Mballs/s | {:>5.2} B/bin | max load {:>3} gap {:>9.3}{}",
+            g.store,
+            (g.n as f64).log10(),
+            g.balls_per_sec / 1e6,
+            g.bytes_per_bin,
+            g.max_load,
+            g.gap,
+            if g.lossless { "" } else { " (lossy)" },
+        );
+    }
+
+    // The n=2^20 exact-vs-packed4 acceptance race.
+    println!();
+    let compact = measure_compact_store(quick);
+    println!(
+        "compact    n=2^{} race: exact {:>6.2} Mballs/s ({} B/bin) | packed4 {:>6.2} Mballs/s ({} B/bin) | speedup {:.2}x | identical stream: {}",
+        compact.n.trailing_zeros(),
+        compact.exact_balls_per_sec / 1e6,
+        compact.exact_bytes_per_bin,
+        compact.packed4_balls_per_sec / 1e6,
+        compact.packed4_bytes_per_bin,
+        compact.speedup(),
+        compact.identical_stream,
+    );
+    assert!(
+        compact.identical_stream,
+        "packed4 must replay the exact decision stream below saturation"
+    );
+
+    // Kernel-prefetch before/after (full mode only — the committed
+    // before-points are full-size).
+    let prefetch = if quick {
+        Vec::new()
+    } else {
+        let rows = measure_decide_prefetch();
+        println!();
+        for p in &rows {
+            println!(
+                "prefetch   n=2^{:<2} decide_k_least before {:>7.0} | after {:>7.0} decisions/s ({:+.1}%)",
+                p.n.trailing_zeros(),
+                p.before_decisions_per_sec,
+                p.after_decisions_per_sec,
+                p.delta() * 100.0,
+            );
+        }
+        rows
+    };
+
+    if quick {
+        // Smoke-scale shape gate for the frontier section: the same
+        // renderer the full run commits, validated even when no file is
+        // written.
+        let json = format!("{{\n  \"gap_vs_bytes\": {}\n}}\n", gap_rows_json(&gap));
+        kdchoice_expt::validate_json(&json).expect("gap_vs_bytes rows emit well-formed JSON");
+        println!("\ngap_vs_bytes quick rows validated ({} rows)", gap.len());
+    } else {
         let json = render_json(
             &measurements,
             &scenarios,
@@ -1355,6 +1796,9 @@ fn cmd_throughput(quick: bool) {
             &staleness,
             &sampling,
             &degradation,
+            &gap,
+            &compact,
+            &prefetch,
         );
         kdchoice_expt::validate_json(&json).expect("harness emits well-formed JSON");
         std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");

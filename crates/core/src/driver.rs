@@ -11,7 +11,10 @@ use std::collections::BTreeMap;
 use kdchoice_expt::SweepRunner;
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 
+use crate::compact::{BinSlab, StoreKind};
+use crate::probes::ProbeDistribution;
 use crate::process::{HeightSink, RoundProcess};
+use crate::snapshot::decide_k_least;
 use crate::state::LoadVector;
 
 /// Configuration of one simulation run.
@@ -233,6 +236,92 @@ pub fn run_once_on<P: RoundProcess + ?Sized>(
         seed: config.seed,
     };
     (result, state)
+}
+
+/// Runs a static (k,d)-choice fill over a **memory-bounded** [`BinSlab`]
+/// instead of an exact [`LoadVector`] — the driver behind the `store=`
+/// axis of the `static`/`hetero` scenarios and the 10^8-bin frontier
+/// rows of the `gap_vs_bytes` bench.
+///
+/// Each round samples `d` probes (uniform draws consume the generator
+/// exactly like the batched engine; weighted draws go through
+/// [`ProbeDistribution::fill`]), sorts them, and commits the winners of
+/// [`decide_k_least`] over the slab's own load view. With
+/// `kind = StoreKind::Exact` the decision stream is the exact
+/// decide-kernel stream; with a packed slab it stays **bit-identical**
+/// to that stream as long as the slab reports lossless (locked by the
+/// `packed_equivalence` proptests). Heights are the tentative heights
+/// the kernel selected, i.e. quantized heights for a packed slab (exact
+/// below saturation) and estimates for a sketch.
+///
+/// Returns the final slab alongside the result so callers can read the
+/// normalized observables (`max_utilization`, `bytes_per_bin`, ...).
+///
+/// # Panics
+///
+/// Panics unless `1 <= k <= d`, `config.n > 0`, and any capacity map
+/// has length `config.n` (a sketch slab additionally rejects
+/// non-uniform capacities).
+pub fn run_once_compact(
+    kind: StoreKind,
+    k: usize,
+    d: usize,
+    probes: &ProbeDistribution,
+    capacities: Option<&[u32]>,
+    config: &RunConfig,
+) -> (RunResult, BinSlab) {
+    assert!(k >= 1 && k <= d, "need 1 <= k <= d (k={k}, d={d})");
+    let n = config.n;
+    assert!(n > 0, "need at least one bin");
+    let mut slab = match capacities {
+        None => kind.new_slab(n),
+        Some(caps) => {
+            assert_eq!(caps.len(), n, "capacity map/bin-count mismatch");
+            kind.slab_with_capacities(caps)
+        }
+    };
+    let mut rng = Xoshiro256PlusPlus::from_u64(config.seed);
+    let mut heights = HeightHistogram::new();
+    let mut samples: Vec<usize> = Vec::with_capacity(d);
+    let mut slots: Vec<(u32, u64, usize)> = Vec::with_capacity(d);
+    let mut winners: Vec<usize> = Vec::with_capacity(k);
+    let uniform = probes.is_uniform();
+    let mut thrown = 0u64;
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+    while thrown < config.balls {
+        let balls = (config.balls - thrown).min(k as u64) as usize;
+        if uniform {
+            kdchoice_prng::sample::fill_with_replacement(&mut rng, n, d, &mut samples);
+        } else {
+            probes.fill(&mut rng, n, d, &mut samples);
+        }
+        samples.sort_unstable();
+        winners.clear();
+        decide_k_least(&slab, &samples, balls, &mut rng, &mut slots, &mut winners);
+        for &(height, _, bin) in &slots[..balls] {
+            heights.record(height);
+            slab.add_ball(bin);
+        }
+        thrown += balls as u64;
+        messages += d as u64;
+        rounds += 1;
+    }
+    debug_assert!(slab.check_invariants());
+    let result = RunResult {
+        name: format!("({k},{d})-choice@{}", kind.name()),
+        n,
+        balls_thrown: thrown,
+        balls_placed: thrown,
+        max_load: slab.max_load(),
+        gap: slab.max_load() as f64 - thrown as f64 / n as f64,
+        messages,
+        rounds,
+        load_histogram: slab.histogram(),
+        height_histogram: heights.into_counts(),
+        seed: config.seed,
+    };
+    (result, slab)
 }
 
 /// A collection of independent trials of the same process configuration.

@@ -50,8 +50,12 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one `#[allow(unsafe_code)]` carve-out is the
+// software-prefetch intrinsic in `snapshot::prefetch_read` (a hint with
+// no memory-safety obligations); everything else stays safe Rust.
+#![deny(unsafe_code)]
 
+mod compact;
 mod driver;
 mod dynamic;
 mod error;
@@ -66,9 +70,10 @@ mod state;
 mod store;
 mod trace;
 
+pub use compact::{BinSlab, LoadSnapshot, PackedLoadSnapshot, PackedStore, SketchStore, StoreKind};
 pub use driver::{
-    run_once, run_once_on, run_once_with_state, run_sweep, run_trials, HeightHistogram, RunConfig,
-    RunResult, TrialSet,
+    run_once, run_once_compact, run_once_on, run_once_with_state, run_sweep, run_trials,
+    HeightHistogram, RunConfig, RunResult, TrialSet,
 };
 pub use dynamic::DynamicKChoice;
 pub use error::ConfigError;

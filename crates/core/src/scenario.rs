@@ -7,7 +7,8 @@
 
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
 
-use crate::driver::{run_once, run_once_on, RunConfig, RunResult};
+use crate::compact::StoreKind;
+use crate::driver::{run_once, run_once_compact, run_once_on, RunConfig, RunResult};
 use crate::dynamic::DynamicKChoice;
 use crate::kd::{EngineVersion, KdChoice};
 use crate::probes::{two_tier_capacities, ProbeDistribution};
@@ -38,6 +39,10 @@ pub struct StaticConfig {
     pub d: usize,
     /// Which round engine to run.
     pub engine: EngineVersion,
+    /// Which bin-store representation holds the loads. `Exact` runs the
+    /// locked engine path over a [`LoadVector`]; the memory-bounded
+    /// kinds run the compact decide-kernel fill ([`run_once_compact`]).
+    pub store: StoreKind,
     /// Bins, balls, and master seed.
     pub run: RunConfig,
 }
@@ -60,6 +65,17 @@ impl Scenario for StaticScenario {
     }
 
     fn run(&self, config: &Self::Config, seed: u64) -> RunResult {
+        if !config.store.is_exact() {
+            return run_once_compact(
+                config.store,
+                config.k,
+                config.d,
+                &ProbeDistribution::Uniform,
+                None,
+                &config.run.with_seed(seed),
+            )
+            .0;
+        }
         let mut process = KdChoice::new(config.k, config.d)
             .expect("validated at config construction")
             .with_engine(config.engine);
@@ -77,6 +93,7 @@ impl Scenario for StaticScenario {
             ("n", Value::U64(config.run.n as u64)),
             ("balls", Value::U64(config.run.balls)),
             ("engine", Value::Str(config.engine.label().into())),
+            ("store", Value::Str(config.store.name().into())),
         ]
     }
 
@@ -91,6 +108,10 @@ impl Scenario for StaticScenario {
             Axis::new("n", "bins (default 2^16; accepts 2^k)"),
             Axis::new("balls", "balls to throw (default n)"),
             Axis::new("engine", "round engine: batched | legacy (default batched)"),
+            Axis::new(
+                "store",
+                "bin store: exact | packed4 | packed8 | sketch (default exact; non-exact kinds use the compact fill)",
+            ),
             Axis::new("seed", "master seed (default: --seed)"),
         ];
         AXES
@@ -111,18 +132,21 @@ impl Scenario for StaticScenario {
             "legacy" => EngineVersion::Legacy,
             _ => return Err(params.bad_value("engine", "batched | legacy")),
         };
+        let store = StoreKind::parse(params.get_raw("store").unwrap_or("exact"))
+            .ok_or_else(|| params.bad_value("store", "exact | packed4 | packed8 | sketch"))?;
         let seed = params.get_u64("seed", 0)?;
         let balls = params.get_u64("balls", n as u64)?;
         Ok(StaticConfig {
             k,
             d,
             engine,
+            store,
             run: RunConfig::new(n, seed).with_balls(balls),
         })
     }
 
     fn smoke_grid(&self) -> GridSpec {
-        GridSpec::parse_str("k=1,2 d=3 n=512").expect("static smoke grid")
+        GridSpec::parse_str("k=1,2 d=3 n=512 store=exact,packed4").expect("static smoke grid")
     }
 
     fn throughput_unit(&self) -> &'static str {
@@ -291,6 +315,9 @@ pub struct HeteroConfig {
     /// `round(lambda × total_capacity)` balls, so `lambda = 1` fills the
     /// cluster to one ball per capacity unit regardless of the spread.
     pub lambda: f64,
+    /// Which bin-store representation holds the loads (`sketch` is
+    /// rejected at parse time — it cannot carry capacities).
+    pub store: StoreKind,
     /// Master seed.
     pub seed: u64,
 }
@@ -375,6 +402,23 @@ impl Scenario for HeteroScenario {
     }
 
     fn run(&self, config: &Self::Config, seed: u64) -> HeteroRecord {
+        if !config.store.is_exact() {
+            let run = RunConfig::new(config.n, seed).with_balls(config.balls());
+            let (result, slab) = run_once_compact(
+                config.store,
+                config.k,
+                config.d,
+                &config.probe_distribution(),
+                config.capacities().as_deref(),
+                &run,
+            );
+            return HeteroRecord {
+                result,
+                max_utilization: slab.max_utilization(),
+                utilization_gap: slab.utilization_gap(),
+                total_capacity: slab.total_capacity(),
+            };
+        }
         let state = match config.capacities() {
             None => LoadVector::new(config.n),
             Some(caps) => LoadVector::with_capacities(&caps),
@@ -412,6 +456,7 @@ impl Scenario for HeteroScenario {
             ("every", Value::U64(config.every as u64)),
             ("lambda", Value::F64(config.lambda)),
             ("balls", Value::U64(config.balls())),
+            ("store", Value::Str(config.store.name().into())),
         ]
     }
 
@@ -448,6 +493,10 @@ impl Scenario for HeteroScenario {
             Axis::new(
                 "lambda",
                 "balls per unit capacity; throws round(lambda * total capacity) balls (default 1.0)",
+            ),
+            Axis::new(
+                "store",
+                "bin store: exact | packed4 | packed8 (default exact; sketch cannot carry capacities)",
             ),
             Axis::new("seed", "master seed (default: --seed)"),
         ];
@@ -494,6 +543,14 @@ impl Scenario for HeteroScenario {
         if !(lambda.is_finite() && lambda > 0.0) {
             return Err(params.bad_value("lambda", "a positive load factor"));
         }
+        let store = StoreKind::parse(params.get_raw("store").unwrap_or("exact"))
+            .ok_or_else(|| params.bad_value("store", "exact | packed4 | packed8"))?;
+        if store == StoreKind::Sketch {
+            return Err(params.bad_value(
+                "store",
+                "exact | packed4 | packed8 (sketch cannot carry capacities)",
+            ));
+        }
         Ok(HeteroConfig {
             k,
             d,
@@ -503,6 +560,7 @@ impl Scenario for HeteroScenario {
             ratio,
             every,
             lambda,
+            store,
             seed: params.get_u64("seed", 0)?,
         })
     }
@@ -575,6 +633,50 @@ mod tests {
         assert_eq!(configs[1].engine, EngineVersion::Batched);
         let bad_engine = GridSpec::parse_str("engine=vroom").unwrap();
         assert!(configs_from_grid(&StaticScenario, &bad_engine, 0).is_err());
+        let bad_store = GridSpec::parse_str("store=psychic").unwrap();
+        assert!(configs_from_grid(&StaticScenario, &bad_store, 0).is_err());
+        let stores = GridSpec::parse_str("store=exact,packed4,packed8,sketch n=64").unwrap();
+        let configs = configs_from_grid(&StaticScenario, &stores, 0).unwrap();
+        assert_eq!(configs[1].store, StoreKind::Packed4);
+        assert_eq!(configs[3].store, StoreKind::Sketch);
+    }
+
+    /// The `store=` axis of the static scenario: a packed4 cell runs the
+    /// identical decide-kernel stream as an exact compact fill (the slab
+    /// stays lossless at n balls into n bins), and a sketch cell can only
+    /// over-estimate the exact max load.
+    #[test]
+    fn static_store_axis_matches_exact_compact_fill() {
+        use crate::driver::run_once_compact;
+        let grid =
+            GridSpec::parse_str("k=2 d=4 n=256 store=packed4,packed8,sketch seed=21").unwrap();
+        let configs = configs_from_grid(&StaticScenario, &grid, 21).unwrap();
+        let run = RunConfig::new(256, 21);
+        let (exact, slab) = run_once_compact(
+            StoreKind::Exact,
+            2,
+            4,
+            &ProbeDistribution::Uniform,
+            None,
+            &run,
+        );
+        assert!(slab.check_invariants());
+        for cfg in &configs[..2] {
+            let got = StaticScenario.run(cfg, 21);
+            assert_eq!(got.max_load, exact.max_load, "{}", cfg.store);
+            assert_eq!(got.load_histogram, exact.load_histogram, "{}", cfg.store);
+            assert_eq!(
+                got.height_histogram, exact.height_histogram,
+                "{}",
+                cfg.store
+            );
+        }
+        let sketch = StaticScenario.run(&configs[2], 21);
+        assert_eq!(sketch.balls_placed, 256);
+        assert!(
+            sketch.max_load >= exact.max_load,
+            "sketch never underestimates"
+        );
     }
 
     #[test]
@@ -624,6 +726,7 @@ mod tests {
                     k: cfg.k,
                     d: cfg.d,
                     engine: EngineVersion::Batched,
+                    store: StoreKind::Exact,
                     run: RunConfig::new(cfg.n, 13).with_balls(256),
                 };
                 let uniform = StaticScenario.run(&static_cfg, seed);
@@ -672,6 +775,8 @@ mod tests {
             "lambda=-2",
             "k=3 d=2",
             "n=0",
+            "store=psychic",
+            "store=sketch",
         ] {
             let grid = GridSpec::parse_str(bad).unwrap();
             assert!(
@@ -686,6 +791,23 @@ mod tests {
         // 10 fat bins of capacity 10 + 90 of capacity 1.
         assert_eq!(cfg.total_capacity(), 190);
         assert_eq!(cfg.balls(), 190);
+    }
+
+    /// A packed slab carries the capacity seam end to end: the `hetero`
+    /// `store=packed4` cell reports the same capacity totals as its
+    /// config and sane normalized observables.
+    #[test]
+    fn hetero_packed_store_carries_capacities() {
+        let grid = GridSpec::parse_str(
+            "skew=capacity spread=two_tier n=128 every=8 lambda=2 store=packed4",
+        )
+        .unwrap();
+        let cfg = &configs_from_grid(&HeteroScenario, &grid, 4).unwrap()[0];
+        let rec = HeteroScenario.run(cfg, 4);
+        assert_eq!(rec.total_capacity, cfg.total_capacity());
+        assert_eq!(rec.result.balls_placed, cfg.balls());
+        assert!(rec.max_utilization > 0.0);
+        assert!(rec.result.name.contains("packed4"), "{}", rec.result.name);
     }
 
     /// Zipf probing concentrates load: the head bin must end far above

@@ -26,6 +26,27 @@ use rand::RngCore;
 
 use crate::state::LoadVector;
 
+/// Issues a best-effort read prefetch for the cache line holding `*ptr`.
+///
+/// A pure performance hint: on x86_64 it lowers to `prefetcht0`, which
+/// has no memory-safety obligations (the address need not even be
+/// mapped); on other targets it is a no-op. This is the crate's single
+/// `unsafe` carve-out — the pointer is always derived from a live
+/// reference at the call sites.
+#[inline(always)]
+#[allow(unsafe_code)]
+pub(crate) fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint; it cannot fault or write.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr.cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
 /// A read-only view of per-bin loads, possibly stale.
 ///
 /// Implementations promise only that `view_load(bin)` is *some*
@@ -42,6 +63,15 @@ pub trait LoadView {
     ///
     /// Panics if `bin >= view_n()`.
     fn view_load(&self, bin: usize) -> u32;
+
+    /// Hints that `view_load(bin)` is about to be read. Implementations
+    /// with a dense backing array prefetch the bin's cache line; the
+    /// default is a no-op. Purely advisory — never observable in
+    /// results.
+    #[inline]
+    fn prefetch(&self, bin: usize) {
+        let _ = bin;
+    }
 }
 
 impl LoadView for LoadVector {
@@ -53,6 +83,11 @@ impl LoadView for LoadVector {
     #[inline]
     fn view_load(&self, bin: usize) -> u32 {
         self.load(bin)
+    }
+
+    #[inline]
+    fn prefetch(&self, bin: usize) {
+        prefetch_read(&self.loads()[bin]);
     }
 }
 
@@ -119,6 +154,11 @@ impl LoadView for SharedLoadSnapshot {
     fn view_load(&self, bin: usize) -> u32 {
         self.get(bin)
     }
+
+    #[inline]
+    fn prefetch(&self, bin: usize) {
+        prefetch_read(&self.loads[bin]);
+    }
 }
 
 /// The (k,d)-choice decision kernel over any [`LoadView`]: given the
@@ -159,6 +199,13 @@ where
         sorted_probes.len()
     );
     slots.clear();
+    // Issue the whole batch's prefetches before the first load read:
+    // the expansion loop's cache misses then resolve in parallel
+    // (memory-level parallelism) instead of serially in probe order.
+    // Prefetching consumes no RNG, so the decision stream is unchanged.
+    for &bin in sorted_probes {
+        view.prefetch(bin);
+    }
     let mut i = 0;
     while i < sorted_probes.len() {
         let bin = sorted_probes[i];

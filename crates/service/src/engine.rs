@@ -6,7 +6,7 @@
 //! [`OwnedShardEngine`] partitions the `n` bins into `W` **contiguous**
 //! ranges, one per worker thread: worker `w` owns bins
 //! `[ceil(w·n/W), ceil((w+1)·n/W))` and is the **only** thread that ever
-//! mutates their [`LoadVector`] — no mutex guards any shard state. The
+//! mutates their [`LoadVector`](kdchoice_core::LoadVector) — no mutex guards any shard state. The
 //! ceiling-based bounds make the inverse owner map exact arithmetic:
 //! `owner(bin) = ⌊bin·W/n⌋`, no search.
 //!
@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, OnceLock};
 use std::time::Instant;
 
-use kdchoice_core::{decide_k_least, LoadVector, SharedLoadSnapshot};
+use kdchoice_core::{decide_k_least, BinSlab, LoadSnapshot, StoreKind};
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 use rand::RngCore;
 
@@ -149,7 +149,7 @@ impl SpscRing {
 }
 
 /// One worker's privately-owned shard: a contiguous bin range, its
-/// [`LoadVector`], and the dirty-bin bookkeeping for snapshot publishes.
+/// [`LoadVector`](kdchoice_core::LoadVector), and the dirty-bin bookkeeping for snapshot publishes.
 ///
 /// Exactly one thread holds `&mut` to each `ShardState`; the engine
 /// never aliases it. Obtain them from [`OwnedShardEngine::new`] /
@@ -159,8 +159,9 @@ impl SpscRing {
 pub struct ShardState {
     /// Global index of the first owned bin.
     base: usize,
-    /// Loads of the owned bins (local index = global − base).
-    state: LoadVector,
+    /// Loads of the owned bins (local index = global − base), in the
+    /// run's [`StoreKind`] representation.
+    state: BinSlab,
     /// Local indices mutated since the last snapshot publish.
     dirty: Vec<usize>,
     /// Membership mask for `dirty` (no duplicate publishes).
@@ -170,7 +171,7 @@ pub struct ShardState {
 }
 
 impl ShardState {
-    fn new(base: usize, state: LoadVector) -> Self {
+    fn new(base: usize, state: BinSlab) -> Self {
         let len = state.n();
         Self {
             base,
@@ -187,7 +188,7 @@ impl ShardState {
     }
 
     /// The owned loads (read-only; local index = global − base).
-    pub fn load_vector(&self) -> &LoadVector {
+    pub fn slab(&self) -> &BinSlab {
         &self.state
     }
 }
@@ -201,7 +202,7 @@ impl ShardState {
 /// a lock.
 #[derive(Debug)]
 pub struct OwnedShardEngine {
-    snapshot: SharedLoadSnapshot,
+    snapshot: LoadSnapshot,
     /// `rings[producer * workers + consumer]`.
     rings: Vec<SpscRing>,
     /// `bounds[w] = ceil(w·n/W)`; worker `w` owns `bounds[w]..bounds[w+1]`.
@@ -209,20 +210,39 @@ pub struct OwnedShardEngine {
     workers: usize,
     n: usize,
     refresh: usize,
+    kind: StoreKind,
 }
 
 impl OwnedShardEngine {
-    /// Creates an engine over `n` homogeneous bins owned by `workers`
-    /// threads, republishing snapshots every `refresh` mutations.
-    /// Returns the engine and one [`ShardState`] per worker (index =
-    /// worker id).
+    /// Creates an engine over `n` homogeneous exact bins owned by
+    /// `workers` threads, republishing snapshots every `refresh`
+    /// mutations. Returns the engine and one [`ShardState`] per worker
+    /// (index = worker id).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`, `workers == 0`, `workers > n`, or
     /// `refresh == 0`.
     pub fn new(n: usize, workers: usize, refresh: usize) -> (Self, Vec<ShardState>) {
-        Self::build(n, workers, refresh, None)
+        Self::build(n, workers, refresh, None, StoreKind::Exact)
+    }
+
+    /// [`OwnedShardEngine::new`] with shard state and snapshot in the
+    /// given [`StoreKind`] representation. Packed kinds publish into a
+    /// [`kdchoice_core::PackedLoadSnapshot`] — 16 bins per `u64` word at
+    /// b = 4 instead of 2 `AtomicU32` bins per cache line, so each
+    /// refresh touches ~8× fewer lines.
+    ///
+    /// # Panics
+    ///
+    /// As [`OwnedShardEngine::new`].
+    pub fn with_kind(
+        n: usize,
+        workers: usize,
+        refresh: usize,
+        kind: StoreKind,
+    ) -> (Self, Vec<ShardState>) {
+        Self::build(n, workers, refresh, None, kind)
     }
 
     /// [`OwnedShardEngine::new`] with per-bin capacities (the
@@ -238,7 +258,26 @@ impl OwnedShardEngine {
         capacities: &[u32],
     ) -> (Self, Vec<ShardState>) {
         assert_eq!(capacities.len(), n, "need exactly one capacity per bin");
-        Self::build(n, workers, refresh, Some(capacities))
+        Self::build(n, workers, refresh, Some(capacities), StoreKind::Exact)
+    }
+
+    /// [`OwnedShardEngine::with_capacities`] with a non-exact
+    /// [`StoreKind`].
+    ///
+    /// # Panics
+    ///
+    /// As [`OwnedShardEngine::with_capacities`], plus the slab
+    /// constructor's own rejections ([`StoreKind::Sketch`] does not
+    /// support heterogeneous capacities).
+    pub fn with_kind_capacities(
+        n: usize,
+        workers: usize,
+        refresh: usize,
+        capacities: &[u32],
+        kind: StoreKind,
+    ) -> (Self, Vec<ShardState>) {
+        assert_eq!(capacities.len(), n, "need exactly one capacity per bin");
+        Self::build(n, workers, refresh, Some(capacities), kind)
     }
 
     fn build(
@@ -246,6 +285,7 @@ impl OwnedShardEngine {
         workers: usize,
         refresh: usize,
         capacities: Option<&[u32]>,
+        kind: StoreKind,
     ) -> (Self, Vec<ShardState>) {
         assert!(n > 0, "need at least one bin");
         assert!(
@@ -257,15 +297,15 @@ impl OwnedShardEngine {
         let states = (0..workers)
             .map(|w| {
                 let (lo, hi) = (bounds[w], bounds[w + 1]);
-                let vec = match capacities {
-                    None => LoadVector::new(hi - lo),
-                    Some(caps) => LoadVector::with_capacities(&caps[lo..hi]),
+                let slab = match capacities {
+                    None => kind.new_slab(hi - lo),
+                    Some(caps) => kind.slab_with_capacities(&caps[lo..hi]),
                 };
-                ShardState::new(lo, vec)
+                ShardState::new(lo, slab)
             })
             .collect();
         let engine = Self {
-            snapshot: SharedLoadSnapshot::new(n),
+            snapshot: LoadSnapshot::for_kind(kind, n),
             rings: (0..workers * workers)
                 .map(|_| SpscRing::new(RING_CAPACITY))
                 .collect(),
@@ -273,6 +313,7 @@ impl OwnedShardEngine {
             workers,
             n,
             refresh,
+            kind,
         };
         (engine, states)
     }
@@ -292,8 +333,13 @@ impl OwnedShardEngine {
         self.refresh
     }
 
+    /// The [`StoreKind`] every shard's slab (and the snapshot) runs.
+    pub fn store_kind(&self) -> StoreKind {
+        self.kind
+    }
+
     /// The published load snapshot probing threads decide against.
-    pub fn snapshot(&self) -> &SharedLoadSnapshot {
+    pub fn snapshot(&self) -> &LoadSnapshot {
         &self.snapshot
     }
 
@@ -434,13 +480,22 @@ struct MergedState {
 fn merge_states(engine: &OwnedShardEngine, states: &[ShardState]) -> MergedState {
     let mut merged = MergedState {
         live_balls: 0,
-        histogram: Vec::new(),
+        // Reserved once from the merged max load — growing shard by
+        // shard reallocates repeatedly at huge n.
+        histogram: vec![
+            0u64;
+            states.iter().map(|s| s.state.max_load()).max().unwrap_or(0) as usize + 1
+        ],
         max_load: 0,
         nu1: 0,
         total_capacity: 0,
         max_utilization: 0.0,
         invariants_ok: true,
     };
+    // Packed slabs past a clamp and sketches report quantized/estimated
+    // loads, so the weighted-histogram-vs-ball-count identity only holds
+    // where the representation is still exact.
+    let mut loads_exact = true;
     for s in states {
         merged.invariants_ok &= s.state.check_invariants();
         merged.live_balls += s.state.total_balls();
@@ -448,16 +503,17 @@ fn merge_states(engine: &OwnedShardEngine, states: &[ShardState]) -> MergedState
         merged.nu1 += s.state.nu(1);
         merged.total_capacity += s.state.total_capacity();
         merged.max_utilization = merged.max_utilization.max(s.state.max_utilization());
-        let hist = s.state.load_histogram();
-        if hist.len() > merged.histogram.len() {
-            merged.histogram.resize(hist.len(), 0);
-        }
-        for (l, &c) in hist.iter().enumerate() {
-            merged.histogram[l] += c;
-        }
-        // After the final flush the snapshot must equal the truth.
+        s.state.accumulate_histogram(&mut merged.histogram);
+        loads_exact &= match &s.state {
+            BinSlab::Exact(_) => true,
+            BinSlab::Packed(p) => p.is_lossless(),
+            BinSlab::Sketch(_) => false,
+        };
+        // After the final flush the snapshot must equal the truth (up to
+        // the packed snapshot's publish ceiling).
         for local in 0..s.state.n() {
-            merged.invariants_ok &= engine.snapshot().get(s.base + local) == s.state.load(local);
+            merged.invariants_ok &= engine.snapshot().get(s.base + local)
+                == engine.snapshot().published(s.state.load(local));
         }
     }
     let bins: u64 = merged.histogram.iter().sum();
@@ -467,7 +523,10 @@ fn merge_states(engine: &OwnedShardEngine, states: &[ShardState]) -> MergedState
         .enumerate()
         .map(|(l, &c)| c * l as u64)
         .sum();
-    merged.invariants_ok &= bins == engine.n() as u64 && weighted == merged.live_balls;
+    merged.invariants_ok &= bins == engine.n() as u64;
+    if loads_exact {
+        merged.invariants_ok &= weighted == merged.live_balls;
+    }
     merged
 }
 
@@ -544,10 +603,16 @@ pub(crate) fn drive_open_loop_owned(
     );
     let workers = config.threads;
     let (engine, mut states) = match &config.capacities {
-        None => OwnedShardEngine::new(config.bins, workers, config.snapshot_refresh),
-        Some(caps) => {
-            OwnedShardEngine::with_capacities(config.bins, workers, config.snapshot_refresh, caps)
+        None => {
+            OwnedShardEngine::with_kind(config.bins, workers, config.snapshot_refresh, config.store)
         }
+        Some(caps) => OwnedShardEngine::with_kind_capacities(
+            config.bins,
+            workers,
+            config.snapshot_refresh,
+            caps,
+            config.store,
+        ),
     };
     let slots: Vec<OnceLock<Placement>> = (0..schedule.timings.len())
         .map(|_| OnceLock::new())
@@ -695,8 +760,12 @@ pub(crate) fn run_service_workload_owned(config: &ServiceWorkloadConfig) -> Serv
         config.k,
         config.d
     );
-    let (engine, states) =
-        OwnedShardEngine::new(config.bins, config.threads, config.snapshot_refresh);
+    let (engine, states) = OwnedShardEngine::with_kind(
+        config.bins,
+        config.threads,
+        config.snapshot_refresh,
+        config.store,
+    );
     let sampler = kdchoice_prng::sample::UniformBin::new(config.bins);
     let done = AtomicUsize::new(0);
 
@@ -826,7 +895,7 @@ mod tests {
                 let (lo, hi) = engine.owned_range(w);
                 assert_eq!(lo, covered, "n={n} w={w}");
                 assert_eq!(s.base(), lo);
-                assert_eq!(s.load_vector().n(), hi - lo);
+                assert_eq!(s.slab().n(), hi - lo);
                 assert!(hi > lo, "every worker owns at least one bin");
                 for bin in lo..hi {
                     assert_eq!(engine.owner_of(bin), w, "n={n} workers={workers} bin={bin}");
@@ -846,7 +915,7 @@ mod tests {
         engine.submit_add(0, 2, &mut s0);
         engine.submit_add(0, 2, &mut s0);
         engine.submit_add(0, 4, &mut s0);
-        assert_eq!(s0.load_vector().load(2), 2);
+        assert_eq!(s0.slab().load(2), 2);
         assert_eq!(engine.snapshot().get(2), 0, "refresh=4 not yet reached");
         // Fourth mutation crosses the period: all dirty bins publish.
         engine.submit_remove(0, 2, &mut s0);
@@ -861,12 +930,40 @@ mod tests {
         let mut s0 = states.remove(0);
         // Worker 0 places into bin 7, owned by worker 1.
         engine.submit_add(0, 7, &mut s0);
-        assert_eq!(s1.load_vector().total_balls(), 0);
+        assert_eq!(s1.slab().total_balls(), 0);
         assert!(!engine.inbox_empty(1));
         assert_eq!(engine.drain(1, &mut s1), 1);
-        assert_eq!(s1.load_vector().load(7 - s1.base()), 1);
+        assert_eq!(s1.slab().load(7 - s1.base()), 1);
         assert_eq!(engine.snapshot().get(7), 1, "refresh=1 is synchronous");
         assert!(engine.inbox_empty(1));
+    }
+
+    /// A packed engine publishes through the packed snapshot: same
+    /// routing, ~8× fewer cache lines per refresh, values saturated at
+    /// the publish ceiling.
+    #[test]
+    fn packed_engine_publishes_saturated_snapshot() {
+        let (engine, mut states) = OwnedShardEngine::with_kind(32, 2, 1, StoreKind::Packed4);
+        assert_eq!(engine.store_kind(), StoreKind::Packed4);
+        assert!(matches!(engine.snapshot(), LoadSnapshot::Packed(_)));
+        let mut s1 = states.remove(1);
+        let mut s0 = states.remove(0);
+        for _ in 0..20 {
+            engine.submit_add(0, 3, &mut s0);
+        }
+        // A lone hot bin saturates both sides: renormalization cannot
+        // advance the base while sibling bins sit at offset 0, so the
+        // quantized truth and the published lane both pin at 15.
+        assert_eq!(s0.slab().load(3), 15);
+        assert_eq!(s0.slab().total_balls(), 20, "ball count stays exact");
+        assert_eq!(engine.snapshot().get(3), 15);
+        assert_eq!(engine.snapshot().published(20), 15);
+        // Cross-worker traffic still routes over the rings.
+        engine.submit_add(0, 31, &mut s0);
+        assert_eq!(engine.drain(1, &mut s1), 1);
+        assert_eq!(engine.snapshot().get(31), 1);
+        let states = vec![s0, s1];
+        assert!(merge_states(&engine, &states).invariants_ok);
     }
 
     #[test]

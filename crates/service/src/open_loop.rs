@@ -1,7 +1,7 @@
 //! The open-loop dynamic traffic workload as a
 //! [`kdchoice_expt::Scenario`] named `open_loop`.
 
-use kdchoice_core::{two_tier_capacities, ProbeDistribution};
+use kdchoice_core::{two_tier_capacities, ProbeDistribution, StoreKind};
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
 
 use crate::engine::ServiceBackend;
@@ -57,6 +57,7 @@ impl Scenario for OpenLoopScenario {
             ("mode", Value::Str(config.mode.name().into())),
             ("backend", Value::Str(config.backend.name().into())),
             ("refresh", Value::U64(config.snapshot_refresh as u64)),
+            ("store", Value::Str(config.store.name().into())),
             ("batch", Value::U64(config.max_batch as u64)),
             ("lambda", Value::F64(config.traffic.lambda_factor())),
             ("mu", Value::F64(config.traffic.lifetime.mean_ticks())),
@@ -121,6 +122,10 @@ impl Scenario for OpenLoopScenario {
             Axis::new(
                 "refresh",
                 "shared_nothing snapshot republish period in mutations (default 1)",
+            ),
+            Axis::new(
+                "store",
+                "bin store: exact | packed4 | packed8 | sketch (default exact)",
             ),
             Axis::new("batch", "max requests per batched lock round (default 64)"),
             Axis::new(
@@ -259,6 +264,11 @@ impl Scenario for OpenLoopScenario {
             "two_tier" => Some(two_tier_capacities(bins, 10, 10)),
             _ => return Err(params.bad_value("caps", "one | two_tier")),
         };
+        let store = StoreKind::parse(params.get_raw("store").unwrap_or("exact"))
+            .ok_or_else(|| params.bad_value("store", "exact | packed4 | packed8 | sketch"))?;
+        if store == StoreKind::Sketch && capacities.is_some() {
+            return Err(params.bad_value("store", "sketch does not support caps=two_tier"));
+        }
         Ok(OpenLoopConfig {
             bins,
             k,
@@ -268,6 +278,7 @@ impl Scenario for OpenLoopScenario {
             mode,
             backend,
             snapshot_refresh,
+            store,
             max_batch,
             traffic: TrafficConfig {
                 arrivals,
@@ -285,7 +296,7 @@ impl Scenario for OpenLoopScenario {
 
     fn smoke_grid(&self) -> GridSpec {
         GridSpec::parse_str(
-            "n=2^8 shards=4 threads=1,2 mode=batched,per_request backend=striped,shared_nothing lambda=0.9,1.3 mu=16 ticks=160 arrivals=poisson,burst sample=8",
+            "n=2^8 shards=4 threads=1,2 mode=batched,per_request backend=striped,shared_nothing store=exact,packed4 lambda=0.9,1.3 mu=16 ticks=160 arrivals=poisson,burst sample=8",
         )
         .expect("open_loop smoke grid")
     }
@@ -332,6 +343,8 @@ mod tests {
             "caps=lumpy",
             "backend=psychic",
             "refresh=0",
+            "store=psychic",
+            "store=sketch caps=two_tier",
             "backend=shared_nothing threads=4 n=2",
         ] {
             let grid = GridSpec::parse_str(bad).unwrap();

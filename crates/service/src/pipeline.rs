@@ -45,7 +45,7 @@
 use std::sync::{Barrier, OnceLock};
 use std::time::Instant;
 
-use kdchoice_core::{BinStore, ProbeDistribution};
+use kdchoice_core::{BinStore, ProbeDistribution, StoreKind};
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 use kdchoice_stats::Histogram;
 
@@ -120,6 +120,11 @@ pub struct OpenLoopConfig {
     /// the snapshot synchronous and the run bit-identical to the striped
     /// backend; ignored by [`ServiceBackend::Striped`].
     pub snapshot_refresh: usize,
+    /// Which bin-store representation backs the run (exact loads,
+    /// packed b-bit offsets, or a count-min sketch). The exact default
+    /// keeps every pre-compact config bit-identical; packed stores stay
+    /// bit-identical to it while loads remain in the lossless window.
+    pub store: StoreKind,
     /// Sample the load time series every this many ticks (`≥ 1`; the
     /// final tick is always sampled).
     pub sample_every: u32,
@@ -178,6 +183,7 @@ impl OpenLoopConfig {
             capacities: None,
             backend: ServiceBackend::Striped,
             snapshot_refresh: 1,
+            store: StoreKind::Exact,
             sample_every: 1,
             record_events: false,
             seed,
@@ -452,8 +458,10 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
 /// the 3-phase tick barrier.
 fn drive_striped(config: &OpenLoopConfig, schedule: &TrafficSchedule) -> DriveOutcome {
     let store = match &config.capacities {
-        None => ShardedStore::new(config.bins, config.shards),
-        Some(caps) => ShardedStore::with_capacities(config.bins, config.shards, caps),
+        None => ShardedStore::with_kind(config.bins, config.shards, config.store),
+        Some(caps) => {
+            ShardedStore::with_kind_capacities(config.bins, config.shards, caps, config.store)
+        }
     };
     let slots: Vec<OnceLock<Placement>> = (0..schedule.timings.len())
         .map(|_| OnceLock::new())

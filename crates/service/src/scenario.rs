@@ -1,6 +1,7 @@
 //! The closed-loop placement-service workload as a
 //! [`kdchoice_expt::Scenario`] named `service`.
 
+use kdchoice_core::StoreKind;
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
 
 use crate::engine::ServiceBackend;
@@ -53,6 +54,7 @@ impl Scenario for ServiceScenario {
             ("window", Value::U64(config.window as u64)),
             ("backend", Value::Str(config.backend.name().into())),
             ("refresh", Value::U64(config.snapshot_refresh as u64)),
+            ("store", Value::Str(config.store.name().into())),
         ]
     }
 
@@ -93,6 +95,10 @@ impl Scenario for ServiceScenario {
                 "refresh",
                 "shared_nothing snapshot republish period in mutations (default 1)",
             ),
+            Axis::new(
+                "store",
+                "bin store: exact | packed4 | packed8 | sketch (default exact)",
+            ),
             Axis::new("seed", "master seed (default: --seed)"),
         ];
         AXES
@@ -125,6 +131,8 @@ impl Scenario for ServiceScenario {
         if snapshot_refresh == 0 {
             return Err(params.bad_value("refresh", "a period of at least 1 mutation"));
         }
+        let store = StoreKind::parse(params.get_raw("store").unwrap_or("exact"))
+            .ok_or_else(|| params.bad_value("store", "exact | packed4 | packed8 | sketch"))?;
         Ok(ServiceWorkloadConfig {
             bins,
             k,
@@ -135,13 +143,14 @@ impl Scenario for ServiceScenario {
             window: params.get_usize("window", 0)?,
             backend,
             snapshot_refresh,
+            store,
             seed: params.get_u64("seed", 0)?,
         })
     }
 
     fn smoke_grid(&self) -> GridSpec {
         GridSpec::parse_str(
-            "n=2^10 k=2 d=4 shards=4 threads=1,2 requests=1500 window=0,32 backend=striped,shared_nothing",
+            "n=2^10 k=2 d=4 shards=4 threads=1,2 requests=1500 window=0,32 backend=striped,shared_nothing store=exact,packed4",
         )
         .expect("service smoke grid")
     }
@@ -185,6 +194,7 @@ mod tests {
             "n=0",
             "backend=psychic",
             "refresh=0",
+            "store=psychic",
             "backend=shared_nothing threads=4 n=2",
         ] {
             let grid = GridSpec::parse_str(bad).unwrap();

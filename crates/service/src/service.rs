@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use kdchoice_core::{BinStore, ProbeDistribution};
+use kdchoice_core::{BinStore, ProbeDistribution, StoreKind};
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 use rand::RngCore;
 
@@ -199,6 +199,9 @@ pub struct ServiceWorkloadConfig {
     /// Shared-nothing only: snapshot republish period in mutations
     /// (`>= 1`); ignored by the striped backend.
     pub snapshot_refresh: usize,
+    /// Which bin-store representation backs the workload (exact loads,
+    /// packed b-bit offsets, or a count-min sketch).
+    pub store: StoreKind,
     /// Master seed; client `t` runs on `derive_seed(seed, t)`.
     pub seed: u64,
 }
@@ -216,6 +219,7 @@ impl ServiceWorkloadConfig {
             window: 0,
             backend: ServiceBackend::Striped,
             snapshot_refresh: 1,
+            store: StoreKind::Exact,
             seed,
         }
     }
@@ -280,7 +284,7 @@ pub fn run_service_workload(config: &ServiceWorkloadConfig) -> ServiceReport {
     if config.backend == ServiceBackend::SharedNothing {
         return crate::engine::run_service_workload_owned(config);
     }
-    let store = ShardedStore::new(config.bins, config.shards);
+    let store = ShardedStore::with_kind(config.bins, config.shards, config.store);
     let service = PlacementService::new(store, config.k, config.d)
         .unwrap_or_else(|e| panic!("invalid service config: {e}"));
 
@@ -366,6 +370,7 @@ mod tests {
             window: 0,
             backend: ServiceBackend::Striped,
             snapshot_refresh: 1,
+            store: StoreKind::Exact,
             seed: 11,
         };
         let report = run_service_workload(&cfg);
@@ -390,6 +395,7 @@ mod tests {
             window: 10,
             backend: ServiceBackend::Striped,
             snapshot_refresh: 1,
+            store: StoreKind::Exact,
             seed: 5,
         };
         let report = run_service_workload(&cfg);

@@ -1,5 +1,5 @@
 //! [`ShardedStore`]: `n` bins split across power-of-two lock-striped
-//! shards, each shard a [`LoadVector`], observables merged on demand.
+//! shards, each shard a [`LoadVector`](kdchoice_core::LoadVector), observables merged on demand.
 //!
 //! **Striping.** Bin `b` lives in shard `b mod shards` at local index
 //! `b div shards` (both computed with mask/shift, hence the
@@ -17,7 +17,7 @@
 //! linearization point.
 //!
 //! **Determinism.** One shard driven by one thread is bit-identical to a
-//! plain [`LoadVector`] (locked by the proptest in
+//! plain [`LoadVector`](kdchoice_core::LoadVector) (locked by the proptest in
 //! `tests/store_equivalence.rs`). Under concurrency, per-request probe
 //! and tie-key streams stay exact (they come from caller-owned RNGs);
 //! only the interleaving of commits — and therefore the final load
@@ -27,7 +27,7 @@
 use std::ops::{Deref, DerefMut};
 use std::sync::{Mutex, MutexGuard};
 
-use kdchoice_core::{BinStore, LoadVector};
+use kdchoice_core::{BinSlab, BinStore, StoreKind};
 use rand::RngCore;
 
 /// A shard slot padded out to a 64-byte cache line.
@@ -70,7 +70,7 @@ pub struct Placement {
 
 /// A concurrent bin store: `n` bins striped across a power-of-two number
 /// of shards, shard `s` holding the bins with `bin % shards == s`, each
-/// shard a mutex-guarded [`LoadVector`].
+/// shard a mutex-guarded [`LoadVector`](kdchoice_core::LoadVector).
 ///
 /// * **Concurrent surface** — [`ShardedStore::place_k_least`] and
 ///   [`ShardedStore::release`] take `&self`, lock only the shards a
@@ -81,29 +81,41 @@ pub struct Placement {
 ///   `Mutex::get_mut` (no lock overhead when exclusively owned), and
 ///   `&self` observables lock shard by shard and merge, so a
 ///   single-threaded caller can use a `ShardedStore` exactly like a
-///   [`LoadVector`].
+///   [`LoadVector`](kdchoice_core::LoadVector).
 ///
 /// With one shard and a single thread, every operation is bit-identical
-/// to the same operations on a plain [`LoadVector`] (locked by the
+/// to the same operations on a plain [`LoadVector`](kdchoice_core::LoadVector) (locked by the
 /// equivalence proptest in `tests/store_equivalence.rs`).
 #[derive(Debug)]
 pub struct ShardedStore {
-    shards: Vec<CachePadded<Mutex<LoadVector>>>,
+    shards: Vec<CachePadded<Mutex<BinSlab>>>,
     /// `shards.len() - 1`; shard of `bin` is `bin & mask`.
     mask: usize,
     /// `log2(shards.len())`; local index of `bin` is `bin >> bits`.
     bits: u32,
     n: usize,
+    kind: StoreKind,
 }
 
 impl ShardedStore {
-    /// Creates `n` empty bins striped over `shards` shards.
+    /// Creates `n` empty exact bins striped over `shards` shards.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero or not a power of two, or `shards > n`.
     pub fn new(n: usize, shards: usize) -> Self {
-        Self::build(n, shards, None)
+        Self::build(n, shards, None, StoreKind::Exact)
+    }
+
+    /// [`ShardedStore::new`] with each shard holding a slab of the given
+    /// [`StoreKind`] — packed slabs make a shard's decision path
+    /// 16 bins/word instead of 2 bins/cache-line.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedStore::new`].
+    pub fn with_kind(n: usize, shards: usize, kind: StoreKind) -> Self {
+        Self::build(n, shards, None, kind)
     }
 
     /// Creates `n` empty bins with per-bin capacities, striped over
@@ -122,10 +134,27 @@ impl ShardedStore {
     /// `capacities.len() != n` or any capacity is 0.
     pub fn with_capacities(n: usize, shards: usize, capacities: &[u32]) -> Self {
         assert_eq!(capacities.len(), n, "need exactly one capacity per bin");
-        Self::build(n, shards, Some(capacities))
+        Self::build(n, shards, Some(capacities), StoreKind::Exact)
     }
 
-    fn build(n: usize, shards: usize, capacities: Option<&[u32]>) -> Self {
+    /// [`ShardedStore::with_capacities`] with a non-exact [`StoreKind`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedStore::with_capacities`], plus the slab constructor's
+    /// own rejections ([`StoreKind::Sketch`] does not support
+    /// heterogeneous capacities).
+    pub fn with_kind_capacities(
+        n: usize,
+        shards: usize,
+        capacities: &[u32],
+        kind: StoreKind,
+    ) -> Self {
+        assert_eq!(capacities.len(), n, "need exactly one capacity per bin");
+        Self::build(n, shards, Some(capacities), kind)
+    }
+
+    fn build(n: usize, shards: usize, capacities: Option<&[u32]>, kind: StoreKind) -> Self {
         assert!(
             shards > 0 && shards.is_power_of_two(),
             "shard count must be a power of two, got {shards}"
@@ -139,16 +168,16 @@ impl ShardedStore {
             .map(|s| {
                 // Bins congruent to s mod shards that are < n.
                 let local_bins = (n - s).div_ceil(shards);
-                let vec = match capacities {
-                    None => LoadVector::new(local_bins),
+                let slab = match capacities {
+                    None => kind.new_slab(local_bins),
                     Some(caps) => {
                         let local_caps: Vec<u32> = (0..local_bins)
                             .map(|local| caps[(local << bits) | s])
                             .collect();
-                        LoadVector::with_capacities(&local_caps)
+                        kind.slab_with_capacities(&local_caps)
                     }
                 };
-                CachePadded(Mutex::new(vec))
+                CachePadded(Mutex::new(slab))
             })
             .collect();
         Self {
@@ -156,12 +185,18 @@ impl ShardedStore {
             mask: shards - 1,
             bits,
             n,
+            kind,
         }
     }
 
     /// The number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The [`StoreKind`] every shard's slab runs.
+    pub fn store_kind(&self) -> StoreKind {
+        self.kind
     }
 
     #[inline]
@@ -182,7 +217,7 @@ impl ShardedStore {
     /// Locks the given shard ids (must be sorted ascending and deduped —
     /// the canonical order that makes concurrent requests deadlock-free)
     /// and returns the guards in the same order.
-    fn lock_in_order(&self, shard_ids: &[usize]) -> Vec<MutexGuard<'_, LoadVector>> {
+    fn lock_in_order(&self, shard_ids: &[usize]) -> Vec<MutexGuard<'_, BinSlab>> {
         debug_assert!(shard_ids.windows(2).all(|w| w[0] < w[1]));
         shard_ids
             .iter()
@@ -238,7 +273,7 @@ impl ShardedStore {
     /// touch, keyed by the sorted `shard_ids`.
     fn serve_on_guards<R: RngCore + ?Sized>(
         &self,
-        guards: &mut [MutexGuard<'_, LoadVector>],
+        guards: &mut [MutexGuard<'_, BinSlab>],
         shard_ids: &[usize],
         sorted_probes: &[usize],
         k: usize,
@@ -364,9 +399,13 @@ impl ShardedStore {
 
     /// Verifies every shard's internal invariants plus the merged-view
     /// bookkeeping: the merged histogram sums to `n` and agrees with the
-    /// merged per-bin loads and ball total. O(n); for tests.
+    /// merged per-bin loads and ball total. The weighted-histogram ==
+    /// ball-total identity only holds while every shard reports exact
+    /// loads (exact slabs, or packed slabs still lossless); a sketch
+    /// shard's estimated loads may only **over**-count. O(n); for tests.
     pub fn check_invariants(&self) -> bool {
         let mut shard_ok = true;
+        let mut loads_exact = true;
         let mut histogram_total = 0u64;
         let mut balls_from_loads = 0u64;
         let mut loads = Vec::new();
@@ -374,6 +413,11 @@ impl ShardedStore {
         for shard in &self.shards {
             let guard = shard.lock().expect("no poisoned shard");
             shard_ok &= guard.check_invariants();
+            loads_exact &= match &*guard {
+                BinSlab::Exact(_) => true,
+                BinSlab::Packed(p) => p.is_lossless(),
+                BinSlab::Sketch(_) => false,
+            };
         }
         let histogram = self.histogram();
         for (load, &count) in histogram.iter().enumerate() {
@@ -384,10 +428,15 @@ impl ShardedStore {
         for &l in &loads {
             counted[l as usize] += 1;
         }
+        let balls_ok = if loads_exact {
+            balls_from_loads == self.total_balls()
+        } else {
+            balls_from_loads >= self.total_balls()
+        };
         shard_ok
             && loads.len() == self.n
             && histogram_total == self.n as u64
-            && balls_from_loads == self.total_balls()
+            && balls_ok
             && counted == histogram
     }
 }
@@ -474,23 +523,22 @@ impl BinStore for ShardedStore {
         out.resize(self.n, 0);
         for (shard_id, shard) in self.shards.iter().enumerate() {
             let guard = shard.lock().expect("no poisoned shard");
-            for (local, &load) in guard.loads().iter().enumerate() {
-                out[self.global_of(shard_id, local)] = load;
+            for local in 0..guard.n() {
+                out[self.global_of(shard_id, local)] = guard.load(local);
             }
         }
     }
 
     fn histogram(&self) -> Vec<u64> {
-        let mut merged = Vec::new();
+        // Reserve once from the merged max load instead of growing the
+        // vector shard by shard — at huge n the incremental resizes are
+        // real allocation churn on the merge path.
+        let mut merged = vec![0u64; self.max_load() as usize + 1];
         for shard in &self.shards {
-            let guard = shard.lock().expect("no poisoned shard");
-            let hist = guard.load_histogram();
-            if hist.len() > merged.len() {
-                merged.resize(hist.len(), 0);
-            }
-            for (l, &c) in hist.iter().enumerate() {
-                merged[l] += c;
-            }
+            shard
+                .lock()
+                .expect("no poisoned shard")
+                .accumulate_histogram(&mut merged);
         }
         merged
     }
@@ -499,13 +547,14 @@ impl BinStore for ShardedStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kdchoice_core::LoadVector;
     use kdchoice_prng::sample::UniformBin;
     use kdchoice_prng::Xoshiro256PlusPlus;
 
     #[test]
     fn shard_slots_live_on_their_own_cache_lines() {
-        assert_eq!(std::mem::align_of::<CachePadded<Mutex<LoadVector>>>(), 64);
-        assert!(std::mem::size_of::<CachePadded<Mutex<LoadVector>>>() >= 64);
+        assert_eq!(std::mem::align_of::<CachePadded<Mutex<BinSlab>>>(), 64);
+        assert!(std::mem::size_of::<CachePadded<Mutex<BinSlab>>>() >= 64);
         // Vec elements are laid out at stride = size >= align, so no two
         // shard slots can share a 64-byte line.
         let store = ShardedStore::new(16, 4);
@@ -727,5 +776,67 @@ mod tests {
         let store = ShardedStore::new(4, 2);
         let mut rng = Xoshiro256PlusPlus::from_u64(4);
         let _ = store.place_k_least(&[1, 2], 0, &mut rng);
+    }
+
+    /// Packed shards serve the same placement stream bit-identically to
+    /// exact shards while loads stay inside the 4-bit window — the
+    /// striped-layer extension of the core equivalence proptests.
+    #[test]
+    fn packed_shards_match_exact_shards_below_saturation() {
+        let n = 23;
+        let exact = ShardedStore::new(n, 4);
+        let packed = ShardedStore::with_kind(n, 4, StoreKind::Packed4);
+        assert_eq!(exact.store_kind(), StoreKind::Exact);
+        assert_eq!(packed.store_kind(), StoreKind::Packed4);
+        let mut rng_a = Xoshiro256PlusPlus::from_u64(7);
+        let mut rng_b = Xoshiro256PlusPlus::from_u64(7);
+        for _ in 0..60 {
+            let probes: Vec<usize> = (0..4).map(|_| rng_a.next_u64() as usize % n).collect();
+            for _ in 0..4 {
+                rng_b.next_u64();
+            }
+            let pa = exact.place_k_least(&probes, 2, &mut rng_a);
+            let pb = packed.place_k_least(&probes, 2, &mut rng_b);
+            assert_eq!(pa, pb);
+        }
+        assert_eq!(exact.histogram(), packed.histogram());
+        assert_eq!(exact.max_load(), packed.max_load());
+        assert!(packed.check_invariants());
+    }
+
+    #[test]
+    fn sketch_shards_conserve_balls_and_release() {
+        let n = 64;
+        let store = ShardedStore::with_kind(n, 4, StoreKind::Sketch);
+        let mut rng = Xoshiro256PlusPlus::from_u64(11);
+        let mut placements = Vec::new();
+        for _ in 0..40 {
+            let probes: Vec<usize> = (0..3).map(|_| rng.next_u64() as usize % n).collect();
+            placements.push(store.place_k_least(&probes, 1, &mut rng));
+        }
+        assert_eq!(store.total_balls(), 40);
+        for p in &placements {
+            store.release(&p.bins);
+        }
+        assert_eq!(store.total_balls(), 0);
+    }
+
+    #[test]
+    fn packed_capacity_striping_keeps_exact_side_observables() {
+        use kdchoice_core::two_tier_capacities;
+        let n = 29;
+        let caps = two_tier_capacities(n, 4, 10);
+        let store = ShardedStore::with_kind_capacities(n, 4, &caps, StoreKind::Packed4);
+        let mut rng = Xoshiro256PlusPlus::from_u64(17);
+        for _ in 0..200 {
+            let bin = rng.next_u64() as usize % n;
+            store.place_k_least(&[bin], 1, &mut rng);
+        }
+        assert_eq!(
+            store.total_capacity(),
+            caps.iter().map(|&c| u64::from(c)).sum::<u64>()
+        );
+        assert!(store.max_utilization() > 0.0);
+        assert!(store.check_invariants());
     }
 }

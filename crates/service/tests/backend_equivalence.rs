@@ -18,6 +18,7 @@
 //!   are asserted inside the engine's merge step; `conserved` reports
 //!   the outcome).
 
+use kdchoice_core::StoreKind;
 use kdchoice_service::{
     run_open_loop, run_service_workload, OpenLoopConfig, ServiceBackend, ServiceWorkloadConfig,
 };
@@ -131,6 +132,7 @@ fn closed_loop_single_client_matches_across_backends() {
             window,
             backend: ServiceBackend::Striped,
             snapshot_refresh: 1,
+            store: StoreKind::Exact,
             seed: 0xE0_3333,
         };
         let striped = run_service_workload(&config);
@@ -164,6 +166,7 @@ fn owned_engine_8_thread_stress_conserves_and_keeps_invariants() {
         window: 32,
         backend: ServiceBackend::SharedNothing,
         snapshot_refresh: 16,
+        store: StoreKind::Exact,
         seed: 0xE0_4444,
     };
     let report = run_service_workload(&config);

@@ -21,6 +21,7 @@ fn config(seed: u64, rate: f64, service_rate: u32, ticks: u32) -> OpenLoopConfig
         mode: PipelineMode::Batched,
         backend: kdchoice_service::ServiceBackend::Striped,
         snapshot_refresh: 1,
+        store: kdchoice_core::StoreKind::Exact,
         max_batch: 8,
         traffic: TrafficConfig {
             arrivals: ArrivalProcess::Poisson { rate },
