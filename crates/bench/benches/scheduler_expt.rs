@@ -12,6 +12,7 @@ use kdchoice_bench::{fast_mode, print_header};
 use kdchoice_expt::{SweepReport, SweepRunner};
 use kdchoice_scheduler::{
     ClusterConfig, PlacementStrategy, SchedulerExperiment, SchedulerScenario, ServiceDistribution,
+    VectorJobProfile,
 };
 
 fn main() {
@@ -47,6 +48,7 @@ fn main() {
         .map(|strategy| SchedulerExperiment {
             cluster: cluster.clone(),
             strategy,
+            profile: VectorJobProfile::scalar(),
         })
         .collect();
 
@@ -100,6 +102,7 @@ fn main() {
             .map(move |strategy| SchedulerExperiment {
                 cluster: cluster.clone(),
                 strategy,
+                profile: VectorJobProfile::scalar(),
             })
         })
         .collect();

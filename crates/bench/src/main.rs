@@ -23,13 +23,14 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use kdchoice_core::{
-    decide_k_least, run_once, run_once_compact, BallsIntoBins, BinSlab, DynamicScenario,
-    EngineVersion, HeteroScenario, KdChoice, LoadView, ProbeDistribution, RunConfig,
-    StaticScenario, StoreKind,
+    decide_k_least, run_once, run_once_compact, run_once_vector, BallsIntoBins, BinSlab,
+    DynamicScenario, EngineVersion, HeteroScenario, KdChoice, LoadView, PlacementObjective,
+    ProbeDistribution, RunConfig, StaticScenario, StoreKind,
 };
 use kdchoice_expt::{
     configs_from_grid, GridSpec, Registry, ReportFormat, Scenario, SweepRunner, Value,
 };
+use kdchoice_prng::demand::DemandDistribution;
 use kdchoice_prng::sample::{fill_weighted, fill_with_replacement, WeightedBin};
 use kdchoice_prng::Xoshiro256PlusPlus;
 use kdchoice_scheduler::SchedulerScenario;
@@ -87,10 +88,13 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Some("throughput") => {
-            cmd_throughput(args.iter().any(|a| a == "--quick"));
-            ExitCode::SUCCESS
-        }
+        Some("throughput") => match cmd_throughput(args.iter().any(|a| a == "--quick")) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("throughput failed: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         Some("decide-kernel") => {
             // Standalone run of the kernel-prefetch race (the same rows
             // `throughput` records as `decide_prefetch`).
@@ -113,14 +117,20 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        None => {
-            cmd_throughput(false);
-            ExitCode::SUCCESS
-        }
-        Some("--quick") => {
-            cmd_throughput(true);
-            ExitCode::SUCCESS
-        }
+        None => match cmd_throughput(false) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("throughput failed: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--quick") => match cmd_throughput(true) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("throughput failed: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
             eprintln!("unknown command `{other}`\n\n{}", usage());
             ExitCode::FAILURE
@@ -322,6 +332,9 @@ fn measure_service_scaling(quick: bool) -> Vec<ServiceScaling> {
                 backend: ServiceBackend::Striped,
                 snapshot_refresh: 1,
                 store: StoreKind::Exact,
+                dims: 1,
+                objective: kdchoice_core::PlacementObjective::Scalar,
+                demand: kdchoice_prng::demand::DemandDistribution::Unit,
                 seed: 0xBE7C4,
             };
             let report = run_service_workload(&cfg);
@@ -1068,6 +1081,126 @@ fn measure_scenario<S: Scenario>(
     }
 }
 
+/// One cell of the multidimensional-load sweep: a static fill of
+/// vector-demand balls under the max-norm objective, with the
+/// per-dimension gap profile of the final state.
+struct VectorLoadRow {
+    dims: usize,
+    d: usize,
+    n: usize,
+    balls: u64,
+    balls_per_sec: f64,
+    max_load: u32,
+    scalar_gap: f64,
+    dim_gaps: Vec<f64>,
+    /// Demand-scaled Theorem 2 envelope, present only where the bound
+    /// applies (d >= 2k).
+    envelope_hi: Option<f64>,
+}
+
+impl VectorLoadRow {
+    fn max_dim_gap(&self) -> f64 {
+        self.dim_gaps.iter().cloned().fold(0.0f64, f64::max)
+    }
+}
+
+/// The `vector_loads` sweep: one-choice vs two-choice static fills of
+/// `4n` balls whose demands are uniform `1..=4` vectors, placed by the
+/// max-norm objective, at dims in {2, 4}. The d=1 rows are the baseline
+/// that shows what probing buys per dimension; the d=2 rows must sit
+/// inside the demand-scaled Theorem 2 envelope (the same bar the
+/// `vector_envelope` test suite asserts in CI).
+fn measure_vector_loads(quick: bool) -> Vec<VectorLoadRow> {
+    const DEMAND_MAX: u32 = 4;
+    let ns: &[usize] = if quick {
+        &[1 << 12, 1 << 14]
+    } else {
+        &[1 << 14, 1 << 16, 1 << 18, 1 << 20]
+    };
+    let demand = DemandDistribution::uniform(DEMAND_MAX).expect("harness demand distribution");
+    let mut rows = Vec::new();
+    for &n in ns {
+        for dims in [2usize, 4] {
+            for d in [1usize, 2] {
+                let balls = 4 * n as u64;
+                let seed = 0xD1E5_0000u64 ^ (n as u64) ^ ((dims as u64) << 48) ^ ((d as u64) << 56);
+                let config = RunConfig::new(n, seed).with_balls(balls);
+                let start = Instant::now();
+                let (result, store) = run_once_vector(
+                    1,
+                    d,
+                    dims,
+                    &PlacementObjective::MaxNorm,
+                    &demand,
+                    &ProbeDistribution::Uniform,
+                    None,
+                    &config,
+                );
+                let wall = start.elapsed().as_secs_f64();
+                assert!(store.check_invariants(), "vector store invariants (n={n})");
+                let envelope_hi = (d >= 2).then(|| {
+                    kdchoice_theory::bounds::vector_gap_band(
+                        1,
+                        d,
+                        n,
+                        DEMAND_MAX,
+                        2.0 * f64::from(DEMAND_MAX),
+                    )
+                    .hi
+                });
+                rows.push(VectorLoadRow {
+                    dims,
+                    d,
+                    n,
+                    balls,
+                    balls_per_sec: balls as f64 / wall,
+                    max_load: result.max_load,
+                    scalar_gap: result.gap,
+                    dim_gaps: store.dim_gaps(),
+                    envelope_hi,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the `vector_loads` rows as a JSON array — shared between
+/// [`render_json`] and the quick-mode validation pass, like
+/// [`gap_rows_json`].
+fn vector_rows_json(rows: &[VectorLoadRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, v) in rows.iter().enumerate() {
+        let gaps = v
+            .dim_gaps
+            .iter()
+            .map(|g| format!("{g:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let envelope = match v.envelope_hi {
+            Some(hi) => format!("{hi:.3}"),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "    {{\n      \"dims\": {},\n      \"k\": 1,\n      \"d\": {},\n      \"n\": {},\n      \"balls\": {},\n      \"objective\": \"max_norm\",\n      \"demand\": \"uniform(4)\",\n      \"balls_per_sec\": {:.0},\n      \"max_load\": {},\n      \"scalar_gap\": {:.3},\n      \"dim_gaps\": [{}],\n      \"max_dim_gap\": {:.3},\n      \"theorem2_envelope_hi\": {}\n    }}",
+            v.dims,
+            v.d,
+            v.n,
+            v.balls,
+            v.balls_per_sec,
+            v.max_load,
+            v.scalar_gap,
+            gaps,
+            v.max_dim_gap(),
+            envelope,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
 /// Renders the `gap_vs_bytes` rows as a JSON array — shared between
 /// [`render_json`] and the quick-mode validation pass (the CI gate that
 /// keeps the section's shape honest at smoke scale).
@@ -1104,6 +1237,7 @@ fn render_json(
     sampling: &[SamplingRace],
     degradation: &[ClusterDegradation],
     gap: &[GapVsBytes],
+    vector: &[VectorLoadRow],
     compact: &CompactStoreRace,
     prefetch: &[DecidePrefetch],
 ) -> String {
@@ -1346,6 +1480,12 @@ fn render_json(
     out.push_str(&gap_rows_json(gap));
     out.push_str(",\n");
     out.push_str(
+        "  \"vector_loads_note\": \"multidimensional loads: static fills of 4n balls whose demands are per-dimension uniform 1..=4 vectors, placed k=1 by the max-norm objective on the VectorLoad store. d=1 rows are the no-choice baseline; d=2 rows exercise two-choice and must keep every per-dimension gap inside the demand-scaled Theorem 2 envelope Delta*lnln(n)/ln(d/k) + 2*Delta (theorem2_envelope_hi; null where d < 2k and the bound does not apply — the same bar the vector_envelope test suite asserts in CI). dims=1 with the scalar objective is bit-identical to the scalar engine and is therefore covered by the scalar sections, not re-measured here\",\n",
+    );
+    out.push_str("  \"vector_loads\": ");
+    out.push_str(&vector_rows_json(vector));
+    out.push_str(",\n");
+    out.push_str(
         "  \"compact_store_note\": \"the n=2^20 acceptance race: identical static fill (same seed, probes, decide kernel) on the exact u32 store (4 MiB hot loads) vs the packed 4-bit store (512 KiB); the packed fill must beat the exact fill on balls/sec while replaying its decision stream bit for bit (identical_stream checks load histogram, height histogram, and max load)\",\n",
     );
     let _ = write!(
@@ -1490,11 +1630,54 @@ fn cmd_figures() -> Result<(), String> {
             .collect(),
     };
 
+    let vector_rows = extract_objects(&json, "vector_loads");
+    if vector_rows.is_empty() {
+        return Err("BENCH_results.json has no vector_loads section — regenerate it".into());
+    }
+    let vector_curve = |d: f64, dims: f64| -> Vec<(f64, f64)> {
+        let mut points: Vec<(f64, f64)> = vector_rows
+            .iter()
+            .filter(|row| get_f64(row, "d") == Some(d) && get_f64(row, "dims") == Some(dims))
+            .filter_map(|row| Some((get_f64(row, "n")?, get_f64(row, "max_dim_gap")?)))
+            .collect();
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        points
+    };
+    let vector_chart = Chart {
+        title: "Max per-dimension gap vs n (uniform 1..=4 vector demands, max-norm)".into(),
+        x_label: "bins n (log2)".into(),
+        y_label: "max per-dimension gap (balls)".into(),
+        log2_x: true,
+        series: vec![
+            Series {
+                label: "d=1, dims=2 (no choice)".into(),
+                points: vector_curve(1.0, 2.0),
+                color: "#d62728",
+            },
+            Series {
+                label: "d=1, dims=4 (no choice)".into(),
+                points: vector_curve(1.0, 4.0),
+                color: "#ff7f0e",
+            },
+            Series {
+                label: "d=2, dims=2 (two-choice)".into(),
+                points: vector_curve(2.0, 2.0),
+                color: "#1f77b4",
+            },
+            Series {
+                label: "d=2, dims=4 (two-choice)".into(),
+                points: vector_curve(2.0, 4.0),
+                color: "#2ca02c",
+            },
+        ],
+    };
+
     std::fs::create_dir_all("docs").map_err(|e| format!("create docs/: {e}"))?;
     for (path, chart) in [
         ("docs/fig_backend_scaling.svg", &scaling),
         ("docs/fig_staleness_gap.svg", &staleness_chart),
         ("docs/fig_gap_vs_bytes.svg", &gap_chart),
+        ("docs/fig_vector_loads.svg", &vector_chart),
     ] {
         std::fs::write(path, chart.render()).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
@@ -1517,7 +1700,7 @@ fn profile_name() -> &'static str {
     }
 }
 
-fn cmd_throughput(quick: bool) {
+fn cmd_throughput(quick: bool) -> Result<(), String> {
     if profile_name() == "debug" && !quick {
         eprintln!(
             "note: running the full workload in a debug build; use --release for the committed numbers"
@@ -1742,6 +1925,34 @@ fn cmd_throughput(quick: bool) {
         );
     }
 
+    // Multidimensional loads: per-dimension gaps of vector-demand fills.
+    println!();
+    let vector = measure_vector_loads(quick);
+    for v in &vector {
+        let envelope = match v.envelope_hi {
+            Some(hi) => format!(" (envelope {hi:.3})"),
+            None => String::new(),
+        };
+        println!(
+            "vector     dims={} d={} n=2^{:<2} {:>6.2} Mballs/s | max load {:>3} | max per-dim gap {:>7.3}{}",
+            v.dims,
+            v.d,
+            v.n.trailing_zeros(),
+            v.balls_per_sec / 1e6,
+            v.max_load,
+            v.max_dim_gap(),
+            envelope,
+        );
+        if let Some(hi) = v.envelope_hi {
+            assert!(
+                v.max_dim_gap() <= hi,
+                "vector fill left the demand-scaled Theorem 2 envelope at dims={} n={}",
+                v.dims,
+                v.n
+            );
+        }
+    }
+
     // The n=2^20 exact-vs-packed4 acceptance race.
     println!();
     let compact = measure_compact_store(quick);
@@ -1780,12 +1991,21 @@ fn cmd_throughput(quick: bool) {
     };
 
     if quick {
-        // Smoke-scale shape gate for the frontier section: the same
-        // renderer the full run commits, validated even when no file is
+        // Smoke-scale shape gate for the hand-rendered sections: the same
+        // renderers the full run commits, validated even when no file is
         // written.
-        let json = format!("{{\n  \"gap_vs_bytes\": {}\n}}\n", gap_rows_json(&gap));
-        kdchoice_expt::validate_json(&json).expect("gap_vs_bytes rows emit well-formed JSON");
-        println!("\ngap_vs_bytes quick rows validated ({} rows)", gap.len());
+        let json = format!(
+            "{{\n  \"gap_vs_bytes\": {},\n  \"vector_loads\": {}\n}}\n",
+            gap_rows_json(&gap),
+            vector_rows_json(&vector),
+        );
+        kdchoice_expt::validate_json(&json)
+            .map_err(|e| format!("quick rows emit malformed JSON: {e}"))?;
+        println!(
+            "\ngap_vs_bytes + vector_loads quick rows validated ({} + {} rows)",
+            gap.len(),
+            vector.len()
+        );
     } else {
         let json = render_json(
             &measurements,
@@ -1797,11 +2017,15 @@ fn cmd_throughput(quick: bool) {
             &sampling,
             &degradation,
             &gap,
+            &vector,
             &compact,
             &prefetch,
         );
-        kdchoice_expt::validate_json(&json).expect("harness emits well-formed JSON");
-        std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
+        kdchoice_expt::validate_json(&json)
+            .map_err(|e| format!("harness emitted malformed JSON: {e}"))?;
+        std::fs::write("BENCH_results.json", &json)
+            .map_err(|e| format!("write BENCH_results.json: {e}"))?;
         println!("\nwrote BENCH_results.json");
     }
+    Ok(())
 }

@@ -142,6 +142,38 @@ impl StoreKind {
             }
         }
     }
+
+    /// Non-panicking [`StoreKind::slab_with_capacities`]: validates the
+    /// capacity map (non-empty, every capacity ≥ 1) and the
+    /// kind/capacity pairing up front, returning a diagnostic instead
+    /// of panicking — the construction entry point for user-facing
+    /// config paths (grid parsing, CLI flags).
+    ///
+    /// A sketch with non-uniform capacities is rejected here with the
+    /// reason: count-min counters cannot answer per-class utilization
+    /// without the exact state the sketch exists to avoid, so the
+    /// fallback observables would silently be wrong.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on any invalid combination.
+    pub fn try_slab_with_capacities(&self, capacities: &[u32]) -> Result<BinSlab, String> {
+        if capacities.is_empty() {
+            return Err("capacity map must not be empty".to_string());
+        }
+        if capacities.contains(&0) {
+            return Err("every bin needs capacity >= 1".to_string());
+        }
+        if *self == StoreKind::Sketch && capacities.iter().any(|&c| c != 1) {
+            return Err(format!(
+                "store=sketch does not support heterogeneous capacities \
+                 (count-min counters cannot answer per-class utilization); \
+                 use one of {}",
+                "exact|packed4|packed8"
+            ));
+        }
+        Ok(self.slab_with_capacities(capacities))
+    }
 }
 
 impl std::fmt::Display for StoreKind {
@@ -303,12 +335,16 @@ impl PackedStore {
         self.clamped_removes
     }
 
-    /// Decision-path bytes per bin: the packed words only — the
-    /// histogram is O(max load), not O(n), and the exact side-table
-    /// (when capacities force one) is reported by
-    /// [`BinSlab::bytes_per_bin`] on top.
+    /// Resident bytes per bin: the packed words **plus** the exact
+    /// side-table when capacities force one ([`LoadVector::store_bytes`]
+    /// — loads, capacities, and class indices). The histogram is
+    /// O(max load), not O(n), and excluded. A capacity-free store pays
+    /// for its words alone; a store with capacities honestly reports
+    /// that the side-table dominates its footprint.
     pub fn bytes_per_bin(&self) -> f64 {
-        (self.words.len() * 8) as f64 / self.n as f64
+        let words = (self.words.len() * 8) as u64;
+        let side = self.exact.as_ref().map_or(0, |e| e.store_bytes());
+        (words + side) as f64 / self.n as f64
     }
 
     /// Whether a heterogeneous side-table is attached.
@@ -1014,13 +1050,16 @@ impl BinSlab {
         }
     }
 
-    /// Decision-path bytes per bin (loads/words/counters; 4.0 for the
-    /// exact store, plus the exact side-table when capacities force
-    /// one).
+    /// Resident bytes per bin (loads/words/counters, including every
+    /// per-bin side table): 4.0 for a homogeneous exact store, 12.0 for
+    /// a heterogeneous one (capacity + class-index tables), and the
+    /// packed kinds delegate to [`PackedStore::bytes_per_bin`], which
+    /// already charges its exact side-table in full. A sketch never
+    /// carries capacities, so its counters are the whole story.
     pub fn bytes_per_bin(&self) -> f64 {
         match self {
-            BinSlab::Exact(_) => 4.0,
-            BinSlab::Packed(p) => p.bytes_per_bin() + if p.has_exact_side() { 4.0 } else { 0.0 },
+            BinSlab::Exact(s) => s.store_bytes() as f64 / s.n() as f64,
+            BinSlab::Packed(p) => p.bytes_per_bin(),
             BinSlab::Sketch(s) => s.bytes_per_bin(),
         }
     }
@@ -1721,5 +1760,80 @@ mod tests {
     #[should_panic(expected = "heterogeneous capacities")]
     fn sketch_slab_rejects_capacities() {
         let _ = StoreKind::Sketch.slab_with_capacities(&[2, 1]);
+    }
+
+    #[test]
+    fn try_slab_with_capacities_validates_without_panicking() {
+        // Sketch + hetero: a diagnostic, not a panic.
+        let err = StoreKind::Sketch
+            .try_slab_with_capacities(&[2, 1])
+            .unwrap_err();
+        assert!(err.contains("sketch"), "{err}");
+        assert!(err.contains("heterogeneous"), "{err}");
+        // Invalid maps are caught for every kind.
+        for kind in [
+            StoreKind::Exact,
+            StoreKind::Packed4,
+            StoreKind::Packed8,
+            StoreKind::Sketch,
+        ] {
+            assert!(kind.try_slab_with_capacities(&[]).is_err());
+            assert!(kind.try_slab_with_capacities(&[1, 0]).is_err());
+            assert!(kind.try_slab_with_capacities(&[1, 1]).is_ok());
+        }
+        // Valid hetero maps construct the same slab as the panicking path.
+        let slab = StoreKind::Packed4
+            .try_slab_with_capacities(&[2, 1])
+            .unwrap();
+        assert_eq!(slab.total_capacity(), 3);
+    }
+
+    #[test]
+    fn bytes_per_bin_includes_capacity_side_tables() {
+        // The memory-accounting pin (the `gap_vs_bytes` honesty fix):
+        // a packed store that spills capacities into an exact side-table
+        // must charge that side-table — loads + capacities + class
+        // indices at 4 B each — instead of reporting its words alone.
+        let n = 1 << 10;
+        let mut caps = vec![1u32; n];
+        caps[0] = 8;
+        let hetero4 = PackedStore::with_capacities(&caps, 4);
+        assert!((hetero4.bytes_per_bin() - (0.5 + 12.0)).abs() < 1e-9);
+        let hetero8 = PackedStore::with_capacities(&caps, 8);
+        assert!((hetero8.bytes_per_bin() - (1.0 + 12.0)).abs() < 1e-9);
+        // Capacity-free stores still pay for their words alone (the
+        // committed gap_vs_bytes rows all run without capacities, so
+        // this fix does not move them).
+        assert!((PackedStore::new(n, 4).bytes_per_bin() - 0.5).abs() < 1e-9);
+        // Slab view: homogeneous exact = 4 B/bin, heterogeneous = 12.
+        assert!((StoreKind::Exact.new_slab(n).bytes_per_bin() - 4.0).abs() < 1e-9);
+        let exact_hetero = StoreKind::Exact.slab_with_capacities(&caps);
+        assert!((exact_hetero.bytes_per_bin() - 12.0).abs() < 1e-9);
+        let packed_hetero = StoreKind::Packed4.slab_with_capacities(&caps);
+        assert!((packed_hetero.bytes_per_bin() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_free_fallback_observables_are_exact() {
+        // Satellite audit: a PackedStore *without* a side-table is
+        // provably uniform-capacity (the constructor attaches the side
+        // the moment any capacity ≠ 1), so the fallback
+        // `max_utilization`/`utilization_gap` — computed from the
+        // quantized max load — must equal the exact store's values on
+        // an identical lossless fill.
+        let mut packed = PackedStore::new(64, 8);
+        let mut exact = LoadVector::new(64);
+        let mut rng = Xoshiro256PlusPlus::from_u64(31);
+        for _ in 0..600 {
+            let bin = rng.gen_range(0..64);
+            packed.add_ball(bin);
+            exact.add_ball(bin);
+        }
+        assert!(!packed.has_exact_side());
+        assert!(packed.is_lossless());
+        assert_eq!(BinStore::max_utilization(&packed), exact.max_utilization());
+        assert!((BinStore::utilization_gap(&packed) - exact.utilization_gap()).abs() < 1e-12);
+        assert_eq!(BinStore::capacity(&packed, 7), 1);
+        assert_eq!(BinStore::total_capacity(&packed), 64);
     }
 }

@@ -69,6 +69,7 @@ mod snapshot;
 mod state;
 mod store;
 mod trace;
+mod vector;
 
 pub use compact::{BinSlab, LoadSnapshot, PackedLoadSnapshot, PackedStore, SketchStore, StoreKind};
 pub use driver::{
@@ -87,3 +88,6 @@ pub use snapshot::{decide_k_least, LoadView, SharedLoadSnapshot};
 pub use state::LoadVector;
 pub use store::BinStore;
 pub use trace::{run_with_trace, TracePoint};
+pub use vector::{
+    decide_k_least_vector, run_once_vector, PlacementObjective, VectorLoad, VectorSlot, MAX_DIMS,
+};

@@ -6,6 +6,7 @@
 //! a parameter grid, in parallel, with the shared report format.
 
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
+use kdchoice_prng::demand::DemandDistribution;
 
 use crate::compact::StoreKind;
 use crate::driver::{run_once, run_once_compact, run_once_on, RunConfig, RunResult};
@@ -13,6 +14,44 @@ use crate::dynamic::DynamicKChoice;
 use crate::kd::{EngineVersion, KdChoice};
 use crate::probes::{two_tier_capacities, ProbeDistribution};
 use crate::state::LoadVector;
+use crate::vector::{run_once_vector, PlacementObjective, MAX_DIMS};
+
+/// Parses the shared `dims=` / `objective=` / `demand=` / `demand_max=`
+/// axes of the vector-load extension and validates their combination.
+///
+/// Returns `(dims, objective, demand)`; `(1, Scalar, Unit)` — the
+/// defaults — selects the locked scalar path.
+fn vector_params_from(
+    params: &Params,
+) -> Result<(usize, PlacementObjective, DemandDistribution), GridError> {
+    let dims = params.get_usize("dims", 1)?;
+    if dims == 0 || dims > MAX_DIMS {
+        return Err(params.bad_value("dims", &format!("1 <= dims <= {MAX_DIMS}")));
+    }
+    let objective =
+        PlacementObjective::parse(params.get_raw("objective").unwrap_or("scalar"), dims)
+            .ok_or_else(|| {
+                params.bad_value("objective", "scalar | max_norm | weighted | capacity")
+            })?;
+    let demand_max = params.get_u32("demand_max", 4)?;
+    if demand_max == 0 {
+        return Err(params.bad_value("demand_max", "a per-dimension demand of at least 1"));
+    }
+    let demand = DemandDistribution::parse(params.get_raw("demand").unwrap_or("unit"), demand_max)
+        .map_err(|_| params.bad_value("demand", "unit | uniform | correlated | anti"))?;
+    Ok((dims, objective, demand))
+}
+
+/// Whether a `(dims, objective, demand)` triple leaves the locked scalar
+/// path — anything but `(1, Scalar, Unit)` routes through
+/// [`run_once_vector`] and requires `store=exact`.
+fn is_vector_cell(
+    dims: usize,
+    objective: &PlacementObjective,
+    demand: &DemandDistribution,
+) -> bool {
+    dims != 1 || *objective != PlacementObjective::Scalar || *demand != DemandDistribution::Unit
+}
 
 /// The report fields shared by every [`RunResult`]-producing scenario.
 fn run_result_fields(r: &RunResult) -> Fields {
@@ -31,7 +70,7 @@ fn run_result_fields(r: &RunResult) -> Fields {
 
 /// Config of one static (k,d)-choice cell: process parameters plus the
 /// run shape.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StaticConfig {
     /// Balls per round, `k`.
     pub k: usize,
@@ -43,8 +82,21 @@ pub struct StaticConfig {
     /// locked engine path over a [`LoadVector`]; the memory-bounded
     /// kinds run the compact decide-kernel fill ([`run_once_compact`]).
     pub store: StoreKind,
+    /// Demand-vector dimensionality (1 = the scalar paper process).
+    pub dims: usize,
+    /// How probe comparison keys are computed from a load vector.
+    pub objective: PlacementObjective,
+    /// How per-round demand vectors are drawn.
+    pub demand: DemandDistribution,
     /// Bins, balls, and master seed.
     pub run: RunConfig,
+}
+
+impl StaticConfig {
+    /// Whether this cell routes through the vector driver.
+    pub fn is_vector(&self) -> bool {
+        is_vector_cell(self.dims, &self.objective, &self.demand)
+    }
 }
 
 /// Static (k,d)-choice trials — the paper's Table 1 / Theorem 1 setting,
@@ -65,6 +117,19 @@ impl Scenario for StaticScenario {
     }
 
     fn run(&self, config: &Self::Config, seed: u64) -> RunResult {
+        if config.is_vector() {
+            return run_once_vector(
+                config.k,
+                config.d,
+                config.dims,
+                &config.objective,
+                &config.demand,
+                &ProbeDistribution::Uniform,
+                None,
+                &config.run.with_seed(seed),
+            )
+            .0;
+        }
         if !config.store.is_exact() {
             return run_once_compact(
                 config.store,
@@ -94,6 +159,9 @@ impl Scenario for StaticScenario {
             ("balls", Value::U64(config.run.balls)),
             ("engine", Value::Str(config.engine.label().into())),
             ("store", Value::Str(config.store.name().into())),
+            ("dims", Value::U64(config.dims as u64)),
+            ("objective", Value::Str(config.objective.name().into())),
+            ("demand", Value::Str(config.demand.name().into())),
         ]
     }
 
@@ -111,6 +179,22 @@ impl Scenario for StaticScenario {
             Axis::new(
                 "store",
                 "bin store: exact | packed4 | packed8 | sketch (default exact; non-exact kinds use the compact fill)",
+            ),
+            Axis::new(
+                "dims",
+                "demand-vector dimensionality, 1..=8 (default 1 = the scalar paper process)",
+            ),
+            Axis::new(
+                "objective",
+                "probe comparison key: scalar | max_norm | weighted | capacity (default scalar)",
+            ),
+            Axis::new(
+                "demand",
+                "ball demand distribution: unit | uniform | correlated | anti (default unit)",
+            ),
+            Axis::new(
+                "demand_max",
+                "largest per-dimension demand of non-unit distributions (default 4)",
             ),
             Axis::new("seed", "master seed (default: --seed)"),
         ];
@@ -134,6 +218,13 @@ impl Scenario for StaticScenario {
         };
         let store = StoreKind::parse(params.get_raw("store").unwrap_or("exact"))
             .ok_or_else(|| params.bad_value("store", "exact | packed4 | packed8 | sketch"))?;
+        let (dims, objective, demand) = vector_params_from(params)?;
+        if is_vector_cell(dims, &objective, &demand) && store != StoreKind::Exact {
+            return Err(params.bad_value(
+                "store",
+                "exact (vector loads — dims > 1, non-scalar objective, or non-unit demand — need the exact store)",
+            ));
+        }
         let seed = params.get_u64("seed", 0)?;
         let balls = params.get_u64("balls", n as u64)?;
         Ok(StaticConfig {
@@ -141,6 +232,9 @@ impl Scenario for StaticScenario {
             d,
             engine,
             store,
+            dims,
+            objective,
+            demand,
             run: RunConfig::new(n, seed).with_balls(balls),
         })
     }
@@ -318,6 +412,12 @@ pub struct HeteroConfig {
     /// Which bin-store representation holds the loads (`sketch` is
     /// rejected at parse time — it cannot carry capacities).
     pub store: StoreKind,
+    /// Demand-vector dimensionality (1 = the scalar process).
+    pub dims: usize,
+    /// How probe comparison keys are computed from a load vector.
+    pub objective: PlacementObjective,
+    /// How per-round demand vectors are drawn.
+    pub demand: DemandDistribution,
     /// Master seed.
     pub seed: u64,
 }
@@ -359,6 +459,11 @@ impl HeteroConfig {
     pub fn balls(&self) -> u64 {
         ((self.lambda * self.total_capacity() as f64).round() as u64).max(1)
     }
+
+    /// Whether this cell routes through the vector driver.
+    pub fn is_vector(&self) -> bool {
+        is_vector_cell(self.dims, &self.objective, &self.demand)
+    }
 }
 
 /// The record of one heterogeneous run: the usual [`RunResult`] plus the
@@ -374,6 +479,9 @@ pub struct HeteroRecord {
     pub utilization_gap: f64,
     /// `Σ c_bin` of the cell.
     pub total_capacity: u64,
+    /// Per-dimension gaps `max_j − mean_j` of the final state. One entry
+    /// per dimension; on the scalar path this is `[result.gap]`.
+    pub dim_gaps: Vec<f64>,
 }
 
 /// Heterogeneous bins & weighted probing as a registry scenario named
@@ -402,8 +510,27 @@ impl Scenario for HeteroScenario {
     }
 
     fn run(&self, config: &Self::Config, seed: u64) -> HeteroRecord {
+        let run = RunConfig::new(config.n, seed).with_balls(config.balls());
+        if config.is_vector() {
+            let (result, store) = run_once_vector(
+                config.k,
+                config.d,
+                config.dims,
+                &config.objective,
+                &config.demand,
+                &config.probe_distribution(),
+                config.capacities().as_deref(),
+                &run,
+            );
+            return HeteroRecord {
+                max_utilization: store.balls().max_utilization(),
+                utilization_gap: store.balls().utilization_gap(),
+                total_capacity: store.balls().total_capacity(),
+                dim_gaps: store.dim_gaps(),
+                result,
+            };
+        }
         if !config.store.is_exact() {
-            let run = RunConfig::new(config.n, seed).with_balls(config.balls());
             let (result, slab) = run_once_compact(
                 config.store,
                 config.k,
@@ -413,10 +540,11 @@ impl Scenario for HeteroScenario {
                 &run,
             );
             return HeteroRecord {
-                result,
                 max_utilization: slab.max_utilization(),
                 utilization_gap: slab.utilization_gap(),
                 total_capacity: slab.total_capacity(),
+                dim_gaps: vec![result.gap],
+                result,
             };
         }
         let state = match config.capacities() {
@@ -426,13 +554,13 @@ impl Scenario for HeteroScenario {
         let mut process = KdChoice::new(config.k, config.d)
             .expect("validated at config construction")
             .with_probes(config.probe_distribution());
-        let run = RunConfig::new(config.n, seed).with_balls(config.balls());
         let (result, final_state) = run_once_on(&mut process, &run, state);
         HeteroRecord {
-            result,
             max_utilization: final_state.max_utilization(),
             utilization_gap: final_state.utilization_gap(),
             total_capacity: final_state.total_capacity(),
+            dim_gaps: vec![result.gap],
+            result,
         }
     }
 
@@ -457,6 +585,9 @@ impl Scenario for HeteroScenario {
             ("lambda", Value::F64(config.lambda)),
             ("balls", Value::U64(config.balls())),
             ("store", Value::Str(config.store.name().into())),
+            ("dims", Value::U64(config.dims as u64)),
+            ("objective", Value::Str(config.objective.name().into())),
+            ("demand", Value::Str(config.demand.name().into())),
         ]
     }
 
@@ -465,6 +596,8 @@ impl Scenario for HeteroScenario {
         fields.push(("max_util", Value::F64(record.max_utilization)));
         fields.push(("util_gap", Value::F64(record.utilization_gap)));
         fields.push(("capacity", Value::U64(record.total_capacity)));
+        let max_dim_gap = record.dim_gaps.iter().cloned().fold(0.0f64, f64::max);
+        fields.push(("max_dim_gap", Value::F64(max_dim_gap)));
         fields
     }
 
@@ -497,6 +630,22 @@ impl Scenario for HeteroScenario {
             Axis::new(
                 "store",
                 "bin store: exact | packed4 | packed8 (default exact; sketch cannot carry capacities)",
+            ),
+            Axis::new(
+                "dims",
+                "demand-vector dimensionality, 1..=8 (default 1 = the scalar process)",
+            ),
+            Axis::new(
+                "objective",
+                "probe comparison key: scalar | max_norm | weighted | capacity (default scalar)",
+            ),
+            Axis::new(
+                "demand",
+                "ball demand distribution: unit | uniform | correlated | anti (default unit)",
+            ),
+            Axis::new(
+                "demand_max",
+                "largest per-dimension demand of non-unit distributions (default 4)",
             ),
             Axis::new("seed", "master seed (default: --seed)"),
         ];
@@ -551,6 +700,13 @@ impl Scenario for HeteroScenario {
                 "exact | packed4 | packed8 (sketch cannot carry capacities)",
             ));
         }
+        let (dims, objective, demand) = vector_params_from(params)?;
+        if is_vector_cell(dims, &objective, &demand) && store != StoreKind::Exact {
+            return Err(params.bad_value(
+                "store",
+                "exact (vector loads — dims > 1, non-scalar objective, or non-unit demand — need the exact store)",
+            ));
+        }
         Ok(HeteroConfig {
             k,
             d,
@@ -561,6 +717,9 @@ impl Scenario for HeteroScenario {
             every,
             lambda,
             store,
+            dims,
+            objective,
+            demand,
             seed: params.get_u64("seed", 0)?,
         })
     }
@@ -727,6 +886,9 @@ mod tests {
                     d: cfg.d,
                     engine: EngineVersion::Batched,
                     store: StoreKind::Exact,
+                    dims: 1,
+                    objective: PlacementObjective::Scalar,
+                    demand: DemandDistribution::Unit,
                     run: RunConfig::new(cfg.n, 13).with_balls(256),
                 };
                 let uniform = StaticScenario.run(&static_cfg, seed);
@@ -850,6 +1012,76 @@ mod tests {
             matched.utilization_gap,
             blind.utilization_gap
         );
+    }
+
+    /// The `dims=`/`objective=`/`demand=` axes: explicit scalar defaults
+    /// stay on the locked path (bit-identical records), vector cells
+    /// route through the vector driver, and invalid combinations are
+    /// rejected at parse time.
+    #[test]
+    fn static_vector_axes_route_and_validate() {
+        // Explicit defaults == omitted axes, bit for bit.
+        let explicit =
+            GridSpec::parse_str("k=2 d=4 n=256 dims=1 objective=scalar demand=unit seed=5")
+                .unwrap();
+        let implicit = GridSpec::parse_str("k=2 d=4 n=256 seed=5").unwrap();
+        let e = &configs_from_grid(&StaticScenario, &explicit, 5).unwrap()[0];
+        let i = &configs_from_grid(&StaticScenario, &implicit, 5).unwrap()[0];
+        assert!(!e.is_vector());
+        assert_eq!(StaticScenario.run(e, 5), StaticScenario.run(i, 5));
+
+        // A vector cell runs the vector driver and places every ball.
+        let vec_grid =
+            GridSpec::parse_str("k=2 d=4 n=256 dims=2 objective=max_norm demand=uniform seed=5")
+                .unwrap();
+        let v = &configs_from_grid(&StaticScenario, &vec_grid, 5).unwrap()[0];
+        assert!(v.is_vector());
+        let rec = StaticScenario.run(v, 5);
+        assert_eq!(rec.balls_placed, 256);
+        assert!(rec.name.contains("vec2:max_norm"), "{}", rec.name);
+
+        // Invalid combinations are parse errors, not panics.
+        for bad in [
+            "dims=0",
+            "dims=9",
+            "objective=psychic",
+            "demand=psychic",
+            "demand_max=0",
+            "dims=2 store=packed4",
+            "demand=uniform store=packed8",
+            "objective=max_norm store=sketch",
+        ] {
+            let grid = GridSpec::parse_str(bad).unwrap();
+            assert!(
+                configs_from_grid(&StaticScenario, &grid, 0).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    /// A heterogeneous vector cell carries capacities into the vector
+    /// store and reports one gap per dimension.
+    #[test]
+    fn hetero_vector_cell_reports_per_dim_gaps() {
+        let grid = GridSpec::parse_str(
+            "skew=capacity spread=two_tier n=128 every=8 lambda=2 dims=2 objective=capacity demand=anti demand_max=3",
+        )
+        .unwrap();
+        let cfg = &configs_from_grid(&HeteroScenario, &grid, 11).unwrap()[0];
+        assert!(cfg.is_vector());
+        let rec = HeteroScenario.run(cfg, 11);
+        assert_eq!(rec.dim_gaps.len(), 2);
+        assert!(rec.dim_gaps.iter().all(|g| g.is_finite() && *g >= 0.0));
+        assert_eq!(rec.total_capacity, cfg.total_capacity());
+        assert_eq!(rec.result.balls_placed, cfg.balls());
+        // Scalar cells report exactly the scalar gap.
+        let scalar_grid = GridSpec::parse_str("n=128 lambda=1").unwrap();
+        let scalar_cfg = &configs_from_grid(&HeteroScenario, &scalar_grid, 11).unwrap()[0];
+        let scalar_rec = HeteroScenario.run(scalar_cfg, 11);
+        assert_eq!(scalar_rec.dim_gaps, vec![scalar_rec.result.gap]);
+        // Vector cells also reject non-exact stores at parse time.
+        let bad = GridSpec::parse_str("dims=2 store=packed4").unwrap();
+        assert!(configs_from_grid(&HeteroScenario, &bad, 0).is_err());
     }
 
     #[test]

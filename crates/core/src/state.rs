@@ -355,6 +355,21 @@ impl LoadVector {
         self.max_utilization() - self.average_utilization()
     }
 
+    /// The resident bytes of the per-bin tables: the 4-byte load array,
+    /// plus (for heterogeneous state) the 4-byte capacity and 4-byte
+    /// class-index tables — 4 B/bin homogeneous, 12 B/bin heterogeneous.
+    /// The histograms are O(max load + #classes), not O(n), and excluded.
+    /// This is the number the `gap_vs_bytes` memory accounting charges
+    /// for an exact store or side-table.
+    pub fn store_bytes(&self) -> u64 {
+        let loads = self.loads.len() as u64 * 4;
+        match &self.hetero {
+            None => loads,
+            // capacity: Vec<u32> + class_of: Vec<u32> on top of loads.
+            Some(_) => loads * 3,
+        }
+    }
+
     /// `ν_y`: the number of bins with load at least `y`.
     ///
     /// `y ≤ 2` — the values driven through the layered induction of

@@ -45,6 +45,13 @@ pub enum GridError {
     },
     /// An unknown scenario name was requested.
     UnknownScenario(String),
+    /// The cartesian product is too large to materialize.
+    TooLarge {
+        /// Number of assignments the grid expands to (saturating).
+        cells: usize,
+        /// The largest sweep the expansion layer accepts.
+        cap: usize,
+    },
 }
 
 impl fmt::Display for GridError {
@@ -66,6 +73,10 @@ impl fmt::Display for GridError {
                 "bad value `{value}` for axis `{axis}`: expected {expected}"
             ),
             GridError::UnknownScenario(name) => write!(f, "unknown scenario `{name}`"),
+            GridError::TooLarge { cells, cap } => write!(
+                f,
+                "grid expands to {cells} assignments, more than the {cap} the sweep layer accepts"
+            ),
         }
     }
 }
@@ -145,9 +156,15 @@ impl GridSpec {
         self.axes.iter().map(|(k, _)| k.as_str())
     }
 
-    /// Number of assignments in the cartesian product.
+    /// Number of assignments in the cartesian product. Saturates at
+    /// `usize::MAX` instead of overflowing on absurd user grids — the
+    /// caller sees an impossibly large (but well-defined) sweep size
+    /// rather than a wrapped-around small one or a debug-build panic.
     pub fn len(&self) -> usize {
-        self.axes.iter().map(|(_, vs)| vs.len()).product()
+        self.axes
+            .iter()
+            .map(|(_, vs)| vs.len())
+            .fold(1usize, usize::saturating_mul)
     }
 
     /// Whether the grid has no axes.
@@ -339,6 +356,18 @@ mod tests {
         let cells = g.assignments();
         assert_eq!(cells[0].get_raw("seed"), Some("5"));
         assert_eq!(cells[0].get_raw("extra"), Some("1"));
+    }
+
+    #[test]
+    fn len_saturates_instead_of_overflowing() {
+        // 8 axes x 2^16 values each = 2^128 assignments: len() must pin
+        // to usize::MAX, not wrap to something small (or panic in debug).
+        let values: Vec<String> = (0..1 << 16).map(|v| v.to_string()).collect();
+        let mut g = GridSpec::new();
+        for axis in ["a", "b", "c", "d", "e", "f", "g", "h"] {
+            g.push_axis(axis, values.clone()).unwrap();
+        }
+        assert_eq!(g.len(), usize::MAX);
     }
 
     #[test]

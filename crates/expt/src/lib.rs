@@ -52,5 +52,5 @@ pub use grid::{Axis, GridError, GridSpec, Params};
 pub use registry::{Registry, RunnableScenario};
 pub use report::{ReportFormat, Row, SweepReport};
 pub use runner::{SweepCell, SweepRunner, TrialRun};
-pub use scenario::{configs_from_grid, percentile_fields, Fields, Scenario};
+pub use scenario::{configs_from_grid, percentile_fields, Fields, Scenario, MAX_GRID_CELLS};
 pub use value::{validate_json, Value};

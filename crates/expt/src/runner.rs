@@ -156,7 +156,7 @@ mod tests {
     /// A toy deterministic scenario for runner tests.
     struct Doubler;
 
-    #[derive(Clone)]
+    #[derive(Clone, Debug)]
     struct DoublerConfig {
         x: u64,
         seed: u64,
@@ -250,6 +250,21 @@ mod tests {
                 assert_eq!(run.record, Doubler.run(&configs[c], expect_seed));
             }
         }
+    }
+
+    #[test]
+    fn oversized_grids_are_rejected_before_expansion() {
+        use crate::scenario::{configs_from_grid, MAX_GRID_CELLS};
+        let vals: Vec<String> = (0..4096).map(|v| v.to_string()).collect();
+        let tokens = [
+            format!("x={}", vals.join(",")),
+            format!("seed={}", vals.join(",")),
+        ];
+        let grid = GridSpec::parse(&tokens).unwrap();
+        assert!(grid.len() > MAX_GRID_CELLS);
+        let err = configs_from_grid(&Doubler, &grid, 0).unwrap_err();
+        assert!(matches!(err, GridError::TooLarge { .. }), "{err}");
+        assert!(err.to_string().contains("assignments"));
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub trait Scenario: Sync {
     }
 }
 
+/// The largest sweep `configs_from_grid` will materialize. Grids above
+/// this are almost certainly typos (`k=1,2,...` pasted wrong), and
+/// expanding them would exhaust memory before the sweep even starts.
+pub const MAX_GRID_CELLS: usize = 1 << 22;
+
 /// Builds the configs for a grid: validates axis names against
 /// [`Scenario::axes`], defaults the `seed` axis to `base_seed`, and maps
 /// every assignment through [`Scenario::config_from_params`].
@@ -82,6 +87,12 @@ pub fn configs_from_grid<S: Scenario>(
                 scenario: scenario.name(),
             });
         }
+    }
+    if grid.len() > MAX_GRID_CELLS {
+        return Err(GridError::TooLarge {
+            cells: grid.len(),
+            cap: MAX_GRID_CELLS,
+        });
     }
     let mut grid = grid.clone();
     grid.set_default("seed", base_seed.to_string());

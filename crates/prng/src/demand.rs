@@ -1,0 +1,301 @@
+//! Ball-demand vector distributions for the multidimensional extension.
+//!
+//! The Narang–Dutta generalization gives every ball a D-dimensional
+//! resource demand (cpu/mem/net). The shapes that matter empirically are
+//! the ones that stress different placement objectives:
+//!
+//! * [`DemandDistribution::Unit`] — every ball demands 1 in every
+//!   dimension. Consumes **zero** generator outputs, so the scalar
+//!   (`dims=1`) path draws the identical stream as a run with no demand
+//!   sampling at all — the hinge of every dims=1 bit-identity lock.
+//! * [`DemandDistribution::Uniform`] — each dimension i.i.d. uniform in
+//!   `1..=max` (independent resources).
+//! * [`DemandDistribution::Correlated`] — one shared magnitude in
+//!   `1..=max` copied to every dimension (big jobs are big everywhere).
+//! * [`DemandDistribution::AntiCorrelated`] — one uniformly chosen "hot"
+//!   dimension demands `max`, the rest demand 1 (cpu-bound vs
+//!   memory-bound jobs), the adversarial shape for scalar objectives.
+
+use rand::RngCore;
+
+use crate::dist::ParamError;
+use crate::sample::UniformBin;
+
+/// A distribution over per-ball demand vectors `(δ₁, …, δ_D)` with every
+/// `δ_j ≥ 1`.
+///
+/// Construct through the checked constructors (or [`DemandDistribution::parse`]);
+/// the `max` parameter is validated once so sampling is panic-free.
+///
+/// ```
+/// use kdchoice_prng::{demand::DemandDistribution, Xoshiro256PlusPlus};
+///
+/// # fn main() -> Result<(), kdchoice_prng::dist::ParamError> {
+/// let dist = DemandDistribution::uniform(4)?;
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// let mut demand = Vec::new();
+/// dist.sample_into(&mut rng, 3, &mut demand);
+/// assert_eq!(demand.len(), 3);
+/// assert!(demand.iter().all(|&x| (1..=4).contains(&x)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandDistribution {
+    /// Every dimension demands exactly 1 (the scalar process). Samples
+    /// consume no generator outputs.
+    Unit,
+    /// Each dimension i.i.d. uniform in `1..=max`.
+    Uniform {
+        /// Inclusive per-dimension maximum demand (≥ 1).
+        max: u32,
+    },
+    /// One shared magnitude in `1..=max` across all dimensions.
+    Correlated {
+        /// Inclusive maximum of the shared magnitude (≥ 1).
+        max: u32,
+    },
+    /// A uniformly chosen hot dimension demands `max`; every other
+    /// dimension demands 1.
+    AntiCorrelated {
+        /// Demand of the hot dimension (≥ 1).
+        max: u32,
+    },
+}
+
+impl DemandDistribution {
+    /// The i.i.d. per-dimension uniform distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `max == 0`.
+    pub fn uniform(max: u32) -> Result<Self, ParamError> {
+        if max == 0 {
+            return Err(ParamError::new("demand max must be >= 1"));
+        }
+        Ok(Self::Uniform { max })
+    }
+
+    /// The shared-magnitude correlated distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `max == 0`.
+    pub fn correlated(max: u32) -> Result<Self, ParamError> {
+        if max == 0 {
+            return Err(ParamError::new("demand max must be >= 1"));
+        }
+        Ok(Self::Correlated { max })
+    }
+
+    /// The hot-dimension anti-correlated distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `max == 0`.
+    pub fn anti_correlated(max: u32) -> Result<Self, ParamError> {
+        if max == 0 {
+            return Err(ParamError::new("demand max must be >= 1"));
+        }
+        Ok(Self::AntiCorrelated { max })
+    }
+
+    /// Parses a grid-axis value (`unit | uniform | correlated | anti`)
+    /// with the given `max` parameter (ignored by `unit`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for an unknown name or `max == 0` on the
+    /// parameterized shapes.
+    pub fn parse(name: &str, max: u32) -> Result<Self, ParamError> {
+        match name {
+            "unit" => Ok(Self::Unit),
+            "uniform" => Self::uniform(max),
+            "correlated" => Self::correlated(max),
+            "anti" | "anti_correlated" => Self::anti_correlated(max),
+            _ => Err(ParamError::new(
+                "demand must be one of unit|uniform|correlated|anti",
+            )),
+        }
+    }
+
+    /// The grid-axis name of this shape.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Unit => "unit",
+            Self::Uniform { .. } => "uniform",
+            Self::Correlated { .. } => "correlated",
+            Self::AntiCorrelated { .. } => "anti",
+        }
+    }
+
+    /// The largest demand any single dimension can report — the `Δ` in the
+    /// demand-scaled per-dimension gap envelope.
+    pub fn max_demand(&self) -> u32 {
+        match *self {
+            Self::Unit => 1,
+            Self::Uniform { max } | Self::Correlated { max } | Self::AntiCorrelated { max } => max,
+        }
+    }
+
+    /// The expected demand of one dimension (each dimension is
+    /// exchangeable under every shape here).
+    pub fn mean_demand(&self, dims: usize) -> f64 {
+        match *self {
+            Self::Unit => 1.0,
+            Self::Uniform { max } | Self::Correlated { max } => (1.0 + f64::from(max)) / 2.0,
+            Self::AntiCorrelated { max } => {
+                // One of `dims` dimensions holds `max`, the rest hold 1.
+                (f64::from(max) + (dims as f64 - 1.0)) / dims as f64
+            }
+        }
+    }
+
+    /// Samples one demand vector of length `dims` into `out` (cleared
+    /// first; capacity reused across calls).
+    ///
+    /// Generator consumption is part of the determinism contract:
+    /// `Unit` draws nothing, `Correlated` and `AntiCorrelated` draw
+    /// exactly one output, `Uniform` draws one output per dimension
+    /// (Lemire-mapped, like every bin draw in this workspace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn sample_into<R: RngCore + ?Sized>(&self, rng: &mut R, dims: usize, out: &mut Vec<u32>) {
+        assert!(dims > 0, "demand vectors need at least one dimension");
+        out.clear();
+        match *self {
+            Self::Unit => out.resize(dims, 1),
+            Self::Uniform { max } => {
+                let levels = UniformBin::new(max as usize);
+                for _ in 0..dims {
+                    out.push(1 + levels.sample(rng) as u32);
+                }
+            }
+            Self::Correlated { max } => {
+                let magnitude = 1 + UniformBin::new(max as usize).sample(rng) as u32;
+                out.resize(dims, magnitude);
+            }
+            Self::AntiCorrelated { max } => {
+                let hot = UniformBin::new(dims).sample(rng);
+                out.resize(dims, 1);
+                out[hot] = max;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn unit_draws_nothing_from_the_generator() {
+        let mut a = Xoshiro256PlusPlus::from_u64(42);
+        let b = Xoshiro256PlusPlus::from_u64(42);
+        let mut out = Vec::new();
+        DemandDistribution::Unit.sample_into(&mut a, 4, &mut out);
+        assert_eq!(out, vec![1, 1, 1, 1]);
+        assert_eq!(a, b, "unit demand must not consume the generator");
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_varies() {
+        let dist = DemandDistribution::uniform(5).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(7);
+        let mut out = Vec::new();
+        let mut seen = [false; 6];
+        for _ in 0..2000 {
+            dist.sample_into(&mut rng, 3, &mut out);
+            assert_eq!(out.len(), 3);
+            for &x in &out {
+                assert!((1..=5).contains(&x));
+                seen[x as usize] = true;
+            }
+        }
+        assert!(seen[1..].iter().all(|&s| s), "all levels should appear");
+    }
+
+    #[test]
+    fn correlated_copies_one_magnitude() {
+        let dist = DemandDistribution::correlated(8).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(9);
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            dist.sample_into(&mut rng, 4, &mut out);
+            assert!(out.windows(2).all(|w| w[0] == w[1]), "{out:?}");
+            assert!((1..=8).contains(&out[0]));
+        }
+    }
+
+    #[test]
+    fn anti_correlated_has_one_hot_dimension() {
+        let dist = DemandDistribution::anti_correlated(6).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(11);
+        let mut out = Vec::new();
+        let mut hot_counts = [0u32; 4];
+        for _ in 0..4000 {
+            dist.sample_into(&mut rng, 4, &mut out);
+            let hot: Vec<usize> = (0..4).filter(|&j| out[j] == 6).collect();
+            assert_eq!(hot.len(), 1, "{out:?}");
+            assert!(out.iter().filter(|&&x| x == 1).count() == 3);
+            hot_counts[hot[0]] += 1;
+        }
+        for &c in &hot_counts {
+            let f = f64::from(c) / 4000.0;
+            assert!((f - 0.25).abs() < 0.05, "hot-dim frequency {f}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_names_and_rejects_garbage() {
+        for name in ["unit", "uniform", "correlated", "anti"] {
+            let d = DemandDistribution::parse(name, 3).unwrap();
+            assert_eq!(d.name(), name);
+        }
+        assert_eq!(
+            DemandDistribution::parse("anti_correlated", 3).unwrap(),
+            DemandDistribution::AntiCorrelated { max: 3 }
+        );
+        assert!(DemandDistribution::parse("gaussian", 3).is_err());
+        assert!(DemandDistribution::parse("uniform", 0).is_err());
+        assert!(DemandDistribution::parse("correlated", 0).is_err());
+        assert!(DemandDistribution::parse("anti", 0).is_err());
+        // unit ignores max entirely.
+        assert!(DemandDistribution::parse("unit", 0).is_ok());
+    }
+
+    #[test]
+    fn max_and_mean_demand() {
+        assert_eq!(DemandDistribution::Unit.max_demand(), 1);
+        assert_eq!(DemandDistribution::uniform(4).unwrap().max_demand(), 4);
+        assert_eq!(DemandDistribution::Unit.mean_demand(3), 1.0);
+        assert_eq!(DemandDistribution::uniform(3).unwrap().mean_demand(2), 2.0);
+        // anti(4) over 2 dims: (4 + 1) / 2.
+        let anti = DemandDistribution::anti_correlated(4).unwrap();
+        assert_eq!(anti.mean_demand(2), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dims_rejected() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        let mut out = Vec::new();
+        DemandDistribution::Unit.sample_into(&mut rng, 0, &mut out);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let dist = DemandDistribution::uniform(7).unwrap();
+        let mut a = Xoshiro256PlusPlus::from_u64(123);
+        let mut b = Xoshiro256PlusPlus::from_u64(123);
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        for _ in 0..100 {
+            dist.sample_into(&mut a, 5, &mut oa);
+            dist.sample_into(&mut b, 5, &mut ob);
+            assert_eq!(oa, ob);
+        }
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod demand;
 pub mod dist;
 pub mod sample;
 mod splitmix;

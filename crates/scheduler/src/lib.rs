@@ -27,6 +27,19 @@
 //! A job's **response time** is the completion time of its last task; the
 //! experiment regenerating the §1.3 claim compares tail response times at
 //! matched or lower message budgets.
+//!
+//! **Multidimensional jobs** ([`simulate_vector`]): jobs may carry a
+//! D-dimensional resource demand vector (CPU/memory/IO…, drawn once per
+//! job from a `DemandDistribution` and shared by its `k` tasks), workers
+//! accumulate demand in a `kdchoice_core::VectorLoad` and may carry
+//! per-dimension capacities, and probes compete on a
+//! [`kdchoice_core::PlacementObjective`] key (max-norm, weighted norm,
+//! capacity-normalized) instead of the scalar queue length. Queue
+//! *lengths* (task counts) still drive the FIFO service model — demand
+//! vectors shape only the placement decision and the per-dimension gap
+//! observables. At `dims = 1` with the scalar objective and unit demand
+//! the vector simulation is bit-identical to [`simulate`] (locked by
+//! test). Late binding has no vector kernel and is rejected.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,13 +48,14 @@ mod placement;
 mod scenario;
 mod workload;
 
-pub use placement::{select_k_least_loaded, PlacementStrategy};
+pub use placement::{select_k_least_loaded, select_k_least_loaded_vector, PlacementStrategy};
 pub use scenario::{SchedulerExperiment, SchedulerScenario};
 pub use workload::ServiceDistribution;
 
 use std::collections::VecDeque;
 
-use kdchoice_core::{BinStore, LoadVector};
+use kdchoice_core::{BinStore, LoadVector, PlacementObjective, VectorLoad};
+use kdchoice_prng::demand::DemandDistribution;
 use kdchoice_prng::dist::Exponential;
 use kdchoice_prng::Xoshiro256PlusPlus;
 use kdchoice_sim::{Clock, EventQueue, TimeWeighted};
@@ -125,6 +139,47 @@ impl ClusterConfig {
     }
 }
 
+/// The multidimensional job model driving [`simulate_vector`]: demand
+/// dimensionality, the probe-comparison objective, the per-job demand
+/// distribution, and optional scalar worker capacities (replicated
+/// across dimensions, consumed by
+/// [`PlacementObjective::NormalizedByCapacity`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorJobProfile {
+    /// Demand-vector dimensionality (1..=`kdchoice_core::MAX_DIMS`).
+    pub dims: usize,
+    /// The probe comparison key.
+    pub objective: PlacementObjective,
+    /// Per-job demand distribution (one vector per job, shared by its
+    /// `k` tasks).
+    pub demand: DemandDistribution,
+    /// Optional per-worker capacities (one scalar per worker, replicated
+    /// across dimensions). Capacities shape the *placement objective*
+    /// only — the FIFO service model is unchanged.
+    pub worker_capacities: Option<Vec<u32>>,
+}
+
+impl VectorJobProfile {
+    /// The degenerate profile equivalent to the scalar simulation:
+    /// `dims = 1`, scalar objective, unit demand, no capacities.
+    pub fn scalar() -> Self {
+        Self {
+            dims: 1,
+            objective: PlacementObjective::Scalar,
+            demand: DemandDistribution::Unit,
+            worker_capacities: None,
+        }
+    }
+
+    /// Whether this profile exercises anything beyond the scalar path.
+    pub fn is_vector(&self) -> bool {
+        self.dims != 1
+            || self.objective != PlacementObjective::Scalar
+            || self.demand != DemandDistribution::Unit
+            || self.worker_capacities.is_some()
+    }
+}
+
 /// Aggregate results of one scheduling simulation.
 #[derive(Debug, Clone)]
 pub struct SchedulerReport {
@@ -144,6 +199,12 @@ pub struct SchedulerReport {
     pub mean_outstanding: f64,
     /// Maximum queue length (including the running task) seen at any worker.
     pub max_queue_len: u32,
+    /// Peak per-dimension load gap (`max_w load_j(w) − mean_w load_j(w)`
+    /// per dimension `j`), sampled right after each job's placements
+    /// commit and maximized over the run. The scalar path reports the
+    /// single-entry queue-length gap; [`simulate_vector`] reports one
+    /// entry per demand dimension.
+    pub dim_gaps: Vec<f64>,
 }
 
 /// A queue entry at a worker: a concrete task, or a late-binding
@@ -245,6 +306,7 @@ pub fn simulate_on<B: BinStore>(
     let mut outstanding = TimeWeighted::new(0.0, 0.0);
     let mut outstanding_now = 0i64;
     let mut max_queue_len = 0u32;
+    let mut peak_gap = 0.0f64;
     // The probed queue-length snapshot; refreshed once per scheduler batch
     // (scheduler_batch = 1 means perfectly fresh probes).
     let mut snapshot: Vec<u32> = vec![0; config.workers];
@@ -316,6 +378,7 @@ pub fn simulate_on<B: BinStore>(
                         }
                     }
                 }
+                peak_gap = peak_gap.max(queue_lens.gap());
                 outstanding_now += k as i64;
                 outstanding.update(t, outstanding_now as f64);
                 let next = job_idx + 1;
@@ -381,6 +444,188 @@ pub fn simulate_on<B: BinStore>(
         probes_per_job: probe_messages as f64 / config.jobs as f64,
         mean_outstanding: outstanding.average(clock.now()),
         max_queue_len,
+        dim_gaps: vec![peak_gap],
+    }
+}
+
+/// [`simulate`] with multidimensional job demands: jobs draw a demand
+/// vector per [`VectorJobProfile::demand`] at arrival (shared by the
+/// job's `k` tasks), workers accumulate demand in a
+/// [`kdchoice_core::VectorLoad`], and probes compete on
+/// [`VectorJobProfile::objective`] keys over a (possibly stale, per
+/// `scheduler_batch`) strided load snapshot.
+///
+/// The FIFO service model, event ordering, and every scalar observable
+/// are those of [`simulate`]; the per-job RNG stream is `demand draws →
+/// probe draws → tie-break draws → service draws` (unit demand draws
+/// nothing). With the [`VectorJobProfile::scalar`] profile the run is
+/// **bit-identical** to [`simulate`] — same responses, probe counts,
+/// queue peaks, and gap — locked by test.
+///
+/// # Panics
+///
+/// Panics under [`simulate`]'s conditions, for
+/// [`PlacementStrategy::LateBinding`] (no vector kernel), if the
+/// objective does not validate against `profile.dims`, or if a capacity
+/// map's length differs from `config.workers`.
+pub fn simulate_vector(
+    config: &ClusterConfig,
+    strategy: PlacementStrategy,
+    profile: &VectorJobProfile,
+) -> SchedulerReport {
+    assert!(config.workers > 0, "need at least one worker");
+    assert!(config.tasks_per_job > 0, "need at least one task per job");
+    assert!(config.jobs > 0, "need at least one job");
+    assert!(
+        config.utilization() < 1.0,
+        "unstable configuration: utilization {:.3} >= 1",
+        config.utilization()
+    );
+    strategy.validate(config.tasks_per_job, config.workers);
+    assert!(
+        !matches!(strategy, PlacementStrategy::LateBinding { .. }),
+        "late binding has no vector kernel"
+    );
+    let dims = profile.dims;
+    assert!(
+        profile.objective.validate(dims),
+        "objective does not validate against dims={dims}"
+    );
+
+    let mut store = match &profile.worker_capacities {
+        Some(caps) => {
+            assert_eq!(caps.len(), config.workers, "one capacity per worker");
+            VectorLoad::with_capacities(dims, caps)
+        }
+        None => VectorLoad::new(dims, config.workers),
+    };
+    // Capacities are immutable: replicate the scalar map across
+    // dimensions once (the `VectorLoad::with_capacities` layout) for the
+    // snapshot-side kernel.
+    let caps_strided: Option<Vec<u32>> = profile.worker_capacities.as_ref().map(|caps| {
+        let mut strided = Vec::with_capacity(caps.len() * dims);
+        for &c in caps {
+            strided.resize(strided.len() + dims, c);
+        }
+        strided
+    });
+
+    let mut rng = Xoshiro256PlusPlus::from_u64(config.seed);
+    let interarrival = Exponential::new(config.arrival_rate).expect("rate > 0");
+    let mut workers: Vec<Worker> = (0..config.workers).map(|_| Worker::default()).collect();
+    let mut queue = EventQueue::new();
+    let mut clock = Clock::new();
+
+    let k = config.tasks_per_job;
+    let warmup = ((config.jobs as f64) * config.warmup_fraction).floor() as usize;
+    let mut arrivals: Vec<f64> = vec![0.0; config.jobs];
+    let mut remaining: Vec<u32> = vec![0; config.jobs];
+    // Each job's demand vector, kept until its last task completes so
+    // removals subtract exactly what was added.
+    let mut job_demands: Vec<u32> = vec![0; config.jobs * dims];
+    let mut demand_buf: Vec<u32> = vec![0; dims];
+    let mut responses: Vec<f64> = Vec::with_capacity(config.jobs - warmup);
+    let mut probe_messages = 0u64;
+    let mut outstanding = TimeWeighted::new(0.0, 0.0);
+    let mut outstanding_now = 0i64;
+    let mut max_queue_len = 0u32;
+    let mut peak_dim_gaps = vec![0.0f64; dims];
+    // The probed strided load snapshot; refreshed once per scheduler
+    // batch, like the scalar path's queue-length snapshot.
+    let mut snapshot: Vec<u32> = vec![0; config.workers * dims];
+    let mut jobs_since_refresh = 0usize;
+
+    queue.push(interarrival.sample(&mut rng), Event::JobArrival(0));
+
+    while let Some((t, event)) = queue.pop() {
+        clock.advance_to(t);
+        match event {
+            Event::JobArrival(job) => {
+                let job_idx = job as usize;
+                arrivals[job_idx] = t;
+                remaining[job_idx] = k as u32;
+                if jobs_since_refresh == 0 {
+                    snapshot.copy_from_slice(store.loads_strided());
+                }
+                jobs_since_refresh = (jobs_since_refresh + 1) % config.scheduler_batch;
+                profile.demand.sample_into(&mut rng, dims, &mut demand_buf);
+                job_demands[job_idx * dims..(job_idx + 1) * dims].copy_from_slice(&demand_buf);
+                let (chosen, probes) = strategy.choose_workers_vector(
+                    &snapshot,
+                    dims,
+                    caps_strided.as_deref(),
+                    &demand_buf,
+                    &profile.objective,
+                    k,
+                    &mut rng,
+                );
+                probe_messages += probes;
+                debug_assert_eq!(chosen.len(), k);
+                for &w in &chosen {
+                    let service = config.service.sample(&mut rng);
+                    let worker = &mut workers[w];
+                    max_queue_len = max_queue_len.max(store.add(w, &demand_buf));
+                    if worker.running.is_none() {
+                        worker.running = Some(job);
+                        queue.push(t + service, Event::TaskComplete(w as u32));
+                    } else {
+                        worker.pending.push_back(Entry::Task(job, service));
+                    }
+                }
+                for (j, peak) in peak_dim_gaps.iter_mut().enumerate() {
+                    *peak = peak.max(store.dim_gap(j));
+                }
+                outstanding_now += k as i64;
+                outstanding.update(t, outstanding_now as f64);
+                let next = job_idx + 1;
+                if next < config.jobs {
+                    queue.push(
+                        t + interarrival.sample(&mut rng),
+                        Event::JobArrival(next as u32),
+                    );
+                }
+            }
+            Event::TaskComplete(w) => {
+                let widx = w as usize;
+                let finished_job = workers[widx].running.take().expect("worker was busy");
+                let fj = finished_job as usize;
+                store.remove(widx, &job_demands[fj * dims..(fj + 1) * dims]);
+                outstanding_now -= 1;
+                outstanding.update(t, outstanding_now as f64);
+                // No reservations in vector mode: the next entry is
+                // always a concrete task.
+                if let Some(Entry::Task(next_job, service)) = workers[widx].pending.pop_front() {
+                    workers[widx].running = Some(next_job);
+                    queue.push(t + service, Event::TaskComplete(w));
+                }
+                remaining[fj] -= 1;
+                if remaining[fj] == 0 && fj >= warmup {
+                    responses.push(t - arrivals[fj]);
+                }
+            }
+        }
+    }
+
+    debug_assert!(store.check_invariants(), "vector store invariants broken");
+    debug_assert_eq!(store.balls().total_balls(), 0, "tasks leaked demand");
+
+    let response = Summary::from_iter(responses.iter().copied());
+    let pct = quantiles(&responses, &[0.5, 0.9, 0.99]);
+    let percentiles = if pct.len() == 3 {
+        [pct[0], pct[1], pct[2]]
+    } else {
+        [0.0; 3]
+    };
+    SchedulerReport {
+        strategy: strategy.name().into_owned(),
+        jobs_measured: responses.len(),
+        response,
+        response_percentiles: percentiles,
+        probe_messages,
+        probes_per_job: probe_messages as f64 / config.jobs as f64,
+        mean_outstanding: outstanding.average(clock.now()),
+        max_queue_len,
+        dim_gaps: peak_dim_gaps,
     }
 }
 
@@ -584,6 +829,108 @@ mod tests {
             assert_eq!(a.max_queue_len, b.max_queue_len);
             assert_eq!(a.mean_outstanding, b.mean_outstanding);
         }
+    }
+
+    #[test]
+    fn vector_simulation_at_dims_1_is_bit_identical_to_scalar() {
+        // The tentpole lock at the simulator level: the degenerate
+        // profile reproduces `simulate` bit for bit, for every one-shot
+        // strategy — same RNG draws, same winners, same report.
+        let cfg = base_config(20);
+        let profile = VectorJobProfile::scalar();
+        assert!(!profile.is_vector());
+        for strategy in [
+            PlacementStrategy::Random,
+            PlacementStrategy::PerTaskDChoice { d: 2 },
+            PlacementStrategy::BatchSampling { probes_per_task: 2 },
+            PlacementStrategy::KdChoice { d: 5 },
+        ] {
+            let scalar = simulate(&cfg, strategy);
+            let vector = simulate_vector(&cfg, strategy, &profile);
+            assert_eq!(scalar.jobs_measured, vector.jobs_measured, "{strategy}");
+            assert_eq!(scalar.response.mean(), vector.response.mean(), "{strategy}");
+            assert_eq!(
+                scalar.response_percentiles, vector.response_percentiles,
+                "{strategy}"
+            );
+            assert_eq!(scalar.probe_messages, vector.probe_messages, "{strategy}");
+            assert_eq!(scalar.max_queue_len, vector.max_queue_len, "{strategy}");
+            assert_eq!(
+                scalar.mean_outstanding, vector.mean_outstanding,
+                "{strategy}"
+            );
+            assert_eq!(scalar.dim_gaps, vector.dim_gaps, "{strategy}");
+            assert_eq!(vector.dim_gaps.len(), 1, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn vector_jobs_complete_and_report_per_dim_gaps() {
+        let cfg = base_config(21);
+        let profile = VectorJobProfile {
+            dims: 3,
+            objective: PlacementObjective::MaxNorm,
+            demand: DemandDistribution::parse("anti", 4).unwrap(),
+            worker_capacities: None,
+        };
+        assert!(profile.is_vector());
+        let r = simulate_vector(&cfg, PlacementStrategy::KdChoice { d: 5 }, &profile);
+        assert_eq!(r.jobs_measured, 400 - 40);
+        assert_eq!(r.probe_messages, 400 * 5);
+        assert_eq!(r.dim_gaps.len(), 3);
+        assert!(
+            r.dim_gaps.iter().all(|&g| g > 0.0),
+            "every dimension saw imbalance: {:?}",
+            r.dim_gaps
+        );
+        // Deterministic in (config, strategy, profile).
+        let again = simulate_vector(&cfg, PlacementStrategy::KdChoice { d: 5 }, &profile);
+        assert_eq!(r.response.mean(), again.response.mean());
+        assert_eq!(r.dim_gaps, again.dim_gaps);
+    }
+
+    #[test]
+    fn vector_capacities_drive_the_capacity_objective() {
+        let cfg = base_config(22);
+        let profile = VectorJobProfile {
+            dims: 2,
+            objective: PlacementObjective::NormalizedByCapacity,
+            demand: DemandDistribution::parse("uniform", 3).unwrap(),
+            worker_capacities: Some(kdchoice_core::two_tier_capacities(cfg.workers, 4, 4)),
+        };
+        let r = simulate_vector(&cfg, PlacementStrategy::KdChoice { d: 5 }, &profile);
+        assert_eq!(r.jobs_measured, 400 - 40);
+        assert_eq!(r.dim_gaps.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no vector kernel")]
+    fn vector_mode_rejects_late_binding() {
+        let cfg = base_config(23);
+        let profile = VectorJobProfile {
+            dims: 2,
+            objective: PlacementObjective::MaxNorm,
+            demand: DemandDistribution::Unit,
+            worker_capacities: None,
+        };
+        let _ = simulate_vector(
+            &cfg,
+            PlacementStrategy::LateBinding { probes_per_task: 2 },
+            &profile,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "objective does not validate")]
+    fn vector_mode_rejects_mismatched_weighted_norm() {
+        let cfg = base_config(24);
+        let profile = VectorJobProfile {
+            dims: 3,
+            objective: PlacementObjective::WeightedNorm(vec![1.0, 0.5]),
+            demand: DemandDistribution::Unit,
+            worker_capacities: None,
+        };
+        let _ = simulate_vector(&cfg, PlacementStrategy::KdChoice { d: 5 }, &profile);
     }
 
     #[test]

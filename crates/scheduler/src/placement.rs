@@ -1,9 +1,39 @@
 //! Worker-selection strategies for job scheduling.
 
 use std::borrow::Cow;
+use std::cmp::Ordering;
 
+use kdchoice_core::PlacementObjective;
 use kdchoice_prng::sample::fill_with_replacement;
 use rand::RngCore;
+
+/// `f64` under `total_cmp`, so objective keys can drive the same
+/// `random_argmin` reservoir the scalar per-task path uses. Keys are
+/// integer-valued for the scalar and max-norm objectives, where
+/// `total_cmp` equality coincides with integer equality — the property
+/// the dims=1 tie-count (and therefore RNG-stream) identity rests on.
+#[derive(Debug, Clone, Copy)]
+struct TotalF64(f64);
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
 
 /// How a job's `k` tasks pick their workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -146,6 +176,105 @@ impl PlacementStrategy {
             }
         }
     }
+
+    /// The vector analogue of [`PlacementStrategy::choose_workers`]:
+    /// workers carry `dims`-dimensional load vectors (`loads_strided[w *
+    /// dims + j]`, a possibly stale snapshot) and optional per-dimension
+    /// capacities in the same strided layout; the job's `k` tasks share
+    /// one `demand` vector and compete on `objective` keys instead of
+    /// scalar queue lengths.
+    ///
+    /// **RNG contract:** draw for draw identical to the scalar method —
+    /// the same `fill_with_replacement` probe batches, one tie-break per
+    /// tentative slot in sorted order (batch/kd), the same reservoir
+    /// tie-breaking (per-task). With `dims = 1`, the scalar objective,
+    /// and unit demand, keys are the scalar heights as integer `f64`s,
+    /// so the chosen workers are bit-identical to the scalar method on
+    /// the same stream (locked by test).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`PlacementStrategy::LateBinding`] (no one-shot worker
+    /// choice, and no vector reservation semantics), or if the strided
+    /// slices are not multiples of `dims`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn choose_workers_vector<R: RngCore + ?Sized>(
+        &self,
+        loads_strided: &[u32],
+        dims: usize,
+        caps_strided: Option<&[u32]>,
+        demand: &[u32],
+        objective: &PlacementObjective,
+        k: usize,
+        rng: &mut R,
+    ) -> (Vec<usize>, u64) {
+        assert!(
+            dims >= 1 && loads_strided.len().is_multiple_of(dims),
+            "strided loads must be a multiple of dims"
+        );
+        assert_eq!(demand.len(), dims, "demand/dims mismatch");
+        let n = loads_strided.len() / dims;
+        match *self {
+            PlacementStrategy::Random => {
+                let mut chosen = Vec::with_capacity(k);
+                fill_with_replacement(rng, n, k, &mut chosen);
+                (chosen, 0)
+            }
+            PlacementStrategy::PerTaskDChoice { d } => {
+                let mut chosen = Vec::with_capacity(k);
+                let mut samples = Vec::with_capacity(d);
+                for _ in 0..k {
+                    fill_with_replacement(rng, n, d, &mut samples);
+                    let idx = kdchoice_prng::sample::random_argmin(rng, &samples, |&w| {
+                        let load = &loads_strided[w * dims..(w + 1) * dims];
+                        let caps = caps_strided.map(|c| &c[w * dims..(w + 1) * dims]);
+                        TotalF64(objective.tentative_key(load, demand, 1, caps))
+                    })
+                    .expect("d >= 1");
+                    chosen.push(samples[idx]);
+                }
+                (chosen, (k * d) as u64)
+            }
+            PlacementStrategy::BatchSampling { probes_per_task } => {
+                let probes = probes_per_task * k;
+                let mut samples = Vec::with_capacity(probes);
+                fill_with_replacement(rng, n, probes, &mut samples);
+                (
+                    select_k_least_loaded_vector(
+                        &samples,
+                        loads_strided,
+                        dims,
+                        caps_strided,
+                        demand,
+                        objective,
+                        k,
+                        rng,
+                    ),
+                    probes as u64,
+                )
+            }
+            PlacementStrategy::KdChoice { d } => {
+                let mut samples = Vec::with_capacity(d);
+                fill_with_replacement(rng, n, d, &mut samples);
+                (
+                    select_k_least_loaded_vector(
+                        &samples,
+                        loads_strided,
+                        dims,
+                        caps_strided,
+                        demand,
+                        objective,
+                        k,
+                        rng,
+                    ),
+                    d as u64,
+                )
+            }
+            PlacementStrategy::LateBinding { .. } => {
+                panic!("late binding has no vector kernel")
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for PlacementStrategy {
@@ -205,6 +334,67 @@ pub fn select_k_least_loaded<R: RngCore + ?Sized>(
     }
     if k < slots.len() {
         slots.select_nth_unstable_by(k - 1, |a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    }
+    slots[..k].iter().map(|&(_, _, w)| w).collect()
+}
+
+/// [`select_k_least_loaded`] over D-dimensional worker loads: the
+/// `occ`-th tentative task of a worker sampled with multiplicity is
+/// keyed at `objective(load + occ · demand)`, and the `k` smallest
+/// `(key, tie)` slots win under `total_cmp`. Exactly one `rng.next_u64()`
+/// tie-break per tentative slot in sorted-sample order — the scalar
+/// kernel's RNG contract, which is what makes the dims=1 path
+/// stream-identical.
+///
+/// `loads_strided`/`caps_strided` use the `[w * dims + j]` layout of
+/// `kdchoice_core::VectorLoad::loads_strided`.
+///
+/// # Panics
+///
+/// Panics if `k > samples.len()` or the strided slices are not
+/// multiples of `dims`.
+#[allow(clippy::too_many_arguments)]
+pub fn select_k_least_loaded_vector<R: RngCore + ?Sized>(
+    samples: &[usize],
+    loads_strided: &[u32],
+    dims: usize,
+    caps_strided: Option<&[u32]>,
+    demand: &[u32],
+    objective: &PlacementObjective,
+    k: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(
+        k <= samples.len(),
+        "cannot place {k} tasks on {} slots",
+        samples.len()
+    );
+    assert!(
+        dims >= 1 && loads_strided.len().is_multiple_of(dims),
+        "strided loads must be a multiple of dims"
+    );
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    // (objective key, random tie-break, worker)
+    let mut slots: Vec<(f64, u64, usize)> = Vec::with_capacity(sorted.len());
+    let mut i = 0;
+    while i < sorted.len() {
+        let w = sorted[i];
+        let load = &loads_strided[w * dims..(w + 1) * dims];
+        let caps = caps_strided.map(|c| &c[w * dims..(w + 1) * dims]);
+        let mut occ = 0u32;
+        while i < sorted.len() && sorted[i] == w {
+            occ += 1;
+            slots.push((
+                objective.tentative_key(load, demand, occ, caps),
+                rng.next_u64(),
+                w,
+            ));
+            i += 1;
+        }
+    }
+    if k < slots.len() {
+        slots.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     }
     slots[..k].iter().map(|&(_, _, w)| w).collect()
 }
@@ -311,5 +501,111 @@ mod tests {
     #[should_panic(expected = "needs d >= k")]
     fn kd_strategy_validates_d_at_least_k() {
         PlacementStrategy::KdChoice { d: 2 }.validate(4, 10);
+    }
+
+    #[test]
+    fn vector_choice_at_dims_1_matches_scalar_streams_and_winners() {
+        // The dims=1 contract at the kernel level: same RNG stream in,
+        // same workers out, same stream position after — for every
+        // one-shot strategy.
+        let loads: Vec<u32> = (0..32).map(|w| (w * 7 % 5) as u32).collect();
+        for (label, strategy) in [
+            ("random", PlacementStrategy::Random),
+            ("per-task", PlacementStrategy::PerTaskDChoice { d: 3 }),
+            (
+                "batch",
+                PlacementStrategy::BatchSampling { probes_per_task: 2 },
+            ),
+            ("kd", PlacementStrategy::KdChoice { d: 5 }),
+        ] {
+            let mut rng_a = Xoshiro256PlusPlus::from_u64(42);
+            let mut rng_b = Xoshiro256PlusPlus::from_u64(42);
+            let (scalar, probes_a) = strategy.choose_workers(&loads, 4, &mut rng_a);
+            let (vector, probes_b) = strategy.choose_workers_vector(
+                &loads,
+                1,
+                None,
+                &[1],
+                &PlacementObjective::Scalar,
+                4,
+                &mut rng_b,
+            );
+            assert_eq!(scalar, vector, "{label}: winners diverged");
+            assert_eq!(probes_a, probes_b, "{label}: probe counts diverged");
+            assert_eq!(
+                rng_a.next_u64(),
+                rng_b.next_u64(),
+                "{label}: RNG streams desynced"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_select_prefers_balanced_worker_under_max_norm() {
+        // Worker 0 is scalar-lighter (sum 4 < 6) but spiked on dim 0;
+        // max-norm placement of a (1,1) demand must prefer the balanced
+        // worker 1, while the scalar objective prefers worker 0.
+        let loads = [4, 0, 3, 3]; // dims = 2: w0 = (4,0), w1 = (3,3)
+        let demand = [1, 1];
+        for _ in 0..20 {
+            let mut rng = Xoshiro256PlusPlus::from_u64(9);
+            let w = select_k_least_loaded_vector(
+                &[0, 1],
+                &loads,
+                2,
+                None,
+                &demand,
+                &PlacementObjective::MaxNorm,
+                1,
+                &mut rng,
+            );
+            assert_eq!(w, vec![1]);
+            let w = select_k_least_loaded_vector(
+                &[0, 1],
+                &loads,
+                2,
+                None,
+                &demand,
+                &PlacementObjective::Scalar,
+                1,
+                &mut rng,
+            );
+            assert_eq!(w, vec![0]);
+        }
+    }
+
+    #[test]
+    fn vector_select_capacity_objective_prefers_fat_worker() {
+        // Same loads, but worker 0 has 8x capacity on every dimension:
+        // normalized load (6/8, 2/8) beats worker 1's (1,1).
+        let loads = [6, 2, 1, 1];
+        let caps = [8, 8, 1, 1];
+        let mut rng = Xoshiro256PlusPlus::from_u64(10);
+        let w = select_k_least_loaded_vector(
+            &[0, 1],
+            &loads,
+            2,
+            Some(&caps),
+            &[1, 1],
+            &PlacementObjective::NormalizedByCapacity,
+            1,
+            &mut rng,
+        );
+        assert_eq!(w, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no vector kernel")]
+    fn late_binding_has_no_vector_kernel() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(11);
+        let _ = PlacementStrategy::LateBinding { probes_per_task: 2 }.choose_workers_vector(
+            &[0, 0],
+            1,
+            None,
+            &[1],
+            &PlacementObjective::Scalar,
+            1,
+            &mut rng,
+        );
     }
 }

@@ -6,18 +6,27 @@
 //! through the shared work-stealing `SweepRunner`, each cell a
 //! deterministic [`simulate`] call.
 
+use kdchoice_core::{two_tier_capacities, PlacementObjective, MAX_DIMS};
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
+use kdchoice_prng::demand::DemandDistribution;
 
-use crate::{simulate, ClusterConfig, PlacementStrategy, SchedulerReport, ServiceDistribution};
+use crate::{
+    simulate, simulate_vector, ClusterConfig, PlacementStrategy, SchedulerReport,
+    ServiceDistribution, VectorJobProfile,
+};
 
-/// Config of one scheduling cell: the cluster shape plus the placement
-/// strategy under test.
+/// Config of one scheduling cell: the cluster shape, the placement
+/// strategy under test, and the (possibly degenerate) multidimensional
+/// job profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerExperiment {
     /// The cluster and workload shape (embeds the master seed).
     pub cluster: ClusterConfig,
     /// The probing strategy under test.
     pub strategy: PlacementStrategy,
+    /// The demand-vector model; [`VectorJobProfile::scalar`] selects the
+    /// classic scalar simulation.
+    pub profile: VectorJobProfile,
 }
 
 /// The §1.3 cluster-scheduling experiment family.
@@ -39,7 +48,11 @@ impl Scenario for SchedulerScenario {
     fn run(&self, config: &Self::Config, seed: u64) -> SchedulerReport {
         let mut cluster = config.cluster.clone();
         cluster.seed = seed;
-        simulate(&cluster, config.strategy)
+        if config.profile.is_vector() {
+            simulate_vector(&cluster, config.strategy, &config.profile)
+        } else {
+            simulate(&cluster, config.strategy)
+        }
     }
 
     fn base_seed(&self, config: &Self::Config) -> u64 {
@@ -54,10 +67,28 @@ impl Scenario for SchedulerScenario {
             ("utilization", Value::F64(config.cluster.utilization())),
             ("batch", Value::U64(config.cluster.scheduler_batch as u64)),
             ("strategy", Value::Str(config.strategy.name())),
+            ("dims", Value::U64(config.profile.dims as u64)),
+            (
+                "objective",
+                Value::Str(config.profile.objective.name().into()),
+            ),
+            ("demand", Value::Str(config.profile.demand.name().into())),
+            (
+                "caps",
+                Value::Str(
+                    if config.profile.worker_capacities.is_some() {
+                        "two_tier"
+                    } else {
+                        "none"
+                    }
+                    .into(),
+                ),
+            ),
         ]
     }
 
     fn record_fields(&self, record: &Self::Record) -> Fields {
+        let max_dim_gap = record.dim_gaps.iter().cloned().fold(0.0f64, f64::max);
         vec![
             ("jobs_measured", Value::U64(record.jobs_measured as u64)),
             ("mean_response", Value::F64(record.response.mean())),
@@ -68,6 +99,7 @@ impl Scenario for SchedulerScenario {
             ("probes_per_job", Value::F64(record.probes_per_job)),
             ("mean_outstanding", Value::F64(record.mean_outstanding)),
             ("max_queue_len", Value::U64(u64::from(record.max_queue_len))),
+            ("max_dim_gap", Value::F64(max_dim_gap)),
         ]
     }
 
@@ -87,6 +119,26 @@ impl Scenario for SchedulerScenario {
             ),
             Axis::new("batch", "jobs sharing one probe snapshot (default 1)"),
             Axis::new("service", "service distribution: exp | det (default exp, mean 1)"),
+            Axis::new(
+                "dims",
+                "job demand-vector dimensionality, 1..=8 (default 1 = scalar)",
+            ),
+            Axis::new(
+                "objective",
+                "probe comparison key: scalar | max_norm | weighted | capacity (default scalar)",
+            ),
+            Axis::new(
+                "demand",
+                "job demand distribution: unit | uniform | correlated | anti (default unit)",
+            ),
+            Axis::new(
+                "demand_max",
+                "largest per-dimension demand of non-unit distributions (default 4)",
+            ),
+            Axis::new(
+                "caps",
+                "worker capacities: none | two_tier (default none; two_tier = every 4th worker 4x)",
+            ),
             Axis::new("seed", "master seed (default: --seed)"),
         ];
         AXES
@@ -132,17 +184,56 @@ impl Scenario for SchedulerScenario {
         if batch == 0 {
             return Err(params.bad_value("batch", "at least 1"));
         }
+        let dims = params.get_usize("dims", 1)?;
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(params.bad_value("dims", &format!("1 <= dims <= {MAX_DIMS}")));
+        }
+        let objective =
+            PlacementObjective::parse(params.get_raw("objective").unwrap_or("scalar"), dims)
+                .ok_or_else(|| {
+                    params.bad_value("objective", "scalar | max_norm | weighted | capacity")
+                })?;
+        let demand_max = params.get_u32("demand_max", 4)?;
+        if demand_max == 0 {
+            return Err(params.bad_value("demand_max", "a per-dimension demand of at least 1"));
+        }
+        let demand =
+            DemandDistribution::parse(params.get_raw("demand").unwrap_or("unit"), demand_max)
+                .map_err(|_| params.bad_value("demand", "unit | uniform | correlated | anti"))?;
+        let worker_capacities = match params.get_raw("caps").unwrap_or("none") {
+            "none" => None,
+            "two_tier" => Some(two_tier_capacities(workers, 4, 4)),
+            _ => return Err(params.bad_value("caps", "none | two_tier")),
+        };
+        let profile = VectorJobProfile {
+            dims,
+            objective,
+            demand,
+            worker_capacities,
+        };
+        if profile.is_vector() && matches!(strategy, PlacementStrategy::LateBinding { .. }) {
+            return Err(params.bad_value(
+                "strategy",
+                "random | per-task | batch | kd (late binding has no vector kernel)",
+            ));
+        }
         let seed = params.get_u64("seed", 0)?;
         let cluster = ClusterConfig::new(workers, k, jobs, seed)
             .with_service(service)
             .with_utilization(rho)
             .with_scheduler_batch(batch);
-        Ok(SchedulerExperiment { cluster, strategy })
+        Ok(SchedulerExperiment {
+            cluster,
+            strategy,
+            profile,
+        })
     }
 
     fn smoke_grid(&self) -> GridSpec {
-        GridSpec::parse_str("workers=16 k=2 jobs=120 rho=0.6 strategy=kd,batch")
-            .expect("scheduler smoke grid")
+        GridSpec::parse_str(
+            "workers=16 k=2 jobs=120 rho=0.6 strategy=kd,batch dims=1,2 objective=max_norm",
+        )
+        .expect("scheduler smoke grid")
     }
 
     fn throughput_unit(&self) -> &'static str {
@@ -205,6 +296,65 @@ mod tests {
         assert!(configs_from_grid(&SchedulerScenario, &bad, 0).is_err());
         let unstable = GridSpec::parse_str("rho=1.5").unwrap();
         assert!(configs_from_grid(&SchedulerScenario, &unstable, 0).is_err());
+    }
+
+    #[test]
+    fn vector_axes_parse_and_validate() {
+        let grid = GridSpec::parse_str(
+            "workers=16 k=2 jobs=100 rho=0.5 dims=2 objective=max_norm demand=anti caps=two_tier",
+        )
+        .unwrap();
+        let configs = configs_from_grid(&SchedulerScenario, &grid, 0).unwrap();
+        assert!(configs[0].profile.is_vector());
+        assert_eq!(configs[0].profile.dims, 2);
+        assert_eq!(
+            configs[0].profile.worker_capacities.as_deref(),
+            Some(&kdchoice_core::two_tier_capacities(16, 4, 4)[..])
+        );
+
+        // Defaults stay on the scalar path.
+        let plain = GridSpec::parse_str("workers=16 k=2 jobs=100 rho=0.5").unwrap();
+        let configs = configs_from_grid(&SchedulerScenario, &plain, 0).unwrap();
+        assert!(!configs[0].profile.is_vector());
+
+        for bad in [
+            "dims=0",
+            "dims=9",
+            "objective=psychic",
+            "demand=psychic",
+            "demand_max=0",
+            "caps=psychic",
+            "dims=2 objective=max_norm strategy=late",
+        ] {
+            let grid = GridSpec::parse_str(bad).unwrap();
+            assert!(
+                configs_from_grid(&SchedulerScenario, &grid, 0).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    /// The smoke grid's vector rows end to end: parse, run, and render
+    /// per-dimension gap observables in JSON.
+    #[test]
+    fn vector_cells_run_and_report_max_dim_gap() {
+        let grid = GridSpec::parse_str(
+            "workers=16 k=2 jobs=150 rho=0.6 strategy=kd dims=2 objective=max_norm demand=uniform",
+        )
+        .unwrap();
+        let configs = configs_from_grid(&SchedulerScenario, &grid, 5).unwrap();
+        let cells =
+            SweepRunner::new()
+                .with_threads(1)
+                .run_scenario(&SchedulerScenario, &configs, 2);
+        let report = SweepReport::from_cells(&SchedulerScenario, &configs, &cells);
+        assert_eq!(report.rows.len(), 2);
+        for line in report.to_jsonl().lines() {
+            kdchoice_expt::validate_json(line).unwrap();
+            assert!(line.contains("\"dims\": 2"));
+            assert!(line.contains("\"objective\": \"max_norm\""));
+            assert!(line.contains("\"max_dim_gap\""));
+        }
     }
 
     #[test]

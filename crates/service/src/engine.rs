@@ -848,6 +848,7 @@ pub(crate) fn run_service_workload_owned(config: &ServiceWorkloadConfig) -> Serv
         gap: f64::from(merged.max_load) - merged.live_balls as f64 / config.bins as f64,
         nu1: merged.nu1,
         conserved,
+        dim_gaps: vec![f64::from(merged.max_load) - merged.live_balls as f64 / config.bins as f64],
     }
 }
 

@@ -51,6 +51,14 @@
 //!   probing draws the identical generator stream as before the seam
 //!   existed, so all determinism locks below are unchanged by it.
 //!
+//! * **Vector loads** — [`run_vector_service_workload`] serves
+//!   D-dimensional demand vectors over a `kdchoice_core::VectorLoad`
+//!   store (striped backend, exact store only), selected through the
+//!   `dims=` / `objective=` / `demand=` fields of
+//!   [`ServiceWorkloadConfig`]. At `dims = 1` with the scalar objective
+//!   and unit demand it is bit-identical to both scalar backends at one
+//!   thread (locked by test); reports carry per-dimension gaps.
+//!
 //! **Determinism under concurrency:** each client thread's probe/tie-key
 //! stream is a pure function of `derive_seed(seed, client)`; the
 //! interleaving of commits is not reproducible. Conservation (balls in =
@@ -83,7 +91,8 @@ pub use pipeline::{
 };
 pub use scenario::ServiceScenario;
 pub use service::{
-    run_service_workload, PlacementService, ServiceError, ServiceReport, ServiceWorkloadConfig,
+    run_service_workload, run_vector_service_workload, PlacementService, ServiceError,
+    ServiceReport, ServiceWorkloadConfig,
 };
 pub use sharded::{Placement, ShardedStore};
 pub use traffic::{

@@ -1,8 +1,9 @@
 //! The closed-loop placement-service workload as a
 //! [`kdchoice_expt::Scenario`] named `service`.
 
-use kdchoice_core::StoreKind;
+use kdchoice_core::{PlacementObjective, StoreKind, MAX_DIMS};
 use kdchoice_expt::{Axis, Fields, GridError, GridSpec, Params, Scenario, Value};
+use kdchoice_prng::demand::DemandDistribution;
 
 use crate::engine::ServiceBackend;
 use crate::service::{run_service_workload, ServiceReport, ServiceWorkloadConfig};
@@ -55,10 +56,14 @@ impl Scenario for ServiceScenario {
             ("backend", Value::Str(config.backend.name().into())),
             ("refresh", Value::U64(config.snapshot_refresh as u64)),
             ("store", Value::Str(config.store.name().into())),
+            ("dims", Value::U64(config.dims as u64)),
+            ("objective", Value::Str(config.objective.name().into())),
+            ("demand", Value::Str(config.demand.name().into())),
         ]
     }
 
     fn record_fields(&self, record: &Self::Record) -> Fields {
+        let max_dim_gap = record.dim_gaps.iter().cloned().fold(0.0f64, f64::max);
         vec![
             ("placements", Value::U64(record.placements)),
             ("balls_placed", Value::U64(record.balls_placed)),
@@ -69,6 +74,7 @@ impl Scenario for ServiceScenario {
             ("gap", Value::F64(record.gap)),
             ("nu1", Value::U64(record.nu1)),
             ("conserved", Value::Bool(record.conserved)),
+            ("max_dim_gap", Value::F64(max_dim_gap)),
         ]
     }
 
@@ -98,6 +104,22 @@ impl Scenario for ServiceScenario {
             Axis::new(
                 "store",
                 "bin store: exact | packed4 | packed8 | sketch (default exact)",
+            ),
+            Axis::new(
+                "dims",
+                "demand-vector dimensionality, 1..=8 (default 1 = scalar; dims > 1 needs backend=striped store=exact)",
+            ),
+            Axis::new(
+                "objective",
+                "probe comparison key: scalar | max_norm | weighted | capacity (default scalar)",
+            ),
+            Axis::new(
+                "demand",
+                "request demand distribution: unit | uniform | correlated | anti (default unit)",
+            ),
+            Axis::new(
+                "demand_max",
+                "largest per-dimension demand of non-unit distributions (default 4)",
             ),
             Axis::new("seed", "master seed (default: --seed)"),
         ];
@@ -133,7 +155,23 @@ impl Scenario for ServiceScenario {
         }
         let store = StoreKind::parse(params.get_raw("store").unwrap_or("exact"))
             .ok_or_else(|| params.bad_value("store", "exact | packed4 | packed8 | sketch"))?;
-        Ok(ServiceWorkloadConfig {
+        let dims = params.get_usize("dims", 1)?;
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(params.bad_value("dims", &format!("1 <= dims <= {MAX_DIMS}")));
+        }
+        let objective =
+            PlacementObjective::parse(params.get_raw("objective").unwrap_or("scalar"), dims)
+                .ok_or_else(|| {
+                    params.bad_value("objective", "scalar | max_norm | weighted | capacity")
+                })?;
+        let demand_max = params.get_u32("demand_max", 4)?;
+        if demand_max == 0 {
+            return Err(params.bad_value("demand_max", "a per-dimension demand of at least 1"));
+        }
+        let demand =
+            DemandDistribution::parse(params.get_raw("demand").unwrap_or("unit"), demand_max)
+                .map_err(|_| params.bad_value("demand", "unit | uniform | correlated | anti"))?;
+        let config = ServiceWorkloadConfig {
             bins,
             k,
             d,
@@ -144,8 +182,23 @@ impl Scenario for ServiceScenario {
             backend,
             snapshot_refresh,
             store,
+            dims,
+            objective,
+            demand,
             seed: params.get_u64("seed", 0)?,
-        })
+        };
+        if config.is_vector() {
+            if backend != ServiceBackend::Striped {
+                return Err(params.bad_value(
+                    "backend",
+                    "striped (vector loads have no shared-nothing engine)",
+                ));
+            }
+            if store != StoreKind::Exact {
+                return Err(params.bad_value("store", "exact (vector loads need the exact store)"));
+            }
+        }
+        Ok(config)
     }
 
     fn smoke_grid(&self) -> GridSpec {
@@ -196,12 +249,44 @@ mod tests {
             "refresh=0",
             "store=psychic",
             "backend=shared_nothing threads=4 n=2",
+            "dims=0",
+            "dims=9",
+            "objective=psychic",
+            "demand=psychic",
+            "demand_max=0",
+            "dims=2 backend=shared_nothing",
+            "dims=2 store=packed4",
+            "demand=uniform store=sketch",
         ] {
             let grid = GridSpec::parse_str(bad).unwrap();
             assert!(
                 configs_from_grid(&ServiceScenario, &grid, 0).is_err(),
                 "{bad} should be rejected"
             );
+        }
+    }
+
+    /// The `dims=` axis end to end: a vector cell parses, runs the
+    /// vector workload, and reports one gap per dimension in JSON.
+    #[test]
+    fn vector_service_cell_runs_and_reports_dim_gaps() {
+        let grid = GridSpec::parse_str(
+            "n=2^8 shards=2 threads=2 requests=200 window=8 dims=2 objective=max_norm demand=uniform demand_max=3",
+        )
+        .unwrap();
+        let configs = configs_from_grid(&ServiceScenario, &grid, 7).unwrap();
+        assert!(configs[0].is_vector());
+        let report = ServiceScenario.run(&configs[0], 7);
+        assert!(report.conserved);
+        assert_eq!(report.dim_gaps.len(), 2);
+        let cells = SweepRunner::new()
+            .with_threads(1)
+            .run_scenario(&ServiceScenario, &configs, 1);
+        let sweep = SweepReport::from_cells(&ServiceScenario, &configs, &cells);
+        for line in sweep.to_jsonl().lines() {
+            kdchoice_expt::validate_json(line).unwrap();
+            assert!(line.contains("\"max_dim_gap\""));
+            assert!(line.contains("\"dims\": 2"));
         }
     }
 

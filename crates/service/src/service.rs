@@ -2,9 +2,14 @@
 //! plus the closed-loop multi-client workload used by the `service`
 //! scenario and the thread-scaling throughput harness.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
-use kdchoice_core::{BinStore, ProbeDistribution, StoreKind};
+use kdchoice_core::{
+    decide_k_least_vector, BinStore, PlacementObjective, ProbeDistribution, StoreKind, VectorLoad,
+    VectorSlot,
+};
+use kdchoice_prng::demand::DemandDistribution;
 use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
 use rand::RngCore;
 
@@ -175,7 +180,7 @@ impl PlacementService {
 /// optionally releasing their oldest live placement once more than
 /// `window` are outstanding (the §7 infinite/dynamic process; `window ==
 /// 0` disables releases and the run is the static process).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceWorkloadConfig {
     /// Number of bins.
     pub bins: usize,
@@ -202,6 +207,14 @@ pub struct ServiceWorkloadConfig {
     /// Which bin-store representation backs the workload (exact loads,
     /// packed b-bit offsets, or a count-min sketch).
     pub store: StoreKind,
+    /// Demand-vector dimensionality (1 = the scalar process). Anything
+    /// but `(1, Scalar, Unit)` routes through the vector workload, which
+    /// supports only the striped backend over the exact store.
+    pub dims: usize,
+    /// How probe comparison keys are computed from a load vector.
+    pub objective: PlacementObjective,
+    /// How per-request demand vectors are drawn.
+    pub demand: DemandDistribution,
     /// Master seed; client `t` runs on `derive_seed(seed, t)`.
     pub seed: u64,
 }
@@ -220,8 +233,19 @@ impl ServiceWorkloadConfig {
             backend: ServiceBackend::Striped,
             snapshot_refresh: 1,
             store: StoreKind::Exact,
+            dims: 1,
+            objective: PlacementObjective::Scalar,
+            demand: DemandDistribution::Unit,
             seed,
         }
+    }
+
+    /// Whether this workload routes through the vector driver (anything
+    /// but the scalar `(dims=1, Scalar, Unit)` triple).
+    pub fn is_vector(&self) -> bool {
+        self.dims != 1
+            || self.objective != PlacementObjective::Scalar
+            || self.demand != DemandDistribution::Unit
     }
 }
 
@@ -263,6 +287,9 @@ pub struct ServiceReport {
     /// Whether the merged store passed `check_invariants` and conserved
     /// balls (`total == placed − released`).
     pub conserved: bool,
+    /// Per-dimension gaps `max_j − mean_j` of the final state; on the
+    /// scalar paths this is `[gap]`.
+    pub dim_gaps: Vec<f64>,
 }
 
 /// Runs one closed-loop workload: spawns `threads` clients hammering a
@@ -281,6 +308,9 @@ pub struct ServiceReport {
 /// non-power-of-two shards).
 pub fn run_service_workload(config: &ServiceWorkloadConfig) -> ServiceReport {
     assert!(config.threads > 0, "need at least one client thread");
+    if config.is_vector() {
+        return run_vector_service_workload(config);
+    }
     if config.backend == ServiceBackend::SharedNothing {
         return crate::engine::run_service_workload_owned(config);
     }
@@ -338,6 +368,141 @@ pub fn run_service_workload(config: &ServiceWorkloadConfig) -> ServiceReport {
         gap: store.gap(),
         nu1: store.nu(1),
         conserved,
+        dim_gaps: vec![store.gap()],
+    }
+}
+
+/// Runs one closed-loop **vector-load** workload: `threads` clients share
+/// a [`VectorLoad`] store behind one mutex, each request sampling `d`
+/// uniform probes, one demand vector, and committing the `k` slots with
+/// the smallest objective keys ([`decide_k_least_vector`]).
+///
+/// The per-client generator stream is `d` probe draws, then the demand
+/// draws, then one tie-break per tentative slot — **exactly** the striped
+/// scalar service's stream when `dims = 1`, `objective = Scalar`, and
+/// `demand = Unit` ([`DemandDistribution::Unit`] draws nothing), so a
+/// single-threaded run is bit-identical to [`run_service_workload`] on
+/// either scalar backend; the equivalence tests pin this. Windowed
+/// releases remember each placement's demand vector and subtract it
+/// dimension-for-dimension.
+///
+/// This is also where a scalar-looking config routed by
+/// [`ServiceWorkloadConfig::is_vector`] lands; calling it directly with a
+/// scalar triple forces the vector machinery (the equivalence tests do).
+///
+/// # Panics
+///
+/// Panics on invalid configuration: zero threads/bins, `d < k`, a
+/// malformed objective, the shared-nothing backend (vector stores have no
+/// owned-shard engine yet), or a non-exact store (packed/sketch lanes
+/// cannot hold vector loads).
+pub fn run_vector_service_workload(config: &ServiceWorkloadConfig) -> ServiceReport {
+    assert!(config.threads > 0, "need at least one client thread");
+    assert!(config.bins > 0, "need at least one bin");
+    assert!(
+        config.k >= 1 && config.k <= config.d,
+        "need 1 <= k <= d (k={}, d={})",
+        config.k,
+        config.d
+    );
+    assert!(
+        config.objective.validate(config.dims),
+        "objective {} is not valid for dims={}",
+        config.objective.name(),
+        config.dims
+    );
+    assert!(
+        config.backend == ServiceBackend::Striped,
+        "vector loads support only the striped backend (got {})",
+        config.backend.name()
+    );
+    assert!(
+        config.store == StoreKind::Exact,
+        "vector loads need store=exact (got {})",
+        config.store.name()
+    );
+    let store = Mutex::new(VectorLoad::new(config.dims, config.bins));
+
+    let start = Instant::now();
+    let released_counts: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|t| {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut rng = Xoshiro256PlusPlus::from_u64(derive_seed(config.seed, t as u64));
+                    let mut probes = vec![0usize; config.d];
+                    let mut slots: Vec<VectorSlot> = Vec::with_capacity(config.d);
+                    let mut demand_buf: Vec<u32> = Vec::with_capacity(config.dims);
+                    let mut live: std::collections::VecDeque<(Vec<usize>, Vec<u32>)> =
+                        std::collections::VecDeque::new();
+                    let mut released = 0u64;
+                    for _ in 0..config.requests_per_thread {
+                        for p in probes.iter_mut() {
+                            *p = ProbeDistribution::Uniform.sample(&mut rng, config.bins);
+                        }
+                        probes.sort_unstable();
+                        config
+                            .demand
+                            .sample_into(&mut rng, config.dims, &mut demand_buf);
+                        let mut bins = Vec::with_capacity(config.k);
+                        {
+                            let guard = &mut *store.lock().expect("store mutex poisoned");
+                            decide_k_least_vector(
+                                guard,
+                                &probes,
+                                config.k,
+                                &demand_buf,
+                                &config.objective,
+                                &mut rng,
+                                &mut slots,
+                                &mut bins,
+                            );
+                            for &bin in &bins {
+                                guard.add(bin, &demand_buf);
+                            }
+                        }
+                        if config.window > 0 {
+                            live.push_back((bins, demand_buf.clone()));
+                            if live.len() > config.window {
+                                let (bins, demand) = live.pop_front().expect("window > 0");
+                                released += bins.len() as u64;
+                                let guard = &mut *store.lock().expect("store mutex poisoned");
+                                for &bin in &bins {
+                                    guard.remove(bin, &demand);
+                                }
+                            }
+                        }
+                    }
+                    released
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread must not panic"))
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let placements = (config.threads * config.requests_per_thread) as u64;
+    let balls_placed = placements * config.k as u64;
+    let balls_released: u64 = released_counts.iter().sum();
+    let store = store.into_inner().expect("store mutex poisoned");
+    let live_balls = store.balls().total_balls();
+    let conserved = live_balls == balls_placed - balls_released && store.check_invariants();
+    ServiceReport {
+        placements,
+        balls_placed,
+        balls_released,
+        live_balls,
+        wall_secs,
+        placements_per_sec: placements as f64 / wall_secs,
+        balls_per_sec: balls_placed as f64 / wall_secs,
+        max_load: store.balls().max_load(),
+        gap: store.balls().gap(),
+        nu1: store.balls().nu(1),
+        conserved,
+        dim_gaps: store.dim_gaps(),
     }
 }
 
@@ -371,6 +536,9 @@ mod tests {
             backend: ServiceBackend::Striped,
             snapshot_refresh: 1,
             store: StoreKind::Exact,
+            dims: 1,
+            objective: PlacementObjective::Scalar,
+            demand: DemandDistribution::Unit,
             seed: 11,
         };
         let report = run_service_workload(&cfg);
@@ -396,6 +564,9 @@ mod tests {
             backend: ServiceBackend::Striped,
             snapshot_refresh: 1,
             store: StoreKind::Exact,
+            dims: 1,
+            objective: PlacementObjective::Scalar,
+            demand: DemandDistribution::Unit,
             seed: 5,
         };
         let report = run_service_workload(&cfg);
@@ -456,6 +627,77 @@ mod tests {
         let p = service.place(&mut rng);
         assert_eq!(p.bins.len(), 4);
         assert_eq!(service.store().total_balls(), 4);
+    }
+
+    /// Satellite of the vector tentpole: forcing a scalar `(dims=1,
+    /// Scalar, Unit)` workload through the vector machinery reproduces
+    /// **both** scalar backends bit for bit at `threads = 1` — same
+    /// final loads, same gap, same ν₁ — because the generator stream
+    /// (d probe draws, zero demand draws, one tie per slot) and the
+    /// `total_cmp`-on-integer-keys comparisons coincide.
+    #[test]
+    fn vector_workload_at_dims_1_matches_both_scalar_backends() {
+        for window in [0usize, 16] {
+            let mut cfg = ServiceWorkloadConfig::new(64, 1, 700, 29);
+            cfg.window = window;
+            let vector = run_vector_service_workload(&cfg);
+            for backend in [ServiceBackend::Striped, ServiceBackend::SharedNothing] {
+                cfg.backend = backend;
+                let scalar = run_service_workload(&cfg);
+                assert!(!cfg.is_vector(), "scalar triple must not route to vector");
+                assert_eq!(
+                    vector.max_load,
+                    scalar.max_load,
+                    "{} window={window}",
+                    backend.name()
+                );
+                assert_eq!(vector.live_balls, scalar.live_balls);
+                assert_eq!(vector.balls_released, scalar.balls_released);
+                assert_eq!(vector.nu1, scalar.nu1, "{}", backend.name());
+                assert!((vector.gap - scalar.gap).abs() < 1e-12);
+                assert!(vector.conserved && scalar.conserved);
+            }
+            assert_eq!(vector.dim_gaps.len(), 1);
+            assert!((vector.dim_gaps[0] - vector.gap).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vector_workload_places_releases_and_conserves() {
+        let mut cfg = ServiceWorkloadConfig::new(64, 4, 400, 17);
+        cfg.dims = 3;
+        cfg.objective = PlacementObjective::MaxNorm;
+        cfg.demand = DemandDistribution::anti_correlated(4).unwrap();
+        cfg.window = 8;
+        assert!(cfg.is_vector());
+        // The scalar frontend routes vector configs to the vector driver.
+        let report = run_service_workload(&cfg);
+        assert_eq!(report.placements, 1600);
+        assert!(report.balls_released > 0);
+        assert!(report.live_balls <= (4 * 8 * 2) as u64);
+        assert!(report.conserved);
+        assert_eq!(report.dim_gaps.len(), 3);
+        assert!(report.dim_gaps.iter().all(|g| g.is_finite() && *g >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "striped backend")]
+    fn vector_workload_rejects_shared_nothing() {
+        let mut cfg = ServiceWorkloadConfig::new(16, 1, 1, 0);
+        cfg.dims = 2;
+        cfg.objective = PlacementObjective::MaxNorm;
+        cfg.backend = ServiceBackend::SharedNothing;
+        let _ = run_service_workload(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "store=exact")]
+    fn vector_workload_rejects_packed_stores() {
+        let mut cfg = ServiceWorkloadConfig::new(16, 1, 1, 0);
+        cfg.dims = 2;
+        cfg.objective = PlacementObjective::MaxNorm;
+        cfg.store = StoreKind::Packed4;
+        let _ = run_service_workload(&cfg);
     }
 
     #[test]

@@ -133,6 +133,9 @@ fn closed_loop_single_client_matches_across_backends() {
             backend: ServiceBackend::Striped,
             snapshot_refresh: 1,
             store: StoreKind::Exact,
+            dims: 1,
+            objective: kdchoice_core::PlacementObjective::Scalar,
+            demand: kdchoice_prng::demand::DemandDistribution::Unit,
             seed: 0xE0_3333,
         };
         let striped = run_service_workload(&config);
@@ -167,6 +170,9 @@ fn owned_engine_8_thread_stress_conserves_and_keeps_invariants() {
         backend: ServiceBackend::SharedNothing,
         snapshot_refresh: 16,
         store: StoreKind::Exact,
+        dims: 1,
+        objective: kdchoice_core::PlacementObjective::Scalar,
+        demand: kdchoice_prng::demand::DemandDistribution::Unit,
         seed: 0xE0_4444,
     };
     let report = run_service_workload(&config);

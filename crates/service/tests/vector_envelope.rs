@@ -1,0 +1,116 @@
+//! Statistical regression for the multidimensional extension: the
+//! per-dimension gaps of a static (k,d)-choice fill over vector demands
+//! stay inside the demand-scaled Theorem 2 envelope
+//! (`kdchoice_theory::bounds::vector_gap_band`) and scale like
+//! `ln ln n`, not `ln n` — the vector analogue of
+//! `open_loop_regression.rs`.
+//!
+//! Every run here is seeded and single-threaded, so these are golden
+//! regressions, not flaky distributional tests: a kernel change that
+//! quietly worsens per-dimension balance fails loudly.
+
+use kdchoice_core::{run_once_vector, PlacementObjective, ProbeDistribution, RunConfig};
+use kdchoice_prng::demand::DemandDistribution;
+use kdchoice_service::{run_vector_service_workload, ServiceBackend, ServiceWorkloadConfig};
+use kdchoice_theory::bounds::vector_gap_band;
+
+const DEMAND_MAX: u32 = 4;
+
+/// One deterministic heavy fill: `4n` balls of uniform `1..=4` demand
+/// into `n` bins under (1,2)-choice with the max-norm objective.
+/// Returns the largest per-dimension gap.
+fn static_max_dim_gap(n: usize, dims: usize, seed: u64) -> f64 {
+    let demand = DemandDistribution::uniform(DEMAND_MAX).unwrap();
+    let config = RunConfig::new(n, seed).with_balls(4 * n as u64);
+    let (result, store) = run_once_vector(
+        1,
+        2,
+        dims,
+        &PlacementObjective::MaxNorm,
+        &demand,
+        &ProbeDistribution::Uniform,
+        None,
+        &config,
+    );
+    assert_eq!(result.balls_thrown, 4 * n as u64);
+    assert!(store.check_invariants(), "n={n} dims={dims}");
+    store.dim_gaps().iter().cloned().fold(0.0f64, f64::max)
+}
+
+#[test]
+fn per_dim_gaps_stay_inside_demand_scaled_theorem2_envelope() {
+    for dims in [2usize, 4] {
+        let mut gaps = Vec::new();
+        for (n, seed) in [(1 << 10, 0x1EC0u64), (1 << 12, 0x1EC1), (1 << 14, 0x1EC2)] {
+            let gap = static_max_dim_gap(n, dims, seed);
+            // Theorem 2 at (k=1, d=2) scaled by the largest single-ball
+            // demand Δ=4; slack 2Δ stands in for the O(Δ) additive term.
+            let envelope = vector_gap_band(1, 2, n, DEMAND_MAX, 2.0 * f64::from(DEMAND_MAX));
+            assert!(
+                gap <= envelope.hi,
+                "dims={dims} n={n}: max per-dim gap {gap:.2} above envelope {:.2}",
+                envelope.hi
+            );
+            assert!(
+                gap > 0.0,
+                "dims={dims} n={n}: fill cannot be perfectly flat"
+            );
+            gaps.push((n, gap));
+        }
+        // O(log log n) growth: quadrupling n twice moves lnln n by ~0.3;
+        // reject anything resembling ln n growth (~+2.8 per 4x in the
+        // single-choice world, scaled by Δ=4 here).
+        let growth = gaps[2].1 - gaps[0].1;
+        assert!(
+            growth.abs() < 1.5 * f64::from(DEMAND_MAX),
+            "dims={dims}: max per-dim gap grew by {growth:.2} from n=2^10 to n=2^14 — not loglog-flat: {gaps:?}"
+        );
+    }
+}
+
+/// Golden band for one pinned cell (dims=2, n=2^12): the run is
+/// deterministic, so drift outside the band means the vector kernel —
+/// not the RNG — changed behavior.
+#[test]
+fn static_vector_gap_golden_band() {
+    let gap = static_max_dim_gap(1 << 12, 2, 0x1EC1);
+    assert!(
+        (1.0..=12.0).contains(&gap),
+        "pinned max per-dim gap {gap:.3} left the golden band [1.0, 12.0]"
+    );
+}
+
+/// The same envelope holds for the dynamic path: a windowed vector
+/// service workload (place/release churn) keeps every per-dimension gap
+/// below the demand-scaled envelope at its final state.
+#[test]
+fn service_churn_per_dim_gaps_stay_inside_envelope() {
+    let n = 1 << 10;
+    let config = ServiceWorkloadConfig {
+        bins: n,
+        k: 1,
+        d: 2,
+        shards: 8,
+        threads: 1,
+        requests_per_thread: 8 * n,
+        window: 2 * n,
+        backend: ServiceBackend::Striped,
+        snapshot_refresh: 1,
+        store: kdchoice_core::StoreKind::Exact,
+        dims: 2,
+        objective: kdchoice_core::PlacementObjective::MaxNorm,
+        demand: DemandDistribution::Uniform { max: DEMAND_MAX },
+        seed: 0x1EC4,
+    };
+    let report = run_vector_service_workload(&config);
+    assert!(report.conserved);
+    assert_eq!(report.dim_gaps.len(), 2);
+    let envelope = vector_gap_band(1, 2, n, DEMAND_MAX, 2.0 * f64::from(DEMAND_MAX));
+    for (j, &gap) in report.dim_gaps.iter().enumerate() {
+        assert!(
+            gap <= envelope.hi,
+            "dim {j}: churn gap {gap:.2} above envelope {:.2}",
+            envelope.hi
+        );
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`ci`] — Wilson score intervals and bootstrap confidence intervals.
 //! * [`order`] — majorization and domination checks on load vectors
 //!   (Definition 2 of the paper).
+//! * [`vector`] — per-dimension gap observables for multidimensional
+//!   (vector) loads.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +26,7 @@ pub mod quantile;
 pub mod special;
 pub mod summary;
 pub mod tests;
+pub mod vector;
 
 pub use histogram::Histogram;
 pub use summary::Summary;

@@ -1,0 +1,189 @@
+//! Per-dimension observables for multidimensional (vector) loads.
+//!
+//! The Narang–Dutta extension gives every bin a D-dimensional load
+//! vector; the empirical regressions ask Theorem 2's question *per
+//! dimension*: how far is each dimension's maximum above its average?
+//! These helpers compute that from a flat strided load table
+//! (`loads[bin * dims + j]`, the layout of `kdchoice-core`'s
+//! `VectorLoad`) and accumulate steady-state means of sampled gap
+//! vectors for the scheduler's warm-window observables.
+
+/// The per-dimension maxima of a strided load table.
+///
+/// # Panics
+///
+/// Panics if `dims == 0` or `strided.len()` is not a multiple of `dims`.
+pub fn per_dim_max(strided: &[u32], dims: usize) -> Vec<u32> {
+    assert!(dims > 0, "need at least one dimension");
+    assert!(
+        strided.len().is_multiple_of(dims),
+        "strided table length must be a multiple of dims"
+    );
+    let mut max = vec![0u32; dims];
+    for bin in strided.chunks_exact(dims) {
+        for (m, &l) in max.iter_mut().zip(bin) {
+            *m = (*m).max(l);
+        }
+    }
+    max
+}
+
+/// The per-dimension means of a strided load table (0.0 on an empty
+/// table).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`per_dim_max`].
+pub fn per_dim_mean(strided: &[u32], dims: usize) -> Vec<f64> {
+    assert!(dims > 0, "need at least one dimension");
+    assert!(
+        strided.len().is_multiple_of(dims),
+        "strided table length must be a multiple of dims"
+    );
+    let n = strided.len() / dims;
+    let mut sum = vec![0u64; dims];
+    for bin in strided.chunks_exact(dims) {
+        for (s, &l) in sum.iter_mut().zip(bin) {
+            *s += u64::from(l);
+        }
+    }
+    sum.into_iter()
+        .map(|s| if n == 0 { 0.0 } else { s as f64 / n as f64 })
+        .collect()
+}
+
+/// The per-dimension gaps `max_j − mean_j` — Theorem 2's observable
+/// applied to each dimension of a strided load table.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`per_dim_max`].
+pub fn per_dim_gaps(strided: &[u32], dims: usize) -> Vec<f64> {
+    let max = per_dim_max(strided, dims);
+    let mean = per_dim_mean(strided, dims);
+    max.into_iter()
+        .zip(mean)
+        .map(|(m, a)| f64::from(m) - a)
+        .collect()
+}
+
+/// A streaming accumulator of per-dimension gap vectors: feed one gap
+/// vector per sampling instant, read the steady-state mean per
+/// dimension — the scheduler's post-warmup observable.
+///
+/// ```
+/// use kdchoice_stats::vector::DimGapAccumulator;
+///
+/// let mut acc = DimGapAccumulator::new(2);
+/// acc.record(&[1.0, 3.0]);
+/// acc.record(&[3.0, 5.0]);
+/// assert_eq!(acc.means(), vec![2.0, 4.0]);
+/// assert_eq!(acc.count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimGapAccumulator {
+    sums: Vec<f64>,
+    count: u64,
+}
+
+impl DimGapAccumulator {
+    /// An empty accumulator over `dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "need at least one dimension");
+        Self {
+            sums: vec![0.0; dims],
+            count: 0,
+        }
+    }
+
+    /// Records one sampled gap vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gaps.len()` differs from the accumulator's dims.
+    pub fn record(&mut self, gaps: &[f64]) {
+        assert_eq!(gaps.len(), self.sums.len(), "gap vector/dims mismatch");
+        for (s, &g) in self.sums.iter_mut().zip(gaps) {
+            *s += g;
+        }
+        self.count += 1;
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The per-dimension mean gaps (all 0.0 before the first sample).
+    pub fn means(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.sums.len()];
+        }
+        self.sums.iter().map(|s| s / self.count as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod vector_tests {
+    use super::*;
+
+    #[test]
+    fn per_dim_observables_from_strided_table() {
+        // 3 bins × 2 dims: (3,1), (1,2), (2,0).
+        let strided = [3u32, 1, 1, 2, 2, 0];
+        assert_eq!(per_dim_max(&strided, 2), vec![3, 2]);
+        let mean = per_dim_mean(&strided, 2);
+        assert!((mean[0] - 2.0).abs() < 1e-12);
+        assert!((mean[1] - 1.0).abs() < 1e-12);
+        let gaps = per_dim_gaps(&strided, 2);
+        assert!((gaps[0] - 1.0).abs() < 1e-12);
+        assert!((gaps[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dims_1_reduces_to_scalar_gap() {
+        let loads = [5u32, 1, 0];
+        let gaps = per_dim_gaps(&loads, 1);
+        assert_eq!(gaps.len(), 1);
+        assert!((gaps[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_is_all_zero() {
+        assert_eq!(per_dim_max(&[], 3), vec![0, 0, 0]);
+        assert_eq!(per_dim_mean(&[], 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(per_dim_gaps(&[], 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dims")]
+    fn ragged_table_rejected() {
+        let _ = per_dim_gaps(&[1, 2, 3], 2);
+    }
+
+    #[test]
+    fn accumulator_means_converge() {
+        let mut acc = DimGapAccumulator::new(3);
+        assert_eq!(acc.means(), vec![0.0, 0.0, 0.0]);
+        for i in 0..10 {
+            let x = i as f64;
+            acc.record(&[x, 2.0 * x, 0.0]);
+        }
+        let means = acc.means();
+        assert!((means[0] - 4.5).abs() < 1e-12);
+        assert!((means[1] - 9.0).abs() < 1e-12);
+        assert_eq!(means[2], 0.0);
+        assert_eq!(acc.count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap vector/dims mismatch")]
+    fn accumulator_rejects_ragged_samples() {
+        let mut acc = DimGapAccumulator::new(2);
+        acc.record(&[1.0]);
+    }
+}

@@ -156,6 +156,40 @@ pub fn theorem2_gap_band(k: usize, d: usize, n: usize, slack: f64) -> Band {
     }
 }
 
+/// The Theorem 2 gap envelope extended to D-dimensional demand vectors
+/// with per-ball per-dimension demand in `1..=max_demand`.
+///
+/// Theorem 2 bounds the gap for unit balls; with bounded demands each
+/// committed ball moves a dimension's load by at most `max_demand`, so
+/// the scalar upper edge scales by `max_demand` while the lower edge
+/// degenerates to 0 (a dimension a ball never stresses can sit exactly
+/// at its average). This is the empirical envelope the vector-load
+/// regressions assert per dimension; it is a scaling heuristic around
+/// the paper's scalar theorem, not a claim the paper proves.
+///
+/// # Panics
+///
+/// Panics unless `d ≥ 2k`, `k ≥ 1`, and `max_demand ≥ 1`.
+///
+/// ```
+/// use kdchoice_theory::bounds::{theorem2_gap_band, vector_gap_band};
+///
+/// let scalar = theorem2_gap_band(2, 4, 1 << 16, 2.0);
+/// let vector = vector_gap_band(2, 4, 1 << 16, 4, 2.0);
+/// assert_eq!(vector.lo, 0.0);
+/// assert!(vector.hi > scalar.hi);
+/// ```
+pub fn vector_gap_band(k: usize, d: usize, n: usize, max_demand: u32, slack: f64) -> Band {
+    assert!(k >= 1 && d >= 2 * k, "Theorem 2 requires d >= 2k");
+    assert!(max_demand >= 1, "need max_demand >= 1");
+    let lnln = (n as f64).ln().ln().max(0.0);
+    let floor_ratio = (d / k) as f64;
+    Band {
+        lo: 0.0,
+        hi: f64::from(max_demand) * lnln / floor_ratio.ln() + slack,
+    }
+}
+
 /// The classical single-choice maximum load `(1 + o(1)) · ln n / lnln n`
 /// (Raab & Steger), evaluated without the o(1).
 ///
@@ -300,6 +334,36 @@ mod tests {
     #[should_panic(expected = "d >= 2k")]
     fn theorem2_rejects_small_d() {
         let _ = theorem2_gap_band(3, 5, N, 1.0);
+    }
+
+    #[test]
+    fn vector_band_scales_scalar_upper_edge() {
+        let scalar = theorem2_gap_band(2, 4, N, 1.5);
+        for max_demand in [1u32, 2, 4, 8] {
+            let v = vector_gap_band(2, 4, N, max_demand, 1.5);
+            assert_eq!(v.lo, 0.0);
+            let want = f64::from(max_demand) * (scalar.hi - 1.5) + 1.5;
+            assert!((v.hi - want).abs() < 1e-12, "max_demand={max_demand}");
+        }
+    }
+
+    #[test]
+    fn vector_band_at_unit_demand_contains_scalar_band() {
+        let scalar = theorem2_gap_band(1, 2, N, 2.0);
+        let v = vector_gap_band(1, 2, N, 1, 2.0);
+        assert!(v.lo <= scalar.lo && (v.hi - scalar.hi).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2k")]
+    fn vector_band_rejects_small_d() {
+        let _ = vector_gap_band(3, 5, N, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_demand >= 1")]
+    fn vector_band_rejects_zero_demand() {
+        let _ = vector_gap_band(1, 2, N, 0, 1.0);
     }
 
     #[test]
