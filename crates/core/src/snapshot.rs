@@ -142,6 +142,48 @@ impl SharedLoadSnapshot {
     pub fn set(&self, bin: usize, load: u32) {
         self.loads[bin].store(load, Ordering::Relaxed);
     }
+
+    /// Atomically replaces `bin`'s load with `new` iff it still equals
+    /// `current` (`AcqRel` on success, `Acquire` on failure).
+    ///
+    /// This is the commit point of the lock-free CAS-bins backend: a
+    /// placement that read `current` during its decide phase commits by
+    /// swapping in `current + multiplicity`, and a failure returns the
+    /// interfering value (inside `Err`) so the caller can re-probe. The
+    /// success ordering is `AcqRel` so a thread that later observes the
+    /// new count also observes everything the committer did before it.
+    #[inline]
+    pub fn compare_exchange(&self, bin: usize, current: u32, new: u32) -> Result<u32, u32> {
+        self.loads[bin].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Atomically adds `delta` to `bin`'s load (`AcqRel`), returning the
+    /// previous value. The lock-free backend's bounded-retry fallback:
+    /// after too many lost races it commits unconditionally at whatever
+    /// the current count is.
+    #[inline]
+    pub fn fetch_add(&self, bin: usize, delta: u32) -> u32 {
+        self.loads[bin].fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Atomically subtracts `delta` from `bin`'s load (`AcqRel`),
+    /// returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous value was less than `delta` — a counter
+    /// must never go negative, so an underflow here means a double
+    /// release or a rollback of balls that were never committed, and it
+    /// is reported instead of silently wrapping.
+    #[inline]
+    pub fn fetch_sub(&self, bin: usize, delta: u32) -> u32 {
+        let prev = self.loads[bin].fetch_sub(delta, Ordering::AcqRel);
+        assert!(
+            prev >= delta,
+            "bin {bin} load underflow: subtracted {delta} from {prev}"
+        );
+        prev
+    }
 }
 
 impl LoadView for SharedLoadSnapshot {
@@ -312,5 +354,32 @@ mod tests {
         let state = LoadVector::new(2);
         let mut rng = Xoshiro256PlusPlus::from_u64(0);
         decide_k_least(&state, &[0], 2, &mut rng, &mut Vec::new(), &mut Vec::new());
+    }
+
+    #[test]
+    fn compare_exchange_commits_only_on_the_expected_value() {
+        let snapshot = SharedLoadSnapshot::new(2);
+        snapshot.set(0, 3);
+        assert_eq!(snapshot.compare_exchange(0, 3, 5), Ok(3));
+        assert_eq!(snapshot.get(0), 5);
+        // A stale expectation loses the race and reports the interferer.
+        assert_eq!(snapshot.compare_exchange(0, 3, 9), Err(5));
+        assert_eq!(snapshot.get(0), 5);
+    }
+
+    #[test]
+    fn fetch_add_and_sub_return_previous_values() {
+        let snapshot = SharedLoadSnapshot::new(1);
+        assert_eq!(snapshot.fetch_add(0, 4), 0);
+        assert_eq!(snapshot.fetch_sub(0, 3), 4);
+        assert_eq!(snapshot.get(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn fetch_sub_panics_on_underflow() {
+        let snapshot = SharedLoadSnapshot::new(1);
+        snapshot.set(0, 1);
+        snapshot.fetch_sub(0, 2);
     }
 }

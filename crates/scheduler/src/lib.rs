@@ -39,7 +39,10 @@
 //! vectors shape only the placement decision and the per-dimension gap
 //! observables. At `dims = 1` with the scalar objective and unit demand
 //! the vector simulation is bit-identical to [`simulate`] (locked by
-//! test). Late binding has no vector kernel and is rejected.
+//! test). Late binding is event-driven rather than one-shot: a
+//! reservation carries its job's demand vector from enqueue to claim or
+//! cancellation, so probed loads include reserved demand exactly as the
+//! scalar path's queue lengths include reservations.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -462,12 +465,17 @@ pub fn simulate_on<B: BinStore>(
 /// **bit-identical** to [`simulate`] — same responses, probe counts,
 /// queue peaks, and gap — locked by test.
 ///
+/// [`PlacementStrategy::LateBinding`] is event-driven here exactly as
+/// in [`simulate`]: reservations enqueue the job's demand vector at
+/// probed workers (so probed loads include reserved demand, matching
+/// the scalar path where queue lengths include reservations) and a
+/// cancelled reservation subtracts the same vector it added.
+///
 /// # Panics
 ///
-/// Panics under [`simulate`]'s conditions, for
-/// [`PlacementStrategy::LateBinding`] (no vector kernel), if the
-/// objective does not validate against `profile.dims`, or if a capacity
-/// map's length differs from `config.workers`.
+/// Panics under [`simulate`]'s conditions, if the objective does not
+/// validate against `profile.dims`, or if a capacity map's length
+/// differs from `config.workers`.
 pub fn simulate_vector(
     config: &ClusterConfig,
     strategy: PlacementStrategy,
@@ -482,10 +490,6 @@ pub fn simulate_vector(
         config.utilization()
     );
     strategy.validate(config.tasks_per_job, config.workers);
-    assert!(
-        !matches!(strategy, PlacementStrategy::LateBinding { .. }),
-        "late binding has no vector kernel"
-    );
     let dims = profile.dims;
     assert!(
         profile.objective.validate(dims),
@@ -520,8 +524,11 @@ pub fn simulate_vector(
     let warmup = ((config.jobs as f64) * config.warmup_fraction).floor() as usize;
     let mut arrivals: Vec<f64> = vec![0.0; config.jobs];
     let mut remaining: Vec<u32> = vec![0; config.jobs];
+    // Tasks launched so far per job (only consulted by late binding).
+    let mut launched: Vec<u32> = vec![0; config.jobs];
     // Each job's demand vector, kept until its last task completes so
-    // removals subtract exactly what was added.
+    // removals (including cancelled reservations) subtract exactly what
+    // was added.
     let mut job_demands: Vec<u32> = vec![0; config.jobs * dims];
     let mut demand_buf: Vec<u32> = vec![0; dims];
     let mut responses: Vec<f64> = Vec::with_capacity(config.jobs - warmup);
@@ -544,32 +551,69 @@ pub fn simulate_vector(
                 let job_idx = job as usize;
                 arrivals[job_idx] = t;
                 remaining[job_idx] = k as u32;
-                if jobs_since_refresh == 0 {
-                    snapshot.copy_from_slice(store.loads_strided());
-                }
-                jobs_since_refresh = (jobs_since_refresh + 1) % config.scheduler_batch;
                 profile.demand.sample_into(&mut rng, dims, &mut demand_buf);
                 job_demands[job_idx * dims..(job_idx + 1) * dims].copy_from_slice(&demand_buf);
-                let (chosen, probes) = strategy.choose_workers_vector(
-                    &snapshot,
-                    dims,
-                    caps_strided.as_deref(),
-                    &demand_buf,
-                    &profile.objective,
-                    k,
-                    &mut rng,
-                );
-                probe_messages += probes;
-                debug_assert_eq!(chosen.len(), k);
-                for &w in &chosen {
-                    let service = config.service.sample(&mut rng);
-                    let worker = &mut workers[w];
-                    max_queue_len = max_queue_len.max(store.add(w, &demand_buf));
-                    if worker.running.is_none() {
-                        worker.running = Some(job);
-                        queue.push(t + service, Event::TaskComplete(w as u32));
-                    } else {
-                        worker.pending.push_back(Entry::Task(job, service));
+                if let PlacementStrategy::LateBinding { probes_per_task } = strategy {
+                    // Event-driven, as in `simulate`: reservations carry
+                    // the job's demand vector so probed loads include
+                    // reserved demand; idle workers claim immediately.
+                    let probes = probes_per_task * k;
+                    probe_messages += probes as u64;
+                    for _ in 0..probes {
+                        let w = rng.gen_range(0..config.workers);
+                        let worker = &mut workers[w];
+                        if worker.running.is_none() && launched[job_idx] < k as u32 {
+                            launched[job_idx] += 1;
+                            let service = config.service.sample(&mut rng);
+                            worker.running = Some(job);
+                            max_queue_len = max_queue_len.max(store.add(w, &demand_buf));
+                            queue.push(t + service, Event::TaskComplete(w as u32));
+                        } else if launched[job_idx] < k as u32 {
+                            worker.pending.push_back(Entry::Reservation(job));
+                            max_queue_len = max_queue_len.max(store.add(w, &demand_buf));
+                        }
+                    }
+                    // The same safety net as the scalar path: bind any
+                    // still-homeless tasks to random workers.
+                    while launched[job_idx] < k as u32 {
+                        let w = rng.gen_range(0..config.workers);
+                        launched[job_idx] += 1;
+                        let service = config.service.sample(&mut rng);
+                        let worker = &mut workers[w];
+                        max_queue_len = max_queue_len.max(store.add(w, &demand_buf));
+                        if worker.running.is_none() {
+                            worker.running = Some(job);
+                            queue.push(t + service, Event::TaskComplete(w as u32));
+                        } else {
+                            worker.pending.push_back(Entry::Task(job, service));
+                        }
+                    }
+                } else {
+                    if jobs_since_refresh == 0 {
+                        snapshot.copy_from_slice(store.loads_strided());
+                    }
+                    jobs_since_refresh = (jobs_since_refresh + 1) % config.scheduler_batch;
+                    let (chosen, probes) = strategy.choose_workers_vector(
+                        &snapshot,
+                        dims,
+                        caps_strided.as_deref(),
+                        &demand_buf,
+                        &profile.objective,
+                        k,
+                        &mut rng,
+                    );
+                    probe_messages += probes;
+                    debug_assert_eq!(chosen.len(), k);
+                    for &w in &chosen {
+                        let service = config.service.sample(&mut rng);
+                        let worker = &mut workers[w];
+                        max_queue_len = max_queue_len.max(store.add(w, &demand_buf));
+                        if worker.running.is_none() {
+                            worker.running = Some(job);
+                            queue.push(t + service, Event::TaskComplete(w as u32));
+                        } else {
+                            worker.pending.push_back(Entry::Task(job, service));
+                        }
                     }
                 }
                 for (j, peak) in peak_dim_gaps.iter_mut().enumerate() {
@@ -592,11 +636,31 @@ pub fn simulate_vector(
                 store.remove(widx, &job_demands[fj * dims..(fj + 1) * dims]);
                 outstanding_now -= 1;
                 outstanding.update(t, outstanding_now as f64);
-                // No reservations in vector mode: the next entry is
-                // always a concrete task.
-                if let Some(Entry::Task(next_job, service)) = workers[widx].pending.pop_front() {
-                    workers[widx].running = Some(next_job);
-                    queue.push(t + service, Event::TaskComplete(w));
+                // Pull the next runnable entry: concrete tasks run as-is;
+                // reservations launch a task if their job still needs one
+                // (the reserved demand becomes the task's demand), and
+                // cancel — subtracting their demand — otherwise.
+                while let Some(entry) = workers[widx].pending.pop_front() {
+                    match entry {
+                        Entry::Task(next_job, service) => {
+                            workers[widx].running = Some(next_job);
+                            queue.push(t + service, Event::TaskComplete(w));
+                            break;
+                        }
+                        Entry::Reservation(res_job) => {
+                            let rj = res_job as usize;
+                            if launched[rj] < k as u32 {
+                                launched[rj] += 1;
+                                let service = config.service.sample(&mut rng);
+                                workers[widx].running = Some(res_job);
+                                queue.push(t + service, Event::TaskComplete(w));
+                                break;
+                            }
+                            // Cancelled reservation: drop its demand and
+                            // keep looking.
+                            store.remove(widx, &job_demands[rj * dims..(rj + 1) * dims]);
+                        }
+                    }
                 }
                 remaining[fj] -= 1;
                 if remaining[fj] == 0 && fj >= warmup {
@@ -834,8 +898,9 @@ mod tests {
     #[test]
     fn vector_simulation_at_dims_1_is_bit_identical_to_scalar() {
         // The tentpole lock at the simulator level: the degenerate
-        // profile reproduces `simulate` bit for bit, for every one-shot
-        // strategy — same RNG draws, same winners, same report.
+        // profile reproduces `simulate` bit for bit, for every strategy
+        // — including event-driven late binding — same RNG draws, same
+        // winners, same report.
         let cfg = base_config(20);
         let profile = VectorJobProfile::scalar();
         assert!(!profile.is_vector());
@@ -844,6 +909,7 @@ mod tests {
             PlacementStrategy::PerTaskDChoice { d: 2 },
             PlacementStrategy::BatchSampling { probes_per_task: 2 },
             PlacementStrategy::KdChoice { d: 5 },
+            PlacementStrategy::LateBinding { probes_per_task: 2 },
         ] {
             let scalar = simulate(&cfg, strategy);
             let vector = simulate_vector(&cfg, strategy, &profile);
@@ -904,20 +970,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no vector kernel")]
-    fn vector_mode_rejects_late_binding() {
+    fn vector_late_binding_completes_jobs_and_conserves_demand() {
+        // The event-driven vector path: reservations carry demand, claims
+        // convert it, cancellations subtract it. Every job completes, the
+        // per-dimension gaps are populated, and the run is deterministic.
+        // (The end-of-run debug asserts inside `simulate_vector` check
+        // that no cancelled reservation leaked demand.)
         let cfg = base_config(23);
         let profile = VectorJobProfile {
-            dims: 2,
+            dims: 3,
             objective: PlacementObjective::MaxNorm,
-            demand: DemandDistribution::Unit,
+            demand: DemandDistribution::parse("anti", 4).unwrap(),
             worker_capacities: None,
         };
-        let _ = simulate_vector(
-            &cfg,
-            PlacementStrategy::LateBinding { probes_per_task: 2 },
-            &profile,
-        );
+        let strategy = PlacementStrategy::LateBinding { probes_per_task: 2 };
+        let r = simulate_vector(&cfg, strategy, &profile);
+        assert_eq!(r.jobs_measured, 400 - 40);
+        assert_eq!(r.probe_messages, 400 * 2 * 4);
+        assert_eq!(r.dim_gaps.len(), 3);
+        assert!(r.dim_gaps.iter().all(|&g| g > 0.0));
+        let again = simulate_vector(&cfg, strategy, &profile);
+        assert_eq!(r.response.mean(), again.response.mean());
+        assert_eq!(r.dim_gaps, again.dim_gaps);
     }
 
     #[test]

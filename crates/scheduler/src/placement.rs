@@ -194,9 +194,10 @@ impl PlacementStrategy {
     ///
     /// # Panics
     ///
-    /// Panics for [`PlacementStrategy::LateBinding`] (no one-shot worker
-    /// choice, and no vector reservation semantics), or if the strided
-    /// slices are not multiples of `dims`.
+    /// Panics if the strided slices are not multiples of `dims`.
+    /// [`PlacementStrategy::LateBinding`] is unreachable here exactly as
+    /// in the scalar method: it makes no one-shot worker choice — the
+    /// simulator drives its reservations event by event.
     #[allow(clippy::too_many_arguments)]
     pub fn choose_workers_vector<R: RngCore + ?Sized>(
         &self,
@@ -271,7 +272,7 @@ impl PlacementStrategy {
                 )
             }
             PlacementStrategy::LateBinding { .. } => {
-                panic!("late binding has no vector kernel")
+                unreachable!("late binding is event-driven; handled by the simulator")
             }
         }
     }
@@ -595,8 +596,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no vector kernel")]
-    fn late_binding_has_no_vector_kernel() {
+    #[should_panic(expected = "event-driven")]
+    fn late_binding_makes_no_one_shot_vector_choice() {
         let mut rng = Xoshiro256PlusPlus::from_u64(11);
         let _ = PlacementStrategy::LateBinding { probes_per_task: 2 }.choose_workers_vector(
             &[0, 0],

@@ -211,12 +211,6 @@ impl Scenario for SchedulerScenario {
             demand,
             worker_capacities,
         };
-        if profile.is_vector() && matches!(strategy, PlacementStrategy::LateBinding { .. }) {
-            return Err(params.bad_value(
-                "strategy",
-                "random | per-task | batch | kd (late binding has no vector kernel)",
-            ));
-        }
         let seed = params.get_u64("seed", 0)?;
         let cluster = ClusterConfig::new(workers, k, jobs, seed)
             .with_service(service)
@@ -324,7 +318,6 @@ mod tests {
             "demand=psychic",
             "demand_max=0",
             "caps=psychic",
-            "dims=2 objective=max_norm strategy=late",
         ] {
             let grid = GridSpec::parse_str(bad).unwrap();
             assert!(
@@ -332,6 +325,19 @@ mod tests {
                 "{bad} should be rejected"
             );
         }
+
+        // Late binding composes with the vector axes now that it has an
+        // event-driven vector path.
+        let late = GridSpec::parse_str(
+            "workers=16 k=2 jobs=100 rho=0.5 dims=2 objective=max_norm strategy=late",
+        )
+        .unwrap();
+        let configs = configs_from_grid(&SchedulerScenario, &late, 0).unwrap();
+        assert!(configs[0].profile.is_vector());
+        assert_eq!(
+            configs[0].strategy,
+            PlacementStrategy::LateBinding { probes_per_task: 2 }
+        );
     }
 
     /// The smoke grid's vector rows end to end: parse, run, and render

@@ -68,14 +68,20 @@ pub enum ServiceBackend {
     /// The shared-nothing [`OwnedShardEngine`]: thread-per-shard
     /// ownership, SPSC rings, relaxed snapshot reads, no mutexes.
     SharedNothing,
+    /// The lock-free [`crate::AtomicStore`]: one CAS-able `AtomicU32`
+    /// per bin, optimistic read–decide–CAS commits with bounded retries,
+    /// racy probe reads, no mutexes and no ownership partition.
+    LockFree,
 }
 
 impl ServiceBackend {
-    /// The report/axis label (`"striped"` / `"shared_nothing"`).
+    /// The report/axis label (`"striped"` / `"shared_nothing"` /
+    /// `"lockfree"`).
     pub fn name(&self) -> &'static str {
         match self {
             ServiceBackend::Striped => "striped",
             ServiceBackend::SharedNothing => "shared_nothing",
+            ServiceBackend::LockFree => "lockfree",
         }
     }
 
@@ -84,6 +90,7 @@ impl ServiceBackend {
         match s {
             "striped" => Some(ServiceBackend::Striped),
             "shared_nothing" => Some(ServiceBackend::SharedNothing),
+            "lockfree" => Some(ServiceBackend::LockFree),
             _ => None,
         }
     }
@@ -858,10 +865,15 @@ mod tests {
 
     #[test]
     fn backend_names_round_trip() {
-        for b in [ServiceBackend::Striped, ServiceBackend::SharedNothing] {
+        for b in [
+            ServiceBackend::Striped,
+            ServiceBackend::SharedNothing,
+            ServiceBackend::LockFree,
+        ] {
             assert_eq!(ServiceBackend::parse(b.name()), Some(b));
         }
         assert_eq!(ServiceBackend::parse("mutex"), None);
+        assert_eq!(ServiceBackend::parse("lock_free"), None);
     }
 
     #[test]

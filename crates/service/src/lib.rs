@@ -42,6 +42,17 @@
 //!   staleness-vs-gap envelope is pinned by
 //!   `tests/snapshot_staleness.rs`.
 //!
+//! * **Lock-free CAS-bins backend** — [`AtomicStore`] drops both locks
+//!   *and* ownership: one CAS-able atomic counter per bin is the ground
+//!   truth, placements commit by optimistic read–decide–CAS with bounded
+//!   retries (then an unconditional fallback), and releases are guarded
+//!   CAS decrements that can never drive a counter negative. Selected as
+//!   [`ServiceBackend::LockFree`] on the same configs and scenarios. At
+//!   one thread no CAS can fail, so it is bit-identical to the striped
+//!   backend (locked by `tests/backend_equivalence.rs`); under racing,
+//!   conservation stays exact (`tests/lockfree_stress.rs`) and the gap
+//!   keeps the Theorem 2 envelope (`tests/lockfree_envelope.rs`).
+//!
 //! * **Heterogeneous serving** — every request path draws probes
 //!   through `kdchoice_core::ProbeDistribution` (uniform, weighted,
 //!   Zipf), and stores carry optional per-bin capacities
@@ -77,6 +88,7 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+mod lockfree;
 mod open_loop;
 mod pipeline;
 mod scenario;
@@ -85,6 +97,7 @@ mod sharded;
 pub mod traffic;
 
 pub use engine::{OwnedShardEngine, ServiceBackend, ShardState};
+pub use lockfree::{AtomicStore, PlaceScratch, StampedLoads, PLACE_RETRY_LIMIT};
 pub use open_loop::OpenLoopScenario;
 pub use pipeline::{
     churn_capacity, run_open_loop, OpenLoopConfig, OpenLoopReport, PipelineMode, TickSample,

@@ -117,7 +117,7 @@ impl Scenario for OpenLoopScenario {
             ),
             Axis::new(
                 "backend",
-                "concurrency backend: striped | shared_nothing (default striped)",
+                "concurrency backend: striped | shared_nothing | lockfree (default striped)",
             ),
             Axis::new(
                 "refresh",
@@ -185,7 +185,7 @@ impl Scenario for OpenLoopScenario {
             _ => return Err(params.bad_value("mode", "batched | per_request")),
         };
         let backend = ServiceBackend::parse(params.get_raw("backend").unwrap_or("striped"))
-            .ok_or_else(|| params.bad_value("backend", "striped | shared_nothing"))?;
+            .ok_or_else(|| params.bad_value("backend", "striped | shared_nothing | lockfree"))?;
         if backend == ServiceBackend::SharedNothing && threads > bins {
             return Err(params.bad_value("threads", "threads <= n for shared_nothing"));
         }
@@ -269,6 +269,12 @@ impl Scenario for OpenLoopScenario {
         if store == StoreKind::Sketch && capacities.is_some() {
             return Err(params.bad_value("store", "sketch does not support caps=two_tier"));
         }
+        if backend == ServiceBackend::LockFree && store == StoreKind::Sketch {
+            return Err(params.bad_value(
+                "store",
+                "exact | packed4 | packed8 for backend=lockfree (sketch counters cannot be CAS-validated)",
+            ));
+        }
         Ok(OpenLoopConfig {
             bins,
             k,
@@ -296,7 +302,7 @@ impl Scenario for OpenLoopScenario {
 
     fn smoke_grid(&self) -> GridSpec {
         GridSpec::parse_str(
-            "n=2^8 shards=4 threads=1,2 mode=batched,per_request backend=striped,shared_nothing store=exact,packed4 lambda=0.9,1.3 mu=16 ticks=160 arrivals=poisson,burst sample=8",
+            "n=2^8 shards=4 threads=1,2 mode=batched,per_request backend=striped,shared_nothing,lockfree store=exact,packed4 lambda=0.9,1.3 mu=16 ticks=160 arrivals=poisson,burst sample=8",
         )
         .expect("open_loop smoke grid")
     }
@@ -346,6 +352,7 @@ mod tests {
             "store=psychic",
             "store=sketch caps=two_tier",
             "backend=shared_nothing threads=4 n=2",
+            "backend=lockfree store=sketch",
         ] {
             let grid = GridSpec::parse_str(bad).unwrap();
             assert!(

@@ -112,13 +112,16 @@ pub struct OpenLoopConfig {
     /// observables change; placement still compares raw loads.
     pub capacities: Option<Vec<u32>>,
     /// Which concurrency backend drives the store: the lock-striped
-    /// `ShardedStore` or the shared-nothing `OwnedShardEngine`. The
-    /// striped default keeps every pre-seam config bit-identical.
+    /// `ShardedStore`, the shared-nothing `OwnedShardEngine`, or the
+    /// lock-free `AtomicStore`. The striped default keeps every pre-seam
+    /// config bit-identical.
     pub backend: ServiceBackend,
     /// Shared-nothing only: owners republish their load snapshot every
     /// this many applied mutations (`≥ 1`). `1` on a single thread makes
     /// the snapshot synchronous and the run bit-identical to the striped
-    /// backend; ignored by [`ServiceBackend::Striped`].
+    /// backend; ignored by [`ServiceBackend::Striped`] and by
+    /// [`ServiceBackend::LockFree`] (its counters *are* the truth —
+    /// nothing to republish).
     pub snapshot_refresh: usize,
     /// Which bin-store representation backs the run (exact loads,
     /// packed b-bit offsets, or a count-min sketch). The exact default
@@ -449,6 +452,7 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopReport {
     let outcome = match config.backend {
         ServiceBackend::Striped => drive_striped(config, &schedule),
         ServiceBackend::SharedNothing => crate::engine::drive_open_loop_owned(config, &schedule),
+        ServiceBackend::LockFree => crate::lockfree::drive_open_loop_lockfree(config, &schedule),
     };
     assemble_report(config, &schedule, outcome)
 }

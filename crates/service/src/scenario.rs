@@ -95,7 +95,7 @@ impl Scenario for ServiceScenario {
             ),
             Axis::new(
                 "backend",
-                "concurrency backend: striped | shared_nothing (default striped)",
+                "concurrency backend: striped | shared_nothing | lockfree (default striped)",
             ),
             Axis::new(
                 "refresh",
@@ -145,7 +145,7 @@ impl Scenario for ServiceScenario {
             return Err(params.bad_value("threads", "at least one client thread"));
         }
         let backend = ServiceBackend::parse(params.get_raw("backend").unwrap_or("striped"))
-            .ok_or_else(|| params.bad_value("backend", "striped | shared_nothing"))?;
+            .ok_or_else(|| params.bad_value("backend", "striped | shared_nothing | lockfree"))?;
         if backend == ServiceBackend::SharedNothing && threads > bins {
             return Err(params.bad_value("threads", "threads <= n for shared_nothing"));
         }
@@ -155,6 +155,12 @@ impl Scenario for ServiceScenario {
         }
         let store = StoreKind::parse(params.get_raw("store").unwrap_or("exact"))
             .ok_or_else(|| params.bad_value("store", "exact | packed4 | packed8 | sketch"))?;
+        if backend == ServiceBackend::LockFree && store == StoreKind::Sketch {
+            return Err(params.bad_value(
+                "store",
+                "exact | packed4 | packed8 for backend=lockfree (sketch counters cannot be CAS-validated)",
+            ));
+        }
         let dims = params.get_usize("dims", 1)?;
         if dims == 0 || dims > MAX_DIMS {
             return Err(params.bad_value("dims", &format!("1 <= dims <= {MAX_DIMS}")));
@@ -191,7 +197,7 @@ impl Scenario for ServiceScenario {
             if backend != ServiceBackend::Striped {
                 return Err(params.bad_value(
                     "backend",
-                    "striped (vector loads have no shared-nothing engine)",
+                    "striped (vector loads run only on the striped backend)",
                 ));
             }
             if store != StoreKind::Exact {
@@ -203,7 +209,7 @@ impl Scenario for ServiceScenario {
 
     fn smoke_grid(&self) -> GridSpec {
         GridSpec::parse_str(
-            "n=2^10 k=2 d=4 shards=4 threads=1,2 requests=1500 window=0,32 backend=striped,shared_nothing store=exact,packed4",
+            "n=2^10 k=2 d=4 shards=4 threads=1,2 requests=1500 window=0,32 backend=striped,shared_nothing,lockfree store=exact,packed4",
         )
         .expect("service smoke grid")
     }
@@ -255,8 +261,10 @@ mod tests {
             "demand=psychic",
             "demand_max=0",
             "dims=2 backend=shared_nothing",
+            "dims=2 backend=lockfree",
             "dims=2 store=packed4",
             "demand=uniform store=sketch",
+            "backend=lockfree store=sketch",
         ] {
             let grid = GridSpec::parse_str(bad).unwrap();
             assert!(

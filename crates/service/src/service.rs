@@ -199,7 +199,8 @@ pub struct ServiceWorkloadConfig {
     /// Which concurrency backend serves the requests. With
     /// [`ServiceBackend::SharedNothing`] the clients **are** the shard
     /// owners (`shards` is ignored; ownership = threads) and `threads <=
-    /// bins` is required.
+    /// bins` is required. [`ServiceBackend::LockFree`] ignores `shards`
+    /// and `snapshot_refresh` — one flat CAS-bins array serves everyone.
     pub backend: ServiceBackend,
     /// Shared-nothing only: snapshot republish period in mutations
     /// (`>= 1`); ignored by the striped backend.
@@ -313,6 +314,9 @@ pub fn run_service_workload(config: &ServiceWorkloadConfig) -> ServiceReport {
     }
     if config.backend == ServiceBackend::SharedNothing {
         return crate::engine::run_service_workload_owned(config);
+    }
+    if config.backend == ServiceBackend::LockFree {
+        return crate::lockfree::run_service_workload_lockfree(config);
     }
     let store = ShardedStore::with_kind(config.bins, config.shards, config.store);
     let service = PlacementService::new(store, config.k, config.d)
@@ -641,7 +645,11 @@ mod tests {
             let mut cfg = ServiceWorkloadConfig::new(64, 1, 700, 29);
             cfg.window = window;
             let vector = run_vector_service_workload(&cfg);
-            for backend in [ServiceBackend::Striped, ServiceBackend::SharedNothing] {
+            for backend in [
+                ServiceBackend::Striped,
+                ServiceBackend::SharedNothing,
+                ServiceBackend::LockFree,
+            ] {
                 cfg.backend = backend;
                 let scalar = run_service_workload(&cfg);
                 assert!(!cfg.is_vector(), "scalar triple must not route to vector");

@@ -1,22 +1,26 @@
 //! Cross-backend equivalence: the shared-nothing `OwnedShardEngine`
-//! against the lock-striped `ShardedStore`, driven through the same
-//! public entry points.
+//! and the lock-free `AtomicStore` against the lock-striped
+//! `ShardedStore`, driven through the same public entry points. This is
+//! the repo's standard admission harness for any concurrent store.
 //!
-//! The contract under test (see `kdchoice_service::engine`):
+//! The contract under test (see `kdchoice_service::engine` and
+//! `kdchoice_service::AtomicStore`):
 //!
-//! * **Single thread + synchronous snapshots (`refresh = 1`)** — the
-//!   owned backend is **bit-identical** to the striped backend: same
-//!   probes, same tie keys, same winners, same final histogram, same
-//!   sampled time series. Locked by a proptest over random open-loop
-//!   traffic and by deterministic closed-loop runs.
+//! * **Single thread** (synchronous snapshots for the owned backend; no
+//!   contention, hence no CAS failures, for the lock-free one) — both
+//!   alternative backends are **bit-identical** to the striped backend:
+//!   same probes, same tie keys, same winners, same final histogram,
+//!   same sampled time series. Locked by a proptest over random
+//!   open-loop traffic and by deterministic closed-loop runs.
 //! * **Any thread count** — the open-loop *event stream* (arrivals,
 //!   commits, departures, every latency statistic) is schedule-driven
 //!   and therefore identical across backends; only the load shape may
-//!   drift once decisions read stale snapshots.
-//! * **Concurrency safety** — an 8-thread owned run conserves balls and
-//!   passes the merged-histogram / snapshot-vs-truth invariants (they
-//!   are asserted inside the engine's merge step; `conserved` reports
-//!   the outcome).
+//!   drift once decisions read stale or raced load values.
+//! * **Concurrency safety** — 8-thread runs on both alternative
+//!   backends conserve balls and pass their invariant checks
+//!   (merged-histogram / snapshot-vs-truth for the owned engine;
+//!   in-flight-op / consistent-scan / counter-sum for the lock-free
+//!   store); `conserved` reports the outcome.
 
 use kdchoice_core::StoreKind;
 use kdchoice_service::{
@@ -24,43 +28,50 @@ use kdchoice_service::{
 };
 use proptest::prelude::*;
 
-/// Runs `config` on both backends (single thread, synchronous
-/// snapshots) and asserts every deterministic observable matches bit
-/// for bit.
+/// The two backends that must reproduce the striped reference bit for
+/// bit at one thread.
+const CHALLENGERS: [ServiceBackend; 2] = [ServiceBackend::SharedNothing, ServiceBackend::LockFree];
+
+/// Runs `config` on all three backends (single thread, synchronous
+/// snapshots) and asserts every deterministic observable matches the
+/// striped reference bit for bit.
 fn assert_backends_match(mut config: OpenLoopConfig, label: &str) {
     config.threads = 1;
     config.snapshot_refresh = 1;
     config.backend = ServiceBackend::Striped;
     let striped = run_open_loop(&config);
-    config.backend = ServiceBackend::SharedNothing;
-    let owned = run_open_loop(&config);
-
     assert!(striped.conserved, "{label}: striped run must conserve");
-    assert!(owned.conserved, "{label}: owned run must conserve");
-    assert_eq!(
-        striped.final_histogram, owned.final_histogram,
-        "{label}: final load histograms diverged"
-    );
-    assert_eq!(
-        striped.series, owned.series,
-        "{label}: time series diverged"
-    );
-    assert_eq!(striped.final_max_load, owned.final_max_load, "{label}");
-    assert_eq!(striped.live_balls, owned.live_balls, "{label}");
-    assert_eq!(striped.balls_placed, owned.balls_placed, "{label}");
-    assert_eq!(striped.balls_released, owned.balls_released, "{label}");
-    assert_eq!(
-        striped.requests_committed, owned.requests_committed,
-        "{label}"
-    );
-    assert_eq!(striped.backlog, owned.backlog, "{label}");
-    assert_eq!(striped.latency_p50, owned.latency_p50, "{label}");
-    assert_eq!(striped.latency_p99, owned.latency_p99, "{label}");
-    assert_eq!(striped.latency_max, owned.latency_max, "{label}");
-    assert_eq!(striped.final_gap, owned.final_gap, "{label}");
-    assert_eq!(striped.final_util_gap, owned.final_util_gap, "{label}");
-    assert_eq!(striped.steady_gap_mean, owned.steady_gap_mean, "{label}");
-    assert_eq!(striped.total_capacity, owned.total_capacity, "{label}");
+    for backend in CHALLENGERS {
+        config.backend = backend;
+        let other = run_open_loop(&config);
+        let label = format!("{label} [{}]", backend.name());
+
+        assert!(other.conserved, "{label}: run must conserve");
+        assert_eq!(
+            striped.final_histogram, other.final_histogram,
+            "{label}: final load histograms diverged"
+        );
+        assert_eq!(
+            striped.series, other.series,
+            "{label}: time series diverged"
+        );
+        assert_eq!(striped.final_max_load, other.final_max_load, "{label}");
+        assert_eq!(striped.live_balls, other.live_balls, "{label}");
+        assert_eq!(striped.balls_placed, other.balls_placed, "{label}");
+        assert_eq!(striped.balls_released, other.balls_released, "{label}");
+        assert_eq!(
+            striped.requests_committed, other.requests_committed,
+            "{label}"
+        );
+        assert_eq!(striped.backlog, other.backlog, "{label}");
+        assert_eq!(striped.latency_p50, other.latency_p50, "{label}");
+        assert_eq!(striped.latency_p99, other.latency_p99, "{label}");
+        assert_eq!(striped.latency_max, other.latency_max, "{label}");
+        assert_eq!(striped.final_gap, other.final_gap, "{label}");
+        assert_eq!(striped.final_util_gap, other.final_util_gap, "{label}");
+        assert_eq!(striped.steady_gap_mean, other.steady_gap_mean, "{label}");
+        assert_eq!(striped.total_capacity, other.total_capacity, "{label}");
+    }
 }
 
 proptest! {
@@ -117,7 +128,7 @@ fn stale_snapshots_preserve_the_event_stream() {
 }
 
 /// Closed-loop equivalence: one client thread issues the identical
-/// probe/tie-key stream to both backends, so the final merged load
+/// probe/tie-key stream to all three backends, so the final merged load
 /// state must match exactly — including through the release window.
 #[test]
 fn closed_loop_single_client_matches_across_backends() {
@@ -139,18 +150,32 @@ fn closed_loop_single_client_matches_across_backends() {
             seed: 0xE0_3333,
         };
         let striped = run_service_workload(&config);
-        config.backend = ServiceBackend::SharedNothing;
-        let owned = run_service_workload(&config);
-        assert!(striped.conserved && owned.conserved, "window={window}");
-        assert_eq!(striped.live_balls, owned.live_balls, "window={window}");
-        assert_eq!(
-            striped.balls_released, owned.balls_released,
-            "window={window}"
-        );
-        assert_eq!(striped.max_load, owned.max_load, "window={window}");
-        assert_eq!(striped.gap, owned.gap, "window={window}");
-        assert_eq!(striped.nu1, owned.nu1, "window={window}");
+        assert!(striped.conserved, "window={window}");
+        for backend in CHALLENGERS {
+            config.backend = backend;
+            let other = run_service_workload(&config);
+            let label = format!("window={window} [{}]", backend.name());
+            assert!(other.conserved, "{label}");
+            assert_eq!(striped.live_balls, other.live_balls, "{label}");
+            assert_eq!(striped.balls_released, other.balls_released, "{label}");
+            assert_eq!(striped.max_load, other.max_load, "{label}");
+            assert_eq!(striped.gap, other.gap, "{label}");
+            assert_eq!(striped.nu1, other.nu1, "{label}");
+        }
     }
+}
+
+/// A packed decision view must not break single-thread bit-identity:
+/// both the owned backend (packed published snapshot) and the lock-free
+/// backend (clamped read of its exact counters) publish `min(load,
+/// ceiling)` to the decision kernel, and at these loads the ceiling is
+/// never reached, so the striped/exact stream is reproduced bit for
+/// bit.
+#[test]
+fn packed_store_keeps_single_thread_bit_identity() {
+    let mut config = OpenLoopConfig::at_lambda(192, 2, 4, 0.9, 12.0, 240, 0xE0_7777);
+    config.store = StoreKind::Packed8;
+    assert_backends_match(config, "packed8");
 }
 
 /// 8-thread stress on the owned engine, closed loop with a release
@@ -240,6 +265,34 @@ fn owned_open_loop_8_threads_conserves_and_pins_the_event_stream() {
     assert_eq!(one.latency_max, eight.latency_max);
     // Sampled live-ball counts are schedule-driven too (max load is not
     // once snapshots go stale, so compare only the live component).
+    for (a, b) in one.series.iter().zip(eight.series.iter()) {
+        assert_eq!(a.tick, b.tick);
+        assert_eq!(a.live_balls, b.live_balls);
+    }
+}
+
+/// The same pin for the lock-free backend: racing CAS commits may
+/// reorder *which* bin wins a tie, but the schedule-driven event stream
+/// (arrival/commit/departure counts, every latency statistic, sampled
+/// live-ball counts) is identical at any thread count.
+#[test]
+fn lockfree_open_loop_8_threads_conserves_and_pins_the_event_stream() {
+    let mut config = OpenLoopConfig::at_lambda(512, 2, 4, 0.9, 8.0, 300, 0xE0_8888);
+    config.sample_every = 16;
+    config.backend = ServiceBackend::LockFree;
+    config.threads = 1;
+    let one = run_open_loop(&config);
+    config.threads = 8;
+    let eight = run_open_loop(&config);
+    assert!(one.conserved && eight.conserved);
+    assert_eq!(one.requests_committed, eight.requests_committed);
+    assert_eq!(one.backlog, eight.backlog);
+    assert_eq!(one.balls_placed, eight.balls_placed);
+    assert_eq!(one.balls_released, eight.balls_released);
+    assert_eq!(one.live_balls, eight.live_balls);
+    assert_eq!(one.latency_p50, eight.latency_p50);
+    assert_eq!(one.latency_p99, eight.latency_p99);
+    assert_eq!(one.latency_max, eight.latency_max);
     for (a, b) in one.series.iter().zip(eight.series.iter()) {
         assert_eq!(a.tick, b.tick);
         assert_eq!(a.live_balls, b.live_balls);

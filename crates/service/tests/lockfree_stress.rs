@@ -1,0 +1,278 @@
+//! Concurrency oracle for the lock-free CAS-bins backend: 8-thread
+//! place/release storms against [`AtomicStore`] with an *external*
+//! ground truth.
+//!
+//! Every placement's winning bins are returned to the calling thread,
+//! so after the storm the main thread knows exactly which balls are
+//! live and where they were put. That turns conservation from a
+//! counter identity into a per-bin oracle: the store's counters must
+//! equal the ball-by-ball reconstruction bin for bin. A torn write, a
+//! lost CAS rollback, or a negative (wrapped) counter cannot hide from
+//! that comparison.
+//!
+//! Bin counts are prime (509, 1021) so no power-of-two alignment can
+//! mask an indexing error, and the probe pattern deliberately piles
+//! onto a small hot set to force CAS collisions. Run these in release
+//! mode (CI does) to get real interleavings rather than debug-build
+//! serialization.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use kdchoice_core::BinStore;
+use kdchoice_prng::{derive_seed, Xoshiro256PlusPlus};
+use kdchoice_service::{AtomicStore, PlaceScratch, PLACE_RETRY_LIMIT};
+use rand::RngCore;
+
+const THREADS: usize = 8;
+
+/// One thread's contribution to the storm: place `rounds` requests
+/// (k of d hot-skewed probes each), holding at most `window` placements
+/// and releasing the oldest beyond that. Returns the bins of every
+/// still-live ball plus the thread's (places, releases) totals.
+#[allow(clippy::too_many_arguments)]
+fn storm_thread(
+    store: &AtomicStore,
+    n: usize,
+    k: usize,
+    d: usize,
+    rounds: usize,
+    window: usize,
+    hot_bins: usize,
+    seed: u64,
+) -> (Vec<usize>, u64, u64) {
+    let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+    let mut scratch = PlaceScratch::new();
+    let mut probes = vec![0usize; d];
+    let mut held: std::collections::VecDeque<Vec<usize>> = std::collections::VecDeque::new();
+    let (mut places, mut releases) = (0u64, 0u64);
+    for round in 0..rounds {
+        for p in probes.iter_mut() {
+            // Every other round probes only the hot set: maximal CAS
+            // contention on a handful of bins shared by all 8 threads.
+            let universe = if round % 2 == 0 { hot_bins } else { n };
+            *p = (rng.next_u64() % universe as u64) as usize;
+        }
+        let placement = store.place_with(&probes, k, &mut rng, &mut scratch);
+        assert_eq!(placement.bins.len(), k);
+        places += 1;
+        held.push_back(placement.bins);
+        if held.len() > window {
+            let oldest = held.pop_front().unwrap();
+            store.release(&oldest);
+            releases += 1;
+        }
+    }
+    let live: Vec<usize> = held.into_iter().flatten().collect();
+    (live, places, releases)
+}
+
+/// Rebuilds the expected per-bin load vector from the live balls every
+/// thread reported and asserts the store matches it exactly, along
+/// with the histogram, totals, invariants, and the retry-count bound.
+fn assert_storm_oracle(store: &AtomicStore, n: usize, k: usize, live: &[usize], ops: u64) {
+    // Per-bin oracle: the counters must equal the ball-by-ball truth.
+    let mut expected = vec![0u32; n];
+    for &bin in live {
+        expected[bin] += 1;
+    }
+    let mut actual = Vec::new();
+    store.copy_loads_into(&mut actual);
+    assert_eq!(actual, expected, "per-bin loads diverged from ground truth");
+
+    // Conservation and aggregate observables over the same truth.
+    assert_eq!(store.total_balls(), live.len() as u64);
+    assert_eq!(live.len() % k, 0, "live balls must come in k-tuples");
+    let max = *expected.iter().max().unwrap();
+    assert_eq!(store.max_load(), max);
+    assert!(
+        max < 1 << 20,
+        "implausible max load: torn or wrapped counter"
+    );
+
+    // Merged histogram agrees with the ground-truth histogram.
+    let mut expected_hist = vec![0u64; max as usize + 1];
+    for &load in &expected {
+        expected_hist[load as usize] += 1;
+    }
+    assert_eq!(store.histogram(), expected_hist);
+
+    // Quiescent invariants: no in-flight ops, consistent scan, counter
+    // sums agree with the histogram.
+    assert!(store.check_invariants(), "quiescent invariants failed");
+
+    // CAS retries are bounded: a placement retries at most
+    // PLACE_RETRY_LIMIT times before the unconditional fallback, and a
+    // release retries only while other ops commit under it. The storm's
+    // total lost races can never exceed the per-op ceiling summed over
+    // every operation.
+    let lost = store.lost_races();
+    assert!(
+        lost <= ops * PLACE_RETRY_LIMIT as u64,
+        "lost_races {lost} exceeds {} ops x retry limit {PLACE_RETRY_LIMIT}",
+        ops
+    );
+    assert!(
+        store.fallback_commits() <= ops,
+        "more fallback commits than operations"
+    );
+}
+
+/// 8 threads, prime bin count, hot-set contention, windowed releases:
+/// the final state must match the external ball-by-ball oracle.
+#[test]
+fn eight_thread_storm_matches_ball_by_ball_oracle() {
+    let (n, k, d) = (509usize, 2usize, 4usize);
+    let store = AtomicStore::new(n);
+    let (rounds, window, hot) = (6000usize, 64usize, 7usize);
+    let results: Vec<(Vec<usize>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let store = &store;
+                scope.spawn(move || {
+                    storm_thread(
+                        store,
+                        n,
+                        k,
+                        d,
+                        rounds,
+                        window,
+                        hot,
+                        derive_seed(0x10CF_0001, t as u64),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut live = Vec::new();
+    let (mut places, mut releases) = (0u64, 0u64);
+    for (bins, p, r) in results {
+        live.extend(bins);
+        places += p;
+        releases += r;
+    }
+    assert_eq!(places, (THREADS * rounds) as u64);
+    assert_eq!(live.len() as u64, (places - releases) * k as u64);
+    assert_storm_oracle(&store, n, k, &live, places + releases);
+}
+
+/// Releasing every live ball drains the store to exactly zero — the
+/// guarded CAS decrement neither loses balls nor invents them, even
+/// when the releases themselves race 8-wide.
+#[test]
+fn racing_full_drain_leaves_an_empty_store() {
+    let (n, k, d) = (1021usize, 3usize, 6usize);
+    let store = AtomicStore::new(n);
+    let results: Vec<(Vec<usize>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let store = &store;
+                scope.spawn(move || {
+                    storm_thread(
+                        store,
+                        n,
+                        k,
+                        d,
+                        3000,
+                        32,
+                        5,
+                        derive_seed(0x10CF_0002, t as u64),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Drain the survivors with racing releases (one thread per batch).
+    std::thread::scope(|scope| {
+        for (bins, _, _) in &results {
+            let store = &store;
+            scope.spawn(move || {
+                for ball in bins.chunks(k) {
+                    store.release(ball);
+                }
+            });
+        }
+    });
+    assert_eq!(store.total_balls(), 0, "drained store still holds balls");
+    assert_eq!(store.max_load(), 0);
+    let mut loads = Vec::new();
+    store.copy_loads_into(&mut loads);
+    assert!(loads.iter().all(|&l| l == 0), "residual per-bin load");
+    assert_eq!(store.histogram(), vec![n as u64]);
+    assert!(store.check_invariants());
+}
+
+/// A reader thread hammering `stamped_snapshot` during the storm never
+/// observes a torn state: generations are monotone, loads are bounded
+/// by the balls placed so far, and a consistent snapshot's total is a
+/// plausible live-ball count.
+#[test]
+fn concurrent_snapshots_are_monotone_and_never_torn() {
+    let (n, k, d) = (509usize, 2usize, 4usize);
+    let store = AtomicStore::new(n);
+    let done = AtomicBool::new(false);
+    let placed_ceiling = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = &store;
+            let ceiling = &placed_ceiling;
+            scope.spawn(move || {
+                let mut rng = Xoshiro256PlusPlus::from_u64(derive_seed(0x10CF_0003, t as u64));
+                let mut scratch = PlaceScratch::new();
+                let mut probes = vec![0usize; d];
+                for _ in 0..2000 {
+                    for p in probes.iter_mut() {
+                        *p = (rng.next_u64() % n as u64) as usize;
+                    }
+                    // Advertise the upper bound *before* committing so a
+                    // reader can never see more balls than the ceiling.
+                    ceiling.fetch_add(k as u64, Ordering::SeqCst);
+                    store.place_with(&probes, k, &mut rng, &mut scratch);
+                }
+            });
+        }
+        let store = &store;
+        let done = &done;
+        let ceiling = &placed_ceiling;
+        let reader = scope.spawn(move || {
+            let mut last_generation = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let snap = store.stamped_snapshot();
+                assert!(
+                    snap.generation >= last_generation,
+                    "generation went backwards: {} -> {}",
+                    last_generation,
+                    snap.generation
+                );
+                last_generation = snap.generation;
+                assert_eq!(snap.loads.len(), n);
+                let bound = ceiling.load(Ordering::SeqCst);
+                for &load in &snap.loads {
+                    assert!(
+                        (load as u64) <= bound,
+                        "torn read: bin load {load} exceeds balls placed {bound}"
+                    );
+                }
+                if snap.consistent {
+                    let total: u64 = snap.loads.iter().map(|&l| l as u64).sum();
+                    assert!(total <= bound, "consistent snapshot over-counts");
+                }
+            }
+        });
+        // Workers are the scope's other children; wait for them by
+        // joining everything except the reader, then stop the reader.
+        // (Scoped threads join implicitly; the flag just ends the loop.)
+        while store.total_balls() < (THREADS * 2000 * k) as u64 {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+        reader.join().unwrap();
+    });
+    // Quiescent now: the final snapshot must be consistent and exact.
+    let snap = store.stamped_snapshot();
+    assert!(snap.consistent);
+    let total: u64 = snap.loads.iter().map(|&l| l as u64).sum();
+    assert_eq!(total, (THREADS * 2000 * k) as u64);
+    assert!(store.check_invariants());
+}
